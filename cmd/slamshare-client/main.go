@@ -1,0 +1,65 @@
+// Command slamshare-client replays a synthetic dataset sequence as an
+// AR device against a running slamshare-server: IMU integration and
+// video encoding on the client, SLAM on the server. The link can be
+// shaped with tc-style delay and bandwidth options, as in the paper's
+// testbed (§5.1).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"slamshare"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7007", "server address")
+	seqName := flag.String("seq", "MH04", "sequence: MH04, MH05, V202, TUM-fr1, KITTI-00, KITTI-05")
+	stereo := flag.Bool("stereo", true, "use the stereo rig")
+	id := flag.Uint("id", 1, "client id (unique per device)")
+	frames := flag.Int("frames", 300, "frames to replay")
+	stride := flag.Int("stride", 1, "process every Nth frame")
+	delay := flag.Duration("delay", 0, "added one-way link delay (tc netem)")
+	mbps := flag.Float64("mbps", 0, "link bandwidth cap in Mbit/s (0 = unlimited)")
+	flag.Parse()
+
+	mode := slamshare.Mono
+	if *stereo {
+		mode = slamshare.Stereo
+	}
+	seq, err := slamshare.LoadSequence(*seqName, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raw, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := slamshare.ShapeConn(raw, slamshare.NetemConfig{
+		Delay:        *delay,
+		BandwidthBps: *mbps * 1e6,
+	})
+	defer conn.Close()
+
+	dev := slamshare.NewDevice(uint32(*id), seq)
+	var idxs []int
+	for i := 0; i < *frames && i < seq.FrameCount(); i += *stride {
+		idxs = append(idxs, i)
+	}
+	log.Printf("client %d replaying %s (%s), %d frames over %s (delay %v, cap %.1f Mbit/s)",
+		*id, seq.Name, mode, len(idxs), *addr, *delay, *mbps)
+	start := time.Now()
+	if err := dev.RunTCP(conn, idxs); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	truth := slamshare.GroundTruth(seq, *frames, *stride)
+	log.Printf("done in %v: ATE %.3f m, uplink %.2f KB/frame",
+		elapsed.Round(time.Millisecond),
+		slamshare.ATE(dev.Trajectory(), truth),
+		float64(dev.UplinkBytes())/float64(dev.FramesSent())/1024)
+}

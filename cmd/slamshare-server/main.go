@@ -1,0 +1,61 @@
+// Command slamshare-server runs a SLAM-Share edge server: it allocates
+// the shared-memory global map, accepts device connections over TCP,
+// and periodically logs the global map's growth and merge activity.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"slamshare"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7007", "listen address")
+	gpuLanes := flag.Int("gpu-lanes", 8, "simulated GPU lanes (0 = CPU only)")
+	lanesPerClient := flag.Int("lanes-per-client", 4, "GSlice lanes per client session")
+	shmGB := flag.Int64("shm-gb", 2, "shared-memory budget in GiB")
+	flag.Parse()
+
+	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
+		GPULanes:       *gpuLanes,
+		LanesPerClient: *lanesPerClient,
+		ShmCapacity:    *shmGB << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s listening on %s (gpu lanes: %d, shm: %d GiB)",
+		slamshare.String(), l.Addr(), *gpuLanes, *shmGB)
+
+	go func() {
+		ticker := time.NewTicker(5 * time.Second)
+		defer ticker.Stop()
+		lastMerges := 0
+		for range ticker.C {
+			g := srv.GlobalMap()
+			reports := srv.MergeReports()
+			log.Printf("global map: %d keyframes, %d map points, %d merges",
+				g.NKeyFrames(), g.NMapPoints(), len(reports))
+			for ; lastMerges < len(reports); lastMerges++ {
+				r := reports[lastMerges]
+				if r.Alignment != nil {
+					log.Printf("  merge: %d KFs aligned, %d inliers, %v total",
+						r.InsertKFs, r.Alignment.Inliers, r.Total.Round(time.Millisecond))
+				}
+			}
+		}
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module slamshare
+
+go 1.22

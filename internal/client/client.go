@@ -1,0 +1,304 @@
+// Package client implements the SLAM-Share AR device (Fig. 3, left):
+// it integrates its IMU with the paper's Algorithm 1 for short-horizon
+// pose prediction, encodes camera frames as video, uploads them to the
+// edge server, and folds the returned SLAM poses back into its motion
+// model. The client's compute is only IMU integration plus video
+// encoding — the source of the ~35x CPU reduction of Fig. 13.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/dataset"
+	"slamshare/internal/geom"
+	"slamshare/internal/imu"
+	"slamshare/internal/metrics"
+	"slamshare/internal/protocol"
+	"slamshare/internal/video"
+)
+
+// Client is one AR device replaying a dataset sequence.
+type Client struct {
+	ID  uint32
+	Seq *dataset.Sequence
+
+	mu        sync.Mutex
+	mm        *imu.MotionModel
+	encL      *video.Encoder
+	encR      *video.Encoder
+	meter     *metrics.CPUMeter
+	encMeter  *metrics.CPUMeter
+	est       metrics.Trajectory
+	live      metrics.Trajectory
+	sent      int
+	applied   int
+	lastFrame int
+	upBytes   int64
+}
+
+// New returns a client for the given sequence. The motion model is
+// anchored at the sequence's first ground-truth pose (the paper's
+// clients likewise share an initial gravity-aligned origin via the
+// first server fix).
+func New(id uint32, seq *dataset.Sequence) *Client {
+	const h = 1e-3
+	v0 := seq.Traj.PoseAt(h).T.Sub(seq.Traj.PoseAt(0).T).Scale(1 / h)
+	return &Client{
+		ID:       id,
+		Seq:      seq,
+		mm:       imu.NewMotionModel(seq.GroundTruth(0), v0),
+		encL:     video.NewEncoder(),
+		encR:     video.NewEncoder(),
+		meter:    metrics.NewCPUMeter(),
+		encMeter: metrics.NewCPUMeter(),
+	}
+}
+
+// Meter returns the client compute meter (Fig. 13).
+func (c *Client) Meter() *metrics.CPUMeter { return c.meter }
+
+// EncodeBusy returns the part of the client's busy time spent in
+// software video encoding. Note it includes the synthetic frame
+// rendering (a stand-in for the camera), so subtracting it from
+// Meter().Busy() leaves the pure IMU + bookkeeping compute — the cost
+// profile of a device with a hardware encoder, as in the paper.
+func (c *Client) EncodeBusy() time.Duration { return c.encMeter.Busy() }
+
+// Trajectory returns the client's own pose estimates over time — the
+// IMU motion model continuously corrected by server poses. This is
+// what the user experiences (hologram placement), so it is what the
+// short-term ATE of Fig. 12 evaluates.
+func (c *Client) Trajectory() metrics.Trajectory {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(metrics.Trajectory, len(c.est))
+	copy(out, c.est)
+	return out
+}
+
+// LiveTrajectory returns the as-experienced pose estimates: what the
+// device believed at each frame time, without retroactive correction
+// by later server answers. RTT and missed updates show up here.
+func (c *Client) LiveTrajectory() metrics.Trajectory {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(metrics.Trajectory, len(c.live))
+	copy(out, c.live)
+	return out
+}
+
+// UplinkBytes returns the total encoded video bytes sent.
+func (c *Client) UplinkBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.upBytes
+}
+
+// FramesSent returns the number of frames uploaded.
+func (c *Client) FramesSent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// BuildFrame prepares the uplink message for frame i: it advances the
+// motion model with the IMU samples captured since the previous frame
+// (Alg. 1 ApproxPose_UpdateMM) and encodes the camera frames. All the
+// work here is the client's entire per-frame compute and is accounted
+// against its CPU meter.
+func (c *Client) BuildFrame(i int) *protocol.FrameMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg := &protocol.FrameMsg{
+		ClientID: c.ID,
+		FrameIdx: uint32(i),
+		Stamp:    c.Seq.FrameTime(i),
+	}
+	c.meter.Time(func() {
+		// IMU integration since the previous frame. The first sent
+		// frame is the motion model's anchor (entry 0), so est[k]
+		// always corresponds to motion-model entry k.
+		var pred geom.SE3
+		if c.sent == 0 {
+			msg.Delta = imu.FrameDelta{RotDelta: geom.IdentityQuat()}
+			pred = c.mm.Latest()
+		} else {
+			span := c.Seq.IMUBetween(c.lastFrame, i)
+			msg.Delta = imu.FrameDeltaFrom(imu.Preintegrate(span))
+			pred = c.mm.ApproxPoseUpdateMM(msg.Delta)
+		}
+		// Ship the Alg. 1 prediction with the frame: it anchors the
+		// server-side map in the client's local frame and carries the
+		// tracker through initialization before the first SLAM fix.
+		msg.Prior = pred
+		msg.HasPrior = true
+		c.lastFrame = i
+		c.est.Append(msg.Stamp, pred.T)
+		// The live trajectory records what the device believed at this
+		// instant; unlike est it is never retro-corrected, so it is
+		// what the user's display actually showed (Appendix C's
+		// "snapshot as it is walked").
+		c.live.Append(msg.Stamp, pred.T)
+
+		// Video encoding (metered separately: the paper's devices use a
+		// hardware encoder, so Fig. 13 reports compute with and without
+		// this cost).
+		c.encMeter.Time(func() {
+			left, right := c.Seq.StereoFrame(i)
+			msg.Video = c.encL.Encode(left)
+			if right != nil {
+				msg.VideoRight = c.encR.Encode(right)
+			}
+		})
+	})
+	c.upBytes += int64(len(msg.Video) + len(msg.VideoRight))
+	c.sent++
+	return msg
+}
+
+// ApplyPose folds a server pose answer into the motion model
+// (Alg. 1 Recv_SLAMPose): the poses of every frame after frameIdx are
+// re-propagated, and the trajectory estimate is updated from that
+// frame on.
+func (c *Client) ApplyPose(frameIdx int, pose geom.SE3, tracked bool) {
+	if !tracked {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.meter.Time(func() {
+		// The motion model indexes frames from 0 in lockstep with
+		// BuildFrame calls; map the dataset frame index onto it.
+		mmIdx := c.frameToMM(frameIdx)
+		if mmIdx < 0 {
+			return
+		}
+		c.mm.RecvSLAMPose(pose.Inverse(), mmIdx)
+		// Rewrite the trajectory tail with the corrected poses:
+		// est[k] corresponds to motion-model entry k.
+		for j := mmIdx; j < c.mm.Len() && j < len(c.est); j++ {
+			p, ok := c.mm.PoseOf(j)
+			if !ok {
+				continue
+			}
+			c.est[j].Pos = p.T
+		}
+	})
+	c.applied++
+}
+
+// frameToMM maps a dataset frame index to a motion-model index. The
+// client may replay frames with a stride, so the mapping is by
+// arrival order: the n-th sent frame is motion-model entry n.
+func (c *Client) frameToMM(frameIdx int) int {
+	// The motion model has exactly `sent` entries (entry 0 is the
+	// anchor = first sent frame). Find how many frames back frameIdx
+	// was. With stride s, sent frames are i0, i0+s, ... — we recover
+	// the offset from the most recent.
+	if c.sent == 0 {
+		return -1
+	}
+	// est[k] corresponds to mm entry k; frame indices were appended in
+	// order, so search from the tail (answers are recent).
+	stamp := c.Seq.FrameTime(frameIdx)
+	for k := len(c.est) - 1; k >= 0; k-- {
+		if c.est[k].T == stamp {
+			return k
+		}
+		if c.est[k].T < stamp {
+			break
+		}
+	}
+	return -1
+}
+
+// RunTCP drives the full socket loop against a SLAM-Share server for
+// the given frame indices: it sends a hello, streams frames, and
+// applies pose answers as they return. Answers are consumed
+// asynchronously, so added network delay shows up exactly as in §4.2.2
+// (IMU covers the gap).
+func (c *Client) RunTCP(conn net.Conn, frames []int) error {
+	hello := make([]byte, 5)
+	hello[0] = byte(c.ID)
+	hello[1] = byte(c.ID >> 8)
+	hello[2] = byte(c.ID >> 16)
+	hello[3] = byte(c.ID >> 24)
+	hello[4] = byte(c.Seq.Rig.Mode)
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello); err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			mt, payload, err := protocol.ReadMessage(conn)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if mt != protocol.TypePose {
+				continue
+			}
+			pm, err := protocol.DecodePoseMsg(payload)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			c.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
+			if int(pm.FrameIdx) == frames[len(frames)-1] {
+				errCh <- nil
+				return
+			}
+		}
+	}()
+	for _, i := range frames {
+		msg := c.BuildFrame(i)
+		if err := protocol.WriteMessage(conn, protocol.TypeFrame, msg.Encode()); err != nil {
+			return fmt.Errorf("client: send frame %d: %w", i, err)
+		}
+	}
+	<-done
+	select {
+	case err := <-errCh:
+		if err != nil {
+			return err
+		}
+	default:
+	}
+	_ = protocol.WriteMessage(conn, protocol.TypeBye, nil)
+	return nil
+}
+
+// Mode returns the client's camera mode.
+func (c *Client) Mode() camera.Mode { return c.Seq.Rig.Mode }
+
+// NewDisplaced returns a client whose local frame differs from the
+// world frame by a yaw rotation about gravity and a translation — the
+// arbitrary per-client map origin that map merging must resolve
+// (Fig. 7). Gravity stays aligned, so IMU dead-reckoning remains
+// valid in the displaced frame.
+func NewDisplaced(id uint32, seq *dataset.Sequence, yaw float64, offset geom.Vec3) *Client {
+	c := New(id, seq)
+	d := geom.SE3{R: geom.QuatFromAxisAngle(geom.Vec3{Z: 1}, yaw), T: offset}
+	anchor := c.mm.Latest()
+	displaced := geom.SE3{
+		R: d.R.Mul(anchor.R).Normalized(),
+		T: d.Apply(anchor.T),
+	}
+	const h = 1e-3
+	v0 := seq.Traj.PoseAt(h).T.Sub(seq.Traj.PoseAt(0).T).Scale(1 / h)
+	c.mm = imu.NewMotionModel(displaced, d.R.Rotate(v0))
+	return c
+}
+
+// UseImageTransfer switches the client to standalone image coding
+// (every frame intra) — the image-transfer baseline of Table 3.
+func (c *Client) UseImageTransfer() {
+	c.encL.GOP = 1
+	c.encR.GOP = 1
+}

@@ -1,0 +1,119 @@
+package client
+
+import (
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/dataset"
+	"slamshare/internal/geom"
+)
+
+func TestBuildFrameBasics(t *testing.T) {
+	seq := dataset.V202(camera.Stereo)
+	c := New(1, seq)
+	msg := c.BuildFrame(0)
+	if msg.ClientID != 1 || msg.FrameIdx != 0 {
+		t.Errorf("header: %+v", msg)
+	}
+	if len(msg.Video) == 0 || len(msg.VideoRight) == 0 {
+		t.Error("missing video payloads")
+	}
+	if !msg.HasPrior {
+		t.Error("prior not attached")
+	}
+	if c.FramesSent() != 1 || c.UplinkBytes() == 0 {
+		t.Error("accounting wrong")
+	}
+	if c.Meter().Busy() <= 0 {
+		t.Error("client compute not metered")
+	}
+	// Second frame carries a non-trivial IMU delta.
+	msg2 := c.BuildFrame(1)
+	if msg2.Delta.DT <= 0 {
+		t.Error("second frame has no IMU span")
+	}
+	if c.Mode() != camera.Stereo {
+		t.Error("mode wrong")
+	}
+}
+
+func TestMonoClientHasNoRightEye(t *testing.T) {
+	seq := dataset.V202(camera.Mono)
+	c := New(1, seq)
+	if msg := c.BuildFrame(0); len(msg.VideoRight) != 0 {
+		t.Error("mono client sent a right eye")
+	}
+}
+
+func TestApplyPoseCorrectsTrajectory(t *testing.T) {
+	seq := dataset.V202(camera.Stereo)
+	c := New(1, seq)
+	for i := 0; i < 10; i++ {
+		c.BuildFrame(i)
+	}
+	// Apply a fake server pose for frame 5 displaced from the estimate.
+	target := seq.GroundTruth(5)
+	shifted := geom.SE3{R: target.R, T: target.T.Add(geom.Vec3{X: 2})}
+	c.ApplyPose(5, shifted.Inverse(), true)
+	est := c.Trajectory()
+	// est[5] must now be at the shifted position and later samples
+	// re-propagated from it.
+	if est[5].Pos.Dist(shifted.T) > 1e-9 {
+		t.Errorf("est[5] = %v, want %v", est[5].Pos, shifted.T)
+	}
+	if est[9].Pos.Dist(seq.GroundTruth(9).T) < 1 {
+		t.Error("later samples not re-propagated from the shifted fix")
+	}
+	// Live trajectory must NOT be rewritten.
+	live := c.LiveTrajectory()
+	if live[5].Pos.Dist(shifted.T) < 1 {
+		t.Error("live trajectory was retro-corrected")
+	}
+}
+
+func TestApplyPoseIgnoresUntrackedAndUnknown(t *testing.T) {
+	seq := dataset.V202(camera.Stereo)
+	c := New(1, seq)
+	c.BuildFrame(0)
+	before := c.Trajectory()
+	c.ApplyPose(0, geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 50}}, false) // untracked
+	c.ApplyPose(99, geom.IdentitySE3(), true)                                    // unknown frame
+	after := c.Trajectory()
+	if after[0].Pos != before[0].Pos {
+		t.Error("untracked/unknown poses modified the trajectory")
+	}
+}
+
+func TestDisplacedClientAnchor(t *testing.T) {
+	seq := dataset.V202(camera.Stereo)
+	plain := New(1, seq)
+	disp := NewDisplaced(2, seq, 0.3, geom.Vec3{X: 2, Y: -1})
+	p0 := plain.BuildFrame(0).Prior
+	d0 := disp.BuildFrame(0).Prior
+	if d0.T.Dist(p0.T) < 1 {
+		t.Error("displaced anchor too close to plain anchor")
+	}
+	// Gravity alignment preserved: the displacement is yaw-only, so
+	// the body Z axis in world coordinates matches.
+	zPlain := p0.R.Rotate(geom.Vec3{Z: 1})
+	zDisp := d0.R.Rotate(geom.Vec3{Z: 1})
+	// Both rotated by yaw about world Z: their Z components agree.
+	if zPlain.Z-zDisp.Z > 1e-9 {
+		t.Error("displacement broke gravity alignment")
+	}
+}
+
+func TestUseImageTransfer(t *testing.T) {
+	seq := dataset.V202(camera.Mono)
+	vid := New(1, seq)
+	img := New(2, seq)
+	img.UseImageTransfer()
+	// Warm both past the intra frame.
+	vid.BuildFrame(0)
+	img.BuildFrame(0)
+	v1 := len(vid.BuildFrame(1).Video)
+	i1 := len(img.BuildFrame(1).Video)
+	if v1 >= i1 {
+		t.Errorf("inter frame (%d B) not smaller than image transfer (%d B)", v1, i1)
+	}
+}

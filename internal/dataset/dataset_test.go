@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"testing"
+
+	"slamshare/internal/camera"
+)
+
+func TestSequenceDurationsMatchPaper(t *testing.T) {
+	// §5.1: MH04 68 s (2032 frames), MH05 75 s (2273 frames in the
+	// original at ~30.3 FPS; ours is exactly 30), KITTI-00 151 s,
+	// KITTI-05 92 s.
+	cases := []struct {
+		seq  *Sequence
+		dur  float64
+		mind int
+	}{
+		{MH04(camera.Mono), 68, 2000},
+		{MH05(camera.Mono), 75, 2200},
+		{KITTI00(camera.Stereo), 151, 4500},
+		{KITTI05(camera.Stereo), 92, 2700},
+	}
+	for _, c := range cases {
+		if got := c.seq.Duration(); got < c.dur-0.5 || got > c.dur+0.5 {
+			t.Errorf("%s duration = %v, want ~%v", c.seq.Name, got, c.dur)
+		}
+		if got := c.seq.FrameCount(); got < c.mind {
+			t.Errorf("%s frames = %d, want >= %d", c.seq.Name, got, c.mind)
+		}
+	}
+}
+
+func TestMHSequencesShareWorld(t *testing.T) {
+	a := MH04(camera.Mono)
+	b := MH05(camera.Mono)
+	if a.World != b.World {
+		t.Error("MH04 and MH05 must observe the same world for map merging")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"MH04", "MH05", "V202", "TUM-fr1", "KITTI-00", "KITTI-05"} {
+		s, err := ByName(name, camera.Mono)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("name mismatch: %s vs %s", s.Name, name)
+		}
+	}
+	if _, err := ByName("nope", camera.Mono); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestStereoRigBaselines(t *testing.T) {
+	if MH04(camera.Stereo).Rig.Baseline != 0.11 {
+		t.Error("EuRoC baseline wrong")
+	}
+	if KITTI00(camera.Stereo).Rig.Baseline != 0.54 {
+		t.Error("KITTI baseline wrong")
+	}
+	if MH04(camera.Mono).Rig.Baseline != 0 {
+		t.Error("mono rig has baseline")
+	}
+}
+
+func TestFrameRendering(t *testing.T) {
+	s := V202(camera.Stereo)
+	f := s.Frame(0)
+	if f.W != s.Rig.Intr.Width || f.H != s.Rig.Intr.Height {
+		t.Fatalf("frame size %dx%d", f.W, f.H)
+	}
+	l, r := s.StereoFrame(0)
+	if l == nil || r == nil {
+		t.Fatal("stereo frame missing an eye")
+	}
+	mono := V202(camera.Mono)
+	_, r2 := mono.StereoFrame(0)
+	if r2 != nil {
+		t.Error("mono sequence returned right eye")
+	}
+}
+
+func TestIMUCachedAndAligned(t *testing.T) {
+	s := TUMfr1(camera.Mono)
+	a := s.IMU()
+	b := s.IMU()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("IMU stream not cached")
+	}
+	wantLen := int(s.Duration() * s.IMURate)
+	if len(a) != wantLen {
+		t.Errorf("IMU samples = %d, want %d", len(a), wantLen)
+	}
+	// Samples between frames 10 and 12 must span that time range.
+	seg := s.IMUBetween(10, 12)
+	t0, t1 := s.FrameTime(10), s.FrameTime(12)
+	if len(seg) == 0 {
+		t.Fatal("empty IMU segment")
+	}
+	for _, smp := range seg {
+		if smp.T < t0 || smp.T >= t1 {
+			t.Fatalf("sample at %v outside [%v, %v)", smp.T, t0, t1)
+		}
+	}
+}
+
+func TestSplitSharesWorldAndCoversTrajectory(t *testing.T) {
+	s := KITTI05(camera.Stereo)
+	parts := s.Split(3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for i, p := range parts {
+		if p.World != s.World {
+			t.Errorf("part %d has a different world", i)
+		}
+		if p.Duration() < s.Duration()/3-1 {
+			t.Errorf("part %d too short: %v", i, p.Duration())
+		}
+	}
+	// Part boundaries line up with the original trajectory.
+	if d := parts[1].GroundTruth(0).T.Dist(s.Traj.PoseAt(s.Duration() / 3).T); d > 1e-6 {
+		t.Errorf("part 2 start off by %v m", d)
+	}
+}
+
+func TestGroundTruthContinuity(t *testing.T) {
+	s := MH04(camera.Mono)
+	prev := s.GroundTruth(0)
+	for i := 1; i < 120; i++ {
+		cur := s.GroundTruth(i)
+		if d := cur.T.Dist(prev.T); d > 0.2 {
+			t.Fatalf("ground truth jump of %v m at frame %d", d, i)
+		}
+		prev = cur
+	}
+}
+
+func TestTrajectoriesStayInWorld(t *testing.T) {
+	// Drone paths must stay inside the hall so frames see landmarks.
+	for _, s := range []*Sequence{MH04(camera.Mono), MH05(camera.Mono)} {
+		n := s.FrameCount()
+		for i := 0; i < n; i += 30 {
+			p := s.GroundTruth(i).T
+			if p.X < -12 || p.X > 12 || p.Y < -9 || p.Y > 9 || p.Z < 0 || p.Z > 7 {
+				t.Fatalf("%s leaves the hall at frame %d: %v", s.Name, i, p)
+			}
+		}
+	}
+}
+
+func TestFramesSeeLandmarks(t *testing.T) {
+	// Every sampled frame must have enough visible landmarks to track.
+	for _, s := range []*Sequence{MH04(camera.Mono), KITTI05(camera.Stereo)} {
+		r := s.Renderer()
+		n := s.FrameCount()
+		for i := 0; i < n; i += n / 8 {
+			truth := r.Truth(s.GroundTruth(i))
+			if len(truth) < 40 {
+				t.Errorf("%s frame %d sees only %d landmarks", s.Name, i, len(truth))
+			}
+		}
+	}
+}

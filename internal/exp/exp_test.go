@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/server"
+)
+
+func init() { Quick = true }
+
+func TestLinkRTTFrames(t *testing.T) {
+	if (Link{}).RTTFrames(0.033) != 0 {
+		t.Error("zero delay should give zero lag")
+	}
+	// 150 ms each way at 30 FPS = ceil(0.3/0.0333) = 10 frames.
+	if got := (Link{DelaySec: 0.15}).RTTFrames(1.0 / 30); got != 9 && got != 10 {
+		t.Errorf("RTTFrames = %d", got)
+	}
+}
+
+func TestScaleQuick(t *testing.T) {
+	if s := scale(300); s != 100 {
+		t.Errorf("scale(300) = %d in quick mode", s)
+	}
+	if s := scale(60); s != 30 {
+		t.Errorf("scale floor = %d", s)
+	}
+}
+
+func TestAllIDsRun(t *testing.T) {
+	if len(All()) != 14 {
+		t.Errorf("experiment count = %d", len(All()))
+	}
+	if err := Run(io.Discard, "nope", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunnerDeliversDelayedPoses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system test")
+	}
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	seq := dataset.V202(camera.Stereo)
+	sess, err := srv.OpenSession(1, seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := client.New(1, seq)
+	p := &Participant{
+		Dev: dev, Sess: sess, Seq: seq, Stride: 2,
+		Link: Link{DelaySec: 0.2}, // 0.4 s RTT = 6 steps at 15 FPS
+	}
+	r := &Runner{Srv: srv, Parts: []*Participant{p}, FramePeriod: 2.0 / 30}
+	r.Run(30)
+	if p.Steps != 30 {
+		t.Errorf("steps = %d", p.Steps)
+	}
+	if len(p.pending) != 0 {
+		t.Error("pending poses not flushed at end of run")
+	}
+	// The corrected (hindsight) trajectory should be accurate even
+	// though answers arrived late.
+	est := dev.Trajectory()
+	gt := truth(seq, 60, 2)
+	if len(est) == 0 {
+		t.Fatal("no trajectory")
+	}
+	sum := 0.0
+	for _, pt := range est {
+		g, _ := gt.At(pt.T)
+		sum += pt.Pos.Dist(g)
+	}
+	if mean := sum / float64(len(est)); math.IsNaN(mean) || mean > 0.5 {
+		t.Errorf("mean error %.3f m with delayed poses", mean)
+	}
+}
+
+func TestRunnerBandwidthDropsFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system test")
+	}
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	seq := dataset.V202(camera.Stereo)
+	sess, err := srv.OpenSession(1, seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := client.New(1, seq)
+	// A 1 Mbit/s cap cannot carry ~45 KB stereo frames at 15 FPS.
+	p := &Participant{
+		Dev: dev, Sess: sess, Seq: seq, Stride: 2,
+		Link: Link{UplinkBps: 1e6},
+	}
+	r := &Runner{Srv: srv, Parts: []*Participant{p}, FramePeriod: 2.0 / 30}
+	r.Run(30)
+	if p.Dropped == 0 {
+		t.Error("starved uplink dropped no frames")
+	}
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// All returns the experiment ids in paper order.
+func All() []string {
+	return []string{
+		"table1", "fig5", "fig8", "table2", "table3",
+		"fig10a", "fig10b", "fig10c", "table4",
+		"fig11", "fig12a", "fig12b", "fig12c", "fig13",
+	}
+}
+
+// Run executes one experiment by id, printing the paper-style rows to
+// w. full enables the most expensive variants.
+func Run(w io.Writer, id string, full bool) error {
+	var err error
+	switch id {
+	case "table1":
+		_, err = Table1(w, full)
+	case "fig5":
+		_, err = Fig5(w)
+	case "fig8":
+		_, err = Fig8(w)
+	case "table2":
+		_, err = Table2(w)
+	case "table3":
+		_, err = Table3(w)
+	case "fig10a":
+		_, err = Fig10a(w)
+	case "fig10b":
+		_, err = Fig10b(w)
+	case "fig10c":
+		_, err = Fig10c(w)
+	case "table4":
+		_, err = Table4(w, 3)
+	case "fig11":
+		_, err = Fig11(w)
+	case "fig12a":
+		_, err = Fig12a(w)
+	case "fig12b":
+		_, err = Fig12b(w)
+	case "fig12c":
+		_, err = Fig12c(w)
+	case "fig13":
+		_, err = Fig13(w)
+	default:
+		return fmt.Errorf("exp: unknown experiment %q (known: %v)", id, All())
+	}
+	return err
+}

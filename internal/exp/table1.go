@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/server"
+	"slamshare/internal/wire"
+)
+
+// Table1Row is one row of Table 1: map size versus keyframe count on
+// MH04.
+type Table1Row struct {
+	KeyFrames int
+	MapPoints int
+	SizeMB    float64
+}
+
+// Table1 runs a single client over MH04 and snapshots the map's
+// serialized size at the paper's keyframe counts. full extends the run
+// toward the paper's 210-keyframe final row (expensive).
+func Table1(w io.Writer, full bool) ([]Table1Row, error) {
+	seq := dataset.MH04(camera.Stereo)
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	sess, err := srv.OpenSession(1, seq.Rig)
+	if err != nil {
+		return nil, err
+	}
+	dev := client.New(1, seq)
+
+	checkpoints := []int{10, 20, 30, 40, 50}
+	if full {
+		checkpoints = append(checkpoints, 210)
+	}
+	var rows []Table1Row
+	next := 0
+	stride := 2
+	maxFrames := seq.FrameCount()
+	if !full {
+		maxFrames = scale(1600)
+	}
+	for i := 0; i < maxFrames && next < len(checkpoints); i += stride {
+		res, err := sess.HandleFrame(dev.BuildFrame(i))
+		if err != nil {
+			return nil, err
+		}
+		dev.ApplyPose(i, res.Pose, res.Tracked)
+		g := srv.Global()
+		if g.NKeyFrames() >= checkpoints[next] {
+			rows = append(rows, Table1Row{
+				KeyFrames: g.NKeyFrames(),
+				MapPoints: g.NMapPoints(),
+				SizeMB:    float64(wire.MapSize(g)) / (1 << 20),
+			})
+			next++
+		}
+	}
+	fmt.Fprintln(w, "Table 1: EuRoC MH04 map size vs keyframes")
+	tablef(w, "%-18s %-18s %-18s", "No. of Keyframes", "No. of Mappoints", "Map Size (MBytes)")
+	for _, r := range rows {
+		tablef(w, "%-18d %-18d %-18.2f", r.KeyFrames, r.MapPoints, r.SizeMB)
+	}
+	return rows, nil
+}

@@ -1,0 +1,102 @@
+package feature
+
+import (
+	"math"
+
+	"slamshare/internal/img"
+)
+
+const (
+	// PatchRadius is the half-size of the descriptor sampling patch.
+	PatchRadius = 15
+	// Border is the minimum distance from the image edge for a
+	// keypoint so orientation and descriptor sampling stay in bounds
+	// after rotation.
+	Border = 22
+)
+
+// briefPattern is the set of 256 point pairs sampled by the BRIEF
+// descriptor, generated once from a fixed seed with an approximately
+// Gaussian spatial distribution (sigma = PatchRadius/2), mirroring the
+// learned pattern of ORB.
+var briefPattern [256][4]int8
+
+func init() {
+	s := uint64(0x5EEDDA7A)
+	next := func() uint64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	gauss := func() int8 {
+		// Sum of 4 uniforms in [-1,1), scaled to sigma ~ radius/2,
+		// clamped inside the patch.
+		u := 0.0
+		for i := 0; i < 4; i++ {
+			u += float64(int64(next()%2000))/1000 - 1
+		}
+		v := u / 4 * float64(PatchRadius) * 1.2
+		if v > PatchRadius-1 {
+			v = PatchRadius - 1
+		}
+		if v < -(PatchRadius - 1) {
+			v = -(PatchRadius - 1)
+		}
+		return int8(v)
+	}
+	for i := range briefPattern {
+		briefPattern[i] = [4]int8{gauss(), gauss(), gauss(), gauss()}
+	}
+}
+
+// Orientation computes the intensity-centroid orientation of the patch
+// around (x, y): the angle of the vector from the patch center to its
+// intensity centroid, as in ORB.
+func Orientation(im *img.Gray, x, y int) float64 {
+	var m10, m01 int
+	for dy := -PatchRadius; dy <= PatchRadius; dy++ {
+		yy := y + dy
+		if yy < 0 || yy >= im.H {
+			continue
+		}
+		row := im.Row(yy)
+		for dx := -PatchRadius; dx <= PatchRadius; dx++ {
+			xx := x + dx
+			if xx < 0 || xx >= im.W {
+				continue
+			}
+			if dx*dx+dy*dy > PatchRadius*PatchRadius {
+				continue
+			}
+			v := int(row[xx])
+			m10 += dx * v
+			m01 += dy * v
+		}
+	}
+	return math.Atan2(float64(m01), float64(m10))
+}
+
+// Describe computes the 256-bit rotated-BRIEF descriptor of the patch
+// around (x, y) with the given orientation (radians). The point pairs
+// of the pattern are steered by the orientation, making the descriptor
+// rotation-invariant as in ORB.
+func Describe(im *img.Gray, x, y int, angle float64) Descriptor {
+	sin, cos := math.Sincos(angle)
+	var d Descriptor
+	for i := 0; i < 256; i++ {
+		p := briefPattern[i]
+		// Rotate both sample points by the keypoint orientation.
+		ax := int(math.Round(cos*float64(p[0]) - sin*float64(p[1])))
+		ay := int(math.Round(sin*float64(p[0]) + cos*float64(p[1])))
+		bx := int(math.Round(cos*float64(p[2]) - sin*float64(p[3])))
+		by := int(math.Round(sin*float64(p[2]) + cos*float64(p[3])))
+		va := im.At(x+ax, y+ay)
+		vb := im.At(x+bx, y+by)
+		if va < vb {
+			d[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return d
+}

@@ -1,0 +1,216 @@
+package feature
+
+import (
+	"sort"
+
+	"slamshare/internal/img"
+)
+
+// Config parameterizes ORB extraction. The defaults mirror the
+// ORB-SLAM3 settings the paper uses (~1000 features over a scale
+// pyramid) scaled for the synthetic scenes.
+type Config struct {
+	NFeatures    int     // target keypoints per image
+	Levels       int     // pyramid levels
+	ScaleFactor  float64 // pyramid scale step
+	Threshold    int     // initial FAST threshold
+	MinThreshold int     // fallback threshold in feature-poor cells
+	StripRows    int     // rows per detection work item (parallel grain)
+}
+
+// DefaultConfig returns the extraction settings used by the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		NFeatures:    1000,
+		Levels:       4,
+		ScaleFactor:  1.2,
+		Threshold:    40,
+		MinThreshold: 12,
+		StripRows:    40,
+	}
+}
+
+// Extractor detects and describes ORB keypoints. Par controls how the
+// data-parallel stages (per-strip FAST, per-keypoint description) are
+// executed: SerialRunner reproduces the paper's CPU path, a GPU device
+// the accelerated one.
+type Extractor struct {
+	Cfg Config
+	Par Parallelizer
+}
+
+// NewExtractor returns a sequential extractor with the given config.
+func NewExtractor(cfg Config) *Extractor {
+	if cfg.NFeatures <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Extractor{Cfg: cfg, Par: SerialRunner{}}
+}
+
+// Extract runs the full ORB pipeline on an image and returns
+// distributed, oriented, described keypoints in level-0 coordinates.
+func (e *Extractor) Extract(im *img.Gray) []Keypoint {
+	par := e.Par
+	if par == nil {
+		par = SerialRunner{}
+	}
+	pyr := img.NewPyramid(im, e.Cfg.Levels, e.Cfg.ScaleFactor)
+	nLevels := len(pyr.Levels)
+
+	// Per-level feature quotas proportional to inverse scale (finer
+	// levels carry more features), normalized to NFeatures total.
+	quotas := make([]int, nLevels)
+	total := 0.0
+	for i := 0; i < nLevels; i++ {
+		total += 1 / pyr.Scales[i]
+	}
+	for i := 0; i < nLevels; i++ {
+		quotas[i] = int(float64(e.Cfg.NFeatures) / pyr.Scales[i] / total)
+	}
+
+	// Stage 1: FAST detection, parallel over (level, strip) work items.
+	strip := e.Cfg.StripRows
+	if strip <= 0 {
+		strip = 40
+	}
+	type workItem struct{ level, y0, y1 int }
+	var items []workItem
+	for l := 0; l < nLevels; l++ {
+		h := pyr.Levels[l].H
+		for y := 0; y < h; y += strip {
+			y1 := y + strip
+			if y1 > h {
+				y1 = h
+			}
+			items = append(items, workItem{l, y, y1})
+		}
+	}
+	results := make([][]rawCorner, len(items))
+	par.Run(len(items), func(i int) {
+		it := items[i]
+		c := DetectFAST(pyr.Levels[it.level], e.Cfg.Threshold, Border, it.y0, it.y1)
+		if len(c) == 0 && e.Cfg.MinThreshold < e.Cfg.Threshold {
+			c = DetectFAST(pyr.Levels[it.level], e.Cfg.MinThreshold, Border, it.y0, it.y1)
+		}
+		results[i] = c
+	})
+	perLevel := make([][]rawCorner, nLevels)
+	for i, it := range items {
+		perLevel[it.level] = append(perLevel[it.level], results[i]...)
+	}
+
+	// Stage 2: quadtree distribution per level.
+	var kps []Keypoint
+	for l := 0; l < nLevels; l++ {
+		lv := pyr.Levels[l]
+		sel := DistributeQuadtree(perLevel[l], lv.W, lv.H, quotas[l])
+		for _, c := range sel {
+			x0, y0 := pyr.ToLevel0(float64(c.x), float64(c.y), l)
+			kps = append(kps, Keypoint{
+				X: x0, Y: y0, Level: l,
+				Score: float64(c.score),
+				Right: -1,
+				// LevelX/LevelY live implicitly via Level + scale.
+			})
+		}
+	}
+
+	// Stage 3: orientation + description, parallel over keypoints.
+	par.Run(len(kps), func(i int) {
+		k := &kps[i]
+		lv := pyr.Levels[k.Level]
+		s := pyr.Scales[k.Level]
+		x := int(k.X/s + 0.5)
+		y := int(k.Y/s + 0.5)
+		k.Angle = Orientation(lv, x, y)
+		k.Desc = Describe(lv, x, y, k.Angle)
+	})
+	return kps
+}
+
+// DistributeQuadtree selects up to n corners spread evenly over the
+// image using recursive quadtree subdivision, as ORB-SLAM does: nodes
+// containing more than one corner split until the node count reaches
+// n (or nodes are unsplittable), then the best corner per node is
+// kept.
+func DistributeQuadtree(corners []rawCorner, w, h, n int) []rawCorner {
+	if n <= 0 || len(corners) == 0 {
+		return nil
+	}
+	if len(corners) <= n {
+		out := make([]rawCorner, len(corners))
+		copy(out, corners)
+		return out
+	}
+	type node struct {
+		x0, y0, x1, y1 int
+		pts            []rawCorner
+	}
+	nodes := []node{{0, 0, w, h, corners}}
+	for len(nodes) < n {
+		// Find the node with the most points that can still split.
+		best := -1
+		for i := range nodes {
+			if len(nodes[i].pts) > 1 &&
+				nodes[i].x1-nodes[i].x0 > 4 && nodes[i].y1-nodes[i].y0 > 4 {
+				if best == -1 || len(nodes[i].pts) > len(nodes[best].pts) {
+					best = i
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		nd := nodes[best]
+		mx := (nd.x0 + nd.x1) / 2
+		my := (nd.y0 + nd.y1) / 2
+		var quads [4][]rawCorner
+		for _, p := range nd.pts {
+			qi := 0
+			if p.x >= mx {
+				qi |= 1
+			}
+			if p.y >= my {
+				qi |= 2
+			}
+			quads[qi] = append(quads[qi], p)
+		}
+		// Replace the split node with its non-empty children.
+		nodes[best] = nodes[len(nodes)-1]
+		nodes = nodes[:len(nodes)-1]
+		bounds := [4][4]int{
+			{nd.x0, nd.y0, mx, my},
+			{mx, nd.y0, nd.x1, my},
+			{nd.x0, my, mx, nd.y1},
+			{mx, my, nd.x1, nd.y1},
+		}
+		for qi := 0; qi < 4; qi++ {
+			if len(quads[qi]) == 0 {
+				continue
+			}
+			b := bounds[qi]
+			nodes = append(nodes, node{b[0], b[1], b[2], b[3], quads[qi]})
+		}
+	}
+	// Best corner per node. The node count can overshoot n by up to 3
+	// (the last split); keep the overshoot rather than truncating by
+	// score, which would defeat the spatial spreading.
+	out := make([]rawCorner, 0, len(nodes))
+	for _, nd := range nodes {
+		best := nd.pts[0]
+		for _, p := range nd.pts[1:] {
+			if p.score > best.score {
+				best = p
+			}
+		}
+		out = append(out, best)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].y != out[j].y {
+			return out[i].y < out[j].y
+		}
+		return out[i].x < out[j].x
+	})
+	return out
+}

@@ -1,0 +1,159 @@
+package feature
+
+import "slamshare/internal/img"
+
+// circle16 is the Bresenham circle of radius 3 used by FAST: 16 pixel
+// offsets (dx, dy) in clockwise order.
+var circle16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// rawCorner is a FAST detection before non-max suppression.
+type rawCorner struct {
+	x, y  int
+	score int
+}
+
+// fastScore returns the FAST-9 corner score of pixel (x, y): the
+// largest sum over a 9-contiguous arc of intensity differences beyond
+// the threshold, or 0 if the pixel is not a corner. offsets must be
+// the precomputed circle16 offsets into the pixel buffer for this
+// image width.
+func fastScore(pix []byte, w int, x, y int, t int, offsets *[16]int) int {
+	c := int(pix[y*w+x])
+	idx := y*w + x
+	var diff [16]int
+	brighter, darker := 0, 0
+	for i := 0; i < 16; i++ {
+		v := int(pix[idx+offsets[i]])
+		diff[i] = v - c
+		if diff[i] > t {
+			brighter++
+		} else if diff[i] < -t {
+			darker++
+		}
+	}
+	if brighter < 9 && darker < 9 {
+		return 0
+	}
+	best := 0
+	// Check both polarities for a 9-long contiguous arc, accumulating
+	// the margin beyond the threshold as the score.
+	for _, sign := range [2]int{1, -1} {
+		run, sum := 0, 0
+		// Walk the circle twice to handle wraparound arcs.
+		for i := 0; i < 32; i++ {
+			d := sign * diff[i&15]
+			if d > t {
+				run++
+				sum += d - t
+				if run >= 9 && sum > best {
+					best = sum
+				}
+			} else {
+				run, sum = 0, 0
+			}
+			if i >= 16 && run >= 16 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// DetectFAST finds FAST-9 corners in the image with the given
+// threshold, applying 3x3 non-max suppression, restricted to rows
+// [y0, y1). It is the unit of work the tiled/parallel detector
+// dispatches; the sequential path calls it once with the full row
+// range. border pixels are skipped so descriptor sampling stays in
+// bounds.
+func DetectFAST(im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
+	if border < 3 {
+		border = 3
+	}
+	if y0 < border {
+		y0 = border
+	}
+	if y1 > im.H-border {
+		y1 = im.H - border
+	}
+	if y0 >= y1 {
+		return nil
+	}
+	var offsets [16]int
+	for i, o := range circle16 {
+		offsets[i] = o[1]*im.W + o[0]
+	}
+	pix := im.Pix
+	w := im.W
+	// First pass: score every corner candidate in the strip.
+	rows := make([][]int32, y1-y0)
+	var cands []rawCorner
+	for y := y0; y < y1; y++ {
+		var rowScores []int32
+		for x := border; x < w-border; x++ {
+			// High-speed test on pixels 0, 4, 8, 12 of the circle.
+			c := int(pix[y*w+x])
+			idx := y*w + x
+			p0 := int(pix[idx+offsets[0]])
+			p8 := int(pix[idx+offsets[8]])
+			d0 := p0 - c
+			d8 := p8 - c
+			if (d0 <= t && d0 >= -t) && (d8 <= t && d8 >= -t) {
+				continue
+			}
+			p4 := int(pix[idx+offsets[4]])
+			p12 := int(pix[idx+offsets[12]])
+			bright, dark := 0, 0
+			for _, d := range [4]int{d0, p4 - c, d8, p12 - c} {
+				if d > t {
+					bright++
+				} else if d < -t {
+					dark++
+				}
+			}
+			if bright < 3 && dark < 3 {
+				continue
+			}
+			s := fastScore(pix, w, x, y, t, &offsets)
+			if s > 0 {
+				if rowScores == nil {
+					rowScores = make([]int32, w)
+				}
+				rowScores[x] = int32(s)
+				cands = append(cands, rawCorner{x: x, y: y, score: s})
+			}
+		}
+		rows[y-y0] = rowScores
+	}
+	// Non-max suppression within the strip (3x3 neighbourhood).
+	out := cands[:0]
+	at := func(x, y int) int32 {
+		if y < y0 || y >= y1 {
+			return 0
+		}
+		r := rows[y-y0]
+		if r == nil {
+			return 0
+		}
+		return r[x]
+	}
+	// A corner survives if it is strictly greater than the neighbours
+	// later in scan order and not smaller than the earlier ones — the
+	// standard tie-break that keeps exactly one of two equal adjacent
+	// scores.
+	for _, c := range cands {
+		s := int32(c.score)
+		if at(c.x-1, c.y-1) >= s || at(c.x, c.y-1) >= s || at(c.x+1, c.y-1) >= s ||
+			at(c.x-1, c.y) >= s ||
+			at(c.x+1, c.y) > s ||
+			at(c.x-1, c.y+1) > s || at(c.x, c.y+1) > s || at(c.x+1, c.y+1) > s {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

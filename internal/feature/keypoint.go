@@ -1,0 +1,99 @@
+// Package feature implements the ORB feature pipeline of ORB-SLAM3
+// that the paper accelerates: FAST-9 corner detection over a scale
+// pyramid, intensity-centroid orientation, rotated-BRIEF 256-bit
+// descriptors, quadtree keypoint distribution, and Hamming-distance
+// matching (brute-force and stereo). Detection and description have
+// both sequential forms (the paper's CPU baseline) and data-parallel
+// forms driven through the Parallelizer interface (the paper's GPU
+// path, implemented by internal/gpu).
+package feature
+
+import (
+	"math/bits"
+	"time"
+
+	"slamshare/internal/geom"
+)
+
+// Descriptor is a 256-bit binary BRIEF descriptor stored as four
+// 64-bit words for fast Hamming distance.
+type Descriptor [4]uint64
+
+// Distance returns the Hamming distance between two descriptors.
+func Distance(a, b Descriptor) int {
+	return bits.OnesCount64(a[0]^b[0]) +
+		bits.OnesCount64(a[1]^b[1]) +
+		bits.OnesCount64(a[2]^b[2]) +
+		bits.OnesCount64(a[3]^b[3])
+}
+
+// Bytes returns the descriptor as 32 bytes (little-endian words) for
+// serialization.
+func (d Descriptor) Bytes() [32]byte {
+	var out [32]byte
+	for w := 0; w < 4; w++ {
+		v := d[w]
+		for i := 0; i < 8; i++ {
+			out[w*8+i] = byte(v >> (8 * i))
+		}
+	}
+	return out
+}
+
+// DescriptorFromBytes reverses Descriptor.Bytes.
+func DescriptorFromBytes(b [32]byte) Descriptor {
+	var d Descriptor
+	for w := 0; w < 4; w++ {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(b[w*8+i]) << (8 * i)
+		}
+		d[w] = v
+	}
+	return d
+}
+
+// Keypoint is a detected, described image feature. X and Y are level-0
+// pixel coordinates; Level and LevelX/LevelY record where in the
+// pyramid it was found.
+type Keypoint struct {
+	X, Y  float64 // level-0 coordinates
+	Level int
+	Angle float64 // orientation, radians
+	Score float64 // FAST corner score
+	Desc  Descriptor
+	Right float64 // stereo: matched right-image x at level 0; <0 if none
+	Depth float64 // stereo: triangulated depth in metres; 0 if unknown
+}
+
+// Pt returns the level-0 pixel position as a Vec2.
+func (k Keypoint) Pt() geom.Vec2 { return geom.Vec2{X: k.X, Y: k.Y} }
+
+// Parallelizer runs n independent work items, possibly concurrently.
+// The sequential implementation (SerialRunner) models the paper's CPU
+// path; internal/gpu provides the accelerated one.
+type Parallelizer interface {
+	Run(n int, f func(i int))
+}
+
+// SerialRunner executes work items one by one on the calling
+// goroutine.
+type SerialRunner struct{}
+
+// Run implements Parallelizer.
+func (SerialRunner) Run(n int, f func(i int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// ModeledParallelizer is a Parallelizer that also accounts device
+// time: Counters returns cumulative (wall, modeled) kernel durations.
+// The simulated GPU implements it; stage timers subtract the wall time
+// their kernels took on the host and add the modeled device time, so
+// reported latencies reflect the configured accelerator rather than
+// the host's core count (see internal/gpu).
+type ModeledParallelizer interface {
+	Parallelizer
+	Counters() (wall, modeled time.Duration)
+}

@@ -1,0 +1,104 @@
+package feature
+
+import "math"
+
+// Matching thresholds, in Hamming distance over 256-bit descriptors,
+// mirroring ORB-SLAM3's TH_LOW/TH_HIGH.
+const (
+	MatchThresholdStrict = 60
+	MatchThresholdLoose  = 90
+	// RatioTest is Lowe's ratio: the best match must beat the second
+	// best by this factor to be accepted.
+	RatioTest = 0.8
+)
+
+// Match is a correspondence between two keypoint sets.
+type Match struct {
+	A, B int // indices into the two keypoint slices
+	Dist int // Hamming distance
+}
+
+// MatchBrute matches descriptors of a against b by exhaustive search
+// with a distance threshold and Lowe's ratio test. It is the
+// bag-of-words-free fallback used for small sets.
+func MatchBrute(a, b []Keypoint, maxDist int, ratio float64) []Match {
+	var out []Match
+	for i := range a {
+		best, second := math.MaxInt32, math.MaxInt32
+		bestJ := -1
+		for j := range b {
+			d := Distance(a[i].Desc, b[j].Desc)
+			if d < best {
+				second = best
+				best = d
+				bestJ = j
+			} else if d < second {
+				second = d
+			}
+		}
+		if bestJ < 0 || best > maxDist {
+			continue
+		}
+		if second < math.MaxInt32 && float64(best) >= ratio*float64(second) {
+			continue
+		}
+		out = append(out, Match{A: i, B: bestJ, Dist: best})
+	}
+	return out
+}
+
+// StereoMatch assigns Right and Depth to the left keypoints by
+// searching the right keypoints along the same image row (rectified
+// epipolar constraint). fx and baseline convert disparity to depth.
+// rowTol is the vertical matching tolerance in pixels. Returns the
+// number of stereo matches found.
+func StereoMatch(left, right []Keypoint, fx, baseline float64, rowTol float64) int {
+	if baseline <= 0 || len(right) == 0 {
+		return 0
+	}
+	// Bucket right keypoints by row for fast lookup.
+	byRow := make(map[int][]int)
+	for j := range right {
+		r := int(right[j].Y + 0.5)
+		byRow[r] = append(byRow[r], j)
+	}
+	tol := int(rowTol + 0.5)
+	if tol < 1 {
+		tol = 1
+	}
+	n := 0
+	for i := range left {
+		lk := &left[i]
+		r0 := int(lk.Y + 0.5)
+		best, second := math.MaxInt32, math.MaxInt32
+		bestJ := -1
+		for dr := -tol; dr <= tol; dr++ {
+			for _, j := range byRow[r0+dr] {
+				rk := &right[j]
+				disp := lk.X - rk.X
+				if disp <= 0.1 || disp > fx*baseline/0.3 {
+					continue // behind camera or closer than 0.3 m
+				}
+				d := Distance(lk.Desc, rk.Desc)
+				if d < best {
+					second = best
+					best = d
+					bestJ = j
+				} else if d < second {
+					second = d
+				}
+			}
+		}
+		if bestJ < 0 || best > MatchThresholdStrict {
+			continue
+		}
+		if second < math.MaxInt32 && float64(best) >= RatioTest*float64(second) {
+			continue
+		}
+		disp := lk.X - right[bestJ].X
+		lk.Right = right[bestJ].X
+		lk.Depth = fx * baseline / disp
+		n++
+	}
+	return n
+}

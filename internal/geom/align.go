@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegenerate is returned by the alignment solvers when the point
+// configuration does not determine a unique transform (fewer than
+// three non-collinear correspondences).
+var ErrDegenerate = errors.New("geom: degenerate point configuration")
+
+// AlignHorn computes the similarity transform (scale, rotation,
+// translation) that maps src[i] onto dst[i] in the least-squares
+// sense, using Horn's closed-form quaternion method. It is the 3D
+// alignment step of the paper's map-merging algorithm (Alg. 2, line
+// "3DAlign"). If withScale is false the scale is fixed to 1 (the
+// stereo / visual-inertial case where scale is observable).
+func AlignHorn(src, dst []Vec3, withScale bool) (Sim3, error) {
+	n := len(src)
+	if n != len(dst) || n < 3 {
+		return IdentitySim3(), ErrDegenerate
+	}
+	// Centroids.
+	var cs, cd Vec3
+	for i := 0; i < n; i++ {
+		cs = cs.Add(src[i])
+		cd = cd.Add(dst[i])
+	}
+	inv := 1 / float64(n)
+	cs = cs.Scale(inv)
+	cd = cd.Scale(inv)
+
+	// Cross-covariance of the centered clouds.
+	var m Mat3
+	var srcVar float64
+	for i := 0; i < n; i++ {
+		a := src[i].Sub(cs)
+		b := dst[i].Sub(cd)
+		m = m.Add(OuterProduct(a, b))
+		srcVar += a.NormSq()
+	}
+	if srcVar < 1e-18 {
+		return IdentitySim3(), ErrDegenerate
+	}
+
+	// Horn's symmetric 4x4 matrix; the unit eigenvector of its largest
+	// eigenvalue is the optimal rotation quaternion.
+	sxx, sxy, sxz := m.At(0, 0), m.At(0, 1), m.At(0, 2)
+	syx, syy, syz := m.At(1, 0), m.At(1, 1), m.At(1, 2)
+	szx, szy, szz := m.At(2, 0), m.At(2, 1), m.At(2, 2)
+	nmat := []float64{
+		sxx + syy + szz, syz - szy, szx - sxz, sxy - syx,
+		syz - szy, sxx - syy - szz, sxy + syx, szx + sxz,
+		szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy,
+		sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz,
+	}
+	_, vecs := SymmetricEigen(nmat, 4)
+	q := Quat{W: vecs[0*4+0], X: vecs[1*4+0], Y: vecs[2*4+0], Z: vecs[3*4+0]}.Normalized()
+
+	scale := 1.0
+	if withScale {
+		// Symmetric scale estimate: sum(b . R(a)) / sum(|a|^2).
+		num := 0.0
+		for i := 0; i < n; i++ {
+			a := src[i].Sub(cs)
+			b := dst[i].Sub(cd)
+			num += b.Dot(q.Rotate(a))
+		}
+		if num <= 0 {
+			return IdentitySim3(), ErrDegenerate
+		}
+		scale = num / srcVar
+	}
+
+	t := cd.Sub(q.Rotate(cs).Scale(scale))
+	return Sim3{S: scale, R: q, T: t}, nil
+}
+
+// AlignmentRMSE returns the root-mean-square residual of the
+// similarity transform applied to the correspondences.
+func AlignmentRMSE(tf Sim3, src, dst []Vec3) float64 {
+	if len(src) == 0 || len(src) != len(dst) {
+		return 0
+	}
+	sum := 0.0
+	for i := range src {
+		d := tf.Apply(src[i]).Sub(dst[i])
+		sum += d.NormSq()
+	}
+	return math.Sqrt(sum / float64(len(src)))
+}

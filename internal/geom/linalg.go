@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by CholeskySolve when the system
+// matrix is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("geom: matrix not positive definite")
+
+// CholeskySolve solves A*x = b in place for a dense symmetric
+// positive-definite matrix A of size n x n stored row-major. A and b
+// are overwritten; on success b holds the solution.
+func CholeskySolve(a []float64, b []float64, n int) error {
+	if len(a) != n*n || len(b) != n {
+		return errors.New("geom: dimension mismatch")
+	}
+	// In-place Cholesky factorization A = L*L^T (lower triangle of a).
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			l := a[j*n+k]
+			d -= l * l
+		}
+		if d <= 0 {
+			return ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			a[i*n+j] = s * inv
+		}
+	}
+	// Forward substitution L*y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i*n+k] * b[k]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	// Back substitution L^T*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[k*n+i] * b[k]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	return nil
+}
+
+// SymmetricEigen computes the eigenvalues and eigenvectors of a dense
+// symmetric n x n matrix (row-major) using cyclic Jacobi rotations.
+// It returns eigenvalues in descending order and the matrix whose
+// columns (vecs[i*n+j] = component i of eigenvector j) are the
+// corresponding unit eigenvectors. The input is not modified.
+func SymmetricEigen(a []float64, n int) (vals []float64, vecs []float64) {
+	m := make([]float64, n*n)
+	copy(m, a)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += m[p*n+q] * m[p*n+q]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation G(p,q,theta) on both sides of m.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*mkp - s*mkq
+					m[k*n+q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*mpk - s*mqk
+					m[q*n+k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue (selection sort keeps
+	// columns in sync; n is tiny).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[best] {
+				best = j
+			}
+		}
+		if best != i {
+			vals[i], vals[best] = vals[best], vals[i]
+			for k := 0; k < n; k++ {
+				v[k*n+i], v[k*n+best] = v[k*n+best], v[k*n+i]
+			}
+		}
+	}
+	return vals, v
+}
+
+// Clamp limits x to the range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,187 @@
+package holo
+
+import (
+	"math"
+	"testing"
+
+	"slamshare/internal/geom"
+)
+
+func pose(x, y, z float64) geom.SE3 {
+	return geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: x, Y: y, Z: z}}
+}
+
+func TestPlaceGetRemove(t *testing.T) {
+	r := NewRegistry()
+	id := r.Place("graffiti", pose(1, 2, 3), 7, 4.5)
+	a, ok := r.Get(id)
+	if !ok || a.Label != "graffiti" || a.Owner != 7 || a.Stamp != 4.5 {
+		t.Fatalf("anchor = %+v", a)
+	}
+	if r.Len() != 1 {
+		t.Error("Len wrong")
+	}
+	if err := r.Remove(id, 8); err == nil {
+		t.Error("non-owner removal allowed")
+	}
+	if err := r.Remove(id, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(id); ok {
+		t.Error("anchor survived removal")
+	}
+	if err := r.Remove(99, 0); err == nil {
+		t.Error("unknown removal succeeded")
+	}
+}
+
+func TestAdminRemove(t *testing.T) {
+	r := NewRegistry()
+	id := r.Place("x", pose(0, 0, 0), 5, 0)
+	if err := r.Remove(id, 0); err != nil {
+		t.Errorf("admin removal failed: %v", err)
+	}
+}
+
+func TestPlaceAhead(t *testing.T) {
+	r := NewRegistry()
+	// Device at origin looking down +Z (identity): 2 m ahead is (0,0,2).
+	id := r.PlaceAhead("obstacle", geom.IdentitySE3(), 2, 1, 0)
+	a, _ := r.Get(id)
+	if a.Pose.T.Dist(geom.Vec3{Z: 2}) > 1e-12 {
+		t.Errorf("ahead anchor at %v", a.Pose.T)
+	}
+}
+
+func TestMove(t *testing.T) {
+	r := NewRegistry()
+	id := r.Place("x", pose(0, 0, 0), 1, 0)
+	if err := r.Move(id, pose(5, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Get(id)
+	if a.Pose.T.X != 5 {
+		t.Error("move did not apply")
+	}
+	if err := r.Move(42, pose(0, 0, 0)); err == nil {
+		t.Error("moving unknown anchor succeeded")
+	}
+}
+
+func TestVisibleFrom(t *testing.T) {
+	r := NewRegistry()
+	r.Place("ahead-near", pose(0, 0, 2), 1, 0)
+	r.Place("ahead-far", pose(0, 0, 8), 1, 0)
+	r.Place("behind", pose(0, 0, -3), 1, 0)
+	r.Place("side", pose(5, 0, 0.5), 1, 0)
+	r.Place("too-far", pose(0, 0, 100), 1, 0)
+
+	vis := r.VisibleFrom(geom.IdentitySE3(), 20, math.Pi/4)
+	if len(vis) != 2 {
+		t.Fatalf("visible = %d, want 2 (near+far ahead)", len(vis))
+	}
+	if vis[0].Anchor.Label != "ahead-near" || vis[1].Anchor.Label != "ahead-far" {
+		t.Errorf("ordering wrong: %s, %s", vis[0].Anchor.Label, vis[1].Anchor.Label)
+	}
+	if vis[0].Distance != 2 || vis[0].Bearing > 1e-9 {
+		t.Errorf("near anchor geometry: %+v", vis[0])
+	}
+	// Wide FOV picks up the side anchor too.
+	vis = r.VisibleFrom(geom.IdentitySE3(), 20, math.Pi)
+	if len(vis) != 4 {
+		t.Errorf("wide FOV visible = %d, want 4", len(vis))
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Place("a", pose(0, 0, 0), 1, 0)
+	r.Place("b", pose(0, 0, 0), 1, 0)
+	r.Place("c", pose(0, 0, 0), 1, 0)
+	all := r.All()
+	if len(all) != 3 {
+		t.Fatalf("All = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Error("not sorted by id")
+		}
+	}
+}
+
+func TestApplyTransform(t *testing.T) {
+	r := NewRegistry()
+	id := r.Place("x", pose(1, 0, 0), 1, 0)
+	s := geom.Sim3{S: 1, R: geom.QuatFromAxisAngle(geom.Vec3{Z: 1}, math.Pi/2), T: geom.Vec3{X: 10}}
+	r.ApplyTransform(s)
+	a, _ := r.Get(id)
+	if a.Pose.T.Dist(geom.Vec3{X: 10, Y: 1}) > 1e-9 {
+		t.Errorf("transformed anchor at %v", a.Pose.T)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Place("graffiti", geom.SE3{
+		R: geom.QuatFromAxisAngle(geom.Vec3{X: 1, Y: 2, Z: 3}, 0.7),
+		T: geom.Vec3{X: 1.5, Y: -2.25, Z: 0.125},
+	}, 7, 12.5)
+	r.Place("obstacle", pose(4, 5, 6), 2, 20)
+
+	got, err := Decode(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("decoded %d anchors", got.Len())
+	}
+	for _, want := range r.All() {
+		a, ok := got.Get(want.ID)
+		if !ok {
+			t.Fatalf("anchor %d missing", want.ID)
+		}
+		if a.Label != want.Label || a.Owner != want.Owner || a.Stamp != want.Stamp {
+			t.Errorf("metadata mismatch: %+v vs %+v", a, want)
+		}
+		if a.Pose.T.Dist(want.Pose.T) > 1e-12 || a.Pose.R.AngleTo(want.Pose.R) > 1e-12 {
+			t.Error("pose mismatch")
+		}
+	}
+	// New ids continue after the decoded ones.
+	id := got.Place("new", pose(0, 0, 0), 1, 0)
+	if id <= 2 {
+		t.Errorf("id counter not restored: %d", id)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+	r := NewRegistry()
+	r.Place("x", pose(0, 0, 0), 1, 0)
+	data := r.Encode()
+	if _, err := Decode(data[:len(data)-9]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r.Place("a", pose(float64(i), 0, 0), 1, 0)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		r.All()
+		r.VisibleFrom(geom.IdentitySE3(), 1e6, math.Pi)
+		r.Len()
+	}
+	<-done
+	if r.Len() != 500 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,185 @@
+// Package img provides the 8-bit grayscale image type the vision
+// pipeline operates on, plus the scale pyramid used by ORB feature
+// extraction. Images are plain byte buffers so they can be shipped over
+// the wire, fed to the video codec, and scanned by the FAST detector
+// without conversions.
+package img
+
+// Gray is an 8-bit grayscale image with row-major pixel storage.
+type Gray struct {
+	W, H int
+	Pix  []byte // len == W*H
+}
+
+// New returns a black image of the given size.
+func New(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y). Out-of-bounds reads return 0.
+func (g *Gray) At(x, y int) byte {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v byte) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Row returns the pixel slice of row y.
+func (g *Gray) Row(y int) []byte { return g.Pix[y*g.W : (y+1)*g.W] }
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	out := New(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v byte) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// Mean returns the average intensity.
+func (g *Gray) Mean() float64 {
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, p := range g.Pix {
+		sum += int64(p)
+	}
+	return float64(sum) / float64(len(g.Pix))
+}
+
+// Halve returns the image downsampled by 2x with 2x2 box filtering,
+// the pyramid step of ORB extraction.
+func (g *Gray) Halve() *Gray {
+	w2, h2 := g.W/2, g.H/2
+	out := New(w2, h2)
+	for y := 0; y < h2; y++ {
+		src0 := g.Row(2 * y)
+		src1 := g.Row(2*y + 1)
+		dst := out.Row(y)
+		for x := 0; x < w2; x++ {
+			s := int(src0[2*x]) + int(src0[2*x+1]) + int(src1[2*x]) + int(src1[2*x+1])
+			dst[x] = byte(s / 4)
+		}
+	}
+	return out
+}
+
+// Resize returns the image scaled to (w, h) with bilinear sampling.
+func (g *Gray) Resize(w, h int) *Gray {
+	out := New(w, h)
+	if g.W == 0 || g.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	sx := float64(g.W) / float64(w)
+	sy := float64(g.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if y0 < 0 {
+			y0 = 0
+		}
+		y1 := y0 + 1
+		if y1 >= g.H {
+			y1 = g.H - 1
+		}
+		wy := fy - float64(y0)
+		if wy < 0 {
+			wy = 0
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if x0 < 0 {
+				x0 = 0
+			}
+			x1 := x0 + 1
+			if x1 >= g.W {
+				x1 = g.W - 1
+			}
+			wx := fx - float64(x0)
+			if wx < 0 {
+				wx = 0
+			}
+			v := (1-wy)*((1-wx)*float64(g.At(x0, y0))+wx*float64(g.At(x1, y0))) +
+				wy*((1-wx)*float64(g.At(x0, y1))+wx*float64(g.At(x1, y1)))
+			out.Set(x, y, byte(v+0.5))
+		}
+	}
+	return out
+}
+
+// AbsDiff returns the mean absolute pixel difference between two
+// equally sized images, used by video-codec tests.
+func AbsDiff(a, b *Gray) float64 {
+	if a.W != b.W || a.H != b.H || len(a.Pix) == 0 {
+		return 255
+	}
+	var sum int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a.Pix))
+}
+
+// Pyramid is a scale pyramid: level 0 is the input image, each level
+// is scaled down by Factor from the previous one. ORB-SLAM3 uses 8
+// levels with factor 1.2.
+type Pyramid struct {
+	Levels []*Gray
+	Factor float64
+	Scales []float64 // Scales[i] = Factor^i
+}
+
+// NewPyramid builds an n-level pyramid with the given scale factor.
+func NewPyramid(base *Gray, n int, factor float64) *Pyramid {
+	if n < 1 {
+		n = 1
+	}
+	if factor <= 1 {
+		factor = 1.2
+	}
+	p := &Pyramid{
+		Levels: make([]*Gray, n),
+		Factor: factor,
+		Scales: make([]float64, n),
+	}
+	p.Levels[0] = base
+	p.Scales[0] = 1
+	for i := 1; i < n; i++ {
+		p.Scales[i] = p.Scales[i-1] * factor
+		w := int(float64(base.W)/p.Scales[i] + 0.5)
+		h := int(float64(base.H)/p.Scales[i] + 0.5)
+		if w < 32 || h < 32 {
+			p.Levels = p.Levels[:i]
+			p.Scales = p.Scales[:i]
+			break
+		}
+		p.Levels[i] = p.Levels[i-1].Resize(w, h)
+	}
+	return p
+}
+
+// ToLevel0 maps coordinates from pyramid level l back to level-0
+// coordinates.
+func (p *Pyramid) ToLevel0(x, y float64, l int) (float64, float64) {
+	s := p.Scales[l]
+	return x * s, y * s
+}

@@ -1,0 +1,219 @@
+package imu
+
+import (
+	"math"
+	"testing"
+
+	"slamshare/internal/geom"
+)
+
+// circleTraj is a body moving on a horizontal circle of radius r at
+// angular rate w, yawing to face the direction of travel.
+type circleTraj struct {
+	r, w float64
+}
+
+func (c circleTraj) PoseAt(t float64) geom.SE3 {
+	a := c.w * t
+	pos := geom.Vec3{X: c.r * math.Cos(a), Y: c.r * math.Sin(a), Z: 1.5}
+	yaw := geom.QuatFromAxisAngle(geom.Vec3{Z: 1}, a+math.Pi/2)
+	return geom.SE3{R: yaw, T: pos}
+}
+
+// staticTraj stays put (hover).
+type staticTraj struct{}
+
+func (staticTraj) PoseAt(t float64) geom.SE3 {
+	return geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 1, Y: 2, Z: 3}}
+}
+
+func TestSimulateSampleCountAndTiming(t *testing.T) {
+	s := Simulate(circleTraj{2, 0.5}, 0, 2, 200, NoiseConfig{}, 1)
+	if len(s) != 400 {
+		t.Fatalf("got %d samples, want 400", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		dt := s[i].T - s[i-1].T
+		if math.Abs(dt-0.005) > 1e-9 {
+			t.Fatalf("irregular dt %v at %d", dt, i)
+		}
+	}
+	if Simulate(circleTraj{2, 0.5}, 0, 2, 0, NoiseConfig{}, 1) != nil {
+		t.Error("zero rate should return nil")
+	}
+	if Simulate(circleTraj{2, 0.5}, 2, 1, 100, NoiseConfig{}, 1) != nil {
+		t.Error("inverted interval should return nil")
+	}
+}
+
+func TestStaticBodyMeasuresGravity(t *testing.T) {
+	s := Simulate(staticTraj{}, 0, 1, 100, NoiseConfig{}, 1)
+	for _, smp := range s {
+		// A static, level body measures +g upward as specific force.
+		if smp.Accel.Sub(geom.Vec3{Z: 9.81}).Norm() > 1e-3 {
+			t.Fatalf("static accel = %v", smp.Accel)
+		}
+		if smp.Gyro.Norm() > 1e-6 {
+			t.Fatalf("static gyro = %v", smp.Gyro)
+		}
+	}
+}
+
+func TestIntegratorTracksPerfectIMU(t *testing.T) {
+	traj := circleTraj{r: 2, w: 0.8}
+	samples := Simulate(traj, 0, 5, 1000, NoiseConfig{}, 1)
+	// True initial velocity of the circle: r*w tangential.
+	v0 := geom.Vec3{X: 0, Y: 2 * 0.8, Z: 0}
+	in := NewIntegrator(State{Pose: traj.PoseAt(0), Vel: v0, T: 0})
+	var maxErr float64
+	for _, s := range samples {
+		st := in.Step(s)
+		if e := st.Pose.T.Dist(traj.PoseAt(s.T).T); e > maxErr {
+			maxErr = e
+		}
+	}
+	// A noise-free IMU at 1 kHz should track a gentle circle closely.
+	if maxErr > 0.05 {
+		t.Errorf("max position error %v m with perfect IMU", maxErr)
+	}
+}
+
+func TestIntegratorIgnoresNonMonotonicSamples(t *testing.T) {
+	in := NewIntegrator(State{Pose: geom.IdentitySE3(), T: 1})
+	before := in.State()
+	in.Step(Sample{T: 0.5}) // older than state: must be ignored
+	if in.State() != before {
+		t.Error("integrator advanced on stale sample")
+	}
+}
+
+func TestNoisyIMUDrifts(t *testing.T) {
+	traj := circleTraj{r: 2, w: 0.5}
+	noisy := Simulate(traj, 0, 10, 200, ConsumerGradeNoise(), 7)
+	clean := Simulate(traj, 0, 10, 200, NoiseConfig{}, 7)
+	driftNoisy := DriftRMS(traj, noisy, 0, 10)
+	driftClean := DriftRMS(traj, clean, 0, 10)
+	if driftNoisy < driftClean {
+		t.Errorf("noise should not reduce drift: %v vs %v", driftNoisy, driftClean)
+	}
+	// The paper cites ~3 m error after 10 s of IMU-only tracking [42];
+	// consumer-grade noise must produce at least tens of cm.
+	if driftNoisy < 0.1 {
+		t.Errorf("consumer-grade drift unrealistically low: %v m", driftNoisy)
+	}
+}
+
+func TestPreintegrateIdentityOnEmpty(t *testing.T) {
+	p := Preintegrate(nil)
+	if p.DT != 0 || p.DPos.Norm() != 0 || p.DVel.Norm() != 0 {
+		t.Errorf("empty preintegration = %+v", p)
+	}
+	if p.DRot.AngleTo(geom.IdentityQuat()) > 1e-12 {
+		t.Error("empty preintegration rotated")
+	}
+}
+
+func TestMotionModelPredictsCircle(t *testing.T) {
+	traj := circleTraj{r: 2, w: 0.8}
+	const fps = 30.0
+	const imuRate = 390.0
+	samples := Simulate(traj, 0, 2, imuRate, NoiseConfig{}, 3)
+	v0 := geom.Vec3{X: 0, Y: 2 * 0.8, Z: 0}
+	mm := NewMotionModel(traj.PoseAt(0), v0)
+	per := int(imuRate) / int(fps)
+	nFrames := len(samples) / per
+	for f := 1; f < nFrames; f++ {
+		span := samples[(f-1)*per : f*per]
+		mm.ApproxPoseUpdateMM(FrameDeltaFrom(Preintegrate(span)))
+	}
+	// Without any server correction the model should still follow a
+	// noise-free IMU closely over 2 seconds.
+	last := mm.Latest()
+	tEnd := float64(nFrames-1) / fps
+	if e := last.T.Dist(traj.PoseAt(tEnd).T); e > 0.1 {
+		t.Errorf("motion model error after 2 s = %v m", e)
+	}
+}
+
+func TestMotionModelRecvSLAMPoseCorrects(t *testing.T) {
+	traj := circleTraj{r: 2, w: 0.8}
+	const fps = 30.0
+	const imuRate = 390.0
+	samples := Simulate(traj, 0, 3, imuRate, ConsumerGradeNoise(), 5)
+	v0 := geom.Vec3{X: 0, Y: 2 * 0.8, Z: 0}
+
+	run := func(correct bool) float64 {
+		mm := NewMotionModel(traj.PoseAt(0), v0)
+		per := int(imuRate) / int(fps)
+		nFrames := len(samples) / per
+		for f := 1; f < nFrames; f++ {
+			span := samples[(f-1)*per : f*per]
+			mm.ApproxPoseUpdateMM(FrameDeltaFrom(Preintegrate(span)))
+			if correct && f >= 3 {
+				// Server pose for frame f-3 arrives (simulated RTT of
+				// 3 frame times).
+				idx := f - 3
+				mm.RecvSLAMPose(traj.PoseAt(float64(idx)/fps), idx)
+			}
+		}
+		last := mm.Latest()
+		return last.T.Dist(traj.PoseAt(float64(nFrames-1) / fps).T)
+	}
+
+	errFree := run(false)
+	errCorrected := run(true)
+	if errCorrected >= errFree {
+		t.Errorf("server corrections should reduce drift: corrected %v vs free %v", errCorrected, errFree)
+	}
+	if errCorrected > 0.5 {
+		t.Errorf("corrected error too high: %v m", errCorrected)
+	}
+}
+
+func TestMotionModelIgnoresBadIndex(t *testing.T) {
+	mm := NewMotionModel(geom.IdentitySE3(), geom.Vec3{})
+	before := mm.Latest()
+	mm.RecvSLAMPose(geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 100}}, 42)
+	mm.RecvSLAMPose(geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 100}}, -1)
+	if mm.Latest() != before {
+		t.Error("out-of-range SLAM index modified state")
+	}
+}
+
+func TestMotionModelPoseOf(t *testing.T) {
+	mm := NewMotionModel(geom.IdentitySE3(), geom.Vec3{})
+	if _, ok := mm.PoseOf(1); ok {
+		t.Error("PoseOf(1) should not exist yet")
+	}
+	mm.ApproxPoseUpdateMM(FrameDelta{RotDelta: geom.IdentityQuat(), DT: 1.0 / 30})
+	if _, ok := mm.PoseOf(1); !ok {
+		t.Error("PoseOf(1) should exist after one update")
+	}
+	if mm.Len() != 2 {
+		t.Errorf("Len = %d", mm.Len())
+	}
+}
+
+func TestMotionModelConcurrentAccess(t *testing.T) {
+	mm := NewMotionModel(geom.IdentitySE3(), geom.Vec3{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			mm.ApproxPoseUpdateMM(FrameDelta{RotDelta: geom.IdentityQuat(), DT: 0.03})
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		mm.RecvSLAMPose(geom.IdentitySE3(), i%10)
+		mm.Latest()
+	}
+	<-done
+}
+
+func TestFrameDeltaFrom(t *testing.T) {
+	p := Preintegrated{DT: 0.033, DPos: geom.Vec3{X: 1}, DVel: geom.Vec3{Y: 2}, DRot: geom.IdentityQuat()}
+	d := FrameDeltaFrom(p)
+	if d.DT != p.DT || d.PosDelta != p.DPos || d.VelDelta != p.DVel {
+		t.Errorf("FrameDeltaFrom mismatch: %+v", d)
+	}
+}

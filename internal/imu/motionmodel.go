@@ -1,0 +1,142 @@
+package imu
+
+import (
+	"sync"
+
+	"slamshare/internal/geom"
+)
+
+// FrameDelta is the IMU-derived relative motion between two consecutive
+// camera frames (the C_IMU argument of the paper's Algorithm 1): the
+// body rotation, position and velocity increments integrated from the
+// raw samples captured between the frames.
+type FrameDelta struct {
+	RotDelta geom.Quat // body-frame rotation between frames
+	PosDelta geom.Vec3 // body-frame position increment (gravity-free)
+	VelDelta geom.Vec3 // body-frame velocity increment (gravity-free)
+	DT       float64   // elapsed time, seconds
+}
+
+// FrameDeltaFrom converts a preintegrated sample span into a frame
+// delta.
+func FrameDeltaFrom(p Preintegrated) FrameDelta {
+	return FrameDelta{RotDelta: p.DRot, PosDelta: p.DPos, VelDelta: p.DVel, DT: p.DT}
+}
+
+// MotionModel implements the paper's Algorithm 1 ("Pose Computation
+// with IMU Model"). The client calls ApproxPoseUpdateMM for every
+// captured frame to predict its pose from the previous frame's motion
+// model and the IMU increments; when the server's SLAM pose for an
+// older frame arrives, RecvSLAMPose rewinds to that frame and replays
+// the stored IMU increments forward, correcting every later pose —
+// exactly lines 10–15 of Alg. 1.
+//
+// MotionModel is safe for concurrent use: the client's camera loop and
+// the network receive loop touch it from different goroutines.
+type MotionModel struct {
+	mu     sync.Mutex
+	poses  []geom.SE3   // Poses[i]: best known body-to-world pose of frame i
+	deltas []FrameDelta // deltas[i]: IMU motion from frame i-1 to frame i
+	vel    []geom.Vec3  // world-frame velocity estimate per frame
+}
+
+// NewMotionModel returns a motion model anchored at the initial pose
+// (frame 0) with the given initial world-frame velocity.
+func NewMotionModel(initial geom.SE3, vel0 geom.Vec3) *MotionModel {
+	return &MotionModel{
+		poses:  []geom.SE3{initial},
+		deltas: []FrameDelta{{RotDelta: geom.IdentityQuat()}},
+		vel:    []geom.Vec3{vel0},
+	}
+}
+
+// Len returns the number of frames known to the model.
+func (m *MotionModel) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.poses)
+}
+
+// ApproxPoseUpdateMM predicts and stores the pose of the next frame
+// from the previous frame's motion model and the IMU increments
+// captured since (Alg. 1, lines 1–9). It returns the predicted pose.
+func (m *MotionModel) ApproxPoseUpdateMM(d FrameDelta) geom.SE3 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := len(m.poses) - 1
+	pose := m.advance(m.poses[i], m.vel[i], d)
+	m.poses = append(m.poses, pose)
+	m.deltas = append(m.deltas, d)
+	m.vel = append(m.vel, m.nextVel(m.poses[i], m.vel[i], d))
+	return pose
+}
+
+// advance composes the previous pose with the IMU increments: rotation
+// via the gyro delta, translation via the velocity + accel increments
+// plus gravity (Alg. 1 lines 3–7).
+func (m *MotionModel) advance(prev geom.SE3, vel geom.Vec3, d FrameDelta) geom.SE3 {
+	r := prev.R.Mul(d.RotDelta).Normalized()
+	t := prev.T.
+		Add(vel.Scale(d.DT)).
+		Add(prev.R.Rotate(d.PosDelta)).
+		Add(Gravity.Scale(d.DT * d.DT / 2))
+	return geom.SE3{R: r, T: t}
+}
+
+func (m *MotionModel) nextVel(prev geom.SE3, vel geom.Vec3, d FrameDelta) geom.Vec3 {
+	return vel.Add(prev.R.Rotate(d.VelDelta)).Add(Gravity.Scale(d.DT))
+}
+
+// RecvSLAMPose installs the authoritative SLAM pose computed by the
+// edge server for frame slamIndex and replays the stored IMU deltas
+// forward so every subsequent pose is corrected (Alg. 1, lines 10–15).
+// Out-of-range indices are ignored. Returns the corrected latest pose.
+func (m *MotionModel) RecvSLAMPose(pose geom.SE3, slamIndex int) geom.SE3 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if slamIndex < 0 || slamIndex >= len(m.poses) {
+		return m.poses[len(m.poses)-1]
+	}
+	// Blend toward the server pose: the paper solves a small
+	// optimization minimizing residual between the IMU pose and the
+	// SLAM pose; for the pose variable itself the SLAM estimate
+	// dominates (vision beats integrated inertial data), so the closed
+	// form is to adopt it and re-propagate.
+	m.poses[slamIndex] = pose
+	// Correct the velocity state from consecutive SLAM fixes: IMU
+	// integration alone accumulates accelerometer-bias drift that the
+	// vision constraint removes.
+	if slamIndex > 0 && m.deltas[slamIndex].DT > 0 {
+		m.vel[slamIndex] = pose.T.Sub(m.poses[slamIndex-1].T).Scale(1 / m.deltas[slamIndex].DT)
+	}
+	for j := slamIndex + 1; j < len(m.poses); j++ {
+		m.vel[j] = m.nextVel(m.poses[j-1], m.vel[j-1], m.deltas[j])
+		m.poses[j] = m.advance(m.poses[j-1], m.vel[j-1], m.deltas[j])
+	}
+	return m.poses[len(m.poses)-1]
+}
+
+// PoseOf returns the best known pose for frame i.
+func (m *MotionModel) PoseOf(i int) (geom.SE3, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.poses) {
+		return geom.SE3{}, false
+	}
+	return m.poses[i], true
+}
+
+// Latest returns the most recent pose estimate.
+func (m *MotionModel) Latest() geom.SE3 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.poses[len(m.poses)-1]
+}
+
+// SetVelocity overrides the velocity estimate of the latest frame,
+// used when the server returns a velocity alongside the pose.
+func (m *MotionModel) SetVelocity(v geom.Vec3) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vel[len(m.vel)-1] = v
+}

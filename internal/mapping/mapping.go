@@ -1,0 +1,386 @@
+// Package mapping implements the local-mapping half of SLAM (the
+// paper's "Local Mapping" in Process A of Fig. 3): when tracking
+// promotes a frame to a keyframe, the mapper triangulates new map
+// points against covisible keyframes, fuses duplicate observations,
+// culls weakly supported points, and refines the local window with
+// bundle adjustment.
+package mapping
+
+import (
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/optimize"
+	"slamshare/internal/smap"
+)
+
+// Config tunes the local mapper.
+type Config struct {
+	// TriangulateNeighbors is how many covisible keyframes to
+	// triangulate new points against (monocular).
+	TriangulateNeighbors int
+	// ReprojTol is the reprojection acceptance tolerance in pixels.
+	ReprojTol float64
+	// BAWindow is the number of covisible keyframes adjusted together.
+	BAWindow int
+	// BAEvery runs local BA once per this many keyframes (1 = always).
+	BAEvery int
+	// BAIters caps LM iterations per local adjustment.
+	BAIters int
+	// CullMinObs: points observed by fewer keyframes than this, and
+	// older than CullAgeKFs keyframes, are removed.
+	CullMinObs int
+	CullAgeKFs int
+}
+
+// DefaultConfig returns the mapper settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		TriangulateNeighbors: 3,
+		ReprojTol:            2.5,
+		BAWindow:             5,
+		BAEvery:              2,
+		BAIters:              8,
+		CullMinObs:           2,
+		CullAgeKFs:           3,
+	}
+}
+
+// Stats reports what one ProcessKeyFrame call did.
+type Stats struct {
+	Created   int
+	Fused     int
+	Culled    int
+	KFsCulled int
+	RanBA     bool
+	BADur     time.Duration
+	TotalDur  time.Duration
+}
+
+// Mapper maintains one client's contribution to a map.
+type Mapper struct {
+	Map    *smap.Map
+	Rig    camera.Rig
+	Alloc  *smap.IDAllocator
+	Client int
+	Cfg    Config
+
+	kfCount int
+	// recent tracks recently created points for age-based culling:
+	// point id -> keyframe count at creation.
+	recent map[smap.ID]int
+}
+
+// New returns a mapper over the given (possibly shared) map.
+func New(m *smap.Map, rig camera.Rig, alloc *smap.IDAllocator, client int, cfg Config) *Mapper {
+	if cfg.BAWindow == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Mapper{Map: m, Rig: rig, Alloc: alloc, Client: client, Cfg: cfg, recent: make(map[smap.ID]int)}
+}
+
+// ProcessKeyFrame integrates a freshly inserted keyframe into the map.
+func (mm *Mapper) ProcessKeyFrame(kf *smap.KeyFrame) Stats {
+	t0 := time.Now()
+	var st Stats
+	mm.kfCount++
+	st.Culled = mm.cullPoints()
+	if mm.Rig.Mode == camera.Mono {
+		st.Created = mm.triangulateNew(kf)
+	}
+	st.Fused = mm.fuse(kf)
+	st.KFsCulled = mm.cullKeyFrames(kf)
+	mm.Map.UpdateConnections(kf.ID, 15)
+	if mm.Cfg.BAEvery > 0 && mm.kfCount%mm.Cfg.BAEvery == 0 {
+		tb := time.Now()
+		mm.localBA(kf)
+		st.RanBA = true
+		st.BADur = time.Since(tb)
+	}
+	st.TotalDur = time.Since(t0)
+	return st
+}
+
+// cullPoints removes recently created points that never gathered
+// enough observations.
+func (mm *Mapper) cullPoints() int {
+	culled := 0
+	for id, born := range mm.recent {
+		age := mm.kfCount - born
+		mp, ok := mm.Map.MapPoint(id)
+		if !ok {
+			delete(mm.recent, id)
+			continue
+		}
+		if age >= mm.Cfg.CullAgeKFs {
+			if mp.NObs() < mm.Cfg.CullMinObs {
+				mm.Map.EraseMapPoint(id)
+				culled++
+			}
+			delete(mm.recent, id)
+		}
+	}
+	return culled
+}
+
+// cullKeyFrames removes redundant covisible keyframes: those whose
+// tracked points are almost all observed by at least three other
+// keyframes (ORB-SLAM's keyframe culling), keeping the map — and the
+// shared-memory footprint the 2 GiB budget bounds — compact.
+func (mm *Mapper) cullKeyFrames(kf *smap.KeyFrame) int {
+	culled := 0
+	for _, cand := range mm.Map.Covisible(kf.ID, mm.Cfg.BAWindow) {
+		if cand.ID == kf.ID || cand.Client != mm.Client {
+			continue
+		}
+		total, redundant := 0, 0
+		for _, mpID := range cand.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			mp, ok := mm.Map.MapPoint(mpID)
+			if !ok {
+				continue
+			}
+			total++
+			if mp.NObs() >= 4 {
+				redundant++
+			}
+		}
+		if total > 30 && float64(redundant) > 0.92*float64(total) {
+			mm.Map.EraseKeyFrame(cand.ID)
+			culled++
+		}
+	}
+	return culled
+}
+
+// triangulateNew creates monocular map points by matching kf's unbound
+// keypoints against its best covisible neighbours and triangulating.
+func (mm *Mapper) triangulateNew(kf *smap.KeyFrame) int {
+	neighbors := mm.Map.Covisible(kf.ID, mm.Cfg.TriangulateNeighbors)
+	created := 0
+	for _, nb := range neighbors {
+		// Baseline check: skip neighbours too close for parallax.
+		if kf.Center().Dist(nb.Center()) < 0.03 {
+			continue
+		}
+		// Collect unbound keypoints on both sides.
+		ai := unboundIdx(kf)
+		bi := unboundIdx(nb)
+		if len(ai) == 0 || len(bi) == 0 {
+			continue
+		}
+		a := subset(kf.Keypoints, ai)
+		b := subset(nb.Keypoints, bi)
+		matches := feature.MatchBrute(a, b, feature.MatchThresholdStrict, feature.RatioTest)
+		for _, m := range matches {
+			ia, ib := ai[m.A], bi[m.B]
+			if kf.MapPoints[ia] != 0 || nb.MapPoints[ib] != 0 {
+				continue
+			}
+			pw, ok := optimize.Triangulate(mm.Rig.Intr, kf.Tcw, nb.Tcw, kf.Keypoints[ia].Pt(), nb.Keypoints[ib].Pt())
+			if !ok {
+				continue
+			}
+			if !mm.reprojectsWithin(kf.Tcw, pw, kf.Keypoints[ia].Pt()) ||
+				!mm.reprojectsWithin(nb.Tcw, pw, nb.Keypoints[ib].Pt()) {
+				continue
+			}
+			mp := &smap.MapPoint{
+				ID:     mm.Alloc.Next(),
+				Client: mm.Client,
+				Pos:    pw,
+				Desc:   kf.Keypoints[ia].Desc,
+				Normal: pw.Sub(kf.Center()).Normalized(),
+				RefKF:  kf.ID,
+			}
+			mm.Map.AddMapPoint(mp)
+			_ = mm.Map.AddObservation(kf.ID, mp.ID, ia)
+			_ = mm.Map.AddObservation(nb.ID, mp.ID, ib)
+			mm.recent[mp.ID] = mm.kfCount
+			created++
+		}
+	}
+	return created
+}
+
+func (mm *Mapper) reprojectsWithin(tcw geom.SE3, pw geom.Vec3, uv geom.Vec2) bool {
+	px, ok := mm.Rig.Intr.Project(tcw.Apply(pw))
+	return ok && px.Sub(uv).Norm() <= mm.Cfg.ReprojTol
+}
+
+func unboundIdx(kf *smap.KeyFrame) []int {
+	var out []int
+	for i, id := range kf.MapPoints {
+		if id == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func subset(kps []feature.Keypoint, idx []int) []feature.Keypoint {
+	out := make([]feature.Keypoint, len(idx))
+	for i, j := range idx {
+		out[i] = kps[j]
+	}
+	return out
+}
+
+// fuse projects the local map points of kf's neighbours into kf and
+// binds unambiguous matches to unbound keypoints, densifying the
+// covisibility graph.
+func (mm *Mapper) fuse(kf *smap.KeyFrame) int {
+	local := mm.Map.LocalPoints(kf.ID, mm.Cfg.BAWindow)
+	fused := 0
+	bound := make(map[smap.ID]bool)
+	for _, id := range kf.MapPoints {
+		if id != 0 {
+			bound[id] = true
+		}
+	}
+	for _, mp := range local {
+		if bound[mp.ID] {
+			continue
+		}
+		if _, seen := mp.Obs[kf.ID]; seen {
+			continue
+		}
+		px, visible := mm.Rig.WorldToPixel(kf.Tcw, mp.Pos)
+		if !visible {
+			continue
+		}
+		bestI, bestD := -1, feature.MatchThresholdStrict+1
+		for i, kp := range kf.Keypoints {
+			if kf.MapPoints[i] != 0 {
+				continue
+			}
+			dx := kp.X - px.X
+			dy := kp.Y - px.Y
+			if dx*dx+dy*dy > mm.Cfg.ReprojTol*mm.Cfg.ReprojTol*4 {
+				continue
+			}
+			if d := feature.Distance(mp.Desc, kp.Desc); d < bestD {
+				bestI, bestD = i, d
+			}
+		}
+		if bestI >= 0 {
+			_ = mm.Map.AddObservation(kf.ID, mp.ID, bestI)
+			fused++
+		}
+	}
+	return fused
+}
+
+// localBA bundle-adjusts the covisibility window around kf: the window
+// keyframes and every map point they observe, with outside observers
+// held fixed.
+func (mm *Mapper) localBA(kf *smap.KeyFrame) {
+	window := mm.Map.Covisible(kf.ID, mm.Cfg.BAWindow-1)
+	window = append(window, kf)
+	inWindow := make(map[smap.ID]bool, len(window))
+	for _, w := range window {
+		inWindow[w.ID] = true
+	}
+	// Gather the points observed by the window.
+	ptSet := make(map[smap.ID]*smap.MapPoint)
+	for _, w := range window {
+		for _, mpID := range w.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			if mp, ok := mm.Map.MapPoint(mpID); ok {
+				ptSet[mpID] = mp
+			}
+		}
+	}
+	// Fixed cameras: outside observers of those points (bounded).
+	fixedSet := make(map[smap.ID]*smap.KeyFrame)
+	for _, mp := range ptSet {
+		for kfID := range mp.Obs {
+			if inWindow[kfID] {
+				continue
+			}
+			if other, ok := mm.Map.KeyFrame(kfID); ok {
+				fixedSet[kfID] = other
+				if len(fixedSet) >= 8 {
+					break
+				}
+			}
+		}
+		if len(fixedSet) >= 8 {
+			break
+		}
+	}
+	prob := &optimize.BAProblem{Intr: mm.Rig.Intr}
+	camIdx := make(map[smap.ID]int)
+	addCam := func(k *smap.KeyFrame, fixed bool) {
+		camIdx[k.ID] = len(prob.Cams)
+		prob.Cams = append(prob.Cams, k.Tcw)
+		prob.FixedCam = append(prob.FixedCam, fixed)
+	}
+	// The oldest window keyframe is held fixed to anchor the gauge
+	// when there are no outside observers yet.
+	for i, w := range window {
+		addCam(w, len(fixedSet) == 0 && i == 0)
+	}
+	for _, f := range fixedSet {
+		addCam(f, true)
+	}
+	ptIdx := make(map[smap.ID]int)
+	for id, mp := range ptSet {
+		ptIdx[id] = len(prob.Points)
+		prob.Points = append(prob.Points, mp.Pos)
+	}
+	type obsRef struct {
+		mpID smap.ID
+		kfID smap.ID
+		kpI  int
+	}
+	var refs []obsRef
+	for id, mp := range ptSet {
+		for kfID, kpI := range mp.Obs {
+			ci, ok := camIdx[kfID]
+			if !ok {
+				continue
+			}
+			obsKF, ok := mm.Map.KeyFrame(kfID)
+			if !ok || kpI >= len(obsKF.Keypoints) {
+				continue
+			}
+			prob.Obs = append(prob.Obs, optimize.Observation{
+				Cam: ci, Pt: ptIdx[id],
+				UV: obsKF.Keypoints[kpI].Pt(),
+			})
+			refs = append(refs, obsRef{mpID: id, kfID: kfID, kpI: kpI})
+		}
+	}
+	if len(prob.Obs) < 10 {
+		return
+	}
+	res := prob.Solve(mm.Cfg.BAIters)
+	// Write back poses and point positions.
+	for _, w := range window {
+		w.Tcw = prob.Cams[camIdx[w.ID]]
+	}
+	for id, mp := range ptSet {
+		mp.Pos = prob.Points[ptIdx[id]]
+	}
+	// Detach observations flagged as outliers so they stop polluting
+	// future tracking and adjustments.
+	for i, out := range res.Outliers {
+		if !out {
+			continue
+		}
+		ref := refs[i]
+		mp := ptSet[ref.mpID]
+		delete(mp.Obs, ref.kfID)
+		if obsKF, ok := mm.Map.KeyFrame(ref.kfID); ok &&
+			ref.kpI < len(obsKF.MapPoints) && obsKF.MapPoints[ref.kpI] == ref.mpID {
+			obsKF.MapPoints[ref.kpI] = 0
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package mapping
+
+import (
+	"testing"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/camera"
+	"slamshare/internal/dataset"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/smap"
+	"slamshare/internal/tracking"
+)
+
+// buildWithMapper runs tracking+mapping over a sequence prefix and
+// returns the map and mapper.
+func buildWithMapper(t *testing.T, seq *dataset.Sequence, n int) (*smap.Map, *Mapper, []Stats) {
+	t.Helper()
+	m := smap.NewMap(bow.Default())
+	alloc := smap.NewIDAllocator(1)
+	tr := tracking.New(m, seq.Rig, feature.NewExtractor(feature.DefaultConfig()), alloc, 1, tracking.DefaultConfig())
+	mp := New(m, seq.Rig, alloc, 1, DefaultConfig())
+	var stats []Stats
+	for i := 0; i < n; i++ {
+		left, right := seq.StereoFrame(i)
+		var prior *geom.SE3
+		if i < 60 {
+			p := seq.GroundTruth(i).Inverse()
+			prior = &p
+		}
+		res := tr.ProcessFrame(left, right, seq.FrameTime(i), prior)
+		if res.NewKF != nil {
+			stats = append(stats, mp.ProcessKeyFrame(res.NewKF))
+		}
+	}
+	return m, mp, stats
+}
+
+func TestMonoMapperCreatesPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline test")
+	}
+	seq := dataset.V202(camera.Mono)
+	m, _, stats := buildWithMapper(t, seq, 100)
+	if len(stats) < 2 {
+		t.Fatalf("only %d keyframes processed", len(stats))
+	}
+	created := 0
+	ranBA := false
+	for _, s := range stats {
+		created += s.Created
+		if s.RanBA {
+			ranBA = true
+			if s.BADur <= 0 {
+				t.Error("BA ran with zero duration")
+			}
+		}
+		if s.TotalDur <= 0 {
+			t.Error("missing total duration")
+		}
+	}
+	if created == 0 {
+		t.Error("mono mapper triangulated no new points")
+	}
+	if !ranBA {
+		t.Error("local BA never ran")
+	}
+	if m.NMapPoints() == 0 {
+		t.Error("map has no points")
+	}
+}
+
+func TestStereoMapperFusesObservations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline test")
+	}
+	seq := dataset.V202(camera.Stereo)
+	m, _, stats := buildWithMapper(t, seq, 100)
+	fused := 0
+	for _, s := range stats {
+		fused += s.Fused
+	}
+	if fused == 0 {
+		t.Error("no observations fused across keyframes")
+	}
+	// Fusion must increase multi-view support: some points should be
+	// observed by 3+ keyframes.
+	multi := 0
+	for _, mp := range m.MapPoints() {
+		if mp.NObs() >= 3 {
+			multi++
+		}
+	}
+	if multi < 20 {
+		t.Errorf("only %d points with 3+ observations", multi)
+	}
+}
+
+func TestLocalBAReducesError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline test")
+	}
+	// Build a map, perturb a window keyframe pose, and check localBA
+	// pulls it back.
+	seq := dataset.V202(camera.Stereo)
+	m, mp, _ := buildWithMapper(t, seq, 80)
+	kfs := m.KeyFrames()
+	if len(kfs) < 3 {
+		t.Skip("too few keyframes")
+	}
+	victim := kfs[len(kfs)-1]
+	orig := victim.Tcw
+	victim.Tcw = geom.SE3{
+		R: geom.QuatFromAxisAngle(geom.Vec3{Y: 1}, 0.02).Mul(orig.R).Normalized(),
+		T: orig.T.Add(geom.Vec3{X: 0.05, Y: -0.03}),
+	}
+	perturbed := victim.Tcw.T.Dist(orig.T)
+	mp.localBA(victim)
+	recovered := victim.Tcw.T.Dist(orig.T)
+	if recovered >= perturbed {
+		t.Errorf("BA did not reduce pose error: %.4f -> %.4f", perturbed, recovered)
+	}
+}
+
+func TestCullRemovesWeakPoints(t *testing.T) {
+	m := smap.NewMap(bow.Default())
+	alloc := smap.NewIDAllocator(1)
+	rig := camera.NewMonoRig(camera.EuRoCIntrinsics())
+	mm := New(m, rig, alloc, 1, DefaultConfig())
+	// A point with one observation, aged past the cull window.
+	kf := &smap.KeyFrame{ID: alloc.Next(), Keypoints: make([]feature.Keypoint, 5)}
+	m.AddKeyFrame(kf)
+	weak := &smap.MapPoint{ID: alloc.Next()}
+	m.AddMapPoint(weak)
+	if err := m.AddObservation(kf.ID, weak.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	mm.recent[weak.ID] = 0
+	mm.kfCount = DefaultConfig().CullAgeKFs + 1
+	if culled := mm.cullPoints(); culled != 1 {
+		t.Errorf("culled = %d", culled)
+	}
+	if _, ok := m.MapPoint(weak.ID); ok {
+		t.Error("weak point survived culling")
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	m := smap.NewMap(bow.Default())
+	mm := New(m, camera.NewMonoRig(camera.TUMIntrinsics()), smap.NewIDAllocator(1), 1, Config{})
+	if mm.Cfg.BAWindow == 0 || mm.Cfg.ReprojTol == 0 {
+		t.Error("zero config not defaulted")
+	}
+}

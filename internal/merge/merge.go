@@ -1,0 +1,517 @@
+// Package merge implements the paper's map-merging algorithm (Alg. 2
+// and §4.3.1): given a client's map and the shared global map, it
+// detects common regions with bag-of-words place recognition over ALL
+// the client's keyframes (not just incoming ones — the paper's key
+// extension for late-joining clients), estimates the 3D alignment with
+// RANSAC over Horn's method, transforms the client map, inserts it
+// into the global map without copying (shared memory), fuses duplicate
+// map points, and refines the seam with bundle adjustment.
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/optimize"
+	"slamshare/internal/smap"
+)
+
+// Config tunes merging.
+type Config struct {
+	// CandidatesPerKF is how many BoW hits to geometrically verify for
+	// each client keyframe.
+	CandidatesPerKF int
+	// MinMatches is the minimum 3D-3D inlier correspondences for an
+	// alignment to be accepted.
+	MinMatches int
+	// RansacIters bounds the RANSAC loop.
+	RansacIters int
+	// InlierTol is the 3D alignment inlier distance in metres.
+	InlierTol float64
+	// MaxRMSE rejects alignments whose inlier residual exceeds this
+	// (guards against geometrically wrong matches on small maps).
+	MaxRMSE float64
+	// WithScale aligns in Sim3 (monocular maps) instead of SE3.
+	WithScale bool
+	// SeamBAIters caps the post-merge bundle adjustment.
+	SeamBAIters int
+	// MaxSeamKFs bounds the keyframes adjusted after the merge.
+	MaxSeamKFs int
+}
+
+// DefaultConfig returns the merge parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		CandidatesPerKF: 5,
+		MinMatches:      25,
+		RansacIters:     4000,
+		InlierTol:       0.35,
+		MaxRMSE:         0.22,
+		WithScale:       false,
+		SeamBAIters:     6,
+		MaxSeamKFs:      8,
+	}
+}
+
+// Alignment is a verified common-region detection.
+type Alignment struct {
+	Transform geom.Sim3 // maps client-map coordinates into global-map coordinates
+	Inliers   int
+	// Pairs are the inlier correspondences (client point ID, global
+	// point ID) used to fuse duplicates.
+	Pairs [][2]smap.ID
+	// ClientKF / GlobalKF are the keyframes that anchored the match.
+	ClientKF smap.ID
+	GlobalKF smap.ID
+}
+
+// Report is the timing breakdown of one merge — the SLAM-Share rows of
+// Table 4.
+type Report struct {
+	Detect time.Duration // DetectCommonRegion over all client keyframes
+	Align  time.Duration // RANSAC + Horn refinement
+	Insert time.Duration // zero-copy insertion into the global map
+	Fuse   time.Duration // duplicate map point fusion
+	BA     time.Duration // seam bundle adjustment
+	Total  time.Duration
+
+	Alignment *Alignment // nil if no overlap was found
+	FusedPts  int
+	InsertKFs int
+	InsertMPs int
+}
+
+// Merger merges client maps into a global map.
+type Merger struct {
+	Global *smap.Map
+	Intr   camera.Intrinsics
+	Cfg    Config
+	rng    *rand.Rand
+}
+
+// New returns a merger for the given global map.
+func New(global *smap.Map, intr camera.Intrinsics, cfg Config) *Merger {
+	if cfg.MinMatches == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Merger{Global: global, Intr: intr, Cfg: cfg, rng: rand.New(rand.NewSource(0x6E12))}
+}
+
+// DetectCommonRegion searches the global map for the region any of
+// the client map's keyframes observes, and returns the verified
+// alignment. This is Alg. 2 lines 6-10, extended to iterate every
+// client keyframe so a late-joining client merges immediately: the
+// 3D-3D correspondences from all (client keyframe, BoW candidate)
+// pairs are pooled, and a single RANSAC alignment over the pool keeps
+// only transforms that many keyframes agree on — a false per-pair
+// match cannot recruit inliers from the other pairs.
+func (mg *Merger) DetectCommonRegion(cmap *smap.Map) (Alignment, bool) {
+	type corr struct {
+		src, dst geom.Vec3
+		cID, gID smap.ID
+		cKF, gKF smap.ID
+	}
+	var pool []corr
+	seen := make(map[[2]smap.ID]bool)
+	for _, kf := range cmap.KeyFrames() {
+		cPts, cIDs := observedPoints(cmap, kf)
+		if len(cPts) < 3 {
+			continue
+		}
+		cands := mg.Global.QueryBow(kf.Bow, mg.Cfg.CandidatesPerKF, nil)
+		for _, cand := range cands {
+			gkf, ok := mg.Global.KeyFrame(cand.ID)
+			if !ok {
+				continue
+			}
+			gPts, gIDs := observedPoints(mg.Global, gkf)
+			if len(gPts) < 3 {
+				continue
+			}
+			// Cross-client descriptors differ more than within-client
+			// ones (viewpoint changes patch adjacency), so match
+			// loosely; RANSAC over the pooled set rejects the junk.
+			matches := feature.MatchBrute(cPts, gPts, feature.MatchThresholdLoose, 0.9)
+			for _, m := range matches {
+				key := [2]smap.ID{cIDs[m.A], gIDs[m.B]}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pool = append(pool, corr{
+					src: cPos(cmap, cIDs[m.A]), dst: cPos(mg.Global, gIDs[m.B]),
+					cID: cIDs[m.A], gID: gIDs[m.B],
+					cKF: kf.ID, gKF: gkf.ID,
+				})
+			}
+		}
+		if len(pool) > 4000 {
+			break
+		}
+	}
+	if len(pool) < mg.Cfg.MinMatches {
+		return Alignment{}, false
+	}
+	src := make([]geom.Vec3, len(pool))
+	dst := make([]geom.Vec3, len(pool))
+	for i, c := range pool {
+		src[i] = c.src
+		dst[i] = c.dst
+	}
+	tf, inl, ok := ransacAlign(src, dst, mg.Cfg, mg.rng)
+	if !ok || len(inl) < mg.Cfg.MinMatches {
+		return Alignment{}, false
+	}
+	// Residual gate: a wrong alignment would move the whole client map
+	// and corrupt the global map through the seam adjustment.
+	if mg.Cfg.MaxRMSE > 0 {
+		s := make([]geom.Vec3, len(inl))
+		d := make([]geom.Vec3, len(inl))
+		for i, mi := range inl {
+			s[i] = src[mi]
+			d[i] = dst[mi]
+		}
+		if geom.AlignmentRMSE(tf, s, d) > mg.Cfg.MaxRMSE {
+			return Alignment{}, false
+		}
+	}
+	// Anchor the seam adjustment at the keyframe pair contributing the
+	// most inliers.
+	pairCount := make(map[[2]smap.ID]int)
+	pairs := make([][2]smap.ID, len(inl))
+	for i, mi := range inl {
+		c := pool[mi]
+		pairs[i] = [2]smap.ID{c.cID, c.gID}
+		pairCount[[2]smap.ID{c.cKF, c.gKF}]++
+	}
+	var bestPair [2]smap.ID
+	bestN := 0
+	for p, n := range pairCount {
+		if n > bestN {
+			bestPair, bestN = p, n
+		}
+	}
+	return Alignment{
+		Transform: tf,
+		Inliers:   len(inl),
+		Pairs:     pairs,
+		ClientKF:  bestPair[0],
+		GlobalKF:  bestPair[1],
+	}, true
+}
+
+// observedPoints returns pseudo-keypoints (descriptor carriers) and the
+// ids of the map points a keyframe observes.
+func observedPoints(m *smap.Map, kf *smap.KeyFrame) ([]feature.Keypoint, []smap.ID) {
+	var kps []feature.Keypoint
+	var ids []smap.ID
+	for _, mpID := range kf.MapPoints {
+		if mpID == 0 {
+			continue
+		}
+		mp, ok := m.MapPoint(mpID)
+		if !ok {
+			continue
+		}
+		kps = append(kps, feature.Keypoint{Desc: mp.Desc})
+		ids = append(ids, mpID)
+	}
+	return kps, ids
+}
+
+func cPos(m *smap.Map, id smap.ID) geom.Vec3 {
+	if mp, ok := m.MapPoint(id); ok {
+		return mp.Pos
+	}
+	return geom.Vec3{}
+}
+
+// ransacAlign estimates the similarity transform mapping src onto dst,
+// robust to outlier correspondences. Returns the refined transform and
+// the inlier indices.
+func ransacAlign(src, dst []geom.Vec3, cfg Config, rng *rand.Rand) (geom.Sim3, []int, bool) {
+	n := len(src)
+	if n < 3 {
+		return geom.IdentitySim3(), nil, false
+	}
+	bestInl := []int{}
+	for iter := 0; iter < cfg.RansacIters; iter++ {
+		i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if i == j || j == k || i == k {
+			continue
+		}
+		tf, err := geom.AlignHorn(
+			[]geom.Vec3{src[i], src[j], src[k]},
+			[]geom.Vec3{dst[i], dst[j], dst[k]},
+			cfg.WithScale,
+		)
+		if err != nil {
+			continue
+		}
+		var inl []int
+		for m := 0; m < n; m++ {
+			if tf.Apply(src[m]).Dist(dst[m]) <= cfg.InlierTol {
+				inl = append(inl, m)
+			}
+		}
+		if len(inl) > len(bestInl) {
+			bestInl = inl
+			if len(bestInl) > n*9/10 {
+				break
+			}
+		}
+	}
+	if len(bestInl) < 3 {
+		return geom.IdentitySim3(), nil, false
+	}
+	// Iterative refinement: refit on the inlier set and re-score until
+	// the inlier set stabilizes (at most 4 rounds).
+	inl := bestInl
+	var tf geom.Sim3
+	for round := 0; round < 4; round++ {
+		s := make([]geom.Vec3, len(inl))
+		d := make([]geom.Vec3, len(inl))
+		for i, m := range inl {
+			s[i] = src[m]
+			d[i] = dst[m]
+		}
+		var err error
+		tf, err = geom.AlignHorn(s, d, cfg.WithScale)
+		if err != nil {
+			return geom.IdentitySim3(), nil, false
+		}
+		var next []int
+		for m := 0; m < len(src); m++ {
+			if tf.Apply(src[m]).Dist(dst[m]) <= cfg.InlierTol {
+				next = append(next, m)
+			}
+		}
+		if len(next) == len(inl) {
+			inl = next
+			break
+		}
+		inl = next
+		if len(inl) < 3 {
+			return geom.IdentitySim3(), nil, false
+		}
+	}
+	return tf, inl, true
+}
+
+// Merge runs the full Alg. 2 pipeline: detect, align, transform,
+// insert (zero-copy), fuse, seam BA. When the global map is empty, the
+// client map is inserted as the founding map with no alignment. The
+// client map's contents are owned by the global map afterwards.
+func (mg *Merger) Merge(cmap *smap.Map) (Report, error) {
+	var rep Report
+	t0 := time.Now()
+	rep.InsertKFs = cmap.NKeyFrames()
+	rep.InsertMPs = cmap.NMapPoints()
+	if mg.Global.NKeyFrames() == 0 {
+		ti := time.Now()
+		mg.Global.InsertAll(cmap)
+		rep.Insert = time.Since(ti)
+		rep.Total = time.Since(t0)
+		return rep, nil
+	}
+	td := time.Now()
+	al, found := mg.DetectCommonRegion(cmap)
+	rep.Detect = time.Since(td)
+	if !found {
+		rep.Total = time.Since(t0)
+		return rep, fmt.Errorf("merge: no common region between client map (%d KFs) and global map (%d KFs)",
+			cmap.NKeyFrames(), mg.Global.NKeyFrames())
+	}
+	rep.Alignment = &al
+
+	// Transform the client map into global coordinates.
+	ta := time.Now()
+	cmap.ApplyTransform(al.Transform)
+	rep.Align = time.Since(ta)
+
+	// Zero-copy insert (the shared-memory step: pointers only).
+	ti := time.Now()
+	mg.Global.InsertAll(cmap)
+	rep.Insert = time.Since(ti)
+
+	// Fuse duplicate points: each inlier pair collapses the client
+	// point into the global point.
+	tf := time.Now()
+	for _, pair := range al.Pairs {
+		if mg.fusePoint(pair[0], pair[1]) {
+			rep.FusedPts++
+		}
+	}
+	rep.Fuse = time.Since(tf)
+
+	// Seam bundle adjustment around the matched keyframes (Alg. 2
+	// lines 13-15), then essential-graph optimization to propagate the
+	// seam correction through the rest of the client map.
+	tb := time.Now()
+	mg.seamBA(al)
+	mg.essentialGraph(cmap, al)
+	rep.BA = time.Since(tb)
+
+	rep.Total = time.Since(t0)
+	return rep, nil
+}
+
+// essentialGraph propagates the seam adjustment to the client
+// keyframes outside the seam window: a pose graph over the client map
+// with covisibility edges (relative poses measured before the seam
+// adjustment warped the seam), anchored at the seam keyframe — the
+// "essential graph optimization" of Alg. 2 line 15.
+func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) {
+	kfs := cmap.KeyFrames()
+	if len(kfs) < 3 {
+		return
+	}
+	nodeIdx := make(map[smap.ID]int, len(kfs))
+	g := &optimize.PoseGraph{}
+	for i, kf := range kfs {
+		nodeIdx[kf.ID] = i
+		g.Poses = append(g.Poses, kf.Tcw.Inverse()) // body-to-world
+		g.Fixed = append(g.Fixed, kf.ID == al.ClientKF)
+	}
+	// If the anchor keyframe is not in this map (already consumed by
+	// the global map object), fix the first node instead.
+	if _, ok := nodeIdx[al.ClientKF]; !ok {
+		g.Fixed[0] = true
+	}
+	seen := make(map[[2]int]bool)
+	for _, kf := range kfs {
+		i := nodeIdx[kf.ID]
+		for other, w := range kf.Conns {
+			j, ok := nodeIdx[other]
+			if !ok || i == j {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			g.Edges = append(g.Edges, optimize.PoseEdge{
+				I: a, J: b,
+				Z:      g.Poses[a].Inverse().Compose(g.Poses[b]),
+				Weight: float64(w) / 100,
+			})
+		}
+	}
+	if len(g.Edges) == 0 {
+		return
+	}
+	g.Optimize(5)
+	for i, kf := range kfs {
+		kf.Tcw = g.Poses[i].Inverse()
+	}
+}
+
+// fusePoint redirects every observation of the client point to the
+// global point and erases the client point.
+func (mg *Merger) fusePoint(clientPt, globalPt smap.ID) bool {
+	cp, ok := mg.Global.MapPoint(clientPt)
+	if !ok {
+		return false
+	}
+	gp, ok := mg.Global.MapPoint(globalPt)
+	if !ok || cp == gp {
+		return false
+	}
+	for kfID, kpI := range cp.Obs {
+		kf, ok := mg.Global.KeyFrame(kfID)
+		if !ok {
+			continue
+		}
+		if kpI < len(kf.MapPoints) && kf.MapPoints[kpI] == clientPt {
+			kf.MapPoints[kpI] = globalPt
+			gp.Obs[kfID] = kpI
+		}
+	}
+	mg.Global.EraseMapPoint(clientPt)
+	return true
+}
+
+// seamBA bundle-adjusts the keyframes around the merge seam: the
+// matched client and global keyframes plus their covisible neighbours,
+// with the global side fixed (the paper's essential-graph-lite).
+func (mg *Merger) seamBA(al Alignment) {
+	ckf, ok1 := mg.Global.KeyFrame(al.ClientKF)
+	gkf, ok2 := mg.Global.KeyFrame(al.GlobalKF)
+	if !ok1 || !ok2 {
+		return
+	}
+	free := append(mg.Global.Covisible(ckf.ID, mg.Cfg.MaxSeamKFs/2), ckf)
+	fixed := append(mg.Global.Covisible(gkf.ID, mg.Cfg.MaxSeamKFs/2), gkf)
+
+	prob := &optimize.BAProblem{Intr: mg.Intr}
+	camIdx := make(map[smap.ID]int)
+	seen := make(map[smap.ID]bool)
+	add := func(kf *smap.KeyFrame, isFixed bool) {
+		if seen[kf.ID] {
+			return
+		}
+		seen[kf.ID] = true
+		camIdx[kf.ID] = len(prob.Cams)
+		prob.Cams = append(prob.Cams, kf.Tcw)
+		prob.FixedCam = append(prob.FixedCam, isFixed)
+	}
+	for _, kf := range fixed {
+		add(kf, true)
+	}
+	for _, kf := range free {
+		add(kf, false)
+	}
+	ptIdx := make(map[smap.ID]int)
+	var ptIDs []smap.ID
+	for kfID := range camIdx {
+		kf, ok := mg.Global.KeyFrame(kfID)
+		if !ok {
+			continue
+		}
+		for kpI, mpID := range kf.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			mp, ok := mg.Global.MapPoint(mpID)
+			if !ok {
+				continue
+			}
+			pi, ok := ptIdx[mpID]
+			if !ok {
+				pi = len(prob.Points)
+				ptIdx[mpID] = pi
+				ptIDs = append(ptIDs, mpID)
+				prob.Points = append(prob.Points, mp.Pos)
+			}
+			prob.Obs = append(prob.Obs, optimize.Observation{
+				Cam: camIdx[kfID], Pt: pi,
+				UV: kf.Keypoints[kpI].Pt(),
+			})
+		}
+	}
+	if len(prob.Obs) < 20 {
+		return
+	}
+	prob.Solve(mg.Cfg.SeamBAIters)
+	for kfID, ci := range camIdx {
+		if prob.FixedCam[ci] {
+			continue
+		}
+		if kf, ok := mg.Global.KeyFrame(kfID); ok {
+			kf.Tcw = prob.Cams[ci]
+		}
+	}
+	for i, mpID := range ptIDs {
+		if mp, ok := mg.Global.MapPoint(mpID); ok {
+			mp.Pos = prob.Points[i]
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package optimize
+
+import (
+	"math"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/geom"
+)
+
+// BAProblem is a bundle-adjustment problem: a set of world-to-camera
+// poses and world points connected by pixel observations. Fixed
+// cameras anchor the gauge (at least one camera should be fixed).
+type BAProblem struct {
+	Intr     camera.Intrinsics
+	Cams     []geom.SE3 // world-to-camera
+	FixedCam []bool
+	Points   []geom.Vec3
+	Obs      []Observation
+}
+
+// BAResult reports the outcome of bundle adjustment.
+type BAResult struct {
+	Iterations int
+	InitChi2   float64
+	FinalChi2  float64
+	Outliers   []bool // per-observation classification after the solve
+}
+
+// chi2 returns the total squared normalized residual over
+// observations, skipping entries marked as outliers.
+func (p *BAProblem) chi2(outlier []bool) float64 {
+	var sum float64
+	for i, ob := range p.Obs {
+		if outlier != nil && outlier[i] {
+			continue
+		}
+		pc := p.Cams[ob.Cam].Apply(p.Points[ob.Pt])
+		if pc.Z < 0.05 {
+			sum += 1e4
+			continue
+		}
+		px := p.Intr.ProjectUnchecked(pc)
+		s := ob.Sigma
+		if s <= 0 {
+			s = 1
+		}
+		sum += px.Sub(ob.UV).NormSq() / (s * s)
+	}
+	return sum
+}
+
+// Solve runs Levenberg-Marquardt with Schur elimination of the point
+// blocks for at most maxIters iterations. Cameras and points are
+// updated in place.
+func (p *BAProblem) Solve(maxIters int) BAResult {
+	nc := len(p.Cams)
+	np := len(p.Points)
+	res := BAResult{Outliers: make([]bool, len(p.Obs))}
+	if nc == 0 || np == 0 || len(p.Obs) == 0 {
+		return res
+	}
+	// Map cameras to variable slots (-1 = fixed).
+	camVar := make([]int, nc)
+	nv := 0
+	for i := 0; i < nc; i++ {
+		if i < len(p.FixedCam) && p.FixedCam[i] {
+			camVar[i] = -1
+		} else {
+			camVar[i] = nv
+			nv++
+		}
+	}
+	res.InitChi2 = p.chi2(nil)
+	lambda := 1e-4
+	cur := res.InitChi2
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations = iter + 1
+		// Assemble the normal equations in block form.
+		hcc := make([]float64, (nv*6)*(nv*6)) // dense camera block (local windows are small)
+		bc := make([]float64, nv*6)
+		hpp := make([][9]float64, np)   // 3x3 per point
+		bp := make([]geom.Vec3, np)     // rhs per point
+		hcp := map[[2]int][18]float64{} // (camVar, pt) -> 6x3 block
+
+		for oi, ob := range p.Obs {
+			if res.Outliers[oi] {
+				continue
+			}
+			cv := camVar[ob.Cam]
+			tcw := p.Cams[ob.Cam]
+			pc := tcw.Apply(p.Points[ob.Pt])
+			if pc.Z < 0.05 {
+				continue
+			}
+			px := p.Intr.ProjectUnchecked(pc)
+			s := ob.Sigma
+			if s <= 0 {
+				s = 1
+			}
+			r := px.Sub(ob.UV)
+			rn := r.Norm() / s
+			w := huberWeight(rn) / (s * s)
+			jp := projJacobian(p.Intr, pc)
+			// Camera Jacobian rows (2x6).
+			var jc [2][6]float64
+			if cv >= 0 {
+				hat := pc.Hat()
+				for rr := 0; rr < 2; rr++ {
+					jc[rr][0] = jp[rr][0]
+					jc[rr][1] = jp[rr][1]
+					jc[rr][2] = jp[rr][2]
+					for c := 0; c < 3; c++ {
+						jc[rr][3+c] = -(jp[rr][0]*hat[0*3+c] + jp[rr][1]*hat[1*3+c] + jp[rr][2]*hat[2*3+c])
+					}
+				}
+			}
+			// Point Jacobian rows (2x3): J_proj * R.
+			rot := tcw.R.Mat()
+			var jpt [2][3]float64
+			for rr := 0; rr < 2; rr++ {
+				for c := 0; c < 3; c++ {
+					jpt[rr][c] = jp[rr][0]*rot[0*3+c] + jp[rr][1]*rot[1*3+c] + jp[rr][2]*rot[2*3+c]
+				}
+			}
+			resv := [2]float64{r.X, r.Y}
+			// Accumulate camera-camera block.
+			if cv >= 0 {
+				base := cv * 6
+				for rr := 0; rr < 2; rr++ {
+					for a := 0; a < 6; a++ {
+						bc[base+a] -= w * jc[rr][a] * resv[rr]
+						for c := 0; c < 6; c++ {
+							hcc[(base+a)*(nv*6)+base+c] += w * jc[rr][a] * jc[rr][c]
+						}
+					}
+				}
+			}
+			// Point-point block and rhs.
+			pp := &hpp[ob.Pt]
+			for rr := 0; rr < 2; rr++ {
+				for a := 0; a < 3; a++ {
+					switch a {
+					case 0:
+						bp[ob.Pt].X -= w * jpt[rr][a] * resv[rr]
+					case 1:
+						bp[ob.Pt].Y -= w * jpt[rr][a] * resv[rr]
+					default:
+						bp[ob.Pt].Z -= w * jpt[rr][a] * resv[rr]
+					}
+					for c := 0; c < 3; c++ {
+						pp[a*3+c] += w * jpt[rr][a] * jpt[rr][c]
+					}
+				}
+			}
+			// Camera-point block.
+			if cv >= 0 {
+				key := [2]int{cv, ob.Pt}
+				blk := hcp[key]
+				for rr := 0; rr < 2; rr++ {
+					for a := 0; a < 6; a++ {
+						for c := 0; c < 3; c++ {
+							blk[a*3+c] += w * jc[rr][a] * jpt[rr][c]
+						}
+					}
+				}
+				hcp[key] = blk
+			}
+		}
+		// LM damping.
+		for i := 0; i < nv*6; i++ {
+			hcc[i*(nv*6)+i] *= 1 + lambda
+			hcc[i*(nv*6)+i] += 1e-9
+		}
+		hppInv := make([][9]float64, np)
+		for i := 0; i < np; i++ {
+			m := hpp[i]
+			for d := 0; d < 3; d++ {
+				m[d*3+d] *= 1 + lambda
+				m[d*3+d] += 1e-9
+			}
+			inv, ok := invert3(m)
+			if !ok {
+				// Unconstrained point: zero inverse freezes it.
+				inv = [9]float64{}
+			}
+			hppInv[i] = inv
+		}
+		// Schur complement: S = Hcc - Hcp Hpp^-1 Hcp^T,
+		// rhs = bc - Hcp Hpp^-1 bp.
+		s := make([]float64, len(hcc))
+		copy(s, hcc)
+		rhs := make([]float64, len(bc))
+		copy(rhs, bc)
+		// Group hcp blocks by point for the pairwise products.
+		type cpEntry struct {
+			cv  int
+			blk *[18]float64
+		}
+		byPoint := make(map[int][]cpEntry)
+		for key, blk := range hcp {
+			b := blk
+			byPoint[key[1]] = append(byPoint[key[1]], cpEntry{key[0], &b})
+		}
+		for pt, ents := range byPoint {
+			inv := hppInv[pt]
+			bpv := [3]float64{bp[pt].X, bp[pt].Y, bp[pt].Z}
+			// y = Hpp^-1 bp
+			var y [3]float64
+			for a := 0; a < 3; a++ {
+				for c := 0; c < 3; c++ {
+					y[a] += inv[a*3+c] * bpv[c]
+				}
+			}
+			for _, e1 := range ents {
+				cv1 := e1.cv
+				b1 := e1.blk
+				// rhs -= Hcp * y
+				for a := 0; a < 6; a++ {
+					for c := 0; c < 3; c++ {
+						rhs[cv1*6+a] -= b1[a*3+c] * y[c]
+					}
+				}
+				// W = Hcp * Hpp^-1 (6x3)
+				var wblk [18]float64
+				for a := 0; a < 6; a++ {
+					for c := 0; c < 3; c++ {
+						for k := 0; k < 3; k++ {
+							wblk[a*3+c] += b1[a*3+k] * inv[k*3+c]
+						}
+					}
+				}
+				for _, e2 := range ents {
+					cv2 := e2.cv
+					b2 := e2.blk
+					// S[cv1, cv2] -= W * Hcp2^T
+					for a := 0; a < 6; a++ {
+						for c := 0; c < 6; c++ {
+							var acc float64
+							for k := 0; k < 3; k++ {
+								acc += wblk[a*3+k] * b2[c*3+k]
+							}
+							s[(cv1*6+a)*(nv*6)+cv2*6+c] -= acc
+						}
+					}
+				}
+			}
+		}
+		// Solve the reduced camera system.
+		delta := make([]float64, len(rhs))
+		copy(delta, rhs)
+		sC := make([]float64, len(s))
+		copy(sC, s)
+		camOK := nv > 0 && geom.CholeskySolve(sC, delta, nv*6) == nil
+		// Back-substitute points: dp = Hpp^-1 (bp - Hcp^T dc).
+		newCams := make([]geom.SE3, nc)
+		copy(newCams, p.Cams)
+		if camOK {
+			for i := 0; i < nc; i++ {
+				if camVar[i] < 0 {
+					continue
+				}
+				var d [6]float64
+				copy(d[:], delta[camVar[i]*6:camVar[i]*6+6])
+				newCams[i] = applySE3Delta(p.Cams[i], d)
+			}
+		}
+		newPts := make([]geom.Vec3, np)
+		copy(newPts, p.Points)
+		for pt, ents := range byPoint {
+			bpv := [3]float64{bp[pt].X, bp[pt].Y, bp[pt].Z}
+			if camOK {
+				for _, e := range ents {
+					cv := e.cv
+					b := e.blk
+					for c := 0; c < 3; c++ {
+						for a := 0; a < 6; a++ {
+							bpv[c] -= b[a*3+c] * delta[cv*6+a]
+						}
+					}
+				}
+			}
+			inv := hppInv[pt]
+			var dp [3]float64
+			for a := 0; a < 3; a++ {
+				for c := 0; c < 3; c++ {
+					dp[a] += inv[a*3+c] * bpv[c]
+				}
+			}
+			newPts[pt] = p.Points[pt].Add(geom.Vec3{X: dp[0], Y: dp[1], Z: dp[2]})
+		}
+		// Accept or reject the step (LM).
+		oldCams, oldPts := p.Cams, p.Points
+		p.Cams, p.Points = newCams, newPts
+		newChi := p.chi2(res.Outliers)
+		if newChi < cur {
+			cur = newChi
+			lambda = math.Max(lambda*0.5, 1e-9)
+			if (res.InitChi2 - newChi) < 1e-9*res.InitChi2 {
+				break
+			}
+		} else {
+			p.Cams, p.Points = oldCams, oldPts
+			lambda *= 4
+			if lambda > 1e6 {
+				break
+			}
+		}
+	}
+	// Final outlier classification.
+	for i, ob := range p.Obs {
+		pc := p.Cams[ob.Cam].Apply(p.Points[ob.Pt])
+		if pc.Z < 0.05 {
+			res.Outliers[i] = true
+			continue
+		}
+		px := p.Intr.ProjectUnchecked(pc)
+		s := ob.Sigma
+		if s <= 0 {
+			s = 1
+		}
+		res.Outliers[i] = px.Sub(ob.UV).NormSq()/(s*s) > Chi2Inlier95
+	}
+	res.FinalChi2 = p.chi2(res.Outliers)
+	return res
+}
+
+// invert3 inverts a 3x3 matrix stored row-major.
+func invert3(m [9]float64) ([9]float64, bool) {
+	det := m[0]*(m[4]*m[8]-m[5]*m[7]) - m[1]*(m[3]*m[8]-m[5]*m[6]) + m[2]*(m[3]*m[7]-m[4]*m[6])
+	if math.Abs(det) < 1e-18 {
+		return [9]float64{}, false
+	}
+	inv := 1 / det
+	return [9]float64{
+		(m[4]*m[8] - m[5]*m[7]) * inv,
+		(m[2]*m[7] - m[1]*m[8]) * inv,
+		(m[1]*m[5] - m[2]*m[4]) * inv,
+		(m[5]*m[6] - m[3]*m[8]) * inv,
+		(m[0]*m[8] - m[2]*m[6]) * inv,
+		(m[2]*m[3] - m[0]*m[5]) * inv,
+		(m[3]*m[7] - m[4]*m[6]) * inv,
+		(m[1]*m[6] - m[0]*m[7]) * inv,
+		(m[0]*m[4] - m[1]*m[3]) * inv,
+	}, true
+}
+
+// Triangulate computes the world point minimizing reprojection from
+// two views by the midpoint of the closest approach of the two rays.
+// Returns false when the rays are near-parallel (insufficient
+// parallax).
+func Triangulate(in camera.Intrinsics, tcw1, tcw2 geom.SE3, uv1, uv2 geom.Vec2) (geom.Vec3, bool) {
+	// Camera centers and ray directions in world frame.
+	twc1 := tcw1.Inverse()
+	twc2 := tcw2.Inverse()
+	o1 := twc1.T
+	o2 := twc2.T
+	d1 := twc1.R.Rotate(in.Ray(uv1))
+	d2 := twc2.R.Rotate(in.Ray(uv2))
+	// Solve for s, t minimizing |o1 + s d1 - o2 - t d2|^2.
+	w0 := o1.Sub(o2)
+	a := d1.Dot(d1)
+	b := d1.Dot(d2)
+	c := d2.Dot(d2)
+	d := d1.Dot(w0)
+	e := d2.Dot(w0)
+	den := a*c - b*b
+	if den < 1e-9 { // near-parallel rays: no parallax
+		return geom.Vec3{}, false
+	}
+	s := (b*e - c*d) / den
+	t := (a*e - b*d) / den
+	if s <= 0.05 || t <= 0.05 { // behind either camera
+		return geom.Vec3{}, false
+	}
+	p1 := o1.Add(d1.Scale(s))
+	p2 := o2.Add(d2.Scale(t))
+	return p1.Add(p2).Scale(0.5), true
+}

@@ -1,0 +1,169 @@
+package optimize
+
+import (
+	"math"
+
+	"slamshare/internal/geom"
+)
+
+// PoseEdge is a relative-pose constraint between two graph nodes: the
+// measured transform Z such that ideally Z = Pose_i^-1 ∘ Pose_j
+// (poses are body/camera-to-world).
+type PoseEdge struct {
+	I, J int
+	Z    geom.SE3
+	// Weight scales the edge residual (covisibility strength).
+	Weight float64
+}
+
+// PoseGraph is an essential-graph optimization problem as ORB-SLAM3
+// runs after loop closures and map merges: node poses connected by
+// relative-pose measurements, with some nodes held fixed (the already-
+// corrected seam and the old map side).
+type PoseGraph struct {
+	Poses []geom.SE3 // body-to-world
+	Fixed []bool
+	Edges []PoseEdge
+}
+
+// residual computes the 6-vector residual of an edge: the log map of
+// the discrepancy between the measured and current relative poses.
+func (g *PoseGraph) residual(e PoseEdge) [6]float64 {
+	rel := g.Poses[e.I].Inverse().Compose(g.Poses[e.J])
+	d := e.Z.Inverse().Compose(rel)
+	rot := d.R.RotVec()
+	w := e.Weight
+	if w <= 0 {
+		w = 1
+	}
+	s := math.Sqrt(w)
+	return [6]float64{
+		s * d.T.X, s * d.T.Y, s * d.T.Z,
+		s * rot.X, s * rot.Y, s * rot.Z,
+	}
+}
+
+// Chi2 returns the total squared residual.
+func (g *PoseGraph) Chi2() float64 {
+	var sum float64
+	for _, e := range g.Edges {
+		r := g.residual(e)
+		for _, v := range r {
+			sum += v * v
+		}
+	}
+	return sum
+}
+
+// Optimize runs Gauss-Newton with numeric Jacobians for at most
+// maxIters iterations and returns the final chi-square. Node poses are
+// updated in place. Graphs here are small (tens of keyframes), so the
+// dense solve is cheap.
+func (g *PoseGraph) Optimize(maxIters int) float64 {
+	// Variable slots for free nodes.
+	idx := make([]int, len(g.Poses))
+	nv := 0
+	for i := range g.Poses {
+		if i < len(g.Fixed) && g.Fixed[i] {
+			idx[i] = -1
+		} else {
+			idx[i] = nv
+			nv++
+		}
+	}
+	if nv == 0 || len(g.Edges) == 0 {
+		return g.Chi2()
+	}
+	const eps = 1e-6
+	dim := nv * 6
+	for iter := 0; iter < maxIters; iter++ {
+		h := make([]float64, dim*dim)
+		b := make([]float64, dim)
+		for _, e := range g.Edges {
+			r0 := g.residual(e)
+			// Numeric Jacobian wrt both endpoint nodes (6 params each:
+			// translation then rotation perturbations on the left).
+			var jac [2][6][6]float64
+			nodes := [2]int{e.I, e.J}
+			for ni, node := range nodes {
+				if idx[node] < 0 {
+					continue
+				}
+				orig := g.Poses[node]
+				for p := 0; p < 6; p++ {
+					var d [6]float64
+					d[p] = eps
+					g.Poses[node] = applyBodyDelta(orig, d)
+					r1 := g.residual(e)
+					for k := 0; k < 6; k++ {
+						jac[ni][k][p] = (r1[k] - r0[k]) / eps
+					}
+					g.Poses[node] = orig
+				}
+			}
+			// Accumulate the normal equations.
+			for ni, node := range nodes {
+				vi := idx[node]
+				if vi < 0 {
+					continue
+				}
+				for mj, nodeJ := range nodes {
+					vj := idx[nodeJ]
+					if vj < 0 {
+						continue
+					}
+					for a := 0; a < 6; a++ {
+						for c := 0; c < 6; c++ {
+							var acc float64
+							for k := 0; k < 6; k++ {
+								acc += jac[ni][k][a] * jac[mj][k][c]
+							}
+							h[(vi*6+a)*dim+vj*6+c] += acc
+						}
+					}
+				}
+				for a := 0; a < 6; a++ {
+					var acc float64
+					for k := 0; k < 6; k++ {
+						acc += jac[ni][k][a] * r0[k]
+					}
+					b[vi*6+a] -= acc
+				}
+			}
+		}
+		for i := 0; i < dim; i++ {
+			h[i*dim+i] += 1e-8
+		}
+		if err := geom.CholeskySolve(h, b, dim); err != nil {
+			break
+		}
+		step := 0.0
+		for i := range g.Poses {
+			vi := idx[i]
+			if vi < 0 {
+				continue
+			}
+			var d [6]float64
+			copy(d[:], b[vi*6:vi*6+6])
+			g.Poses[i] = applyBodyDelta(g.Poses[i], d)
+			for _, v := range d {
+				step += v * v
+			}
+		}
+		if step < 1e-16 {
+			break
+		}
+	}
+	return g.Chi2()
+}
+
+// applyBodyDelta perturbs a body-to-world pose on the right (in the
+// body frame): translation then rotation.
+func applyBodyDelta(p geom.SE3, d [6]float64) geom.SE3 {
+	dt := geom.Vec3{X: d[0], Y: d[1], Z: d[2]}
+	dr := geom.QuatFromRotVec(geom.Vec3{X: d[3], Y: d[4], Z: d[5]})
+	return geom.SE3{
+		R: p.R.Mul(dr).Normalized(),
+		T: p.T.Add(p.R.Rotate(dt)),
+	}
+}

@@ -1,0 +1,133 @@
+package optimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"slamshare/internal/geom"
+)
+
+// chainGraph builds a chain of n poses along +X with exact relative
+// measurements, then perturbs the free nodes.
+func chainGraph(n int, rng *rand.Rand, perturb float64) (*PoseGraph, []geom.SE3) {
+	truth := make([]geom.SE3, n)
+	for i := range truth {
+		truth[i] = geom.SE3{
+			R: geom.QuatFromAxisAngle(geom.Vec3{Z: 1}, 0.1*float64(i)),
+			T: geom.Vec3{X: float64(i)},
+		}
+	}
+	g := &PoseGraph{
+		Poses: make([]geom.SE3, n),
+		Fixed: make([]bool, n),
+	}
+	copy(g.Poses, truth)
+	g.Fixed[0] = true
+	// Consecutive edges plus a few skip edges.
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, PoseEdge{
+			I: i, J: i + 1,
+			Z: truth[i].Inverse().Compose(truth[i+1]),
+		})
+	}
+	for i := 0; i+2 < n; i += 2 {
+		g.Edges = append(g.Edges, PoseEdge{
+			I: i, J: i + 2,
+			Z:      truth[i].Inverse().Compose(truth[i+2]),
+			Weight: 2,
+		})
+	}
+	for i := 1; i < n; i++ {
+		g.Poses[i] = geom.SE3{
+			R: geom.QuatFromAxisAngle(geom.Vec3{
+				X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64(),
+			}, perturb).Mul(truth[i].R).Normalized(),
+			T: truth[i].T.Add(geom.Vec3{
+				X: rng.NormFloat64() * perturb * 5,
+				Y: rng.NormFloat64() * perturb * 5,
+				Z: rng.NormFloat64() * perturb * 5,
+			}),
+		}
+	}
+	return g, truth
+}
+
+func TestPoseGraphConvergesToTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, truth := chainGraph(8, rng, 0.04)
+	before := g.Chi2()
+	after := g.Optimize(15)
+	if after >= before {
+		t.Fatalf("chi2 did not decrease: %v -> %v", before, after)
+	}
+	for i, p := range g.Poses {
+		if d := p.T.Dist(truth[i].T); d > 0.01 {
+			t.Errorf("node %d translation error %v", i, d)
+		}
+		if a := p.R.AngleTo(truth[i].R); a > 0.01 {
+			t.Errorf("node %d rotation error %v", i, a)
+		}
+	}
+}
+
+func TestPoseGraphRespectsFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, truth := chainGraph(6, rng, 0.03)
+	g.Fixed[5] = true
+	g.Poses[5] = truth[5] // both ends anchored
+	orig0, orig5 := g.Poses[0], g.Poses[5]
+	g.Optimize(10)
+	if g.Poses[0] != orig0 || g.Poses[5] != orig5 {
+		t.Error("fixed nodes moved")
+	}
+}
+
+func TestPoseGraphPropagatesCorrection(t *testing.T) {
+	// The merge use case: a chain whose head is snapped to a corrected
+	// pose (fixed); the correction must propagate down the free tail.
+	n := 6
+	truth := make([]geom.SE3, n)
+	for i := range truth {
+		truth[i] = geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: float64(i)}}
+	}
+	g := &PoseGraph{Poses: make([]geom.SE3, n), Fixed: make([]bool, n)}
+	// All nodes displaced by a constant offset except node 0, which the
+	// seam adjustment corrected.
+	off := geom.Vec3{Y: 0.5}
+	for i := range truth {
+		g.Poses[i] = geom.SE3{R: truth[i].R, T: truth[i].T.Add(off)}
+	}
+	g.Poses[0] = truth[0]
+	g.Fixed[0] = true
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, PoseEdge{I: i, J: i + 1, Z: truth[i].Inverse().Compose(truth[i+1])})
+	}
+	g.Optimize(15)
+	for i, p := range g.Poses {
+		if d := p.T.Dist(truth[i].T); d > 1e-4 {
+			t.Errorf("node %d not corrected: err %v", i, d)
+		}
+	}
+}
+
+func TestPoseGraphDegenerate(t *testing.T) {
+	g := &PoseGraph{}
+	if got := g.Optimize(5); got != 0 {
+		t.Errorf("empty graph chi2 = %v", got)
+	}
+	// All fixed: nothing to do.
+	g2 := &PoseGraph{
+		Poses: []geom.SE3{geom.IdentitySE3(), geom.IdentitySE3()},
+		Fixed: []bool{true, true},
+		Edges: []PoseEdge{{I: 0, J: 1, Z: geom.IdentitySE3()}},
+	}
+	g2.Optimize(5)
+}
+
+func TestApplyBodyDeltaZero(t *testing.T) {
+	p := geom.SE3{R: geom.QuatFromAxisAngle(geom.Vec3{X: 1}, 0.4), T: geom.Vec3{X: 1, Y: 2, Z: 3}}
+	q := applyBodyDelta(p, [6]float64{})
+	if q.T.Dist(p.T) > 1e-12 || q.R.AngleTo(p.R) > 1e-12 {
+		t.Error("zero delta changed pose")
+	}
+}

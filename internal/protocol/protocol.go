@@ -1,0 +1,252 @@
+// Package protocol frames the client-server messages of both systems:
+// SLAM-Share's uplink video frames with IMU deltas and downlink poses
+// (§4.1 steps 2 and 4), and the baseline's serialized map exchanges.
+// Messages are length-prefixed with a one-byte type over any net.Conn.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"slamshare/internal/geom"
+	"slamshare/internal/imu"
+)
+
+// Message types.
+const (
+	// TypeHello introduces a client (payload: clientID uint32).
+	TypeHello = byte(iota + 1)
+	// TypeFrame carries an encoded video frame plus the IMU delta
+	// since the previous frame.
+	TypeFrame
+	// TypePose carries a server-computed pose for a frame index.
+	TypePose
+	// TypeMapUpload carries a serialized client map (baseline).
+	TypeMapUpload
+	// TypeMapPortion carries a serialized global-map subset (baseline).
+	TypeMapPortion
+	// TypeBye closes the session.
+	TypeBye
+)
+
+// MaxMessageSize bounds a single message (64 MiB fits any map the
+// experiments produce).
+const MaxMessageSize = 64 << 20
+
+// ErrTooLarge is returned for messages beyond MaxMessageSize.
+var ErrTooLarge = errors.New("protocol: message too large")
+
+// WriteMessage frames one message onto w.
+func WriteMessage(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	var hdr [5]byte
+	hdr[0] = msgType
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxMessageSize {
+		return 0, nil, ErrTooLarge
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// FrameMsg is the per-frame uplink payload.
+type FrameMsg struct {
+	ClientID uint32
+	FrameIdx uint32
+	Stamp    float64
+	// Delta is the preintegrated IMU motion since the previous frame.
+	Delta imu.FrameDelta
+	// Video is the encoded left frame; VideoRight the right eye (may
+	// be empty for monocular clients).
+	Video      []byte
+	VideoRight []byte
+	// Prior optionally carries the client's body-to-world pose
+	// estimate; the first frame of a session uses it to anchor the
+	// server-side map in the client's local frame.
+	Prior    geom.SE3
+	HasPrior bool
+}
+
+// Encode serializes the frame message.
+func (m *FrameMsg) Encode() []byte {
+	buf := make([]byte, 0, 16+len(m.Video)+len(m.VideoRight)+100)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	f64 := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+	u32(m.ClientID)
+	u32(m.FrameIdx)
+	f64(m.Stamp)
+	f64(m.Delta.RotDelta.W)
+	f64(m.Delta.RotDelta.X)
+	f64(m.Delta.RotDelta.Y)
+	f64(m.Delta.RotDelta.Z)
+	f64(m.Delta.PosDelta.X)
+	f64(m.Delta.PosDelta.Y)
+	f64(m.Delta.PosDelta.Z)
+	f64(m.Delta.VelDelta.X)
+	f64(m.Delta.VelDelta.Y)
+	f64(m.Delta.VelDelta.Z)
+	f64(m.Delta.DT)
+	u32(uint32(len(m.Video)))
+	buf = append(buf, m.Video...)
+	u32(uint32(len(m.VideoRight)))
+	buf = append(buf, m.VideoRight...)
+	if m.HasPrior {
+		buf = append(buf, 1)
+		f64(m.Prior.R.W)
+		f64(m.Prior.R.X)
+		f64(m.Prior.R.Y)
+		f64(m.Prior.R.Z)
+		f64(m.Prior.T.X)
+		f64(m.Prior.T.Y)
+		f64(m.Prior.T.Z)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// DecodeFrameMsg reverses FrameMsg.Encode.
+func DecodeFrameMsg(data []byte) (*FrameMsg, error) {
+	r := &byteReader{buf: data}
+	m := &FrameMsg{}
+	m.ClientID = r.u32()
+	m.FrameIdx = r.u32()
+	m.Stamp = r.f64()
+	m.Delta.RotDelta.W = r.f64()
+	m.Delta.RotDelta.X = r.f64()
+	m.Delta.RotDelta.Y = r.f64()
+	m.Delta.RotDelta.Z = r.f64()
+	m.Delta.PosDelta.X = r.f64()
+	m.Delta.PosDelta.Y = r.f64()
+	m.Delta.PosDelta.Z = r.f64()
+	m.Delta.VelDelta.X = r.f64()
+	m.Delta.VelDelta.Y = r.f64()
+	m.Delta.VelDelta.Z = r.f64()
+	m.Delta.DT = r.f64()
+	m.Video = r.bytes()
+	m.VideoRight = r.bytes()
+	if flag := r.u8(); flag == 1 {
+		m.HasPrior = true
+		m.Prior.R.W = r.f64()
+		m.Prior.R.X = r.f64()
+		m.Prior.R.Y = r.f64()
+		m.Prior.R.Z = r.f64()
+		m.Prior.T.X = r.f64()
+		m.Prior.T.Y = r.f64()
+		m.Prior.T.Z = r.f64()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// PoseMsg is the downlink pose answer: the paper's "small 4x4 matrix".
+type PoseMsg struct {
+	FrameIdx uint32
+	Pose     geom.SE3 // world-to-camera
+	Tracked  bool     // false when the server lost tracking that frame
+}
+
+// Encode serializes the pose message.
+func (m *PoseMsg) Encode() []byte {
+	buf := make([]byte, 0, 4+16*8+1)
+	buf = binary.LittleEndian.AppendUint32(buf, m.FrameIdx)
+	mat := m.Pose.Mat4()
+	for _, v := range mat {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	if m.Tracked {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// DecodePoseMsg reverses PoseMsg.Encode.
+func DecodePoseMsg(data []byte) (*PoseMsg, error) {
+	if len(data) != 4+16*8+1 {
+		return nil, fmt.Errorf("protocol: bad pose message length %d", len(data))
+	}
+	m := &PoseMsg{}
+	m.FrameIdx = binary.LittleEndian.Uint32(data)
+	var mat geom.Mat4
+	for i := range mat {
+		mat[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[4+8*i:]))
+	}
+	m.Pose = geom.SE3FromMat4(mat)
+	m.Tracked = data[4+16*8] == 1
+	return m, nil
+}
+
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.err = errors.New("protocol: short message")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) f64() float64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = errors.New("protocol: short message")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.err = errors.New("protocol: short message")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *byteReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = errors.New("protocol: short message")
+		}
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}

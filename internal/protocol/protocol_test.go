@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"slamshare/internal/geom"
+	"slamshare/internal/imu"
+)
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("frame data here")
+	if err := WriteMessage(&buf, TypeFrame, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&buf, TypePose, nil); err != nil {
+		t.Fatal(err)
+	}
+	mt, got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != TypeFrame || !bytes.Equal(got, payload) {
+		t.Errorf("first message wrong: %d %q", mt, got)
+	}
+	mt, got, err = ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != TypePose || len(got) != 0 {
+		t.Errorf("second message wrong: %d %q", mt, got)
+	}
+	if _, _, err := ReadMessage(&buf); err == nil {
+		t.Error("read from empty stream should fail")
+	}
+}
+
+func TestMessageTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, TypeFrame, make([]byte, MaxMessageSize+1)); err != ErrTooLarge {
+		t.Errorf("oversized write: %v", err)
+	}
+	// Forged oversized header must be rejected on read.
+	buf.Write([]byte{TypeFrame, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadMessage(&buf); err != ErrTooLarge {
+		t.Errorf("oversized read: %v", err)
+	}
+}
+
+func TestFrameMsgRoundTrip(t *testing.T) {
+	m := &FrameMsg{
+		ClientID: 7,
+		FrameIdx: 1234,
+		Stamp:    41.125,
+		Delta: imu.FrameDelta{
+			RotDelta: geom.QuatFromAxisAngle(geom.Vec3{Z: 1}, 0.01),
+			PosDelta: geom.Vec3{X: 0.03, Y: -0.001, Z: 0.002},
+			VelDelta: geom.Vec3{X: 0.9},
+			DT:       1.0 / 30,
+		},
+		Video:      []byte{1, 2, 3, 4, 5},
+		VideoRight: []byte{9, 8},
+	}
+	got, err := DecodeFrameMsg(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClientID != 7 || got.FrameIdx != 1234 || got.Stamp != 41.125 {
+		t.Errorf("header fields wrong: %+v", got)
+	}
+	if got.Delta.RotDelta.AngleTo(m.Delta.RotDelta) > 1e-12 {
+		t.Error("rotation delta corrupted")
+	}
+	if got.Delta.PosDelta != m.Delta.PosDelta || got.Delta.DT != m.Delta.DT {
+		t.Error("IMU delta corrupted")
+	}
+	if !bytes.Equal(got.Video, m.Video) || !bytes.Equal(got.VideoRight, m.VideoRight) {
+		t.Error("video payload corrupted")
+	}
+}
+
+func TestFrameMsgMonoEmptyRight(t *testing.T) {
+	m := &FrameMsg{Video: []byte{1}, Delta: imu.FrameDelta{RotDelta: geom.IdentityQuat()}}
+	got, err := DecodeFrameMsg(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VideoRight) != 0 {
+		t.Error("mono frame grew a right eye")
+	}
+}
+
+func TestFrameMsgCorrupt(t *testing.T) {
+	m := &FrameMsg{Video: []byte{1, 2, 3}}
+	data := m.Encode()
+	if _, err := DecodeFrameMsg(data[:10]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, err := DecodeFrameMsg(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+}
+
+func TestPoseMsgRoundTrip(t *testing.T) {
+	m := &PoseMsg{
+		FrameIdx: 99,
+		Pose: geom.SE3{
+			R: geom.QuatFromAxisAngle(geom.Vec3{X: 1, Y: -1, Z: 0.5}, 1.1),
+			T: geom.Vec3{X: 2, Y: 3, Z: -1},
+		},
+		Tracked: true,
+	}
+	got, err := DecodePoseMsg(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrameIdx != 99 || !got.Tracked {
+		t.Errorf("fields wrong: %+v", got)
+	}
+	if got.Pose.T.Dist(m.Pose.T) > 1e-9 || got.Pose.R.AngleTo(m.Pose.R) > 1e-9 {
+		t.Error("pose corrupted")
+	}
+	if _, err := DecodePoseMsg([]byte{1, 2}); err == nil {
+		t.Error("short pose accepted")
+	}
+}
+
+func TestFramingOverSocket(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	m := &FrameMsg{ClientID: 1, Video: bytes.Repeat([]byte{0xAB}, 10000),
+		Delta: imu.FrameDelta{RotDelta: geom.IdentityQuat()}}
+	go func() {
+		WriteMessage(a, TypeFrame, m.Encode())
+	}()
+	mt, payload, err := ReadMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != TypeFrame {
+		t.Fatalf("type = %d", mt)
+	}
+	got, err := DecodeFrameMsg(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Video) != 10000 {
+		t.Errorf("video length %d", len(got.Video))
+	}
+}

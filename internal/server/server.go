@@ -1,0 +1,466 @@
+// Package server implements the SLAM-Share edge server (Fig. 3): an
+// orchestrator that allocates the shared-memory region holding the
+// global map, per-client SLAM processes (tracking + local mapping)
+// that attach to it, a GPU shared across clients GSlice-style, and the
+// merge process M that folds each client's map into the global map.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/camera"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/gpu"
+	"slamshare/internal/img"
+	"slamshare/internal/imu"
+	"slamshare/internal/mapping"
+	"slamshare/internal/merge"
+	"slamshare/internal/metrics"
+	"slamshare/internal/protocol"
+	"slamshare/internal/shm"
+	"slamshare/internal/smap"
+	"slamshare/internal/tracking"
+	"slamshare/internal/video"
+	"slamshare/internal/wire"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// RegionName is the shared-memory segment name; empty picks a
+	// unique name.
+	RegionName string
+	// RegionCapacity is the shared-memory budget (default 2 GiB, as in
+	// §4.3.2).
+	RegionCapacity int64
+	// GPU is the accelerator shared by all client processes; nil runs
+	// every stage on the CPU (the ORB-SLAM3 baseline configuration of
+	// Figs. 5/8).
+	GPU *gpu.Device
+	// LanesPerClient is each client process's GSlice share.
+	LanesPerClient int
+	// MergeAfterKFs triggers the first merge attempt once a client's
+	// local map holds this many keyframes.
+	MergeAfterKFs int
+	// Vocabulary for BoW indexing; nil uses bow.Default().
+	Vocabulary *bow.Vocabulary
+	// TrackCfg, MapCfg, MergeCfg tune the pipeline.
+	TrackCfg tracking.Config
+	MapCfg   mapping.Config
+	MergeCfg merge.Config
+}
+
+// DefaultConfig returns the experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		RegionCapacity: 2 << 30,
+		LanesPerClient: 8,
+		MergeAfterKFs:  8,
+		TrackCfg:       tracking.DefaultConfig(),
+		MapCfg:         mapping.DefaultConfig(),
+		MergeCfg:       merge.DefaultConfig(),
+	}
+}
+
+var regionSeq struct {
+	sync.Mutex
+	n int
+}
+
+// Server is the SLAM-Share edge server.
+type Server struct {
+	cfg    Config
+	voc    *bow.Vocabulary
+	region *shm.Region
+	global *smap.Map
+	gmu    *sync.RWMutex // the named shareable mutex guarding the global map
+
+	mu       sync.Mutex
+	sessions map[uint32]*Session
+	merges   []merge.Report
+}
+
+// New creates the server: it allocates the shared-memory region,
+// places an empty global map in it, and publishes it for client
+// processes to attach.
+func New(cfg Config) (*Server, error) {
+	if cfg.RegionCapacity == 0 {
+		cfg.RegionCapacity = 2 << 30
+	}
+	if cfg.MergeAfterKFs == 0 {
+		cfg.MergeAfterKFs = 8
+	}
+	if cfg.LanesPerClient == 0 {
+		cfg.LanesPerClient = 8
+	}
+	voc := cfg.Vocabulary
+	if voc == nil {
+		voc = bow.Default()
+	}
+	name := cfg.RegionName
+	if name == "" {
+		regionSeq.Lock()
+		regionSeq.n++
+		name = fmt.Sprintf("slamshare-%d-%d", time.Now().UnixNano(), regionSeq.n)
+		regionSeq.Unlock()
+	}
+	region, err := shm.Create(name, cfg.RegionCapacity)
+	if err != nil {
+		return nil, err
+	}
+	global := smap.NewMap(voc)
+	region.Publish("globalmap", global)
+	return &Server{
+		cfg:      cfg,
+		voc:      voc,
+		region:   region,
+		global:   global,
+		gmu:      region.NamedMutex("globalmap"),
+		sessions: make(map[uint32]*Session),
+	}, nil
+}
+
+// Close releases the shared-memory region name.
+func (s *Server) Close() {
+	shm.Unlink(s.region.Name())
+}
+
+// Global returns the shared global map.
+func (s *Server) Global() *smap.Map { return s.global }
+
+// Region returns the shared-memory region (for capacity accounting).
+func (s *Server) Region() *shm.Region { return s.region }
+
+// MergeReports returns the merge timing breakdowns recorded so far
+// (the SLAM-Share column of Table 4).
+func (s *Server) MergeReports() []merge.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]merge.Report, len(s.merges))
+	copy(out, s.merges)
+	return out
+}
+
+// Session is one client's server-side process (Process A/B in Fig. 3):
+// it attaches the shared region, decodes the client's video, tracks
+// with the GPU slice, maps locally, and hands its map to the merge
+// process.
+type Session struct {
+	ID  uint32
+	srv *Server
+	rig camera.Rig
+
+	tracker  *tracking.Tracker
+	mapper   *mapping.Mapper
+	localMap *smap.Map
+	merged   bool
+
+	decL, decR *video.Decoder
+	mm         *imu.MotionModel
+	mmReady    bool
+	prevTwc    geom.SE3
+	prevStamp  float64
+	havePrev   bool
+	// mergeBackoff raises the keyframe threshold after failed merge
+	// attempts so the session does not retry every frame.
+	mergeBackoff int
+
+	trackLat metrics.Latencies
+	stages   tracking.Stages
+	frames   int
+	kfBytes  int64 // shared-memory accounting of this client's inserts
+
+	// Traj records the server-side pose estimates (camera centers).
+	Traj metrics.Trajectory
+}
+
+// OpenSession registers a client process. Each session attaches the
+// shared-memory region and gets its own GPU slice.
+func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) {
+	if _, err := shm.Attach(s.region.Name()); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[clientID]; ok {
+		return nil, fmt.Errorf("server: client %d already connected", clientID)
+	}
+	alloc := smap.NewIDAllocator(int(clientID))
+	localMap := smap.NewMap(s.voc)
+	ex := feature.NewExtractor(feature.DefaultConfig())
+	var searchPar feature.Parallelizer
+	if s.cfg.GPU != nil {
+		slice := s.cfg.GPU.NewSlice(s.cfg.LanesPerClient)
+		ex.Par = slice
+		searchPar = slice
+	}
+	tr := tracking.New(localMap, rig, ex, alloc, int(clientID), s.cfg.TrackCfg)
+	tr.SearchPar = searchPar
+	sess := &Session{
+		ID:       clientID,
+		srv:      s,
+		rig:      rig,
+		tracker:  tr,
+		mapper:   mapping.New(localMap, rig, alloc, int(clientID), s.cfg.MapCfg),
+		localMap: localMap,
+		decL:     video.NewDecoder(),
+		decR:     video.NewDecoder(),
+	}
+	s.sessions[clientID] = sess
+	return sess, nil
+}
+
+// CloseSession removes a client process.
+func (s *Server) CloseSession(clientID uint32) {
+	s.mu.Lock()
+	delete(s.sessions, clientID)
+	s.mu.Unlock()
+}
+
+// Result reports one processed frame.
+type Result struct {
+	Pose    geom.SE3 // world-to-camera
+	Tracked bool
+	Merged  bool // true if this frame triggered a successful map merge
+	Timing  tracking.Stages
+	Inliers int
+}
+
+// HandleFrame processes one uplink frame message end to end: video
+// decode, IMU-prior tracking, local mapping, and (once the local map
+// is large enough) the merge into the global map.
+func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
+	var res Result
+	left, err := sess.decL.Decode(msg.Video)
+	if err != nil {
+		return res, fmt.Errorf("server: left video: %w", err)
+	}
+	var rightImg *img.Gray
+	if len(msg.VideoRight) > 0 {
+		rightImg, err = sess.decR.Decode(msg.VideoRight)
+		if err != nil {
+			return res, fmt.Errorf("server: right video: %w", err)
+		}
+	}
+
+	// IMU-assisted prior: advance the server-side motion model by the
+	// client's preintegrated delta (§4.2.2). The first frame's prior
+	// (if the client sent one) anchors the map in the client's frame.
+	var prior *geom.SE3
+	if sess.mmReady {
+		bodyToWorld := sess.mm.ApproxPoseUpdateMM(msg.Delta)
+		p := bodyToWorld.Inverse()
+		prior = &p
+	} else if msg.HasPrior {
+		p := msg.Prior.Inverse()
+		prior = &p
+	}
+
+	t0 := time.Now()
+	tr := sess.tracker.ProcessFrame(left, rightImg, msg.Stamp, prior)
+	sess.trackLat.Add(time.Since(t0))
+	sess.stages.Add(tr.Timing)
+	sess.frames++
+
+	res.Pose = tr.Pose
+	res.Tracked = tr.State == tracking.OK
+	res.Timing = tr.Timing
+	res.Inliers = tr.Inliers
+
+	if res.Tracked {
+		twc := tr.Pose.Inverse()
+		if !sess.mmReady {
+			sess.mm = imu.NewMotionModel(twc, geom.Vec3{})
+			sess.mmReady = true
+		} else {
+			sess.mm.RecvSLAMPose(twc, sess.mm.Len()-1)
+			// Correct the motion model's velocity from consecutive SLAM
+			// fixes; the anchor velocity was unknown and IMU deltas only
+			// carry velocity increments.
+			if sess.havePrev && msg.Stamp > sess.prevStamp {
+				v := twc.T.Sub(sess.prevTwc.T).Scale(1 / (msg.Stamp - sess.prevStamp))
+				sess.mm.SetVelocity(v)
+			}
+		}
+		sess.prevTwc = twc
+		sess.prevStamp = msg.Stamp
+		sess.havePrev = true
+		sess.Traj.Append(msg.Stamp, twc.T)
+	}
+
+	if tr.NewKF != nil {
+		sess.mapper.ProcessKeyFrame(tr.NewKF)
+		// Account the keyframe's footprint against the 2 GiB region.
+		sz := int64(len(tr.NewKF.Keypoints))*80 + 4096
+		if _, err := sess.srv.region.Alloc(sz); err == nil {
+			sess.kfBytes += sz
+		}
+	}
+
+	// Merge process M: once the local map has substance, fold it into
+	// the shared global map and rebind this process to it.
+	if !sess.merged && sess.localMap.NKeyFrames() >= sess.srv.cfg.MergeAfterKFs+sess.mergeBackoff {
+		if sess.tryMerge() {
+			res.Merged = true
+		}
+	}
+	return res, nil
+}
+
+// tryMerge runs the merge under the named global-map mutex. On
+// success the session's tracker and mapper operate directly on the
+// global map afterwards; on failure (no overlap yet) the session keeps
+// its local map and retries when it has grown.
+func (sess *Session) tryMerge() bool {
+	s := sess.srv
+	s.gmu.Lock()
+	merger := merge.New(s.global, sess.rig.Intr, s.cfg.MergeCfg)
+	rep, err := merger.Merge(sess.localMap)
+	if err == nil && rep.Alignment != nil {
+		// Transform this session's live tracking state into global
+		// coordinates along with its map: the tracker's last frame and
+		// velocity, the motion model, and the previous-pose anchor the
+		// velocity correction uses (otherwise the first post-merge
+		// velocity estimate would span the coordinate-frame jump).
+		tf := rep.Alignment.Transform
+		sess.tracker.ApplyTransform(tf)
+		if sess.mmReady {
+			last := sess.tracker.LastFrame()
+			sess.mm.RecvSLAMPose(last.Tcw.Inverse(), sess.mm.Len()-1)
+		}
+		if sess.havePrev {
+			sess.prevTwc = geom.SE3{
+				R: tf.R.Mul(sess.prevTwc.R).Normalized(),
+				T: tf.Apply(sess.prevTwc.T),
+			}
+		}
+	}
+	s.gmu.Unlock()
+	if err != nil {
+		// No overlap yet: retry after the local map has grown by a few
+		// more keyframes.
+		sess.srv.mu.Lock()
+		sess.srv.cfgRetry(sess)
+		sess.srv.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	s.merges = append(s.merges, rep)
+	s.mu.Unlock()
+	sess.merged = true
+	sess.tracker.Map = s.global
+	sess.mapper.Map = s.global
+	return true
+}
+
+// cfgRetry postpones the next merge attempt (simple backoff by
+// requiring more keyframes). Caller holds s.mu.
+func (s *Server) cfgRetry(sess *Session) {
+	// Each failed attempt raises this session's threshold.
+	sess.mergeBackoff += 3
+}
+
+// Stats summarizes a session.
+type Stats struct {
+	Frames     int
+	AvgStages  tracking.Stages
+	TrackStats metrics.LatencyStats
+	Merged     bool
+}
+
+// Stats returns the session's aggregate statistics.
+func (sess *Session) Stats() Stats {
+	return Stats{
+		Frames:     sess.frames,
+		AvgStages:  sess.stages.Scale(sess.frames),
+		TrackStats: sess.trackLat.Stats(),
+		Merged:     sess.merged,
+	}
+}
+
+// GlobalMapSize returns the serialized size of the global map in
+// bytes (Table 1 instrumentation).
+func (s *Server) GlobalMapSize() int {
+	s.gmu.RLock()
+	defer s.gmu.RUnlock()
+	return wire.MapSize(s.global)
+}
+
+// Serve accepts client connections on l and runs a session per
+// connection until the listener closes. Each connection speaks the
+// protocol package's framing.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var sess *Session
+	defer func() {
+		if sess != nil {
+			s.CloseSession(sess.ID)
+		}
+	}()
+	for {
+		mt, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch mt {
+		case protocol.TypeHello:
+			if len(payload) < 5 {
+				return
+			}
+			clientID := uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24
+			mode := camera.Mode(payload[4])
+			intr := camera.EuRoCIntrinsics()
+			var rig camera.Rig
+			if mode == camera.Stereo {
+				rig = camera.NewStereoRig(intr, 0.11)
+			} else {
+				rig = camera.NewMonoRig(intr)
+			}
+			sess, err = s.OpenSession(clientID, rig)
+			if err != nil {
+				return
+			}
+		case protocol.TypeFrame:
+			if sess == nil {
+				return
+			}
+			msg, err := protocol.DecodeFrameMsg(payload)
+			if err != nil {
+				return
+			}
+			res, err := sess.HandleFrame(msg)
+			if err != nil {
+				return
+			}
+			pm := protocol.PoseMsg{FrameIdx: msg.FrameIdx, Pose: res.Pose, Tracked: res.Tracked}
+			if err := protocol.WriteMessage(conn, protocol.TypePose, pm.Encode()); err != nil {
+				return
+			}
+		case protocol.TypeBye:
+			return
+		}
+	}
+}
+
+// LocalMap returns the session's pre-merge local map (after a merge it
+// still holds the same keyframes, which then also live in the global
+// map).
+func (sess *Session) LocalMap() *smap.Map { return sess.localMap }
+
+// Merged reports whether this session's map has been folded into the
+// global map.
+func (sess *Session) Merged() bool { return sess.merged }

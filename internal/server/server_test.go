@@ -1,0 +1,236 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/metrics"
+	"slamshare/internal/netem"
+)
+
+// lockstep drives a client against its server session synchronously
+// (frame-accurate virtual time) for n frames with the given stride,
+// applying poses with an artificial lag of lagFrames frames.
+func lockstep(t *testing.T, sess *Session, c *client.Client, n, stride, lagFrames int) []Result {
+	t.Helper()
+	type pending struct {
+		idx int
+		res Result
+		due int
+	}
+	var queue []pending
+	var results []Result
+	step := 0
+	for i := 0; i < n; i += stride {
+		msg := c.BuildFrame(i)
+		res, err := sess.HandleFrame(msg)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		results = append(results, res)
+		queue = append(queue, pending{idx: i, res: res, due: step + lagFrames})
+		for len(queue) > 0 && queue[0].due <= step {
+			p := queue[0]
+			queue = queue[1:]
+			c.ApplyPose(p.idx, p.res.Pose, p.res.Tracked)
+		}
+		step++
+	}
+	for _, p := range queue {
+		c.ApplyPose(p.idx, p.res.Pose, p.res.Tracked)
+	}
+	return results
+}
+
+func truthTrajectory(seq *dataset.Sequence, n, stride int) metrics.Trajectory {
+	var tr metrics.Trajectory
+	for i := 0; i < n; i += stride {
+		tr.Append(seq.FrameTime(i), seq.GroundTruth(i).T)
+	}
+	return tr
+}
+
+func TestSingleClientEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system test")
+	}
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	seq := dataset.MH04(camera.Stereo)
+	sess, err := srv.OpenSession(1, seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(1, seq)
+	const n = 120
+	results := lockstep(t, sess, cl, n, 1, 2)
+	tracked := 0
+	for _, r := range results {
+		if r.Tracked {
+			tracked++
+		}
+	}
+	if tracked < n*8/10 {
+		t.Fatalf("only %d/%d frames tracked", tracked, n)
+	}
+	// The client's experienced trajectory must match ground truth.
+	ate := metrics.ATE(cl.Trajectory(), truthTrajectory(seq, n, 1))
+	t.Logf("single client end-to-end ATE: %.3f m (uplink %.2f KB/frame)",
+		ate, float64(cl.UplinkBytes())/float64(cl.FramesSent())/1024)
+	if ate > 0.15 {
+		t.Errorf("client ATE %.3f m too high", ate)
+	}
+	// The merge into the empty global map must have happened (founding
+	// insert).
+	if srv.Global().NKeyFrames() == 0 {
+		t.Error("global map empty after run")
+	}
+	st := sess.Stats()
+	if st.Frames != n || st.AvgStages.Total <= 0 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestTwoClientsMergeIntoGlobalMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system test")
+	}
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	seqA := dataset.MH04(camera.Stereo)
+	seqB := dataset.MH05(camera.Stereo)
+	sessA, err := srv.OpenSession(1, seqA.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB, err := srv.OpenSession(2, seqB.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clA := client.New(1, seqA)
+	clB := client.New(2, seqB)
+
+	const n = 150
+	// Interleave the two clients frame by frame, as the server would
+	// see them arrive, returning each pose to its client.
+	for i := 0; i < n; i++ {
+		resA, err := sessA.HandleFrame(clA.BuildFrame(i))
+		if err != nil {
+			t.Fatalf("A frame %d: %v", i, err)
+		}
+		clA.ApplyPose(i, resA.Pose, resA.Tracked)
+		resB, err := sessB.HandleFrame(clB.BuildFrame(i))
+		if err != nil {
+			t.Fatalf("B frame %d: %v", i, err)
+		}
+		clB.ApplyPose(i, resB.Pose, resB.Tracked)
+	}
+	if !sessA.Stats().Merged {
+		t.Error("client A never merged")
+	}
+	if !sessB.Stats().Merged {
+		t.Error("client B never merged into the shared map")
+	}
+	reports := srv.MergeReports()
+	if len(reports) < 2 {
+		t.Fatalf("merge reports = %d", len(reports))
+	}
+	// First report is the founding insert; the second is a real merge
+	// with alignment.
+	real := reports[1]
+	if real.Alignment == nil {
+		t.Fatal("second merge has no alignment")
+	}
+	t.Logf("merge: detect %v, insert %v, fuse %v (%d pts), BA %v, total %v",
+		real.Detect, real.Insert, real.Fuse, real.FusedPts, real.BA, real.Total)
+	// The paper's headline: merges complete within ~200 ms.
+	if real.Total.Seconds() > 2.0 {
+		t.Errorf("merge took %v", real.Total)
+	}
+	// Both clients' keyframes must coexist in the global map.
+	global := srv.Global()
+	clients := map[int]bool{}
+	for _, kf := range global.KeyFrames() {
+		clients[kf.Client] = true
+	}
+	if !clients[1] || !clients[2] {
+		t.Errorf("global map missing a client: %v", clients)
+	}
+	// Accuracy of both clients after merging.
+	ateA := metrics.ATE(clA.Trajectory(), truthTrajectory(seqA, n, 1))
+	ateB := metrics.ATE(clB.Trajectory(), truthTrajectory(seqB, n, 1))
+	t.Logf("post-merge ATE: A %.3f m, B %.3f m", ateA, ateB)
+	if ateA > 0.2 || ateB > 0.2 {
+		t.Errorf("post-merge ATE too high: %.3f / %.3f", ateA, ateB)
+	}
+	if srv.Region().Used() == 0 {
+		t.Error("shared-memory accounting shows no usage")
+	}
+}
+
+func TestServeOverTCPWithNetem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system test")
+	}
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := netem.Wrap(raw, netem.DelayOnly(5e6)) // 5 ms each way
+	defer conn.Close()
+
+	seq := dataset.MH04(camera.Stereo)
+	cl := client.New(7, seq)
+	frames := make([]int, 40)
+	for i := range frames {
+		frames[i] = i
+	}
+	if err := cl.RunTCP(conn, frames); err != nil {
+		t.Fatal(err)
+	}
+	ate := metrics.ATE(cl.Trajectory(), truthTrajectory(seq, 40, 1))
+	t.Logf("TCP end-to-end ATE over shaped link: %.3f m", ate)
+	if ate > 0.2 {
+		t.Errorf("ATE %.3f m over TCP", ate)
+	}
+}
+
+func TestOpenSessionDuplicate(t *testing.T) {
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rig := camera.NewMonoRig(camera.EuRoCIntrinsics())
+	if _, err := srv.OpenSession(1, rig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.OpenSession(1, rig); err == nil {
+		t.Error("duplicate session accepted")
+	}
+	srv.CloseSession(1)
+	if _, err := srv.OpenSession(1, rig); err != nil {
+		t.Errorf("reopen after close failed: %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package shm models the Boost.Interprocess shared-memory framework
+// the paper builds on (§4.3.2): named regions that multiple "processes"
+// (isolated goroutine domains, one per client) attach to, a
+// fixed-capacity arena allocator backing the 2 GB global-map budget,
+// named shareable (read/write) mutexes mediating access, and an object
+// directory through which the global map is published.
+//
+// Substitution note (DESIGN.md): what Table 4 measures is the contract
+// — zero serialization and zero copies on the SLAM-Share path versus
+// serialize → transfer → deserialize on the baseline — and the arena
+// + attach + named-mutex API enforces exactly that contract.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the region's
+// remaining capacity.
+var ErrOutOfMemory = errors.New("shm: region out of memory")
+
+// ErrNotFound is returned when attaching to a region or object that
+// does not exist.
+var ErrNotFound = errors.New("shm: not found")
+
+// registry emulates the OS namespace of named shared-memory segments.
+var registry = struct {
+	sync.Mutex
+	regions map[string]*Region
+}{regions: make(map[string]*Region)}
+
+// Region is a named shared-memory segment with a fixed capacity.
+type Region struct {
+	name string
+	cap  int64
+
+	mu      sync.Mutex
+	used    int64
+	objects map[string]any
+	mutexes map[string]*sync.RWMutex
+	frees   map[int64]int64 // offset -> size of freed blocks
+	next    int64
+	attach  int
+}
+
+// Create allocates a new named region of the given capacity in bytes
+// (the paper allocates 2 GB). Creating an existing name fails.
+func Create(name string, capacity int64) (*Region, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("shm: invalid capacity %d", capacity)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.regions[name]; ok {
+		return nil, fmt.Errorf("shm: region %q already exists", name)
+	}
+	r := &Region{
+		name:    name,
+		cap:     capacity,
+		objects: make(map[string]any),
+		mutexes: make(map[string]*sync.RWMutex),
+		frees:   make(map[int64]int64),
+	}
+	registry.regions[name] = r
+	return r, nil
+}
+
+// Attach opens an existing named region — the step each client process
+// performs at startup ("it searches and attaches the shared memory
+// buffer to its own virtual address space").
+func Attach(name string) (*Region, error) {
+	registry.Lock()
+	defer registry.Unlock()
+	r, ok := registry.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: region %q", ErrNotFound, name)
+	}
+	r.mu.Lock()
+	r.attach++
+	r.mu.Unlock()
+	return r, nil
+}
+
+// Unlink removes a named region from the namespace (existing handles
+// keep working, as with POSIX shm_unlink).
+func Unlink(name string) {
+	registry.Lock()
+	delete(registry.regions, name)
+	registry.Unlock()
+}
+
+// Name returns the region name.
+func (r *Region) Name() string { return r.name }
+
+// Capacity returns the region's fixed capacity in bytes.
+func (r *Region) Capacity() int64 { return r.cap }
+
+// Used returns the currently allocated bytes.
+func (r *Region) Used() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Attachments returns how many processes attached.
+func (r *Region) Attachments() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attach
+}
+
+// Alloc reserves n bytes in the region and returns its offset. It
+// fails with ErrOutOfMemory beyond capacity — the discipline the 2 GB
+// budget imposes on the global map.
+func (r *Region) Alloc(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("shm: invalid allocation %d", n)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.used+n > r.cap {
+		return 0, fmt.Errorf("%w: %d + %d > %d", ErrOutOfMemory, r.used, n, r.cap)
+	}
+	// First-fit over the free list, else bump.
+	for off, size := range r.frees {
+		if size >= n {
+			delete(r.frees, off)
+			if size > n {
+				r.frees[off+n] = size - n
+			}
+			r.used += n
+			return off, nil
+		}
+	}
+	off := r.next
+	r.next += n
+	r.used += n
+	return off, nil
+}
+
+// Free returns an allocation to the region.
+func (r *Region) Free(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.used -= n
+	if r.used < 0 {
+		r.used = 0
+	}
+	r.frees[off] = n
+}
+
+// NamedMutex returns the shareable mutex with the given name, creating
+// it on first use — the Boost named-upgradable-mutex analogue that
+// allows concurrent readers from multiple processes while serializing
+// writers (§4.3.2).
+func (r *Region) NamedMutex(name string) *sync.RWMutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.mutexes[name]
+	if !ok {
+		m = &sync.RWMutex{}
+		r.mutexes[name] = m
+	}
+	return m
+}
+
+// Publish stores an object in the region's directory under a name, so
+// other attached processes can find it (the global map pointer). The
+// object itself lives in the region conceptually; no copy is made.
+func (r *Region) Publish(name string, obj any) {
+	r.mu.Lock()
+	r.objects[name] = obj
+	r.mu.Unlock()
+}
+
+// Lookup finds a published object.
+func (r *Region) Lookup(name string) (any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	obj, ok := r.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %q", ErrNotFound, name)
+	}
+	return obj, nil
+}

@@ -1,0 +1,170 @@
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCreateAttachUnlink(t *testing.T) {
+	r, err := Create("t-basic", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Unlink("t-basic")
+	if r.Name() != "t-basic" || r.Capacity() != 1024 {
+		t.Error("metadata wrong")
+	}
+	if _, err := Create("t-basic", 1024); err == nil {
+		t.Error("duplicate create allowed")
+	}
+	a, err := Attach("t-basic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != r {
+		t.Error("attach returned a different region")
+	}
+	if r.Attachments() != 1 {
+		t.Errorf("attachments = %d", r.Attachments())
+	}
+	Unlink("t-basic")
+	if _, err := Attach("t-basic"); !errors.Is(err, ErrNotFound) {
+		t.Error("attach after unlink should fail")
+	}
+}
+
+func TestCreateInvalidCapacity(t *testing.T) {
+	if _, err := Create("t-bad", 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Create("t-bad", -5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	r, _ := Create("t-alloc", 100)
+	defer Unlink("t-alloc")
+	off1, err := r.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := r.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 == off2 {
+		t.Error("overlapping allocations")
+	}
+	if r.Used() != 80 {
+		t.Errorf("used = %d", r.Used())
+	}
+	if _, err := r.Alloc(30); !errors.Is(err, ErrOutOfMemory) {
+		t.Error("overcommit allowed")
+	}
+	r.Free(off1, 40)
+	if r.Used() != 40 {
+		t.Errorf("used after free = %d", r.Used())
+	}
+	// Freed space is reusable.
+	if _, err := r.Alloc(40); err != nil {
+		t.Errorf("reuse failed: %v", err)
+	}
+	if _, err := r.Alloc(0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+}
+
+func TestFreeListSplitting(t *testing.T) {
+	r, _ := Create("t-split", 100)
+	defer Unlink("t-split")
+	off, _ := r.Alloc(60)
+	r.Free(off, 60)
+	// Allocate a smaller block out of the freed one.
+	if _, err := r.Alloc(20); err != nil {
+		t.Fatal(err)
+	}
+	// The remainder must still be allocatable.
+	if _, err := r.Alloc(40); err != nil {
+		t.Fatalf("split remainder lost: %v", err)
+	}
+}
+
+func TestNamedMutexShared(t *testing.T) {
+	r, _ := Create("t-mutex", 1024)
+	defer Unlink("t-mutex")
+	m1 := r.NamedMutex("map")
+	m2 := r.NamedMutex("map")
+	if m1 != m2 {
+		t.Error("same name gave different mutexes")
+	}
+	if r.NamedMutex("other") == m1 {
+		t.Error("different names share a mutex")
+	}
+	// Concurrent readers must proceed while no writer holds it.
+	m1.RLock()
+	m2.RLock()
+	m1.RUnlock()
+	m2.RUnlock()
+}
+
+func TestPublishLookup(t *testing.T) {
+	r, _ := Create("t-pub", 1024)
+	defer Unlink("t-pub")
+	obj := &struct{ X int }{42}
+	r.Publish("globalmap", obj)
+	got, err := r.Lookup("globalmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != obj {
+		t.Error("lookup returned a copy, want the same pointer (zero-copy)")
+	}
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Error("missing object lookup should fail")
+	}
+}
+
+func TestConcurrentAllocators(t *testing.T) {
+	r, _ := Create("t-conc", 1<<20)
+	defer Unlink("t-conc")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				off, err := r.Alloc(64)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					r.Free(off, 64)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(8 * 50 * 64)
+	if r.Used() != want {
+		t.Errorf("used = %d, want %d", r.Used(), want)
+	}
+}
+
+func TestManyRegions(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("t-many-%d", i)
+		if _, err := Create(name, 128); err != nil {
+			t.Fatal(err)
+		}
+		defer Unlink(name)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := Attach(fmt.Sprintf("t-many-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,528 @@
+// Package smap implements the SLAM map data structures the paper
+// shares between client processes: keyframes, map points, the
+// covisibility graph, and the Map container itself. IDs are allocated
+// from per-client ranges so that multiple clients' keyframes and map
+// points never collide when their maps are inserted into the shared
+// global map — the index-renumbering problem §4.3.1 describes.
+package smap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+)
+
+// ID identifies a keyframe or map point globally (across clients).
+type ID = uint64
+
+// ClientIDBits is the number of low bits reserved for per-client
+// sequence numbers; the client index lives above them.
+const ClientIDBits = 40
+
+// IDAllocator hands out IDs from a client's private range.
+type IDAllocator struct {
+	mu   sync.Mutex
+	next ID
+}
+
+// NewIDAllocator returns an allocator for the given client index.
+// Client indices must be distinct; index 0 is conventionally the
+// global map itself.
+func NewIDAllocator(client int) *IDAllocator {
+	return &IDAllocator{next: ID(client)<<ClientIDBits + 1}
+}
+
+// Next returns a fresh ID.
+func (a *IDAllocator) Next() ID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := a.next
+	a.next++
+	return id
+}
+
+// ClientOf extracts the client index an ID was allocated by.
+func ClientOf(id ID) int { return int(id >> ClientIDBits) }
+
+// KeyFrame is a camera frame promoted into the map: its pose, its
+// extracted keypoints, its bag-of-words encoding, and its links to the
+// map points it observes.
+type KeyFrame struct {
+	ID        ID
+	Client    int     // client that produced it
+	Stamp     float64 // capture time, seconds
+	FrameIdx  int     // source frame index on the client
+	Tcw       geom.SE3
+	Keypoints []feature.Keypoint
+	Bow       bow.Vec
+	// MapPoints[i] is the map point observed by Keypoints[i], or 0.
+	MapPoints []ID
+	// Covisible keyframes and their shared-observation counts.
+	Conns map[ID]int
+}
+
+// Pose returns the world-to-camera transform.
+func (kf *KeyFrame) Pose() geom.SE3 { return kf.Tcw }
+
+// Center returns the camera center in world coordinates.
+func (kf *KeyFrame) Center() geom.Vec3 { return kf.Tcw.Inverse().T }
+
+// TrackedPoints returns the number of keypoints bound to map points.
+func (kf *KeyFrame) TrackedPoints() int {
+	n := 0
+	for _, id := range kf.MapPoints {
+		if id != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MapPoint is a triangulated 3D landmark with its representative
+// descriptor and the keyframes observing it.
+type MapPoint struct {
+	ID     ID
+	Client int
+	Pos    geom.Vec3
+	Desc   feature.Descriptor
+	Normal geom.Vec3 // mean viewing direction
+	// Obs maps observing keyframe -> keypoint index within it.
+	Obs map[ID]int
+	// RefKF is the keyframe the point was created from.
+	RefKF ID
+	// Visible/Found track projection statistics for culling.
+	Visible int
+	Found   int
+}
+
+// NObs returns the number of observing keyframes.
+func (mp *MapPoint) NObs() int { return len(mp.Obs) }
+
+// Map is a SLAM map: keyframes + map points + covisibility + a BoW
+// index for place recognition. It is safe for concurrent use; the
+// shared global map of the paper is one Map value living in a shared
+// memory region (internal/shm) accessed by all client processes.
+type Map struct {
+	mu        sync.RWMutex
+	keyframes map[ID]*KeyFrame
+	points    map[ID]*MapPoint
+	bowDB     *bow.Database
+	voc       *bow.Vocabulary
+	// order preserves keyframe insertion order for iteration and
+	// serialization determinism.
+	order []ID
+}
+
+// NewMap returns an empty map using the given vocabulary for its BoW
+// index.
+func NewMap(voc *bow.Vocabulary) *Map {
+	return &Map{
+		keyframes: make(map[ID]*KeyFrame),
+		points:    make(map[ID]*MapPoint),
+		bowDB:     bow.NewDatabase(),
+		voc:       voc,
+	}
+}
+
+// Vocabulary returns the vocabulary the map's BoW index uses.
+func (m *Map) Vocabulary() *bow.Vocabulary { return m.voc }
+
+// AddKeyFrame inserts a keyframe (computing its BoW vector if absent)
+// and indexes it for place recognition.
+func (m *Map) AddKeyFrame(kf *KeyFrame) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addKeyFrameLocked(kf)
+}
+
+func (m *Map) addKeyFrameLocked(kf *KeyFrame) {
+	if kf.Bow == nil && m.voc != nil {
+		descs := make([]feature.Descriptor, len(kf.Keypoints))
+		for i, k := range kf.Keypoints {
+			descs[i] = k.Desc
+		}
+		kf.Bow = m.voc.BowOf(descs)
+	}
+	if kf.Conns == nil {
+		kf.Conns = make(map[ID]int)
+	}
+	if len(kf.MapPoints) != len(kf.Keypoints) {
+		kf.MapPoints = make([]ID, len(kf.Keypoints))
+	}
+	if _, exists := m.keyframes[kf.ID]; !exists {
+		m.order = append(m.order, kf.ID)
+	}
+	m.keyframes[kf.ID] = kf
+	m.bowDB.Add(kf.ID, kf.Bow)
+}
+
+// AddMapPoint inserts a map point.
+func (m *Map) AddMapPoint(mp *MapPoint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addMapPointLocked(mp)
+}
+
+func (m *Map) addMapPointLocked(mp *MapPoint) {
+	if mp.Obs == nil {
+		mp.Obs = make(map[ID]int)
+	}
+	m.points[mp.ID] = mp
+}
+
+// KeyFrame returns the keyframe with the given id.
+func (m *Map) KeyFrame(id ID) (*KeyFrame, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	kf, ok := m.keyframes[id]
+	return kf, ok
+}
+
+// MapPoint returns the map point with the given id.
+func (m *Map) MapPoint(id ID) (*MapPoint, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	mp, ok := m.points[id]
+	return mp, ok
+}
+
+// NKeyFrames returns the number of keyframes.
+func (m *Map) NKeyFrames() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.keyframes)
+}
+
+// NMapPoints returns the number of map points.
+func (m *Map) NMapPoints() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.points)
+}
+
+// KeyFrames returns all keyframes in insertion order.
+func (m *Map) KeyFrames() []*KeyFrame {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*KeyFrame, 0, len(m.keyframes))
+	for _, id := range m.order {
+		if kf, ok := m.keyframes[id]; ok {
+			out = append(out, kf)
+		}
+	}
+	return out
+}
+
+// MapPoints returns all map points (unspecified order).
+func (m *Map) MapPoints() []*MapPoint {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*MapPoint, 0, len(m.points))
+	for _, mp := range m.points {
+		out = append(out, mp)
+	}
+	return out
+}
+
+// EraseKeyFrame removes a keyframe and its observation links.
+func (m *Map) EraseKeyFrame(id ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kf, ok := m.keyframes[id]
+	if !ok {
+		return
+	}
+	for _, mpID := range kf.MapPoints {
+		if mpID == 0 {
+			continue
+		}
+		if mp, ok := m.points[mpID]; ok {
+			delete(mp.Obs, id)
+		}
+	}
+	for other := range kf.Conns {
+		if o, ok := m.keyframes[other]; ok {
+			delete(o.Conns, id)
+		}
+	}
+	delete(m.keyframes, id)
+	m.bowDB.Remove(id)
+}
+
+// EraseMapPoint removes a map point and detaches it from its
+// observers.
+func (m *Map) EraseMapPoint(id ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mp, ok := m.points[id]
+	if !ok {
+		return
+	}
+	for kfID, idx := range mp.Obs {
+		if kf, ok := m.keyframes[kfID]; ok && idx < len(kf.MapPoints) && kf.MapPoints[idx] == id {
+			kf.MapPoints[idx] = 0
+		}
+	}
+	delete(m.points, id)
+}
+
+// AddObservation links keyframe kf's keypoint kpIdx to map point mp
+// and keeps both sides consistent.
+func (m *Map) AddObservation(kfID, mpID ID, kpIdx int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kf, ok := m.keyframes[kfID]
+	if !ok {
+		return fmt.Errorf("smap: unknown keyframe %d", kfID)
+	}
+	mp, ok := m.points[mpID]
+	if !ok {
+		return fmt.Errorf("smap: unknown map point %d", mpID)
+	}
+	if kpIdx < 0 || kpIdx >= len(kf.MapPoints) {
+		return fmt.Errorf("smap: keypoint index %d out of range", kpIdx)
+	}
+	kf.MapPoints[kpIdx] = mpID
+	mp.Obs[kfID] = kpIdx
+	return nil
+}
+
+// UpdateConnections recomputes keyframe kf's covisibility edges from
+// its current map point observations, mirroring ORB-SLAM. Edges with
+// fewer than minShared shared points are dropped (but the single best
+// neighbour is always kept).
+func (m *Map) UpdateConnections(kfID ID, minShared int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kf, ok := m.keyframes[kfID]
+	if !ok {
+		return
+	}
+	counts := make(map[ID]int)
+	for _, mpID := range kf.MapPoints {
+		if mpID == 0 {
+			continue
+		}
+		mp, ok := m.points[mpID]
+		if !ok {
+			continue
+		}
+		for other := range mp.Obs {
+			if other != kfID {
+				counts[other]++
+			}
+		}
+	}
+	// Drop old edges.
+	for other := range kf.Conns {
+		if o, ok := m.keyframes[other]; ok {
+			delete(o.Conns, kfID)
+		}
+	}
+	kf.Conns = make(map[ID]int)
+	bestID, bestN := ID(0), 0
+	for other, n := range counts {
+		if n > bestN {
+			bestID, bestN = other, n
+		}
+		if n >= minShared {
+			kf.Conns[other] = n
+			if o, ok := m.keyframes[other]; ok {
+				o.Conns[kfID] = n
+			}
+		}
+	}
+	if len(kf.Conns) == 0 && bestID != 0 {
+		kf.Conns[bestID] = bestN
+		if o, ok := m.keyframes[bestID]; ok {
+			o.Conns[kfID] = bestN
+		}
+	}
+}
+
+// Covisible returns up to n keyframes best connected to kf, most
+// shared observations first.
+func (m *Map) Covisible(kfID ID, n int) []*KeyFrame {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	kf, ok := m.keyframes[kfID]
+	if !ok {
+		return nil
+	}
+	type edge struct {
+		id ID
+		w  int
+	}
+	edges := make([]edge, 0, len(kf.Conns))
+	for id, w := range kf.Conns {
+		edges = append(edges, edge{id, w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		return edges[i].id < edges[j].id
+	})
+	if len(edges) > n {
+		edges = edges[:n]
+	}
+	out := make([]*KeyFrame, 0, len(edges))
+	for _, e := range edges {
+		if o, ok := m.keyframes[e.id]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// LocalPoints returns the map points observed by kf and its covisible
+// neighbours — the "local map" that tracking's search-local-points
+// matches each frame against.
+func (m *Map) LocalPoints(kfID ID, maxKFs int) []*MapPoint {
+	kfs := append(m.Covisible(kfID, maxKFs), nil)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if kf, ok := m.keyframes[kfID]; ok {
+		kfs[len(kfs)-1] = kf
+	} else {
+		kfs = kfs[:len(kfs)-1]
+	}
+	seen := make(map[ID]bool)
+	var out []*MapPoint
+	for _, kf := range kfs {
+		for _, mpID := range kf.MapPoints {
+			if mpID == 0 || seen[mpID] {
+				continue
+			}
+			seen[mpID] = true
+			if mp, ok := m.points[mpID]; ok {
+				out = append(out, mp)
+			}
+		}
+	}
+	return out
+}
+
+// QueryBow returns merge/loop candidates for the given BoW vector,
+// excluding keyframes for which exclude returns true.
+func (m *Map) QueryBow(bv bow.Vec, topN int, exclude func(ID) bool) []bow.Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bowDB.Query(bv, topN, exclude)
+}
+
+// ApplyTransform maps every keyframe pose and map point position
+// through the similarity transform — the "apply T to the client's
+// map" step of the merge algorithm. Keyframe world-to-camera poses
+// compose with the inverse: Tcw' = Tcw ∘ S⁻¹.
+func (m *Map) ApplyTransform(s geom.Sim3) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, kf := range m.keyframes {
+		// Camera center c' = S(c) and orientation Rwc' = S.R * Rwc:
+		// rebuild Tcw from the transformed camera-to-world pose.
+		twc := kf.Tcw.Inverse()
+		twc2 := geom.SE3{
+			R: s.R.Mul(twc.R).Normalized(),
+			T: s.Apply(twc.T),
+		}
+		kf.Tcw = twc2.Inverse()
+		// Stereo depths scale with the map.
+		for i := range kf.Keypoints {
+			if kf.Keypoints[i].Depth > 0 {
+				kf.Keypoints[i].Depth *= s.S
+			}
+		}
+	}
+	for _, mp := range m.points {
+		mp.Pos = s.Apply(mp.Pos)
+		mp.Normal = s.R.Rotate(mp.Normal)
+	}
+}
+
+// InsertAll moves every keyframe and map point of src into m without
+// copying the underlying data — the zero-copy shared-memory insert of
+// Alg. 2 lines 2–5 ("this only adds pointers to the global map
+// database"). src retains its contents; callers should stop using it
+// as an owner afterwards.
+func (m *Map) InsertAll(src *Map) {
+	srcKFs := src.KeyFrames()
+	srcMPs := src.MapPoints()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mp := range srcMPs {
+		m.addMapPointLocked(mp)
+	}
+	for _, kf := range srcKFs {
+		m.addKeyFrameLocked(kf)
+	}
+}
+
+// Renumber rewrites every keyframe and map point ID through the
+// allocator, preserving all cross-references — the explicit index
+// renumbering the paper performs when a client's locally numbered map
+// enters the global map.
+func (m *Map) Renumber(alloc *IDAllocator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kfMap := make(map[ID]ID, len(m.keyframes))
+	mpMap := make(map[ID]ID, len(m.points))
+	for _, id := range m.order {
+		if _, ok := m.keyframes[id]; ok {
+			kfMap[id] = alloc.Next()
+		}
+	}
+	for id := range m.points {
+		mpMap[id] = alloc.Next()
+	}
+	newKFs := make(map[ID]*KeyFrame, len(m.keyframes))
+	newOrder := make([]ID, 0, len(m.order))
+	for _, oldID := range m.order {
+		kf, ok := m.keyframes[oldID]
+		if !ok {
+			continue
+		}
+		kf.ID = kfMap[oldID]
+		for i, mpID := range kf.MapPoints {
+			if mpID != 0 {
+				kf.MapPoints[i] = mpMap[mpID]
+			}
+		}
+		conns := make(map[ID]int, len(kf.Conns))
+		for other, w := range kf.Conns {
+			if nid, ok := kfMap[other]; ok {
+				conns[nid] = w
+			}
+		}
+		kf.Conns = conns
+		newKFs[kf.ID] = kf
+		newOrder = append(newOrder, kf.ID)
+	}
+	newPts := make(map[ID]*MapPoint, len(m.points))
+	for oldID, mp := range m.points {
+		mp.ID = mpMap[oldID]
+		obs := make(map[ID]int, len(mp.Obs))
+		for kfID, idx := range mp.Obs {
+			if nid, ok := kfMap[kfID]; ok {
+				obs[nid] = idx
+			}
+		}
+		mp.Obs = obs
+		if nid, ok := kfMap[mp.RefKF]; ok {
+			mp.RefKF = nid
+		}
+		newPts[mp.ID] = mp
+	}
+	m.keyframes = newKFs
+	m.points = newPts
+	m.order = newOrder
+	// Rebuild the BoW index under the new IDs.
+	m.bowDB = bow.NewDatabase()
+	for _, kf := range newKFs {
+		m.bowDB.Add(kf.ID, kf.Bow)
+	}
+}

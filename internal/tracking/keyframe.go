@@ -1,0 +1,267 @@
+package tracking
+
+import (
+	"slamshare/internal/camera"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/optimize"
+	"slamshare/internal/smap"
+)
+
+// pending holds the first monocular frame while waiting for enough
+// baseline to triangulate an initial map.
+type pending struct {
+	valid bool
+	frame Frame
+}
+
+// initialize bootstraps the map from the first frame(s). Stereo rigs
+// initialize immediately from per-keypoint depth; monocular rigs defer
+// until a second frame with sufficient baseline arrives (using the
+// pose priors — IMU dead-reckoning on the client — for metric scale,
+// as ORB-SLAM3's visual-inertial mode does).
+func (t *Tracker) initialize(fr *Frame, prior *geom.SE3) bool {
+	pose := geom.IdentitySE3()
+	if prior != nil {
+		pose = *prior
+	}
+	fr.Tcw = pose
+	if t.Rig.Mode == camera.Stereo {
+		return t.initializeStereo(fr)
+	}
+	return t.initializeMono(fr)
+}
+
+func (t *Tracker) initializeStereo(fr *Frame) bool {
+	// Count usable depths first.
+	n := 0
+	for _, kp := range fr.Kps {
+		if kp.Depth > 0 {
+			n++
+		}
+	}
+	if n < 2*t.Cfg.MinInliers {
+		return false
+	}
+	kf := t.newKeyFrameFrom(fr)
+	t.Map.AddKeyFrame(kf)
+	twc := fr.Tcw.Inverse()
+	for i, kp := range fr.Kps {
+		if kp.Depth <= 0 {
+			continue
+		}
+		pw := twc.Apply(t.Rig.Intr.Backproject(kp.Pt(), kp.Depth))
+		mp := &smap.MapPoint{
+			ID:     t.Alloc.Next(),
+			Client: t.Client,
+			Pos:    pw,
+			Desc:   kp.Desc,
+			Normal: pw.Sub(twc.T).Normalized(),
+			RefKF:  kf.ID,
+		}
+		t.Map.AddMapPoint(mp)
+		_ = t.Map.AddObservation(kf.ID, mp.ID, i)
+		fr.MPs[i] = mp.ID
+	}
+	t.finishKeyFrame(kf, fr)
+	return true
+}
+
+func (t *Tracker) initializeMono(fr *Frame) bool {
+	if !t.init.valid {
+		t.init = pending{valid: true, frame: *fr}
+		return false
+	}
+	first := &t.init.frame
+	// Require a substantial baseline for parallax; the pose priors are
+	// metric (IMU), so waiting costs a few frames but buys well-
+	// conditioned initial depths.
+	baseline := fr.Tcw.Inverse().T.Dist(first.Tcw.Inverse().T)
+	if baseline < 1.0 {
+		return false
+	}
+	matches := feature.MatchBrute(first.Kps, fr.Kps, feature.MatchThresholdStrict, feature.RatioTest)
+	if len(matches) < 2*t.Cfg.MinInliers {
+		// Refresh the anchor frame if it has gone stale.
+		if fr.Idx-first.Idx > 30 {
+			t.init = pending{valid: true, frame: *fr}
+		}
+		return false
+	}
+	kf0 := t.newKeyFrameFrom(first)
+	kf1 := t.newKeyFrameFrom(fr)
+	t.Map.AddKeyFrame(kf0)
+	t.Map.AddKeyFrame(kf1)
+	created := 0
+	for _, m := range matches {
+		pw, ok := optimize.Triangulate(t.Rig.Intr, first.Tcw, fr.Tcw, first.Kps[m.A].Pt(), fr.Kps[m.B].Pt())
+		if !ok {
+			continue
+		}
+		// Verify reprojection in both views.
+		if !reprojectsWithin(t.Rig.Intr, first.Tcw, pw, first.Kps[m.A].Pt(), 2.5) ||
+			!reprojectsWithin(t.Rig.Intr, fr.Tcw, pw, fr.Kps[m.B].Pt(), 2.5) {
+			continue
+		}
+		mp := &smap.MapPoint{
+			ID:     t.Alloc.Next(),
+			Client: t.Client,
+			Pos:    pw,
+			Desc:   fr.Kps[m.B].Desc,
+			Normal: pw.Sub(fr.Tcw.Inverse().T).Normalized(),
+			RefKF:  kf1.ID,
+		}
+		t.Map.AddMapPoint(mp)
+		_ = t.Map.AddObservation(kf0.ID, mp.ID, m.A)
+		_ = t.Map.AddObservation(kf1.ID, mp.ID, m.B)
+		fr.MPs[m.B] = mp.ID
+		created++
+	}
+	if created < t.Cfg.MinInliers {
+		// Roll back: not enough structure.
+		t.Map.EraseKeyFrame(kf0.ID)
+		t.Map.EraseKeyFrame(kf1.ID)
+		for _, id := range fr.MPs {
+			if id != 0 {
+				t.Map.EraseMapPoint(id)
+			}
+		}
+		for i := range fr.MPs {
+			fr.MPs[i] = 0
+		}
+		t.init = pending{valid: true, frame: *fr}
+		return false
+	}
+	t.Map.UpdateConnections(kf0.ID, 15)
+	t.finishKeyFrame(kf1, fr)
+	t.init = pending{}
+	return true
+}
+
+func reprojectsWithin(in camera.Intrinsics, tcw geom.SE3, pw geom.Vec3, uv geom.Vec2, tol float64) bool {
+	px, ok := in.Project(tcw.Apply(pw))
+	return ok && px.Sub(uv).Norm() <= tol
+}
+
+// newKeyFrameFrom builds (but does not insert) a keyframe from a
+// tracked frame, sharing its keypoint and binding slices.
+func (t *Tracker) newKeyFrameFrom(fr *Frame) *smap.KeyFrame {
+	return &smap.KeyFrame{
+		ID:        t.Alloc.Next(),
+		Client:    t.Client,
+		Stamp:     fr.Stamp,
+		FrameIdx:  fr.Idx,
+		Tcw:       fr.Tcw,
+		Keypoints: fr.Kps,
+		MapPoints: fr.MPs,
+	}
+}
+
+// makeKeyFrame promotes the current frame to a keyframe: binds its
+// tracked map points, creates fresh map points from unmatched stereo
+// depths, and updates the covisibility graph.
+func (t *Tracker) makeKeyFrame(fr *Frame) *smap.KeyFrame {
+	kf := t.newKeyFrameFrom(fr)
+	t.Map.AddKeyFrame(kf)
+	// Register existing observations.
+	for i, mpID := range fr.MPs {
+		if mpID == 0 {
+			continue
+		}
+		if mp, ok := t.Map.MapPoint(mpID); ok {
+			_ = t.Map.AddObservation(kf.ID, mp.ID, i)
+			mp.Found++
+		}
+	}
+	// New stereo points from unmatched keypoints with depth.
+	if t.Rig.Mode == camera.Stereo {
+		twc := fr.Tcw.Inverse()
+		created := 0
+		for i, kp := range fr.Kps {
+			if fr.MPs[i] != 0 || kp.Depth <= 0 || created > 300 {
+				continue
+			}
+			pw := twc.Apply(t.Rig.Intr.Backproject(kp.Pt(), kp.Depth))
+			mp := &smap.MapPoint{
+				ID:     t.Alloc.Next(),
+				Client: t.Client,
+				Pos:    pw,
+				Desc:   kp.Desc,
+				Normal: pw.Sub(twc.T).Normalized(),
+				RefKF:  kf.ID,
+			}
+			t.Map.AddMapPoint(mp)
+			_ = t.Map.AddObservation(kf.ID, mp.ID, i)
+			fr.MPs[i] = mp.ID
+			created++
+		}
+	}
+	t.finishKeyFrame(kf, fr)
+	return kf
+}
+
+func (t *Tracker) finishKeyFrame(kf *smap.KeyFrame, fr *Frame) {
+	t.Map.UpdateConnections(kf.ID, 15)
+	t.refKF = kf.ID
+	t.lastKFIdx = fr.Idx
+	t.lastNewKF = kf
+}
+
+// grid buckets keypoints for windowed projection search.
+type grid struct {
+	cell int
+	cols int
+	rows int
+	bins [][]int
+}
+
+func newGrid(kps []feature.Keypoint, w, h int) *grid {
+	const cell = 32
+	g := &grid{
+		cell: cell,
+		cols: (w + cell - 1) / cell,
+		rows: (h + cell - 1) / cell,
+	}
+	g.bins = make([][]int, g.cols*g.rows)
+	for i, kp := range kps {
+		c := int(kp.X) / cell
+		r := int(kp.Y) / cell
+		if c < 0 || r < 0 || c >= g.cols || r >= g.rows {
+			continue
+		}
+		g.bins[r*g.cols+c] = append(g.bins[r*g.cols+c], i)
+	}
+	return g
+}
+
+// bestMatch returns the keypoint index within radius of px whose
+// descriptor is closest to desc (and below maxDist), or -1.
+func (g *grid) bestMatch(kps []feature.Keypoint, px geom.Vec2, radius float64, desc feature.Descriptor, maxDist int) int {
+	c0 := int((px.X - radius)) / g.cell
+	c1 := int((px.X + radius)) / g.cell
+	r0 := int((px.Y - radius)) / g.cell
+	r1 := int((px.Y + radius)) / g.cell
+	best, bestD := -1, maxDist+1
+	for r := r0; r <= r1; r++ {
+		if r < 0 || r >= g.rows {
+			continue
+		}
+		for c := c0; c <= c1; c++ {
+			if c < 0 || c >= g.cols {
+				continue
+			}
+			for _, i := range g.bins[r*g.cols+c] {
+				kp := &kps[i]
+				dx := kp.X - px.X
+				dy := kp.Y - px.Y
+				if dx*dx+dy*dy > radius*radius {
+					continue
+				}
+				if d := feature.Distance(desc, kp.Desc); d < bestD {
+					best, bestD = i, d
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package tracking
+
+import (
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/optimize"
+	"slamshare/internal/smap"
+)
+
+// relocalize attempts to recover a lost tracker by bag-of-words place
+// recognition: the frame is matched against candidate keyframes from
+// the map's BoW index, their map points are matched to the frame's
+// keypoints, and a pose is solved from the 2D-3D correspondences
+// seeded at the candidate's pose (ORB-SLAM3's relocalization, which
+// the paper inherits). Returns true and fills fr.Tcw / fr.MPs on
+// success.
+func (t *Tracker) relocalize(fr *Frame) bool {
+	voc := t.Map.Vocabulary()
+	if voc == nil || len(fr.Kps) == 0 {
+		return false
+	}
+	descs := make([]feature.Descriptor, len(fr.Kps))
+	for i, kp := range fr.Kps {
+		descs[i] = kp.Desc
+	}
+	bv := voc.BowOf(descs)
+	cands := t.Map.QueryBow(bv, 5, nil)
+	for _, cand := range cands {
+		kf, ok := t.Map.KeyFrame(cand.ID)
+		if !ok {
+			continue
+		}
+		if t.tryRelocAgainst(fr, kf) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryRelocAgainst matches the frame against one candidate keyframe's
+// map points and solves the pose.
+func (t *Tracker) tryRelocAgainst(fr *Frame, kf *smap.KeyFrame) bool {
+	// Gather the candidate's map points as descriptor carriers.
+	var mpKps []feature.Keypoint
+	var mpIDs []smap.ID
+	for _, mpID := range kf.MapPoints {
+		if mpID == 0 {
+			continue
+		}
+		mp, ok := t.Map.MapPoint(mpID)
+		if !ok {
+			continue
+		}
+		mpKps = append(mpKps, feature.Keypoint{Desc: mp.Desc})
+		mpIDs = append(mpIDs, mpID)
+	}
+	if len(mpKps) < t.Cfg.MinInliers {
+		return false
+	}
+	matches := feature.MatchBrute(fr.Kps, mpKps, feature.MatchThresholdLoose, 0.9)
+	if len(matches) < t.Cfg.MinInliers {
+		return false
+	}
+	var pts []geom.Vec3
+	var uvs []geom.Vec2
+	var kpIdx []int
+	var ids []smap.ID
+	for _, m := range matches {
+		mp, ok := t.Map.MapPoint(mpIDs[m.B])
+		if !ok {
+			continue
+		}
+		pts = append(pts, mp.Pos)
+		uvs = append(uvs, fr.Kps[m.A].Pt())
+		kpIdx = append(kpIdx, m.A)
+		ids = append(ids, mp.ID)
+	}
+	if len(pts) < t.Cfg.MinInliers {
+		return false
+	}
+	res := optimize.OptimizePose(t.Rig.Intr, kf.Tcw, pts, uvs, nil)
+	if res.NInliers < t.Cfg.MinInliers {
+		return false
+	}
+	fr.Tcw = res.Pose
+	for i := range fr.MPs {
+		fr.MPs[i] = 0
+	}
+	for k, inl := range res.Inliers {
+		if inl {
+			fr.MPs[kpIdx[k]] = ids[k]
+		}
+	}
+	// Re-anchor the reference keyframe at the relocalization site so
+	// search-local-points pulls the right neighbourhood.
+	t.refKF = kf.ID
+	return true
+}

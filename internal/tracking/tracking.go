@@ -1,0 +1,521 @@
+// Package tracking implements per-frame SLAM tracking, the pipeline
+// the paper offloads to the edge server and accelerates with a GPU:
+// ORB extraction, stereo matching, motion-model pose prediction with
+// pose-only optimization, and search-local-points — matching the
+// frame's features against the local map. Each stage is individually
+// timed so the latency breakdowns of Figs. 5 and 8 can be regenerated.
+package tracking
+
+import (
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/img"
+	"slamshare/internal/optimize"
+	"slamshare/internal/smap"
+)
+
+// State describes the tracker's condition.
+type State int
+
+const (
+	// NotInitialized means no map exists yet.
+	NotInitialized State = iota
+	// OK means the tracker is localized in the map.
+	OK
+	// Lost means the last frame could not be localized.
+	Lost
+)
+
+func (s State) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Lost:
+		return "lost"
+	default:
+		return "uninitialized"
+	}
+}
+
+// Stages is the per-frame latency breakdown reported by the tracker —
+// the rows of Fig. 5 and Fig. 8.
+type Stages struct {
+	Extract     time.Duration // ORB-Extraction
+	Match       time.Duration // ORB-Matching (stereo + initial data association)
+	PosePredict time.Duration // motion-model prediction + pose optimization
+	SearchLocal time.Duration // search-local-points + final optimization
+	Total       time.Duration
+}
+
+// Add accumulates another breakdown (for averaging).
+func (s *Stages) Add(o Stages) {
+	s.Extract += o.Extract
+	s.Match += o.Match
+	s.PosePredict += o.PosePredict
+	s.SearchLocal += o.SearchLocal
+	s.Total += o.Total
+}
+
+// Scale divides every stage by n (for averaging).
+func (s Stages) Scale(n int) Stages {
+	if n <= 0 {
+		return s
+	}
+	d := time.Duration(n)
+	return Stages{
+		Extract:     s.Extract / d,
+		Match:       s.Match / d,
+		PosePredict: s.PosePredict / d,
+		SearchLocal: s.SearchLocal / d,
+		Total:       s.Total / d,
+	}
+}
+
+// Frame is the tracker's record of a processed camera frame.
+type Frame struct {
+	Idx   int
+	Stamp float64
+	Tcw   geom.SE3
+	Kps   []feature.Keypoint
+	MPs   []smap.ID // map point bound to each keypoint (0 = none)
+}
+
+// Result reports the outcome of tracking one frame.
+type Result struct {
+	State   State
+	Pose    geom.SE3 // world-to-camera
+	Inliers int
+	NewKF   *smap.KeyFrame // non-nil when the frame became a keyframe
+	Timing  Stages
+}
+
+// Config tunes the tracker.
+type Config struct {
+	// MatchRadius is the projection search window in pixels for
+	// motion-model matching.
+	MatchRadius float64
+	// LocalRadius is the projection search window for local-map points.
+	LocalRadius float64
+	// MinInliers below which tracking is declared lost.
+	MinInliers int
+	// KFMinInterval / KFMaxInterval bound keyframe insertion (frames).
+	KFMinInterval int
+	KFMaxInterval int
+	// KFTrackedRatio: insert a keyframe when tracked points fall below
+	// this fraction of the reference keyframe's point count.
+	KFTrackedRatio float64
+	// MaxLocalKFs bounds the covisibility window of the local map.
+	MaxLocalKFs int
+}
+
+// DefaultConfig returns the tracking parameters used by the
+// experiments (mirroring ORB-SLAM3's defaults where applicable).
+func DefaultConfig() Config {
+	return Config{
+		MatchRadius:    12,
+		LocalRadius:    6,
+		MinInliers:     15,
+		KFMinInterval:  5,
+		KFMaxInterval:  30,
+		KFTrackedRatio: 0.7,
+		MaxLocalKFs:    10,
+	}
+}
+
+// Tracker localizes a stream of frames in a map. One Tracker serves
+// one client; the map may be shared with other trackers (the global
+// map in shared memory).
+type Tracker struct {
+	Map       *smap.Map
+	Rig       camera.Rig
+	Extractor *feature.Extractor
+	// SearchPar parallelizes the search-local-points loop (the paper's
+	// second GPU kernel). Nil means sequential.
+	SearchPar feature.Parallelizer
+	Alloc     *smap.IDAllocator
+	Client    int
+	Cfg       Config
+
+	state     State
+	last      Frame
+	velocity  geom.SE3 // frame-to-frame motion estimate Tcw_k * Tcw_{k-1}^-1
+	refKF     smap.ID
+	lastKFIdx int
+	frameIdx  int
+	init      pending
+	lastNewKF *smap.KeyFrame
+}
+
+// New returns a tracker for one client over the given (possibly
+// shared) map.
+func New(m *smap.Map, rig camera.Rig, ex *feature.Extractor, alloc *smap.IDAllocator, client int, cfg Config) *Tracker {
+	if cfg.MinInliers == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Tracker{
+		Map: m, Rig: rig, Extractor: ex, Alloc: alloc, Client: client, Cfg: cfg,
+		state:    NotInitialized,
+		velocity: geom.IdentitySE3(),
+	}
+}
+
+// State returns the tracker state.
+func (t *Tracker) State() State { return t.state }
+
+// LastFrame returns the most recent tracked frame.
+func (t *Tracker) LastFrame() Frame { return t.last }
+
+// RefKF returns the current reference keyframe id.
+func (t *Tracker) RefKF() smap.ID { return t.refKF }
+
+// ProcessFrame tracks one frame. right may be nil for monocular rigs.
+// posePrior, when non-nil, seeds the pose prediction (the IMU pose
+// from the client, or ground truth during map bootstrap); it is a
+// world-to-camera transform.
+func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *geom.SE3) Result {
+	t0 := time.Now()
+	// Sample every distinct device ledger once so Total can be
+	// converted to device-accurate time at the end.
+	devs := t.uniqueDevices()
+	w0, m0 := sumCounters(devs)
+	res := Result{State: t.state}
+	idx := t.frameIdx
+	t.frameIdx++
+
+	// Stage 1: ORB extraction.
+	ew0, em0 := counters(t.Extractor.Par)
+	kps := t.Extractor.Extract(left)
+	res.Timing.Extract = deviceTime(time.Since(t0), t.Extractor.Par, ew0, em0)
+
+	// Stage 2: matching (stereo correspondence).
+	tm := time.Now()
+	mw0, mm0 := counters(t.Extractor.Par)
+	if right != nil && t.Rig.Mode == camera.Stereo {
+		rkps := t.Extractor.Extract(right)
+		feature.StereoMatch(kps, rkps, t.Rig.Intr.Fx, t.Rig.Baseline, 2)
+	}
+	res.Timing.Match = deviceTime(time.Since(tm), t.Extractor.Par, mw0, mm0)
+
+	fr := Frame{Idx: idx, Stamp: stamp, Kps: kps, MPs: make([]smap.ID, len(kps))}
+
+	switch t.state {
+	case NotInitialized:
+		ok := t.initialize(&fr, posePrior)
+		if ok {
+			t.state = OK
+			res.State = OK
+			res.Pose = fr.Tcw
+			res.NewKF = t.lastNewKF
+			t.lastNewKF = nil
+			res.Inliers = countBound(fr.MPs)
+		}
+	default:
+		// Stage 3: pose prediction from the motion model / prior.
+		tp := time.Now()
+		if t.state == Lost {
+			// BoW relocalization: recover against the map before
+			// falling back to dead-reckoned prediction.
+			if t.relocalize(&fr) {
+				t.state = OK
+			}
+		}
+		pred := t.predictPose(posePrior)
+		if t.state == Lost || countBound(fr.MPs) == 0 {
+			fr.Tcw = pred
+		}
+		inl1 := t.trackLastFrame(&fr)
+		res.Timing.PosePredict = time.Since(tp)
+
+		// Stage 4: search local points + final optimization.
+		ts := time.Now()
+		sw0, sm0 := counters(t.SearchPar)
+		inl2 := t.searchLocalPoints(&fr)
+		res.Timing.SearchLocal = deviceTime(time.Since(ts), t.SearchPar, sw0, sm0)
+
+		inliers := inl2
+		if inliers == 0 {
+			inliers = inl1
+		}
+		res.Inliers = inliers
+		if inliers < t.Cfg.MinInliers {
+			t.state = Lost
+			res.State = Lost
+			// Keep the prediction so the client sees its best guess.
+			res.Pose = fr.Tcw
+			// Preserve the motion model; recovery happens on the next
+			// frames via the prior.
+			t.last = fr
+			res.Timing.Total = adjustTotal(time.Since(t0), devs, w0, m0)
+			return res
+		}
+		t.state = OK
+		res.State = OK
+		res.Pose = fr.Tcw
+		// Update motion model.
+		t.velocity = fr.Tcw.Compose(t.last.Tcw.Inverse())
+		// Keyframe decision.
+		if t.needKeyFrame(&fr, inliers) {
+			kf := t.makeKeyFrame(&fr)
+			res.NewKF = kf
+		}
+	}
+	t.last = fr
+	res.Timing.Total = adjustTotal(time.Since(t0), devs, w0, m0)
+	return res
+}
+
+// uniqueDevices returns the distinct modeled parallelizers the tracker
+// uses (extractor and search may share one GPU slice).
+func (t *Tracker) uniqueDevices() []feature.ModeledParallelizer {
+	var out []feature.ModeledParallelizer
+	add := func(p feature.Parallelizer) {
+		mp, ok := p.(feature.ModeledParallelizer)
+		if !ok {
+			return
+		}
+		for _, e := range out {
+			if e == mp {
+				return
+			}
+		}
+		out = append(out, mp)
+	}
+	if t.Extractor != nil {
+		add(t.Extractor.Par)
+	}
+	add(t.SearchPar)
+	return out
+}
+
+func sumCounters(devs []feature.ModeledParallelizer) (wall, modeled time.Duration) {
+	for _, d := range devs {
+		w, m := d.Counters()
+		wall += w
+		modeled += m
+	}
+	return wall, modeled
+}
+
+// adjustTotal converts a frame's wall time to device-accurate time by
+// replacing kernel wall time with the device's modeled time.
+func adjustTotal(wallTotal time.Duration, devs []feature.ModeledParallelizer, w0, m0 time.Duration) time.Duration {
+	if len(devs) == 0 {
+		return wallTotal
+	}
+	w1, m1 := sumCounters(devs)
+	adj := wallTotal - (w1 - w0) + (m1 - m0)
+	if adj < 0 {
+		return 0
+	}
+	return adj
+}
+
+// counters samples a parallelizer's time ledger when it has one.
+func counters(p feature.Parallelizer) (wall, modeled time.Duration) {
+	if mp, ok := p.(feature.ModeledParallelizer); ok {
+		return mp.Counters()
+	}
+	return 0, 0
+}
+
+// deviceTime converts a stage's host wall time into device-accurate
+// time: kernel wall time is replaced by the device's modeled time.
+// With a plain Parallelizer it returns the wall time unchanged.
+func deviceTime(wallStage time.Duration, p feature.Parallelizer, w0, m0 time.Duration) time.Duration {
+	mp, ok := p.(feature.ModeledParallelizer)
+	if !ok {
+		return wallStage
+	}
+	w1, m1 := mp.Counters()
+	adj := wallStage - (w1 - w0) + (m1 - m0)
+	if adj < 0 {
+		return 0
+	}
+	return adj
+}
+
+func countBound(mps []smap.ID) int {
+	n := 0
+	for _, id := range mps {
+		if id != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// predictPose returns the pose estimate before visual refinement.
+func (t *Tracker) predictPose(prior *geom.SE3) geom.SE3 {
+	if prior != nil {
+		return *prior
+	}
+	return t.velocity.Compose(t.last.Tcw)
+}
+
+// trackLastFrame matches the new frame's keypoints against the map
+// points bound in the previous frame by projecting them with the
+// predicted pose, then optimizes the pose on those matches.
+func (t *Tracker) trackLastFrame(fr *Frame) int {
+	grid := newGrid(fr.Kps, t.Rig.Intr.Width, t.Rig.Intr.Height)
+	var pts []geom.Vec3
+	var uvs []geom.Vec2
+	var kpIdx []int
+	for _, mpID := range t.last.MPs {
+		if mpID == 0 {
+			continue
+		}
+		mp, ok := t.Map.MapPoint(mpID)
+		if !ok {
+			continue
+		}
+		px, visible := t.Rig.WorldToPixel(fr.Tcw, mp.Pos)
+		if !visible {
+			continue
+		}
+		j := grid.bestMatch(fr.Kps, px, t.Cfg.MatchRadius, mp.Desc, feature.MatchThresholdLoose)
+		if j < 0 || fr.MPs[j] != 0 {
+			continue
+		}
+		fr.MPs[j] = mpID
+		pts = append(pts, mp.Pos)
+		uvs = append(uvs, fr.Kps[j].Pt())
+		kpIdx = append(kpIdx, j)
+	}
+	if len(pts) < 6 {
+		return len(pts)
+	}
+	opt := optimize.OptimizePose(t.Rig.Intr, fr.Tcw, pts, uvs, nil)
+	fr.Tcw = opt.Pose
+	// Unbind outliers.
+	for k, ok := range opt.Inliers {
+		if !ok {
+			fr.MPs[kpIdx[k]] = 0
+		}
+	}
+	return opt.NInliers
+}
+
+// searchLocalPoints projects the local map (covisibility window of the
+// reference keyframe) into the frame and matches unbound keypoints,
+// then runs the final pose optimization. The per-point loop runs
+// through SearchPar — this is the paper's second GPU kernel.
+func (t *Tracker) searchLocalPoints(fr *Frame) int {
+	local := t.Map.LocalPoints(t.refKF, t.Cfg.MaxLocalKFs)
+	if len(local) == 0 {
+		return countBound(fr.MPs)
+	}
+	grid := newGrid(fr.Kps, t.Rig.Intr.Width, t.Rig.Intr.Height)
+	bound := make(map[smap.ID]bool)
+	for _, id := range fr.MPs {
+		if id != 0 {
+			bound[id] = true
+		}
+	}
+	// Parallel match phase: each work item computes a candidate
+	// (kpIndex, distance) pair; conflict resolution is sequential.
+	type cand struct {
+		kp   int
+		dist int
+	}
+	cands := make([]cand, len(local))
+	par := t.SearchPar
+	if par == nil {
+		par = feature.SerialRunner{}
+	}
+	pose := fr.Tcw
+	par.Run(len(local), func(i int) {
+		cands[i] = cand{kp: -1}
+		mp := local[i]
+		if bound[mp.ID] {
+			return
+		}
+		px, visible := t.Rig.WorldToPixel(pose, mp.Pos)
+		if !visible {
+			return
+		}
+		j := grid.bestMatch(fr.Kps, px, t.Cfg.LocalRadius, mp.Desc, feature.MatchThresholdStrict)
+		if j >= 0 {
+			cands[i] = cand{kp: j, dist: feature.Distance(mp.Desc, fr.Kps[j].Desc)}
+		}
+	})
+	// Sequential conflict resolution: best distance wins a keypoint.
+	bestFor := make(map[int]int) // kp -> local index
+	for i, c := range cands {
+		if c.kp < 0 || fr.MPs[c.kp] != 0 {
+			continue
+		}
+		if prev, ok := bestFor[c.kp]; !ok || c.dist < cands[prev].dist {
+			bestFor[c.kp] = i
+		}
+	}
+	for kp, i := range bestFor {
+		fr.MPs[kp] = local[i].ID
+	}
+	// Final pose optimization over all bound points.
+	var pts []geom.Vec3
+	var uvs []geom.Vec2
+	var kpIdx []int
+	for j, mpID := range fr.MPs {
+		if mpID == 0 {
+			continue
+		}
+		mp, ok := t.Map.MapPoint(mpID)
+		if !ok {
+			fr.MPs[j] = 0
+			continue
+		}
+		pts = append(pts, mp.Pos)
+		uvs = append(uvs, fr.Kps[j].Pt())
+		kpIdx = append(kpIdx, j)
+	}
+	if len(pts) < 6 {
+		return len(pts)
+	}
+	opt := optimize.OptimizePose(t.Rig.Intr, fr.Tcw, pts, uvs, nil)
+	fr.Tcw = opt.Pose
+	for k, ok := range opt.Inliers {
+		if !ok {
+			fr.MPs[kpIdx[k]] = 0
+		}
+	}
+	return opt.NInliers
+}
+
+// needKeyFrame implements the keyframe decision policy.
+func (t *Tracker) needKeyFrame(fr *Frame, inliers int) bool {
+	since := fr.Idx - t.lastKFIdx
+	if since < t.Cfg.KFMinInterval {
+		return false
+	}
+	if since >= t.Cfg.KFMaxInterval {
+		return true
+	}
+	ref, ok := t.Map.KeyFrame(t.refKF)
+	if !ok {
+		return true
+	}
+	return float64(inliers) < t.Cfg.KFTrackedRatio*float64(ref.TrackedPoints())
+}
+
+// ApplyTransform moves the tracker's live state (last frame pose and
+// motion model) through a similarity transform — called when the map
+// this tracker operates in is merged into another map's coordinate
+// frame, so tracking continues seamlessly in the new frame.
+func (t *Tracker) ApplyTransform(s geom.Sim3) {
+	twc := t.last.Tcw.Inverse()
+	twc2 := geom.SE3{
+		R: s.R.Mul(twc.R).Normalized(),
+		T: s.Apply(twc.T),
+	}
+	t.last.Tcw = twc2.Inverse()
+	// The frame-to-frame velocity v = Tcw_k ∘ Tcw_{k-1}^-1 is invariant
+	// under a rigid world transform (Tcw' = Tcw ∘ S^-1 on both sides),
+	// so it needs no update; only its translation scales with the map
+	// for similarity transforms.
+	if s.S != 1 {
+		t.velocity.T = t.velocity.T.Scale(s.S)
+	}
+}

@@ -1,0 +1,142 @@
+package video
+
+import (
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/dataset"
+	"slamshare/internal/feature"
+	"slamshare/internal/img"
+)
+
+func TestImageRoundTripLossless(t *testing.T) {
+	seq := dataset.V202(camera.Mono)
+	f := seq.Frame(0)
+	data := EncodeImage(f)
+	got, err := DecodeImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.AbsDiff(f, got) != 0 {
+		t.Error("image codec is not lossless")
+	}
+	if len(data) >= len(f.Pix) {
+		t.Errorf("no compression: %d >= %d", len(data), len(f.Pix))
+	}
+}
+
+func TestVideoRoundTripBounded(t *testing.T) {
+	seq := dataset.V202(camera.Mono)
+	enc := NewEncoder()
+	dec := NewDecoder()
+	for i := 0; i < 10; i++ {
+		f := seq.Frame(i)
+		got, err := dec.Decode(enc.Encode(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deadzone quantization bounds per-pixel error by the deadzone.
+		var worst int
+		for j := range f.Pix {
+			d := int(f.Pix[j]) - int(got.Pix[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > enc.Deadzone {
+			t.Fatalf("frame %d: error %d exceeds deadzone %d", i, worst, enc.Deadzone)
+		}
+	}
+}
+
+func TestVideoBeatsImagesOnBandwidth(t *testing.T) {
+	// The substance of Table 3: the video stream must be far smaller
+	// than independent image transfers of the same frames.
+	seq := dataset.MH04(camera.Mono)
+	enc := NewEncoder()
+	var vid, im StreamStats
+	for i := 0; i < 30; i++ {
+		f := seq.Frame(i)
+		vid.Frames++
+		vid.TotalBytes += len(enc.Encode(f))
+		im.Frames++
+		im.TotalBytes += len(EncodeImage(f))
+	}
+	ratio := float64(im.TotalBytes) / float64(vid.TotalBytes)
+	t.Logf("image %.1f Mbit/s vs video %.1f Mbit/s (%.1fx)",
+		im.BitrateMbps(30), vid.BitrateMbps(30), ratio)
+	if ratio < 5 {
+		t.Errorf("video only %.1fx smaller than images", ratio)
+	}
+}
+
+func TestVideoPreservesTracking(t *testing.T) {
+	// The ATE row of Table 3: features extracted from decoded video
+	// must match those from the raw frames.
+	seq := dataset.V202(camera.Mono)
+	enc := NewEncoder()
+	dec := NewDecoder()
+	ex := feature.NewExtractor(feature.DefaultConfig())
+	f := seq.Frame(3)
+	raw := ex.Extract(f)
+	// Run a couple of frames through to land on an inter frame.
+	dec.Decode(enc.Encode(seq.Frame(0)))
+	dec.Decode(enc.Encode(seq.Frame(1)))
+	dec.Decode(enc.Encode(seq.Frame(2)))
+	decoded, err := dec.Decode(enc.Encode(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVideo := ex.Extract(decoded)
+	matches := feature.MatchBrute(raw, viaVideo, feature.MatchThresholdStrict, feature.RatioTest)
+	if len(raw) == 0 || len(matches) < len(raw)*6/10 {
+		t.Errorf("only %d/%d features survive the codec", len(matches), len(raw))
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	dec := NewDecoder()
+	if _, err := dec.Decode([]byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := dec.Decode([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Inter frame without a reference must fail.
+	enc := NewEncoder()
+	f := img.New(64, 64)
+	enc.Encode(f)          // intra, primes encoder
+	inter := enc.Encode(f) // inter
+	if inter[0] != frameInter {
+		t.Fatal("expected inter frame")
+	}
+	fresh := NewDecoder()
+	if _, err := fresh.Decode(inter); err == nil {
+		t.Error("inter without reference accepted")
+	}
+}
+
+func TestEncoderReintraAfterResize(t *testing.T) {
+	enc := NewEncoder()
+	a := img.New(64, 64)
+	b := img.New(32, 32)
+	enc.Encode(a)
+	data := enc.Encode(b) // size change must force an intra frame
+	if data[0] != frameIntra {
+		t.Error("resize did not force intra frame")
+	}
+}
+
+func TestStreamStats(t *testing.T) {
+	s := StreamStats{Frames: 30, TotalBytes: 30 * 4167}
+	// 4167 B/frame * 8 * 30 fps = ~1 Mbit/s.
+	if m := s.BitrateMbps(30); m < 0.9 || m > 1.1 {
+		t.Errorf("bitrate = %v", m)
+	}
+	if (StreamStats{}).BitrateMbps(30) != 0 {
+		t.Error("empty stream bitrate nonzero")
+	}
+}

@@ -1,0 +1,290 @@
+// Package wire implements binary serialization of SLAM maps, poses and
+// frames. It is the cost the baseline pays on every merge round
+// (serialize → transfer → deserialize, Table 4 rows 2/4/5) and what
+// SLAM-Share's shared-memory design eliminates; it also measures the
+// map sizes of Table 1.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/smap"
+)
+
+// ErrCorrupt is returned when decoding fails.
+var ErrCorrupt = errors.New("wire: corrupt map encoding")
+
+const mapMagic = 0x534C414D // "SLAM"
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+func (w *writer) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) f32(v float64) {
+	w.u32(math.Float32bits(float32(v)))
+}
+func (w *writer) pose(p geom.SE3) {
+	w.f64(p.R.W)
+	w.f64(p.R.X)
+	w.f64(p.R.Y)
+	w.f64(p.R.Z)
+	w.f64(p.T.X)
+	w.f64(p.T.Y)
+	w.f64(p.T.Z)
+}
+func (w *writer) vec3(v geom.Vec3) {
+	w.f64(v.X)
+	w.f64(v.Y)
+	w.f64(v.Z)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) f32() float64 { return float64(math.Float32frombits(r.u32())) }
+func (r *reader) pose() geom.SE3 {
+	var p geom.SE3
+	p.R.W = r.f64()
+	p.R.X = r.f64()
+	p.R.Y = r.f64()
+	p.R.Z = r.f64()
+	p.T.X = r.f64()
+	p.T.Y = r.f64()
+	p.T.Z = r.f64()
+	return p
+}
+func (r *reader) vec3() geom.Vec3 {
+	return geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()}
+}
+
+// EncodeMap serializes a map: keyframes (poses, keypoints with
+// descriptors, BoW vectors, bindings, covisibility) and map points
+// (positions, descriptors, observations) — everything the baseline
+// must ship to the server for merging.
+func EncodeMap(m *smap.Map) []byte {
+	w := &writer{buf: make([]byte, 0, 1<<20)}
+	w.u32(mapMagic)
+	kfs := m.KeyFrames()
+	mps := m.MapPoints()
+	w.u32(uint32(len(kfs)))
+	for _, kf := range kfs {
+		w.u64(kf.ID)
+		w.u32(uint32(kf.Client))
+		w.f64(kf.Stamp)
+		w.u32(uint32(kf.FrameIdx))
+		w.pose(kf.Tcw)
+		w.u32(uint32(len(kf.Keypoints)))
+		for i, kp := range kf.Keypoints {
+			w.f32(kp.X)
+			w.f32(kp.Y)
+			w.u32(uint32(kp.Level))
+			w.f32(kp.Angle)
+			w.f32(kp.Score)
+			w.f32(kp.Right)
+			w.f32(kp.Depth)
+			b := kp.Desc.Bytes()
+			w.buf = append(w.buf, b[:]...)
+			w.u64(kf.MapPoints[i])
+		}
+		w.u32(uint32(len(kf.Bow)))
+		for wid, val := range kf.Bow {
+			w.u32(uint32(wid))
+			w.f32(val)
+		}
+		w.u32(uint32(len(kf.Conns)))
+		for id, weight := range kf.Conns {
+			w.u64(id)
+			w.u32(uint32(weight))
+		}
+	}
+	w.u32(uint32(len(mps)))
+	for _, mp := range mps {
+		w.u64(mp.ID)
+		w.u32(uint32(mp.Client))
+		w.vec3(mp.Pos)
+		b := mp.Desc.Bytes()
+		w.buf = append(w.buf, b[:]...)
+		w.vec3(mp.Normal)
+		w.u64(mp.RefKF)
+		w.u32(uint32(len(mp.Obs)))
+		for kfID, kpI := range mp.Obs {
+			w.u64(kfID)
+			w.u32(uint32(kpI))
+		}
+	}
+	return w.buf
+}
+
+// DecodeMap reconstructs a map serialized by EncodeMap, using voc for
+// the new map's BoW index.
+func DecodeMap(data []byte, voc *bow.Vocabulary) (*smap.Map, error) {
+	r := &reader{buf: data}
+	if r.u32() != mapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	m := smap.NewMap(voc)
+	nkf := int(r.u32())
+	if r.err != nil || nkf < 0 || nkf > 1<<22 {
+		return nil, ErrCorrupt
+	}
+	type obsFix struct {
+		mp  *smap.MapPoint
+		kf  smap.ID
+		idx int
+	}
+	for k := 0; k < nkf; k++ {
+		kf := &smap.KeyFrame{}
+		kf.ID = r.u64()
+		kf.Client = int(r.u32())
+		kf.Stamp = r.f64()
+		kf.FrameIdx = int(r.u32())
+		kf.Tcw = r.pose()
+		nkp := int(r.u32())
+		if r.err != nil || nkp < 0 || nkp > 1<<20 {
+			return nil, ErrCorrupt
+		}
+		kf.Keypoints = make([]feature.Keypoint, nkp)
+		kf.MapPoints = make([]smap.ID, nkp)
+		for i := 0; i < nkp; i++ {
+			kp := &kf.Keypoints[i]
+			kp.X = r.f32()
+			kp.Y = r.f32()
+			kp.Level = int(r.u32())
+			kp.Angle = r.f32()
+			kp.Score = r.f32()
+			kp.Right = r.f32()
+			kp.Depth = r.f32()
+			if r.off+32 > len(r.buf) {
+				return nil, ErrCorrupt
+			}
+			var db [32]byte
+			copy(db[:], r.buf[r.off:])
+			r.off += 32
+			kp.Desc = feature.DescriptorFromBytes(db)
+			kf.MapPoints[i] = r.u64()
+		}
+		nbow := int(r.u32())
+		if r.err != nil || nbow < 0 || nbow > 1<<20 {
+			return nil, ErrCorrupt
+		}
+		kf.Bow = make(bow.Vec, nbow)
+		for i := 0; i < nbow; i++ {
+			wid := bow.WordID(r.u32())
+			kf.Bow[wid] = r.f32()
+		}
+		nconn := int(r.u32())
+		if r.err != nil || nconn < 0 || nconn > 1<<20 {
+			return nil, ErrCorrupt
+		}
+		kf.Conns = make(map[smap.ID]int, nconn)
+		for i := 0; i < nconn; i++ {
+			id := r.u64()
+			kf.Conns[id] = int(r.u32())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.AddKeyFrame(kf)
+	}
+	nmp := int(r.u32())
+	if r.err != nil || nmp < 0 || nmp > 1<<24 {
+		return nil, ErrCorrupt
+	}
+	for k := 0; k < nmp; k++ {
+		mp := &smap.MapPoint{Obs: make(map[smap.ID]int)}
+		mp.ID = r.u64()
+		mp.Client = int(r.u32())
+		mp.Pos = r.vec3()
+		if r.off+32 > len(r.buf) {
+			return nil, ErrCorrupt
+		}
+		var db [32]byte
+		copy(db[:], r.buf[r.off:])
+		r.off += 32
+		mp.Desc = feature.DescriptorFromBytes(db)
+		mp.Normal = r.vec3()
+		mp.RefKF = r.u64()
+		nobs := int(r.u32())
+		if r.err != nil || nobs < 0 || nobs > 1<<20 {
+			return nil, ErrCorrupt
+		}
+		for i := 0; i < nobs; i++ {
+			kfID := r.u64()
+			mp.Obs[kfID] = int(r.u32())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.AddMapPoint(mp)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// MapSize returns the serialized size of the map in bytes — the rows
+// of Table 1.
+func MapSize(m *smap.Map) int { return len(EncodeMap(m)) }
+
+// EncodePose packs the 4x4 homogeneous pose matrix the server returns
+// to clients (the paper: "a small 4x4 matrix"), with the frame index
+// it answers.
+func EncodePose(frameIdx int, pose geom.SE3) []byte {
+	w := &writer{buf: make([]byte, 0, 8+16*8)}
+	w.u64(uint64(frameIdx))
+	m := pose.Mat4()
+	for _, v := range m {
+		w.f64(v)
+	}
+	return w.buf
+}
+
+// DecodePose reverses EncodePose.
+func DecodePose(data []byte) (frameIdx int, pose geom.SE3, err error) {
+	r := &reader{buf: data}
+	frameIdx = int(r.u64())
+	var m geom.Mat4
+	for i := range m {
+		m[i] = r.f64()
+	}
+	if r.err != nil {
+		return 0, geom.SE3{}, r.err
+	}
+	return frameIdx, geom.SE3FromMat4(m), nil
+}

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/feature"
+	"slamshare/internal/geom"
+	"slamshare/internal/smap"
+)
+
+func randomMap(seed int64, nkf, nkp, nmp int) *smap.Map {
+	rng := rand.New(rand.NewSource(seed))
+	m := smap.NewMap(bow.Default())
+	alloc := smap.NewIDAllocator(3)
+	var kfIDs []smap.ID
+	for k := 0; k < nkf; k++ {
+		kps := make([]feature.Keypoint, nkp)
+		for i := range kps {
+			var d feature.Descriptor
+			for w := range d {
+				d[w] = rng.Uint64()
+			}
+			kps[i] = feature.Keypoint{
+				X: rng.Float64() * 700, Y: rng.Float64() * 400,
+				Level: rng.Intn(4), Angle: rng.Float64(),
+				Score: rng.Float64() * 100, Right: -1, Desc: d,
+			}
+		}
+		kf := &smap.KeyFrame{
+			ID: alloc.Next(), Client: 3, Stamp: float64(k) / 30,
+			FrameIdx: k * 5,
+			Tcw: geom.SE3{
+				R: geom.QuatFromAxisAngle(geom.Vec3{X: 1, Y: 2, Z: 3}, rng.Float64()),
+				T: geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()},
+			},
+			Keypoints: kps,
+		}
+		m.AddKeyFrame(kf)
+		kfIDs = append(kfIDs, kf.ID)
+	}
+	for p := 0; p < nmp; p++ {
+		var d feature.Descriptor
+		for w := range d {
+			d[w] = rng.Uint64()
+		}
+		mp := &smap.MapPoint{
+			ID: alloc.Next(), Client: 3,
+			Pos:    geom.Vec3{X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5, Z: rng.NormFloat64() * 5},
+			Desc:   d,
+			Normal: geom.Vec3{Z: 1},
+			RefKF:  kfIDs[p%len(kfIDs)],
+		}
+		m.AddMapPoint(mp)
+		_ = m.AddObservation(kfIDs[p%len(kfIDs)], mp.ID, p%nkp)
+	}
+	for _, id := range kfIDs {
+		m.UpdateConnections(id, 1)
+	}
+	return m
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	m := randomMap(1, 5, 50, 80)
+	data := EncodeMap(m)
+	got, err := DecodeMap(data, bow.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NKeyFrames() != m.NKeyFrames() || got.NMapPoints() != m.NMapPoints() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			got.NKeyFrames(), got.NMapPoints(), m.NKeyFrames(), m.NMapPoints())
+	}
+	for _, kf := range m.KeyFrames() {
+		g, ok := got.KeyFrame(kf.ID)
+		if !ok {
+			t.Fatalf("keyframe %d missing", kf.ID)
+		}
+		if g.Tcw.T.Dist(kf.Tcw.T) > 1e-12 || g.Tcw.R.AngleTo(kf.Tcw.R) > 1e-12 {
+			t.Fatal("pose corrupted")
+		}
+		if len(g.Keypoints) != len(kf.Keypoints) {
+			t.Fatal("keypoint count corrupted")
+		}
+		for i := range g.Keypoints {
+			if g.Keypoints[i].Desc != kf.Keypoints[i].Desc {
+				t.Fatal("descriptor corrupted")
+			}
+			if g.MapPoints[i] != kf.MapPoints[i] {
+				t.Fatal("binding corrupted")
+			}
+		}
+		if len(g.Conns) != len(kf.Conns) {
+			t.Fatal("covisibility corrupted")
+		}
+	}
+	for _, mp := range m.MapPoints() {
+		g, ok := got.MapPoint(mp.ID)
+		if !ok {
+			t.Fatalf("map point %d missing", mp.ID)
+		}
+		if g.Pos.Dist(mp.Pos) > 1e-12 {
+			t.Fatal("position corrupted")
+		}
+		if len(g.Obs) != len(mp.Obs) {
+			t.Fatal("observations corrupted")
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	m := randomMap(2, 2, 20, 10)
+	data := EncodeMap(m)
+	if _, err := DecodeMap(data[:len(data)/2], bow.Default()); err == nil {
+		t.Error("truncated map accepted")
+	}
+	if _, err := DecodeMap([]byte{1, 2, 3}, bow.Default()); err == nil {
+		t.Error("garbage accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeMap(bad, bow.Default()); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestMapSizeGrowsLinearly(t *testing.T) {
+	// Table 1's shape: size grows roughly linearly with keyframes.
+	s1 := MapSize(randomMap(3, 5, 100, 200))
+	s2 := MapSize(randomMap(4, 10, 100, 400))
+	s4 := MapSize(randomMap(5, 20, 100, 800))
+	if s2 <= s1 || s4 <= s2 {
+		t.Fatalf("sizes not growing: %d %d %d", s1, s2, s4)
+	}
+	ratio := float64(s4-s2) / float64(s2-s1)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("growth not linear-ish: %d %d %d (ratio %.2f)", s1, s2, s4, ratio)
+	}
+}
+
+func TestPoseRoundTrip(t *testing.T) {
+	p := geom.SE3{
+		R: geom.QuatFromAxisAngle(geom.Vec3{X: 0.3, Y: 1, Z: -0.2}, 0.8),
+		T: geom.Vec3{X: 1.5, Y: -2, Z: 0.25},
+	}
+	data := EncodePose(1234, p)
+	idx, got, err := DecodePose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1234 {
+		t.Errorf("frame idx = %d", idx)
+	}
+	if got.T.Dist(p.T) > 1e-9 || got.R.AngleTo(p.R) > 1e-9 {
+		t.Errorf("pose round trip failed: %v vs %v", got, p)
+	}
+	if _, _, err := DecodePose([]byte{1}); err == nil {
+		t.Error("short pose accepted")
+	}
+}
+
+func BenchmarkEncodeMap(b *testing.B) {
+	m := randomMap(6, 20, 500, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeMap(m)
+	}
+}
+
+func BenchmarkDecodeMap(b *testing.B) {
+	m := randomMap(7, 20, 500, 2000)
+	data := EncodeMap(m)
+	voc := bow.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMap(data, voc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnTruncation(t *testing.T) {
+	// Any truncation of a valid encoding must fail cleanly, not panic.
+	m := randomMap(8, 3, 30, 40)
+	data := EncodeMap(m)
+	step := len(data)/64 + 1
+	for cut := 0; cut < len(data); cut += step {
+		if _, err := DecodeMap(data[:cut], bow.Default()); err == nil && cut < len(data)-1 {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+}
+
+func TestDecodeNeverPanicsOnBitFlips(t *testing.T) {
+	m := randomMap(9, 2, 20, 20)
+	data := EncodeMap(m)
+	for i := 4; i < len(data); i += len(data)/48 + 1 {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0xFF
+		// Must not panic; error or a structurally valid (if wrong) map
+		// are both acceptable outcomes.
+		_, _ = DecodeMap(corrupted, bow.Default())
+	}
+}

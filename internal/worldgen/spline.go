@@ -1,0 +1,208 @@
+// Package worldgen procedurally generates the 3D environments and
+// device trajectories that substitute for the EuRoC and KITTI
+// recordings used in the paper. A World is a set of visually unique
+// landmarks (points with deterministic appearance seeds); a Trajectory
+// is a smooth, twice-differentiable-enough path through it from which
+// camera poses and IMU measurements are derived.
+package worldgen
+
+import (
+	"math"
+
+	"slamshare/internal/geom"
+)
+
+// Spline is a centripetal-flavoured Catmull-Rom spline through
+// waypoints with uniform time spacing. It provides the C1-continuous
+// positions needed for realistic IMU simulation.
+type Spline struct {
+	Points []geom.Vec3
+	Dt     float64 // time between consecutive waypoints, seconds
+}
+
+// NewSpline builds a spline visiting points with dt seconds between
+// consecutive waypoints. At least two points are required.
+func NewSpline(points []geom.Vec3, dt float64) *Spline {
+	return &Spline{Points: points, Dt: dt}
+}
+
+// Duration returns the total traversal time.
+func (s *Spline) Duration() float64 {
+	if len(s.Points) < 2 {
+		return 0
+	}
+	return float64(len(s.Points)-1) * s.Dt
+}
+
+// At evaluates the spline position at time t. Times outside the range
+// clamp to the endpoints.
+func (s *Spline) At(t float64) geom.Vec3 {
+	n := len(s.Points)
+	if n == 0 {
+		return geom.Vec3{}
+	}
+	if n == 1 {
+		return s.Points[0]
+	}
+	u := t / s.Dt
+	if u <= 0 {
+		return s.Points[0]
+	}
+	if u >= float64(n-1) {
+		return s.Points[n-1]
+	}
+	i := int(u)
+	f := u - float64(i)
+	p0 := s.point(i - 1)
+	p1 := s.point(i)
+	p2 := s.point(i + 1)
+	p3 := s.point(i + 2)
+	return catmullRom(p0, p1, p2, p3, f)
+}
+
+// Velocity returns the spline velocity at time t via central
+// differences.
+func (s *Spline) Velocity(t float64) geom.Vec3 {
+	const h = 1e-4
+	return s.At(t + h).Sub(s.At(t - h)).Scale(1 / (2 * h))
+}
+
+func (s *Spline) point(i int) geom.Vec3 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Points) {
+		i = len(s.Points) - 1
+	}
+	return s.Points[i]
+}
+
+func catmullRom(p0, p1, p2, p3 geom.Vec3, t float64) geom.Vec3 {
+	t2 := t * t
+	t3 := t2 * t
+	a := p1.Scale(2)
+	b := p2.Sub(p0).Scale(t)
+	c := p0.Scale(2).Sub(p1.Scale(5)).Add(p2.Scale(4)).Sub(p3).Scale(t2)
+	d := p1.Scale(3).Sub(p0).Sub(p2.Scale(3)).Add(p3).Scale(t3)
+	return a.Add(b).Add(c).Add(d).Scale(0.5)
+}
+
+// LookRotation returns the rotation of a camera whose optical axis
+// (+Z) points along forward with the image "down" (+Y) roughly aligned
+// against the world up vector. Falls back gracefully when forward is
+// parallel to up.
+func LookRotation(forward, up geom.Vec3) geom.Quat {
+	f := forward.Normalized()
+	if f.Norm() == 0 {
+		return geom.IdentityQuat()
+	}
+	r := f.Cross(up)
+	if r.Norm() < 1e-6 {
+		r = f.Cross(geom.Vec3{Y: 1})
+		if r.Norm() < 1e-6 {
+			r = f.Cross(geom.Vec3{X: 1})
+		}
+	}
+	r = r.Normalized()
+	d := f.Cross(r) // camera down
+	// Rotation matrix with columns (right, down, forward): maps camera
+	// coordinates to world coordinates.
+	m := geom.Mat3{
+		r.X, d.X, f.X,
+		r.Y, d.Y, f.Y,
+		r.Z, d.Z, f.Z,
+	}
+	return geom.QuatFromMat(m)
+}
+
+// Trajectory is a time-parameterized body-to-world pose path. It
+// implements imu.PoseSampler.
+type Trajectory interface {
+	PoseAt(t float64) geom.SE3
+	Duration() float64
+}
+
+// SplineTrajectory follows a spline, orienting the camera along the
+// smoothed direction of travel with an optional fixed pitch-down, the
+// way a drone or vehicle camera is mounted.
+type SplineTrajectory struct {
+	Spline    *Spline
+	PitchDown float64 // radians of downward pitch applied to the view
+	Smooth    float64 // look-ahead horizon for the forward direction, seconds
+}
+
+// NewSplineTrajectory wraps a spline with default orientation
+// smoothing.
+func NewSplineTrajectory(s *Spline) *SplineTrajectory {
+	return &SplineTrajectory{Spline: s, Smooth: 0.5}
+}
+
+// Duration returns the trajectory duration.
+func (st *SplineTrajectory) Duration() float64 { return st.Spline.Duration() }
+
+// PoseAt returns the camera-to-world pose at time t.
+func (st *SplineTrajectory) PoseAt(t float64) geom.SE3 {
+	pos := st.Spline.At(t)
+	// Forward direction from a short look-ahead; smoother than raw
+	// velocity and well defined at the endpoints.
+	horizon := st.Smooth
+	if horizon <= 0 {
+		horizon = 0.5
+	}
+	ahead := st.Spline.At(t + horizon)
+	f := ahead.Sub(pos)
+	if f.Norm() < 1e-9 {
+		f = st.Spline.Velocity(t)
+	}
+	if f.Norm() < 1e-9 {
+		f = geom.Vec3{X: 1}
+	}
+	r := LookRotation(f, geom.Vec3{Z: 1})
+	if st.PitchDown != 0 {
+		r = r.Mul(geom.QuatFromAxisAngle(geom.Vec3{X: 1}, st.PitchDown))
+	}
+	return geom.SE3{R: r, T: pos}
+}
+
+// OrbitTrajectory circles a center point at fixed radius and height,
+// always looking at the center — the motion of a drone inspecting a
+// room, used by the V202-style sequences.
+type OrbitTrajectory struct {
+	Center geom.Vec3
+	Radius float64
+	Height float64
+	Omega  float64 // angular rate, rad/s
+	Dur    float64
+	Phase  float64
+}
+
+// Duration returns the trajectory duration.
+func (o *OrbitTrajectory) Duration() float64 { return o.Dur }
+
+// PoseAt returns the orbiting camera pose at time t.
+func (o *OrbitTrajectory) PoseAt(t float64) geom.SE3 {
+	a := o.Phase + o.Omega*t
+	pos := geom.Vec3{
+		X: o.Center.X + o.Radius*math.Cos(a),
+		Y: o.Center.Y + o.Radius*math.Sin(a),
+		Z: o.Center.Z + o.Height,
+	}
+	look := o.Center.Sub(pos)
+	return geom.SE3{R: LookRotation(look, geom.Vec3{Z: 1}), T: pos}
+}
+
+// SegmentTrajectory exposes a time window [T0, T1] of an inner
+// trajectory re-based to start at t=0 — how the KITTI-05 sequence is
+// split into three per-client segments in Fig. 10c.
+type SegmentTrajectory struct {
+	Inner  Trajectory
+	T0, T1 float64
+}
+
+// Duration returns the segment duration.
+func (s *SegmentTrajectory) Duration() float64 { return s.T1 - s.T0 }
+
+// PoseAt returns the inner trajectory pose at segment-local time t.
+func (s *SegmentTrajectory) PoseAt(t float64) geom.SE3 {
+	return s.Inner.PoseAt(s.T0 + geom.Clamp(t, 0, s.T1-s.T0))
+}

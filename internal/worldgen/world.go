@@ -1,0 +1,247 @@
+package worldgen
+
+import (
+	"math"
+	"math/rand"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/geom"
+)
+
+// Landmark is a visually distinctive 3D point in the world. Seed
+// determines its rendered appearance deterministically, so the same
+// landmark produces (nearly) the same ORB descriptor from any viewpoint
+// — the property real corner features have that makes SLAM matching
+// possible.
+type Landmark struct {
+	ID   uint32
+	Pos  geom.Vec3
+	Seed uint64
+}
+
+// World is a set of landmarks plus a coarse spatial grid for fast
+// frustum queries during rendering.
+type World struct {
+	Landmarks []Landmark
+	cell      float64
+	grid      map[[3]int32][]int32
+}
+
+// NewWorld builds a world from landmark positions, assigning IDs and
+// appearance seeds derived from worldSeed.
+func NewWorld(positions []geom.Vec3, worldSeed uint64) *World {
+	w := &World{
+		Landmarks: make([]Landmark, len(positions)),
+		cell:      4.0,
+		grid:      make(map[[3]int32][]int32),
+	}
+	for i, p := range positions {
+		w.Landmarks[i] = Landmark{
+			ID:   uint32(i),
+			Pos:  p,
+			Seed: splitmix64(worldSeed + uint64(i)*0x9E3779B97F4A7C15),
+		}
+		w.grid[w.cellOf(p)] = append(w.grid[w.cellOf(p)], int32(i))
+	}
+	return w
+}
+
+func (w *World) cellOf(p geom.Vec3) [3]int32 {
+	return [3]int32{
+		int32(math.Floor(p.X / w.cell)),
+		int32(math.Floor(p.Y / w.cell)),
+		int32(math.Floor(p.Z / w.cell)),
+	}
+}
+
+// splitmix64 is the SplitMix64 mixing function, used to derive
+// independent per-landmark appearance seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Visible returns the landmarks inside the camera frustum at pose
+// (camera-to-world) between minDepth and maxDepth, nearest first.
+func (w *World) Visible(pose geom.SE3, rig camera.Rig, minDepth, maxDepth float64) []Landmark {
+	tcw := pose.Inverse()
+	// Gather candidate grid cells around the camera within maxDepth.
+	reach := int32(maxDepth/w.cell) + 1
+	c0 := w.cellOf(pose.T)
+	var out []Landmark
+	for dx := -reach; dx <= reach; dx++ {
+		for dy := -reach; dy <= reach; dy++ {
+			for dz := -reach; dz <= reach; dz++ {
+				ids, ok := w.grid[[3]int32{c0[0] + dx, c0[1] + dy, c0[2] + dz}]
+				if !ok {
+					continue
+				}
+				for _, id := range ids {
+					lm := w.Landmarks[id]
+					if rig.FrustumCheck(tcw, lm.Pos, minDepth, maxDepth) {
+						out = append(out, lm)
+					}
+				}
+			}
+		}
+	}
+	// Sort nearest first so the renderer can paint far-to-near by
+	// iterating in reverse.
+	camPos := pose.T
+	sortByDistance(out, camPos)
+	return out
+}
+
+func sortByDistance(ls []Landmark, from geom.Vec3) {
+	// Insertion-friendly small-n sort is not enough here; use a simple
+	// in-place quicksort keyed by squared distance.
+	var qs func(lo, hi int)
+	key := func(i int) float64 { return ls[i].Pos.Sub(from).NormSq() }
+	qs = func(lo, hi int) {
+		for lo < hi {
+			p := key((lo + hi) / 2)
+			i, j := lo, hi
+			for i <= j {
+				for key(i) < p {
+					i++
+				}
+				for key(j) > p {
+					j--
+				}
+				if i <= j {
+					ls[i], ls[j] = ls[j], ls[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j
+			}
+		}
+	}
+	if len(ls) > 1 {
+		qs(0, len(ls)-1)
+	}
+}
+
+// MachineHall generates an EuRoC-machine-hall-like indoor space: a
+// large room with landmark-rich walls, floor clutter and internal
+// structures. All MH sequences share one world so multiple clients
+// observe the same environment and their maps can merge.
+func MachineHall(seed uint64, density int) *World {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var pts []geom.Vec3
+	const (
+		xMin, xMax = -12.0, 12.0
+		yMin, yMax = -9.0, 9.0
+		zMin, zMax = 0.0, 7.0
+	)
+	// Four walls.
+	for i := 0; i < density*4; i++ {
+		switch i % 4 {
+		case 0:
+			pts = append(pts, geom.Vec3{X: xMin, Y: lerp(yMin, yMax, rng.Float64()), Z: lerp(zMin, zMax, rng.Float64())})
+		case 1:
+			pts = append(pts, geom.Vec3{X: xMax, Y: lerp(yMin, yMax, rng.Float64()), Z: lerp(zMin, zMax, rng.Float64())})
+		case 2:
+			pts = append(pts, geom.Vec3{X: lerp(xMin, xMax, rng.Float64()), Y: yMin, Z: lerp(zMin, zMax, rng.Float64())})
+		default:
+			pts = append(pts, geom.Vec3{X: lerp(xMin, xMax, rng.Float64()), Y: yMax, Z: lerp(zMin, zMax, rng.Float64())})
+		}
+	}
+	// Floor clutter (machinery, crates).
+	for i := 0; i < density*2; i++ {
+		pts = append(pts, geom.Vec3{
+			X: lerp(xMin, xMax, rng.Float64()),
+			Y: lerp(yMin, yMax, rng.Float64()),
+			Z: lerp(0, 2.5, rng.Float64()*rng.Float64()),
+		})
+	}
+	// A few internal pillar structures.
+	for p := 0; p < 6; p++ {
+		cx := lerp(xMin+3, xMax-3, rng.Float64())
+		cy := lerp(yMin+2, yMax-2, rng.Float64())
+		for i := 0; i < density/2; i++ {
+			a := rng.Float64() * 2 * math.Pi
+			pts = append(pts, geom.Vec3{
+				X: cx + 0.6*math.Cos(a),
+				Y: cy + 0.6*math.Sin(a),
+				Z: lerp(0, 5, rng.Float64()),
+			})
+		}
+	}
+	return NewWorld(pts, seed)
+}
+
+// ViconRoom generates a small V2-style room.
+func ViconRoom(seed uint64, density int) *World {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var pts []geom.Vec3
+	const half, height = 4.0, 3.5
+	for i := 0; i < density*4; i++ {
+		switch i % 4 {
+		case 0:
+			pts = append(pts, geom.Vec3{X: -half, Y: lerp(-half, half, rng.Float64()), Z: lerp(0, height, rng.Float64())})
+		case 1:
+			pts = append(pts, geom.Vec3{X: half, Y: lerp(-half, half, rng.Float64()), Z: lerp(0, height, rng.Float64())})
+		case 2:
+			pts = append(pts, geom.Vec3{X: lerp(-half, half, rng.Float64()), Y: -half, Z: lerp(0, height, rng.Float64())})
+		default:
+			pts = append(pts, geom.Vec3{X: lerp(-half, half, rng.Float64()), Y: half, Z: lerp(0, height, rng.Float64())})
+		}
+	}
+	for i := 0; i < density; i++ {
+		pts = append(pts, geom.Vec3{
+			X: lerp(-half, half, rng.Float64()),
+			Y: lerp(-half, half, rng.Float64()),
+			Z: lerp(0, 1.2, rng.Float64()),
+		})
+	}
+	return NewWorld(pts, seed)
+}
+
+// StreetCorridor generates a KITTI-like urban canyon: building facades
+// flanking the given path at lateral offset, plus roadside clutter.
+// spacing controls landmark density along the path (metres between
+// facade columns).
+func StreetCorridor(seed uint64, path *Spline, spacing float64) *World {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	if spacing <= 0 {
+		spacing = 1.5
+	}
+	var pts []geom.Vec3
+	dur := path.Duration()
+	step := spacing // approximate metres per sample at ~1 m/s param speed
+	for d := 0.0; d < dur; d += step / math.Max(path.Velocity(d).Norm(), 0.5) {
+		p := path.At(d)
+		v := path.Velocity(d).Normalized()
+		if v.Norm() == 0 {
+			v = geom.Vec3{X: 1}
+		}
+		left := geom.Vec3{Z: 1}.Cross(v).Normalized()
+		for side := -1.0; side <= 1.0; side += 2 {
+			off := left.Scale(side * (7 + rng.Float64()*3))
+			// Facade column: several landmarks stacked vertically.
+			for h := 0; h < 4; h++ {
+				pts = append(pts, p.Add(off).Add(geom.Vec3{
+					X: rng.NormFloat64() * 0.4,
+					Y: rng.NormFloat64() * 0.4,
+					Z: 0.5 + float64(h)*1.8 + rng.Float64(),
+				}))
+			}
+			// Roadside clutter (poles, parked cars).
+			if rng.Float64() < 0.3 {
+				pts = append(pts, p.Add(left.Scale(side*(3+rng.Float64()*2))).Add(geom.Vec3{Z: 0.5 + rng.Float64()}))
+			}
+		}
+	}
+	return NewWorld(pts, seed)
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }

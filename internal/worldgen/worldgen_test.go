@@ -1,0 +1,219 @@
+package worldgen
+
+import (
+	"math"
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/geom"
+)
+
+func TestSplineEndpointsAndClamp(t *testing.T) {
+	pts := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 2, Y: 1, Z: 0}, {X: 3, Y: 1, Z: 1}}
+	s := NewSpline(pts, 2)
+	if s.Duration() != 6 {
+		t.Errorf("duration = %v", s.Duration())
+	}
+	if s.At(-1) != pts[0] || s.At(0) != pts[0] {
+		t.Error("start clamp failed")
+	}
+	if s.At(100) != pts[3] {
+		t.Error("end clamp failed")
+	}
+	// Interpolation passes through interior waypoints.
+	if s.At(2).Dist(pts[1]) > 1e-9 {
+		t.Errorf("waypoint 1 missed: %v", s.At(2))
+	}
+	if s.At(4).Dist(pts[2]) > 1e-9 {
+		t.Errorf("waypoint 2 missed: %v", s.At(4))
+	}
+}
+
+func TestSplineContinuity(t *testing.T) {
+	pts := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 2, Z: 0}, {X: 3, Y: 2, Z: 1}, {X: 4, Y: 0, Z: 1}, {X: 5, Y: -1, Z: 0}}
+	s := NewSpline(pts, 1)
+	// Position must be continuous: small dt, small motion.
+	prev := s.At(0)
+	for tt := 0.01; tt < s.Duration(); tt += 0.01 {
+		cur := s.At(tt)
+		if cur.Dist(prev) > 0.2 {
+			t.Fatalf("discontinuity at %v: %v", tt, cur.Dist(prev))
+		}
+		prev = cur
+	}
+}
+
+func TestSplineDegenerate(t *testing.T) {
+	if (&Spline{}).At(1) != (geom.Vec3{}) {
+		t.Error("empty spline should return zero")
+	}
+	one := NewSpline([]geom.Vec3{{X: 1, Y: 2, Z: 3}}, 1)
+	if one.At(5) != (geom.Vec3{X: 1, Y: 2, Z: 3}) {
+		t.Error("single-point spline should be constant")
+	}
+	if one.Duration() != 0 {
+		t.Error("single-point duration should be 0")
+	}
+}
+
+func TestLookRotationForward(t *testing.T) {
+	// Camera looking along +X with world up +Z: optical axis (+Z cam)
+	// must map to +X world.
+	q := LookRotation(geom.Vec3{X: 1}, geom.Vec3{Z: 1})
+	f := q.Rotate(geom.Vec3{Z: 1})
+	if f.Sub(geom.Vec3{X: 1}).Norm() > 1e-9 {
+		t.Errorf("forward maps to %v", f)
+	}
+	// Camera "down" (+Y cam) should map to world -Z (level camera).
+	d := q.Rotate(geom.Vec3{Y: 1})
+	if d.Sub(geom.Vec3{Z: -1}).Norm() > 1e-9 {
+		t.Errorf("down maps to %v", d)
+	}
+}
+
+func TestLookRotationDegenerate(t *testing.T) {
+	// Forward parallel to up must still return a valid rotation.
+	q := LookRotation(geom.Vec3{Z: 1}, geom.Vec3{Z: 1})
+	if math.Abs(q.Norm()-1) > 1e-9 {
+		t.Errorf("quaternion norm %v", q.Norm())
+	}
+	if q2 := LookRotation(geom.Vec3{}, geom.Vec3{Z: 1}); q2 != geom.IdentityQuat() {
+		t.Error("zero forward should give identity")
+	}
+}
+
+func TestSplineTrajectoryFollowsPath(t *testing.T) {
+	pts := []geom.Vec3{{X: 0, Y: 0, Z: 1}, {X: 5, Y: 0, Z: 1}, {X: 10, Y: 0, Z: 1}}
+	st := NewSplineTrajectory(NewSpline(pts, 5))
+	p := st.PoseAt(5)
+	if p.T.Dist(geom.Vec3{X: 5, Y: 0, Z: 1}) > 1e-9 {
+		t.Errorf("position = %v", p.T)
+	}
+	// Moving along +X: optical axis should point roughly +X.
+	f := p.R.Rotate(geom.Vec3{Z: 1})
+	if f.Dot(geom.Vec3{X: 1}) < 0.9 {
+		t.Errorf("forward = %v", f)
+	}
+	if st.Duration() != 10 {
+		t.Errorf("duration = %v", st.Duration())
+	}
+}
+
+func TestOrbitTrajectoryLooksAtCenter(t *testing.T) {
+	o := &OrbitTrajectory{Center: geom.Vec3{X: 1, Y: 2, Z: 0}, Radius: 3, Height: 1.5, Omega: 0.5, Dur: 10}
+	for _, tt := range []float64{0, 2.5, 7} {
+		p := o.PoseAt(tt)
+		look := p.R.Rotate(geom.Vec3{Z: 1})
+		want := o.Center.Sub(p.T).Normalized()
+		if look.Dot(want) < 0.999 {
+			t.Errorf("t=%v: looking %v, want %v", tt, look, want)
+		}
+		if math.Abs(p.T.Dist(geom.Vec3{X: 1, Y: 2, Z: p.T.Z})-3) > 1e-9 {
+			t.Errorf("t=%v: radius broken", tt)
+		}
+	}
+}
+
+func TestSegmentTrajectory(t *testing.T) {
+	o := &OrbitTrajectory{Radius: 2, Omega: 1, Dur: 20}
+	seg := &SegmentTrajectory{Inner: o, T0: 5, T1: 10}
+	if seg.Duration() != 5 {
+		t.Errorf("duration = %v", seg.Duration())
+	}
+	if seg.PoseAt(0).T.Dist(o.PoseAt(5).T) > 1e-12 {
+		t.Error("segment start mismatched")
+	}
+	if seg.PoseAt(999).T.Dist(o.PoseAt(10).T) > 1e-12 {
+		t.Error("segment end not clamped")
+	}
+}
+
+func TestMachineHallDeterministic(t *testing.T) {
+	w1 := MachineHall(42, 100)
+	w2 := MachineHall(42, 100)
+	if len(w1.Landmarks) != len(w2.Landmarks) {
+		t.Fatal("nondeterministic landmark count")
+	}
+	for i := range w1.Landmarks {
+		if w1.Landmarks[i] != w2.Landmarks[i] {
+			t.Fatalf("landmark %d differs", i)
+		}
+	}
+	w3 := MachineHall(43, 100)
+	same := true
+	for i := range w1.Landmarks {
+		if w1.Landmarks[i].Seed != w3.Landmarks[i].Seed {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical appearance seeds")
+	}
+}
+
+func TestLandmarkSeedsUnique(t *testing.T) {
+	w := MachineHall(7, 200)
+	seen := make(map[uint64]bool, len(w.Landmarks))
+	for _, lm := range w.Landmarks {
+		if seen[lm.Seed] {
+			t.Fatalf("duplicate appearance seed %x", lm.Seed)
+		}
+		seen[lm.Seed] = true
+	}
+}
+
+func TestVisibleFrustum(t *testing.T) {
+	w := MachineHall(1, 300)
+	rig := camera.NewMonoRig(camera.EuRoCIntrinsics())
+	// Camera at room center looking at the +X wall.
+	pose := geom.SE3{R: LookRotation(geom.Vec3{X: 1}, geom.Vec3{Z: 1}), T: geom.Vec3{Z: 2}}
+	vis := w.Visible(pose, rig, 0.3, 40)
+	if len(vis) < 50 {
+		t.Fatalf("too few visible landmarks: %d", len(vis))
+	}
+	tcw := pose.Inverse()
+	prevDist := -1.0
+	for _, lm := range vis {
+		pc := tcw.Apply(lm.Pos)
+		if pc.Z < 0.3 || pc.Z > 40 {
+			t.Fatalf("landmark outside depth range: z=%v", pc.Z)
+		}
+		d := lm.Pos.Sub(pose.T).NormSq()
+		if d < prevDist-1e-9 {
+			t.Fatal("landmarks not sorted nearest-first")
+		}
+		prevDist = d
+	}
+}
+
+func TestVisibleEmptyBehindWall(t *testing.T) {
+	w := ViconRoom(1, 100)
+	rig := camera.NewMonoRig(camera.EuRoCIntrinsics())
+	// Far outside the room, looking away from it: nothing visible.
+	pose := geom.SE3{
+		R: LookRotation(geom.Vec3{X: 1}, geom.Vec3{Z: 1}),
+		T: geom.Vec3{X: 1000, Y: 1000, Z: 2},
+	}
+	if vis := w.Visible(pose, rig, 0.3, 30); len(vis) != 0 {
+		t.Errorf("phantom landmarks: %d", len(vis))
+	}
+}
+
+func TestStreetCorridor(t *testing.T) {
+	path := NewSpline([]geom.Vec3{{X: 0, Y: 0, Z: 1.6}, {X: 50, Y: 0, Z: 1.6}, {X: 100, Y: 20, Z: 1.6}, {X: 150, Y: 20, Z: 1.6}}, 10)
+	w := StreetCorridor(3, path, 2)
+	if len(w.Landmarks) < 200 {
+		t.Fatalf("sparse street: %d landmarks", len(w.Landmarks))
+	}
+	// Landmarks should flank the path, not sit on it.
+	onPath := 0
+	for _, lm := range w.Landmarks {
+		if math.Abs(lm.Pos.Y) < 1 && lm.Pos.X < 50 {
+			onPath++
+		}
+	}
+	if onPath > len(w.Landmarks)/10 {
+		t.Errorf("too many landmarks on the roadway: %d", onPath)
+	}
+}

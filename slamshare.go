@@ -1,0 +1,242 @@
+// Package slamshare is a Go implementation of SLAM-Share (Dhakal et
+// al., CoNEXT 2022): visual-inertial SLAM for real-time multi-user
+// augmented reality, with tracking and mapping offloaded to an edge
+// server, GPU-accelerated feature extraction and local-map search, and
+// a shared-memory global map that merges all clients' maps so every
+// device localizes in one common coordinate frame.
+//
+// # Architecture
+//
+// An EdgeServer owns the shared global map (in a shared-memory region,
+// see internal/shm) and one Session per connected device. Devices
+// (Device) integrate their IMU for short-horizon pose prediction
+// (Algorithm 1 of the paper), encode camera frames as video, and
+// stream them to the server; the server tracks each frame against the
+// shared map — accelerated by a simulated GPU (internal/gpu) — and
+// returns only the pose. A merge process folds each client's map into
+// the global map within ~200 ms (Algorithm 2), after which all devices
+// share one frame of reference and see each other's holograms
+// consistently.
+//
+// The synthetic datasets (LoadSequence) reproduce the structure of the
+// EuRoC and KITTI sequences the paper evaluates on; see DESIGN.md for
+// the substitution inventory and EXPERIMENTS.md for the reproduction
+// of every table and figure.
+package slamshare
+
+import (
+	"fmt"
+	"net"
+
+	"slamshare/internal/baseline"
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/geom"
+	"slamshare/internal/gpu"
+	"slamshare/internal/holo"
+	"slamshare/internal/img"
+	"slamshare/internal/merge"
+	"slamshare/internal/metrics"
+	"slamshare/internal/netem"
+	"slamshare/internal/protocol"
+	"slamshare/internal/server"
+	"slamshare/internal/smap"
+)
+
+// Re-exported core types. Aliases keep the public API thin while the
+// implementation lives in internal packages.
+type (
+	// Pose is a rigid transform; server answers are world-to-camera.
+	Pose = geom.SE3
+	// Vec3 is a 3D vector in metres.
+	Vec3 = geom.Vec3
+	// Image is an 8-bit grayscale camera frame.
+	Image = img.Gray
+	// Sequence is a replayable synthetic dataset sequence.
+	Sequence = dataset.Sequence
+	// Mode selects monocular or stereo operation.
+	Mode = camera.Mode
+	// Rig describes a camera rig.
+	Rig = camera.Rig
+	// Trajectory is a timestamped position series.
+	Trajectory = metrics.Trajectory
+	// FrameMsg is the uplink frame message.
+	FrameMsg = protocol.FrameMsg
+	// MergeReport is the timing breakdown of one map merge.
+	MergeReport = merge.Report
+	// Map is a SLAM map (the global shared map or a client map).
+	Map = smap.Map
+	// NetemConfig shapes a connection (delay, bandwidth).
+	NetemConfig = netem.Config
+)
+
+// Camera modes.
+const (
+	Mono   = camera.Mono
+	Stereo = camera.Stereo
+)
+
+// LoadSequence returns a named synthetic sequence: MH04, MH05, V202,
+// TUM-fr1, KITTI-00 or KITTI-05.
+func LoadSequence(name string, mode Mode) (*Sequence, error) {
+	return dataset.ByName(name, mode)
+}
+
+// ServerOptions configures an EdgeServer.
+type ServerOptions struct {
+	// GPULanes enables the simulated accelerator with that many lanes
+	// (0 = CPU only, the ORB-SLAM3 configuration).
+	GPULanes int
+	// LanesPerClient is each session's GSlice share of the GPU.
+	LanesPerClient int
+	// MergeAfterKFs triggers the first merge attempt once a client's
+	// local map has this many keyframes.
+	MergeAfterKFs int
+	// ShmCapacity is the shared-memory budget in bytes (default 2 GiB).
+	ShmCapacity int64
+}
+
+// EdgeServer is the SLAM-Share edge server.
+type EdgeServer struct {
+	inner *server.Server
+}
+
+// NewEdgeServer creates a server with the shared-memory global map.
+func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
+	cfg := server.DefaultConfig()
+	if opts.GPULanes > 0 {
+		gcfg := gpu.DefaultConfig()
+		gcfg.Lanes = opts.GPULanes
+		cfg.GPU = gpu.NewDevice(gcfg)
+	}
+	if opts.LanesPerClient > 0 {
+		cfg.LanesPerClient = opts.LanesPerClient
+	}
+	if opts.MergeAfterKFs > 0 {
+		cfg.MergeAfterKFs = opts.MergeAfterKFs
+	}
+	if opts.ShmCapacity > 0 {
+		cfg.RegionCapacity = opts.ShmCapacity
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeServer{inner: s}, nil
+}
+
+// Close releases the server's shared-memory region.
+func (s *EdgeServer) Close() { s.inner.Close() }
+
+// GlobalMap returns the shared global map.
+func (s *EdgeServer) GlobalMap() *Map { return s.inner.Global() }
+
+// MergeReports returns the recorded merge timing breakdowns.
+func (s *EdgeServer) MergeReports() []MergeReport { return s.inner.MergeReports() }
+
+// Serve accepts device connections on the listener (blocking).
+func (s *EdgeServer) Serve(l net.Listener) error { return s.inner.Serve(l) }
+
+// Session is a device's server-side process.
+type Session = server.Session
+
+// SessionResult reports one processed frame.
+type SessionResult = server.Result
+
+// OpenSession registers a device with the server for in-process use
+// (experiments, tests); networked devices use Device.RunTCP instead.
+func (s *EdgeServer) OpenSession(clientID uint32, rig Rig) (*Session, error) {
+	return s.inner.OpenSession(clientID, rig)
+}
+
+// CloseSession removes a device's session.
+func (s *EdgeServer) CloseSession(clientID uint32) { s.inner.CloseSession(clientID) }
+
+// Device is a SLAM-Share client device replaying a sequence: IMU
+// integration + video encoding on-device, SLAM on the server.
+type Device = client.Client
+
+// NewDevice creates a device for a sequence, anchored at the
+// sequence's initial ground-truth pose.
+func NewDevice(id uint32, seq *Sequence) *Device {
+	return client.New(id, seq)
+}
+
+// NewDisplacedDevice creates a device whose local frame is displaced
+// from the world frame by a yaw rotation and a translation — the
+// "each client has its own origin" situation map merging resolves
+// (Figs. 7 and 10a).
+func NewDisplacedDevice(id uint32, seq *Sequence, yaw float64, offset Vec3) *Device {
+	return client.NewDisplaced(id, seq, yaw, offset)
+}
+
+// Baseline re-exports: the multi-user Edge-SLAM comparison system.
+type (
+	// BaselineServer is the baseline merge server.
+	BaselineServer = baseline.Server
+	// BaselineClient runs full SLAM on-device and exchanges
+	// serialized maps.
+	BaselineClient = baseline.Client
+	// BaselineConfig tunes the baseline.
+	BaselineConfig = baseline.Config
+	// BaselineUploadReport is the baseline merge-round timing.
+	BaselineUploadReport = baseline.UploadReport
+)
+
+// NewBaselineServer creates the baseline comparison server.
+func NewBaselineServer(cfg BaselineConfig, rig Rig) *BaselineServer {
+	return baseline.NewServer(cfg, rig.Intr)
+}
+
+// NewBaselineClient creates a baseline client for a sequence.
+func NewBaselineClient(id int, seq *Sequence, cfg BaselineConfig) *BaselineClient {
+	return baseline.NewClient(id, seq, cfg)
+}
+
+// DefaultBaselineConfig returns the paper's baseline parameters
+// (150-frame hold-down, ~6-keyframe portions).
+func DefaultBaselineConfig() BaselineConfig { return baseline.DefaultConfig() }
+
+// ShapeConn applies tc-style shaping (delay, bandwidth cap) to a
+// connection, as the paper's testbed does with netem.
+func ShapeConn(c net.Conn, cfg NetemConfig) net.Conn { return netem.Wrap(c, cfg) }
+
+// ATE returns the cumulative absolute trajectory error (RMSE) of an
+// estimate against ground truth.
+func ATE(est, truth Trajectory) float64 { return metrics.ATE(est, truth) }
+
+// ShortTermATE returns the RMSE over the trailing window seconds at
+// time t — the paper's short-term ATE.
+func ShortTermATE(est, truth Trajectory, t, window float64) float64 {
+	return metrics.ShortTermATE(est, truth, t, window)
+}
+
+// GroundTruth extracts the ground-truth trajectory of a sequence at
+// the given frame stride.
+func GroundTruth(seq *Sequence, nFrames, stride int) Trajectory {
+	var tr Trajectory
+	for i := 0; i < nFrames && i < seq.FrameCount(); i += stride {
+		tr.Append(seq.FrameTime(i), seq.GroundTruth(i).T)
+	}
+	return tr
+}
+
+// Version identifies this implementation.
+const Version = "1.0.0"
+
+// String renders a short banner.
+func String() string {
+	return fmt.Sprintf("slam-share %s (Go reproduction of CoNEXT '22)", Version)
+}
+
+// AR content layer: anchors (holograms) pinned to the shared frame.
+type (
+	// AnchorRegistry manages the session's holograms.
+	AnchorRegistry = holo.Registry
+	// Anchor is a hologram anchored in the shared map frame.
+	Anchor = holo.Anchor
+)
+
+// NewAnchorRegistry returns an empty hologram registry for a session.
+func NewAnchorRegistry() *AnchorRegistry { return holo.NewRegistry() }
