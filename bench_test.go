@@ -16,7 +16,10 @@ import (
 	"slamshare/internal/dataset"
 	"slamshare/internal/exp"
 	"slamshare/internal/feature"
+	"slamshare/internal/geom"
 	"slamshare/internal/gpu"
+	"slamshare/internal/holo"
+	"slamshare/internal/persist"
 	"slamshare/internal/smap"
 	"slamshare/internal/wire"
 )
@@ -330,6 +333,96 @@ func BenchmarkAblationSharedMemoryVsSerialized(b *testing.B) {
 			global.InsertAll(decoded)
 		}
 	})
+}
+
+// buildPersistMap journals a 20-keyframe map into dir and returns the
+// live map (for checkpointing) and its manager.
+func buildPersistMap(b *testing.B, dir string) (*smap.Map, *persist.Manager) {
+	b.Helper()
+	m := smap.NewMap(bow.Default())
+	anchors := holo.NewRegistry()
+	anchors.Place("bench", geom.SE3{}, 1, 0)
+	mgr, err := persist.Open(persist.Options{Dir: dir, CheckpointEvery: -1}, m, anchors, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := smap.NewIDAllocator(1)
+	s := uint64(17)
+	var kfIDs []smap.ID
+	for k := 0; k < 20; k++ {
+		kps := make([]feature.Keypoint, 300)
+		for i := range kps {
+			var d feature.Descriptor
+			for w := 0; w < 4; w++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				d[w] = s
+			}
+			kps[i] = feature.Keypoint{X: float64(i), Y: float64(k), Desc: d, Right: -1}
+		}
+		kf := &smap.KeyFrame{ID: alloc.Next(), Client: 1, Keypoints: kps}
+		m.AddKeyFrame(kf)
+		kfIDs = append(kfIDs, kf.ID)
+		for p := 0; p < 40; p++ {
+			mp := &smap.MapPoint{ID: alloc.Next(), Client: 1, RefKF: kf.ID}
+			m.AddMapPoint(mp)
+			m.AddObservation(kf.ID, mp.ID, (p*7)%300)
+		}
+	}
+	_ = kfIDs
+	return m, mgr
+}
+
+// BenchmarkPersistCheckpoint measures a full snapshot of the global
+// map + anchors (encode, durable write, prune) — the work the
+// background checkpointer does off the hot path.
+func BenchmarkPersistCheckpoint(b *testing.B) {
+	dir := b.TempDir()
+	_, mgr := buildPersistMap(b, dir)
+	defer mgr.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mgr.CheckpointNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := mgr.Stats().CheckpointLat.Stats()
+	b.ReportMetric(float64(st.Mean.Microseconds())/1000, "checkpoint-ms")
+}
+
+// BenchmarkPersistRecovery measures rebuilding the map from disk:
+// checkpoint load + journal-tail replay + index rebuild. This is the
+// restart-time cost a crashed server pays before accepting clients.
+func BenchmarkPersistRecovery(b *testing.B) {
+	dir := b.TempDir()
+	m, mgr := buildPersistMap(b, dir)
+	if err := mgr.CheckpointNow(); err != nil {
+		b.Fatal(err)
+	}
+	// Leave a journal tail beyond the checkpoint.
+	alloc := smap.NewIDAllocatorFrom(1, m.MaxSeq(1))
+	for k := 0; k < 5; k++ {
+		m.AddKeyFrame(&smap.KeyFrame{ID: alloc.Next(), Client: 1,
+			Keypoints: make([]feature.Keypoint, 100)})
+	}
+	if err := mgr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	mgr.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := persist.Recover(dir, bow.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Map.NKeyFrames() != m.NKeyFrames() {
+			b.Fatalf("recovered %d keyframes, want %d", rec.Map.NKeyFrames(), m.NKeyFrames())
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rec.ReplayTime.Microseconds())/1000, "recover-ms")
+			b.ReportMetric(float64(rec.ReplayedRecords), "replayed-records")
+		}
+	}
 }
 
 func benchName(prefix string, v int) string {

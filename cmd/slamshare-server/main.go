@@ -17,17 +17,29 @@ func main() {
 	gpuLanes := flag.Int("gpu-lanes", 8, "simulated GPU lanes (0 = CPU only)")
 	lanesPerClient := flag.Int("lanes-per-client", 4, "GSlice lanes per client session")
 	shmGB := flag.Int64("shm-gb", 2, "shared-memory budget in GiB")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable map checkpoints + journal (empty = no persistence)")
+	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval")
+	fsyncJournal := flag.Bool("fsync-journal", false, "fsync every journal batch")
 	flag.Parse()
 
 	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
-		GPULanes:       *gpuLanes,
-		LanesPerClient: *lanesPerClient,
-		ShmCapacity:    *shmGB << 30,
+		GPULanes:        *gpuLanes,
+		LanesPerClient:  *lanesPerClient,
+		ShmCapacity:     *shmGB << 30,
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		FsyncJournal:    *fsyncJournal,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	if rec := srv.Recovery(); rec != nil {
+		log.Printf("recovered map from %s: %d keyframes, %d map points (checkpoint seq %d + %d journal records in %v)",
+			*checkpointDir, srv.GlobalMap().NKeyFrames(), srv.GlobalMap().NMapPoints(),
+			rec.CheckpointSeq, rec.ReplayedRecords, rec.ReplayTime.Round(time.Millisecond))
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

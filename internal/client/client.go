@@ -105,6 +105,16 @@ func (c *Client) FramesSent() int {
 	return c.sent
 }
 
+// Reconnect prepares the device for a fresh server session (e.g.
+// after a server restart): the video streams restart with intra
+// frames so the server's new decoders have a reference.
+func (c *Client) Reconnect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.encL.Reset()
+	c.encR.Reset()
+}
+
 // BuildFrame prepares the uplink message for frame i: it advances the
 // motion model with the IMU samples captured since the previous frame
 // (Alg. 1 ApproxPose_UpdateMM) and encodes the camera frames. All the

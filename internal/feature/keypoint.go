@@ -19,6 +19,9 @@ import (
 // 64-bit words for fast Hamming distance.
 type Descriptor [4]uint64
 
+// DescriptorBytes is the serialized size of a Descriptor.
+const DescriptorBytes = 32
+
 // Distance returns the Hamming distance between two descriptors.
 func Distance(a, b Descriptor) int {
 	return bits.OnesCount64(a[0]^b[0]) +

@@ -85,12 +85,34 @@ type Report struct {
 	InsertMPs int
 }
 
+// Journal receives the merge-level mutations the per-entity map
+// observer (smap.Observer) cannot see: which duplicate points were
+// fused into which survivors, and the pose corrections the seam bundle
+// adjustment and essential-graph optimization applied. The persistence
+// layer (internal/persist) implements it to make merges replayable
+// after a crash; a nil Journal disables the notifications.
+type Journal interface {
+	// MergeApplied marks a merge boundary: the similarity transform
+	// that carried the client map into global coordinates, and how many
+	// keyframes/map points the zero-copy insert contributed.
+	MergeApplied(tf geom.Sim3, insertedKFs, insertedMPs int)
+	// PointsFused fires before clientPt's observations are redirected
+	// to globalPt and clientPt is erased.
+	PointsFused(clientPt, globalPt smap.ID)
+	// PosesCorrected reports the post-adjustment keyframe poses and map
+	// point positions the seam BA / essential graph produced.
+	PosesCorrected(kfPoses map[smap.ID]geom.SE3, mpPositions map[smap.ID]geom.Vec3)
+}
+
 // Merger merges client maps into a global map.
 type Merger struct {
 	Global *smap.Map
 	Intr   camera.Intrinsics
 	Cfg    Config
-	rng    *rand.Rand
+	// Journal, when non-nil, is notified of merge-level mutations for
+	// durability (see internal/persist).
+	Journal Journal
+	rng     *rand.Rand
 }
 
 // New returns a merger for the given global map.
@@ -333,15 +355,27 @@ func (mg *Merger) Merge(cmap *smap.Map) (Report, error) {
 	cmap.ApplyTransform(al.Transform)
 	rep.Align = time.Since(ta)
 
+	// Journal the merge boundary before the insert so replay sees the
+	// transform ahead of the keyframe/map-point records the insert
+	// emits through the global map's observer.
+	if mg.Journal != nil {
+		mg.Journal.MergeApplied(al.Transform, rep.InsertKFs, rep.InsertMPs)
+	}
+
 	// Zero-copy insert (the shared-memory step: pointers only).
 	ti := time.Now()
 	mg.Global.InsertAll(cmap)
 	rep.Insert = time.Since(ti)
 
 	// Fuse duplicate points: each inlier pair collapses the client
-	// point into the global point.
+	// point into the global point. The fuse record must precede the
+	// erase record the fuse emits, so replay redirects the bindings
+	// before the point disappears.
 	tf := time.Now()
 	for _, pair := range al.Pairs {
+		if mg.Journal != nil {
+			mg.Journal.PointsFused(pair[0], pair[1])
+		}
 		if mg.fusePoint(pair[0], pair[1]) {
 			rep.FusedPts++
 		}
@@ -352,9 +386,32 @@ func (mg *Merger) Merge(cmap *smap.Map) (Report, error) {
 	// lines 13-15), then essential-graph optimization to propagate the
 	// seam correction through the rest of the client map.
 	tb := time.Now()
-	mg.seamBA(al)
-	mg.essentialGraph(cmap, al)
+	kfSeam, mpSeam := mg.seamBA(al)
+	kfGraph := mg.essentialGraph(cmap, al)
 	rep.BA = time.Since(tb)
+
+	if mg.Journal != nil {
+		kfPoses := make(map[smap.ID]geom.SE3, len(kfSeam)+len(kfGraph))
+		for _, id := range kfSeam {
+			if kf, ok := mg.Global.KeyFrame(id); ok {
+				kfPoses[id] = kf.Tcw
+			}
+		}
+		for _, id := range kfGraph {
+			if kf, ok := mg.Global.KeyFrame(id); ok {
+				kfPoses[id] = kf.Tcw
+			}
+		}
+		mpPos := make(map[smap.ID]geom.Vec3, len(mpSeam))
+		for _, id := range mpSeam {
+			if mp, ok := mg.Global.MapPoint(id); ok {
+				mpPos[id] = mp.Pos
+			}
+		}
+		if len(kfPoses) > 0 || len(mpPos) > 0 {
+			mg.Journal.PosesCorrected(kfPoses, mpPos)
+		}
+	}
 
 	rep.Total = time.Since(t0)
 	return rep, nil
@@ -364,11 +421,12 @@ func (mg *Merger) Merge(cmap *smap.Map) (Report, error) {
 // keyframes outside the seam window: a pose graph over the client map
 // with covisibility edges (relative poses measured before the seam
 // adjustment warped the seam), anchored at the seam keyframe — the
-// "essential graph optimization" of Alg. 2 line 15.
-func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) {
+// "essential graph optimization" of Alg. 2 line 15. It returns the
+// keyframes whose poses it rewrote.
+func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) []smap.ID {
 	kfs := cmap.KeyFrames()
 	if len(kfs) < 3 {
-		return
+		return nil
 	}
 	nodeIdx := make(map[smap.ID]int, len(kfs))
 	g := &optimize.PoseGraph{}
@@ -406,12 +464,15 @@ func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) {
 		}
 	}
 	if len(g.Edges) == 0 {
-		return
+		return nil
 	}
 	g.Optimize(5)
+	out := make([]smap.ID, len(kfs))
 	for i, kf := range kfs {
 		kf.Tcw = g.Poses[i].Inverse()
+		out[i] = kf.ID
 	}
+	return out
 }
 
 // fusePoint redirects every observation of the client point to the
@@ -441,12 +502,13 @@ func (mg *Merger) fusePoint(clientPt, globalPt smap.ID) bool {
 
 // seamBA bundle-adjusts the keyframes around the merge seam: the
 // matched client and global keyframes plus their covisible neighbours,
-// with the global side fixed (the paper's essential-graph-lite).
-func (mg *Merger) seamBA(al Alignment) {
+// with the global side fixed (the paper's essential-graph-lite). It
+// returns the keyframes and map points whose state it rewrote.
+func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
 	ckf, ok1 := mg.Global.KeyFrame(al.ClientKF)
 	gkf, ok2 := mg.Global.KeyFrame(al.GlobalKF)
 	if !ok1 || !ok2 {
-		return
+		return nil, nil
 	}
 	free := append(mg.Global.Covisible(ckf.ID, mg.Cfg.MaxSeamKFs/2), ckf)
 	fixed := append(mg.Global.Covisible(gkf.ID, mg.Cfg.MaxSeamKFs/2), gkf)
@@ -498,15 +560,17 @@ func (mg *Merger) seamBA(al Alignment) {
 		}
 	}
 	if len(prob.Obs) < 20 {
-		return
+		return nil, nil
 	}
 	prob.Solve(mg.Cfg.SeamBAIters)
+	var kfChanged []smap.ID
 	for kfID, ci := range camIdx {
 		if prob.FixedCam[ci] {
 			continue
 		}
 		if kf, ok := mg.Global.KeyFrame(kfID); ok {
 			kf.Tcw = prob.Cams[ci]
+			kfChanged = append(kfChanged, kfID)
 		}
 	}
 	for i, mpID := range ptIDs {
@@ -514,4 +578,5 @@ func (mg *Merger) seamBA(al Alignment) {
 			mp.Pos = prob.Points[i]
 		}
 	}
+	return kfChanged, ptIDs
 }

@@ -1,0 +1,409 @@
+// Package persist makes the shared-memory global map durable without
+// touching the zero-copy hot path: an append-only write-ahead journal
+// of map mutations (keyframe insert, map-point add/fuse/cull, merge
+// applied, pose-graph correction) feeds crash recovery, and periodic
+// asynchronous checkpoints (internal/wire snapshots of the arena-
+// resident map plus the hologram anchor registry) bound replay time
+// and let the journal be truncated.
+//
+// The paper's design (§4.3) keeps the global map in shared memory with
+// zero serialization on the merge path — which also means one server
+// crash destroys the map every client spent minutes building. This
+// package restores the map on restart: load the latest checkpoint,
+// replay the journal tail, rebuild the covisibility and BoW indexes,
+// and returning clients resume by BoW relocalization against the
+// restored map instead of starting from scratch.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"slamshare/internal/geom"
+	"slamshare/internal/smap"
+	"slamshare/internal/wire"
+)
+
+// ErrCorrupt reports an undecodable journal or checkpoint.
+var ErrCorrupt = errors.New("persist: corrupt file")
+
+// Journal file layout:
+//
+//	header: u32 magic "SLWJ" | u8 version | u64 baseSeq
+//	record: u32 len | u32 crc32(rest) | u64 seq | u8 op | body
+//
+// Records are appended asynchronously: observer callbacks encode the
+// record into memory and a writer goroutine drains batches to disk, so
+// the tracking/merge hot path never blocks on I/O. A torn tail (crash
+// mid-write) fails the CRC and replay stops there — exactly the WAL
+// contract.
+const (
+	journalMagic        = 0x534C574A // "SLWJ"
+	journalVersion byte = 1
+
+	journalHeaderBytes = 4 + 1 + 8
+	recordHeaderBytes  = 4 + 4 + 8 + 1
+	maxRecordBytes     = 64 << 20
+)
+
+// Journal record op codes.
+const (
+	opKeyFrame byte = iota + 1
+	opMapPoint
+	opEraseKeyFrame
+	opEraseMapPoint
+	opObservation
+	opFuse
+	opPoses
+	opMerge
+)
+
+// Journal is the write-ahead log of global-map mutations. It
+// implements smap.Observer (per-entity inserts, erases, observation
+// bindings) and merge.Journal (fusions, merge boundaries, pose
+// corrections); records are sequenced under an internal mutex and
+// flushed by a background goroutine.
+type Journal struct {
+	dir   string
+	fsync bool
+	stats *Stats
+
+	mu      sync.Mutex // guards seq, pending, f, closed
+	f       *os.File
+	seq     uint64
+	pending []byte
+	closed  bool
+	err     error
+
+	// wmu serializes the actual file writes so Flush and the writer
+	// goroutine drain batches in order.
+	wmu  sync.Mutex
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// openJournal starts a new journal file in dir whose records continue
+// from lastSeq.
+func openJournal(dir string, lastSeq uint64, fsync bool, stats *Stats) (*Journal, error) {
+	j := &Journal{
+		dir:   dir,
+		fsync: fsync,
+		stats: stats,
+		seq:   lastSeq,
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if err := j.openFileLocked(lastSeq); err != nil {
+		return nil, err
+	}
+	go j.writeLoop()
+	return j, nil
+}
+
+func journalPath(dir string, baseSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%016d.wal", baseSeq))
+}
+
+// openFileLocked creates the journal file for baseSeq and writes its
+// header. Callers hold j.mu (or have exclusive access during init).
+func (j *Journal) openFileLocked(baseSeq uint64) error {
+	f, err := os.OpenFile(journalPath(j.dir, baseSeq), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [journalHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], journalMagic)
+	hdr[4] = journalVersion
+	binary.LittleEndian.PutUint64(hdr[5:], baseSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	j.f = f
+	return nil
+}
+
+// Seq returns the sequence number of the latest record.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Err returns the first write error the journal hit, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// append sequences one record and queues it for the writer goroutine.
+// It does no I/O: this is the only work mutation hot paths pay.
+func (j *Journal) append(op byte, body []byte) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.seq++
+	n := uint32(8 + 1 + len(body))
+	var rec [recordHeaderBytes]byte
+	binary.LittleEndian.PutUint32(rec[0:], n)
+	binary.LittleEndian.PutUint64(rec[8:], j.seq)
+	rec[16] = op
+	crc := crc32.ChecksumIEEE(rec[8:])
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	binary.LittleEndian.PutUint32(rec[4:], crc)
+	j.pending = append(j.pending, rec[:]...)
+	j.pending = append(j.pending, body...)
+	j.mu.Unlock()
+	if j.stats != nil {
+		j.stats.JournalRecords.Inc()
+		j.stats.JournalBytes.Add(int64(recordHeaderBytes + len(body)))
+	}
+	select {
+	case j.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop drains pending batches to the journal file.
+func (j *Journal) writeLoop() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.wake:
+			j.drain()
+		case <-j.quit:
+			j.drain()
+			return
+		}
+	}
+}
+
+// drain writes everything queued so far. Write order is preserved by
+// taking wmu before snapshotting pending.
+func (j *Journal) drain() {
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	j.mu.Lock()
+	buf := j.pending
+	j.pending = nil
+	f := j.f
+	j.mu.Unlock()
+	if len(buf) == 0 || f == nil {
+		return
+	}
+	_, err := f.Write(buf)
+	if err == nil && j.fsync {
+		err = f.Sync()
+	}
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Flush synchronously writes all queued records to disk.
+func (j *Journal) Flush() error {
+	j.drain()
+	return j.Err()
+}
+
+// rotate flushes and switches to a fresh journal file based at the
+// current sequence number, returning that base. The checkpointer calls
+// it so the old file can be deleted once the snapshot is durable.
+func (j *Journal) rotate() (uint64, error) {
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	j.mu.Lock()
+	buf := j.pending
+	j.pending = nil
+	f := j.f
+	base := j.seq
+	j.mu.Unlock()
+	if f != nil {
+		if len(buf) > 0 {
+			if _, err := f.Write(buf); err != nil {
+				return 0, err
+			}
+		}
+		if j.fsync {
+			f.Sync()
+		}
+		f.Close()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return base, nil
+	}
+	if err := j.openFileLocked(base); err != nil {
+		j.f = nil
+		if j.err == nil {
+			j.err = err
+		}
+		return 0, err
+	}
+	return base, nil
+}
+
+// close stops the writer goroutine and closes the file after a final
+// drain. Queued records are durable on return.
+func (j *Journal) close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.quit)
+	<-j.done
+	j.mu.Lock()
+	f := j.f
+	j.f = nil
+	err := j.err
+	j.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ---- encoding helpers ----
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendPose(b []byte, p geom.SE3) []byte {
+	b = appendF64(b, p.R.W)
+	b = appendF64(b, p.R.X)
+	b = appendF64(b, p.R.Y)
+	b = appendF64(b, p.R.Z)
+	return appendVec3(b, p.T)
+}
+func appendVec3(b []byte, v geom.Vec3) []byte {
+	b = appendF64(b, v.X)
+	b = appendF64(b, v.Y)
+	return appendF64(b, v.Z)
+}
+
+type byteReader struct {
+	buf []byte
+	off int
+	err bool
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.err || r.off+4 > len(r.buf) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+func (r *byteReader) u64() uint64 {
+	if r.err || r.off+8 > len(r.buf) {
+		r.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *byteReader) pose() geom.SE3 {
+	var p geom.SE3
+	p.R.W = r.f64()
+	p.R.X = r.f64()
+	p.R.Y = r.f64()
+	p.R.Z = r.f64()
+	p.T = r.vec3()
+	return p
+}
+func (r *byteReader) vec3() geom.Vec3 {
+	return geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()}
+}
+
+// ---- smap.Observer ----
+
+// KeyFrameAdded journals a keyframe insert with its full payload.
+func (j *Journal) KeyFrameAdded(kf *smap.KeyFrame) { j.append(opKeyFrame, wire.EncodeKeyFrame(kf)) }
+
+// MapPointAdded journals a map-point insert with its full payload.
+func (j *Journal) MapPointAdded(mp *smap.MapPoint) { j.append(opMapPoint, wire.EncodeMapPoint(mp)) }
+
+// KeyFrameErased journals a keyframe cull.
+func (j *Journal) KeyFrameErased(id smap.ID) { j.append(opEraseKeyFrame, appendU64(nil, id)) }
+
+// MapPointErased journals a map-point cull.
+func (j *Journal) MapPointErased(id smap.ID) { j.append(opEraseMapPoint, appendU64(nil, id)) }
+
+// ObservationAdded journals a keypoint-to-map-point binding.
+func (j *Journal) ObservationAdded(kfID, mpID smap.ID, kpIdx int) {
+	b := make([]byte, 0, 20)
+	b = appendU64(b, kfID)
+	b = appendU64(b, mpID)
+	b = appendU32(b, uint32(kpIdx))
+	j.append(opObservation, b)
+}
+
+// ---- merge.Journal ----
+
+// MergeApplied journals a merge boundary (informational: the transform
+// and insert sizes; the inserted entities follow as their own records).
+func (j *Journal) MergeApplied(tf geom.Sim3, insertedKFs, insertedMPs int) {
+	b := make([]byte, 0, 8*8+8)
+	b = appendF64(b, tf.R.W)
+	b = appendF64(b, tf.R.X)
+	b = appendF64(b, tf.R.Y)
+	b = appendF64(b, tf.R.Z)
+	b = appendVec3(b, tf.T)
+	b = appendF64(b, tf.S)
+	b = appendU32(b, uint32(insertedKFs))
+	b = appendU32(b, uint32(insertedMPs))
+	j.append(opMerge, b)
+}
+
+// PointsFused journals a duplicate-point fusion; replay redirects the
+// client point's bindings to the global point before erasing it.
+func (j *Journal) PointsFused(clientPt, globalPt smap.ID) {
+	b := make([]byte, 0, 16)
+	b = appendU64(b, clientPt)
+	b = appendU64(b, globalPt)
+	j.append(opFuse, b)
+}
+
+// PosesCorrected journals the post-adjustment poses of a merge's seam
+// BA and essential-graph optimization.
+func (j *Journal) PosesCorrected(kfPoses map[smap.ID]geom.SE3, mpPositions map[smap.ID]geom.Vec3) {
+	b := make([]byte, 0, 8+len(kfPoses)*64+len(mpPositions)*32)
+	b = appendU32(b, uint32(len(kfPoses)))
+	for id, p := range kfPoses {
+		b = appendU64(b, id)
+		b = appendPose(b, p)
+	}
+	b = appendU32(b, uint32(len(mpPositions)))
+	for id, v := range mpPositions {
+		b = appendU64(b, id)
+		b = appendVec3(b, v)
+	}
+	j.append(opPoses, b)
+}

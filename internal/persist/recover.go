@@ -1,0 +1,231 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/holo"
+	"slamshare/internal/smap"
+	"slamshare/internal/wire"
+)
+
+// Recovery is the result of rebuilding a session from disk.
+type Recovery struct {
+	// Map is the restored global map with covisibility and BoW indexes
+	// rebuilt; returning clients relocalize against it.
+	Map *smap.Map
+	// Anchors is the restored hologram anchor registry.
+	Anchors *holo.Registry
+	// CheckpointLoaded reports whether a checkpoint seeded the map (as
+	// opposed to a pure journal replay from empty).
+	CheckpointLoaded bool
+	// CheckpointSeq is the journal sequence the checkpoint covered.
+	CheckpointSeq uint64
+	// LastSeq is the highest journal sequence applied; a new journal
+	// must continue from it.
+	LastSeq uint64
+	// ReplayedRecords counts journal records applied on top of the
+	// checkpoint.
+	ReplayedRecords int
+	// ReplayTime is the wall time spent loading and replaying.
+	ReplayTime time.Duration
+}
+
+// Recover rebuilds the global map and anchor registry from the
+// checkpoint directory: load the newest valid checkpoint (corrupt ones
+// are skipped, falling back to older snapshots), replay every journal
+// record with a later sequence number, stop at the first torn or
+// corrupt record, and rebuild the covisibility graph. An empty or
+// missing directory yields an empty map, so servers can pass their
+// checkpoint dir unconditionally.
+func Recover(dir string, voc *bow.Vocabulary) (*Recovery, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		m, anchors, seq, err := readCheckpoint(checkpointPath(dir, ckpts[i]), voc)
+		if err != nil {
+			continue // corrupt or stale-format checkpoint: fall back
+		}
+		rec.Map, rec.Anchors = m, anchors
+		rec.CheckpointSeq = seq
+		rec.CheckpointLoaded = true
+		break
+	}
+	if rec.Map == nil {
+		rec.Map = smap.NewMap(voc)
+	}
+	if rec.Anchors == nil {
+		rec.Anchors = holo.NewRegistry()
+	}
+	rec.LastSeq = rec.CheckpointSeq
+
+	journals, err := listJournals(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, base := range journals {
+		ok := replayJournal(journalPath(dir, base), rec)
+		if !ok {
+			// A corrupt record means everything after it is suspect;
+			// the torn tail of the crash-time journal ends replay.
+			break
+		}
+	}
+
+	// The journal captures observations as they happened, but the
+	// covisibility edges of replayed keyframes reflect insert-time
+	// state. Recompute them all (minShared 15, the system-wide default)
+	// so merge candidate search and local-map tracking see the same
+	// graph the live map had. The BoW index was rebuilt incrementally
+	// by AddKeyFrame during checkpoint decode and replay.
+	for _, kf := range rec.Map.KeyFrames() {
+		rec.Map.UpdateConnections(kf.ID, 15)
+	}
+	rec.ReplayTime = time.Since(start)
+	return rec, nil
+}
+
+// replayJournal applies one journal file's records with seq beyond the
+// checkpoint. Returns false if it hit a corrupt record (replay must
+// stop — later files would have sequence gaps).
+func replayJournal(path string, rec *Recovery) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	if len(data) < journalHeaderBytes ||
+		binary.LittleEndian.Uint32(data) != journalMagic || data[4] != journalVersion {
+		return false
+	}
+	off := journalHeaderBytes
+	for off+recordHeaderBytes <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < 9 || n > maxRecordBytes || off+8+n > len(data) {
+			return false // torn tail
+		}
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return false // torn or corrupt record
+		}
+		seq := binary.LittleEndian.Uint64(payload)
+		op := payload[8]
+		body := payload[9:]
+		off += 8 + n
+		if seq <= rec.CheckpointSeq {
+			continue // already in the checkpoint snapshot
+		}
+		applyRecord(rec.Map, op, body)
+		if seq > rec.LastSeq {
+			rec.LastSeq = seq
+		}
+		rec.ReplayedRecords++
+	}
+	return off == len(data)
+}
+
+// applyRecord replays one journal record onto the map. All operations
+// are idempotent or tolerant of missing entities, because the
+// checkpoint snapshot may already include mutations journaled just
+// after the snapshot's sequence point.
+func applyRecord(m *smap.Map, op byte, body []byte) {
+	switch op {
+	case opKeyFrame:
+		if kf, _, err := wire.DecodeKeyFrame(body); err == nil {
+			m.AddKeyFrame(kf)
+		}
+	case opMapPoint:
+		if mp, _, err := wire.DecodeMapPoint(body); err == nil {
+			m.AddMapPoint(mp)
+		}
+	case opEraseKeyFrame:
+		if len(body) >= 8 {
+			m.EraseKeyFrame(binary.LittleEndian.Uint64(body))
+		}
+	case opEraseMapPoint:
+		if len(body) >= 8 {
+			m.EraseMapPoint(binary.LittleEndian.Uint64(body))
+		}
+	case opObservation:
+		r := &byteReader{buf: body}
+		kfID, mpID, kpIdx := r.u64(), r.u64(), int(r.u32())
+		if !r.err {
+			_ = m.AddObservation(kfID, mpID, kpIdx) // entities may be gone
+		}
+	case opFuse:
+		r := &byteReader{buf: body}
+		from, to := r.u64(), r.u64()
+		if !r.err {
+			applyFuse(m, from, to)
+		}
+	case opPoses:
+		applyPoses(m, body)
+	case opMerge:
+		// Informational boundary marker; the inserted entities and
+		// corrections follow as their own records.
+	}
+}
+
+// applyFuse mirrors merge.Merger's point fusion: redirect the client
+// point's keypoint bindings to the surviving global point, then erase
+// it. The subsequent journaled erase record becomes a no-op.
+func applyFuse(m *smap.Map, from, to smap.ID) {
+	fp, ok := m.MapPoint(from)
+	if !ok {
+		return
+	}
+	tp, ok := m.MapPoint(to)
+	if !ok || fp == tp {
+		return
+	}
+	for kfID, kpI := range fp.Obs {
+		kf, ok := m.KeyFrame(kfID)
+		if !ok {
+			continue
+		}
+		if kpI < len(kf.MapPoints) && kf.MapPoints[kpI] == from {
+			kf.MapPoints[kpI] = to
+			tp.Obs[kfID] = kpI
+		}
+	}
+	m.EraseMapPoint(from)
+}
+
+// applyPoses replays a pose-graph correction: overwrite keyframe poses
+// and map point positions with the optimized values.
+func applyPoses(m *smap.Map, body []byte) {
+	r := &byteReader{buf: body}
+	nkf := int(r.u32())
+	for i := 0; i < nkf && !r.err; i++ {
+		id := r.u64()
+		p := r.pose()
+		if r.err {
+			return
+		}
+		if kf, ok := m.KeyFrame(id); ok {
+			kf.Tcw = p
+		}
+	}
+	nmp := int(r.u32())
+	for i := 0; i < nmp && !r.err; i++ {
+		id := r.u64()
+		v := r.vec3()
+		if r.err {
+			return
+		}
+		if mp, ok := m.MapPoint(id); ok {
+			mp.Pos = v
+		}
+	}
+}

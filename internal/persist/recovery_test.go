@@ -1,0 +1,207 @@
+package persist_test
+
+// End-to-end crash recovery: two clients build a shared map, the
+// server dies mid-session — after the merge hit the journal but before
+// any checkpoint — and a fresh server recovers the map from the
+// journal alone. The returning client resumes by BoW relocalization
+// and its post-recovery accuracy matches an uninterrupted run.
+
+import (
+	"testing"
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/geom"
+	"slamshare/internal/metrics"
+	"slamshare/internal/persist"
+	"slamshare/internal/server"
+)
+
+const (
+	crashExtraFrames  = 40  // frames driven after both merges, pre-crash
+	resumeFrames      = 120 // frames driven after the restart
+	recoveryTolerance = 0.15
+)
+
+// twoClientRun drives clients A (MH04) and B (displaced MH05) through
+// their sessions until both merged, then extra more frames. Returns
+// the frame index the run stopped at.
+func twoClientRun(t *testing.T, sessA, sessB *server.Session, devA, devB *client.Client, startFrame, extra int) int {
+	t.Helper()
+	i := startFrame
+	remaining := -1
+	for ; i < 1200; i += 2 {
+		msgA := devA.BuildFrame(i)
+		ra, err := sessA.HandleFrame(msgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devA.ApplyPose(i, ra.Pose, ra.Tracked)
+		msgB := devB.BuildFrame(i)
+		rb, err := sessB.HandleFrame(msgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devB.ApplyPose(i, rb.Pose, rb.Tracked)
+		if remaining < 0 && sessA.Merged() && sessB.Merged() {
+			remaining = extra
+		}
+		if remaining >= 0 {
+			if remaining == 0 {
+				break
+			}
+			remaining -= 2
+		}
+	}
+	if remaining < 0 {
+		t.Fatalf("sessions never both merged (stopped at frame %d)", i)
+	}
+	return i
+}
+
+func groundTruth(seq *dataset.Sequence, upTo int) metrics.Trajectory {
+	var tr metrics.Trajectory
+	for i := 0; i < upTo && i < seq.FrameCount(); i += 2 {
+		tr.Append(seq.FrameTime(i), seq.GroundTruth(i).T)
+	}
+	return tr
+}
+
+func TestCrashRecoveryMatchesUninterruptedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute end-to-end run")
+	}
+
+	newDevices := func() (*client.Client, *client.Client) {
+		seqA := dataset.MH04(camera.Stereo)
+		seqB := dataset.MH05(camera.Stereo)
+		return client.New(1, seqA), client.NewDisplaced(2, seqB, 0.07, geom.Vec3{X: 0.5, Y: -0.3})
+	}
+
+	// ---- Reference: the same session with no crash. ----
+	refSrv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refA, refB := newDevices()
+	refSessA, err := refSrv.OpenSession(1, refA.Seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSessB, err := refSrv.OpenSession(2, refB.Seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCrashFrame := twoClientRun(t, refSessA, refSessB, refA, refB, 0, crashExtraFrames)
+	// Keep going through what will be the post-crash window below.
+	for i := refCrashFrame + 2; i < refCrashFrame+resumeFrames; i += 2 {
+		msg := refA.BuildFrame(i)
+		r, err := refSessA.HandleFrame(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refA.ApplyPose(i, r.Pose, r.Tracked)
+	}
+	refSrv.Close()
+
+	// ---- Crash run: journal on, no checkpoint ticker. ----
+	dir := t.TempDir()
+	cfg := server.DefaultConfig()
+	cfg.Persist = persist.Options{Dir: dir, CheckpointEvery: -1}
+	srv1, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devA, devB := newDevices()
+	sessA1, err := srv1.OpenSession(1, devA.Seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB1, err := srv1.OpenSession(2, devB.Seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashFrame := twoClientRun(t, sessA1, sessB1, devA, devB, 0, crashExtraFrames)
+	wantKFs, wantMPs := srv1.Global().NKeyFrames(), srv1.Global().NMapPoints()
+	if wantKFs == 0 || wantMPs == 0 {
+		t.Fatal("crash run built no map")
+	}
+	// Kill: flush the journal (the records were appended before the
+	// crash) and abandon the server. Close writes no checkpoint, so the
+	// on-disk state is exactly a mid-merge crash: journal only.
+	srv1.Close()
+
+	// ---- Restart and recover. ----
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	rec := srv2.Recovery()
+	if rec == nil || rec.CheckpointLoaded {
+		t.Fatalf("expected journal-only recovery, got %+v", rec)
+	}
+	if rec.ReplayedRecords == 0 {
+		t.Fatal("no journal records replayed")
+	}
+	// The baseline system reloads a serialized map in ~8 s (Table 4);
+	// journal replay must be well under that.
+	if rec.ReplayTime > 4*time.Second {
+		t.Errorf("replay took %v, want well under the baseline's ~8s", rec.ReplayTime)
+	}
+	gotKFs, gotMPs := srv2.Global().NKeyFrames(), srv2.Global().NMapPoints()
+	if gotKFs != wantKFs || gotMPs != wantMPs {
+		t.Fatalf("restored map: %d keyframes / %d points, want %d / %d",
+			gotKFs, gotMPs, wantKFs, wantMPs)
+	}
+
+	// ---- Returning client resumes by relocalization. ----
+	sessA2, err := srv2.OpenSession(1, devA.Seq.Rig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sessA2.Merged() {
+		t.Fatal("returning client was not resumed onto the recovered map")
+	}
+	devA.Reconnect() // restart the video stream with an intra frame
+	tracked := 0
+	frames := 0
+	for i := crashFrame + 2; i < crashFrame+resumeFrames; i += 2 {
+		msg := devA.BuildFrame(i)
+		r, err := sessA2.HandleFrame(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devA.ApplyPose(i, r.Pose, r.Tracked)
+		frames++
+		if r.Tracked {
+			tracked++
+		}
+	}
+	if tracked == 0 {
+		t.Fatal("client never relocalized against the recovered map")
+	}
+	if tracked < frames/2 {
+		t.Errorf("only %d/%d frames tracked after recovery", tracked, frames)
+	}
+
+	// ---- Post-relocalization accuracy vs the uninterrupted run. ----
+	truth := groundTruth(devA.Seq, crashFrame+resumeFrames)
+	t0 := devA.Seq.FrameTime(crashFrame)
+	t1 := devA.Seq.FrameTime(crashFrame + resumeFrames)
+	refATE := metrics.ATEWindow(refA.Trajectory(), truth, t0, t1)
+	recATE := metrics.ATEWindow(devA.Trajectory(), truth, t0, t1)
+	delta := recATE - refATE
+	if delta > recoveryTolerance {
+		t.Errorf("post-recovery ATE %.3f m vs uninterrupted %.3f m (delta %.3f > %.2f)",
+			recATE, refATE, delta, recoveryTolerance)
+	}
+	srv2.Persist().Stats().RecoveryATEDelta.Set(delta)
+	if got := srv2.Persist().Stats().RecoveryATEDelta.Load(); got != delta {
+		t.Errorf("RecoveryATEDelta gauge: got %v, want %v", got, delta)
+	}
+	t.Logf("recovery: %d records in %v; ATE %.3f m (ref %.3f m, delta %+.3f m); %d/%d tracked",
+		rec.ReplayedRecords, rec.ReplayTime, recATE, refATE, delta, tracked, frames)
+}

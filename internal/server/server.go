@@ -16,11 +16,13 @@ import (
 	"slamshare/internal/feature"
 	"slamshare/internal/geom"
 	"slamshare/internal/gpu"
+	"slamshare/internal/holo"
 	"slamshare/internal/img"
 	"slamshare/internal/imu"
 	"slamshare/internal/mapping"
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
+	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
 	"slamshare/internal/shm"
 	"slamshare/internal/smap"
@@ -52,6 +54,11 @@ type Config struct {
 	TrackCfg tracking.Config
 	MapCfg   mapping.Config
 	MergeCfg merge.Config
+	// Persist enables durable checkpoints + write-ahead journaling of
+	// the global map when Persist.Dir is non-empty. On startup the
+	// server recovers the map from that directory (latest checkpoint +
+	// journal replay); returning clients then resume by relocalization.
+	Persist persist.Options
 }
 
 // DefaultConfig returns the experiment configuration.
@@ -73,11 +80,14 @@ var regionSeq struct {
 
 // Server is the SLAM-Share edge server.
 type Server struct {
-	cfg    Config
-	voc    *bow.Vocabulary
-	region *shm.Region
-	global *smap.Map
-	gmu    *sync.RWMutex // the named shareable mutex guarding the global map
+	cfg     Config
+	voc     *bow.Vocabulary
+	region  *shm.Region
+	global  *smap.Map
+	gmu     *sync.RWMutex // the named shareable mutex guarding the global map
+	anchors *holo.Registry
+	pmgr    *persist.Manager
+	rec     *persist.Recovery
 
 	mu       sync.Mutex
 	sessions map[uint32]*Session
@@ -112,22 +122,67 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// With persistence enabled the global map is recovered from disk
+	// (empty directory → empty map) instead of starting fresh, and a
+	// manager journals every mutation from here on.
 	global := smap.NewMap(voc)
+	anchors := holo.NewRegistry()
+	var rec *persist.Recovery
+	var pmgr *persist.Manager
+	if cfg.Persist.Dir != "" {
+		rec, err = persist.Recover(cfg.Persist.Dir, voc)
+		if err != nil {
+			shm.Unlink(region.Name())
+			return nil, fmt.Errorf("server: recover: %w", err)
+		}
+		global = rec.Map
+		anchors = rec.Anchors
+	}
 	region.Publish("globalmap", global)
+	gmu := region.NamedMutex("globalmap")
+	if cfg.Persist.Dir != "" {
+		pmgr, err = persist.Open(cfg.Persist, global, anchors, rec.LastSeq, gmu)
+		if err != nil {
+			shm.Unlink(region.Name())
+			return nil, fmt.Errorf("server: persist: %w", err)
+		}
+		pmgr.Stats().ReplayedRecords.Add(int64(rec.ReplayedRecords))
+		pmgr.Stats().ReplayLat.Add(rec.ReplayTime)
+	}
 	return &Server{
 		cfg:      cfg,
 		voc:      voc,
 		region:   region,
 		global:   global,
-		gmu:      region.NamedMutex("globalmap"),
+		gmu:      gmu,
+		anchors:  anchors,
+		pmgr:     pmgr,
+		rec:      rec,
 		sessions: make(map[uint32]*Session),
 	}, nil
 }
 
-// Close releases the shared-memory region name.
+// Close releases the shared-memory region name and, when persistence
+// is enabled, flushes and closes the journal (without a final
+// checkpoint, so restart always exercises recovery).
 func (s *Server) Close() {
+	if s.pmgr != nil {
+		s.pmgr.Close()
+	}
 	shm.Unlink(s.region.Name())
 }
+
+// Anchors returns the session's hologram anchor registry. It is
+// included in checkpoints when persistence is enabled.
+func (s *Server) Anchors() *holo.Registry { return s.anchors }
+
+// Persist returns the persistence manager, or nil when disabled.
+func (s *Server) Persist() *persist.Manager { return s.pmgr }
+
+// Recovery returns the startup recovery summary, or nil when the
+// server started without persistence.
+func (s *Server) Recovery() *persist.Recovery { return s.rec }
 
 // Global returns the shared global map.
 func (s *Server) Global() *smap.Map { return s.global }
@@ -189,7 +244,14 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 	if _, ok := s.sessions[clientID]; ok {
 		return nil, fmt.Errorf("server: client %d already connected", clientID)
 	}
-	alloc := smap.NewIDAllocator(int(clientID))
+	// A returning client after a server recovery already has keyframes
+	// in the restored global map: seed its allocator past the highest
+	// sequence it used before the crash so fresh IDs never collide.
+	resumeSeq := smap.ID(0)
+	if s.rec != nil {
+		resumeSeq = s.global.MaxSeq(int(clientID))
+	}
+	alloc := smap.NewIDAllocatorFrom(int(clientID), resumeSeq)
 	localMap := smap.NewMap(s.voc)
 	ex := feature.NewExtractor(feature.DefaultConfig())
 	var searchPar feature.Parallelizer
@@ -209,6 +271,15 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 		localMap: localMap,
 		decL:     video.NewDecoder(),
 		decR:     video.NewDecoder(),
+	}
+	if resumeSeq > 0 {
+		// Resume the session directly on the recovered global map: the
+		// tracker starts Lost and relocalizes by BoW against the map it
+		// helped build, skipping the local-map + merge bootstrap.
+		sess.merged = true
+		sess.tracker.Map = s.global
+		sess.mapper.Map = s.global
+		sess.tracker.ResumeLost()
 	}
 	s.sessions[clientID] = sess
 	return sess, nil
@@ -319,6 +390,9 @@ func (sess *Session) tryMerge() bool {
 	s := sess.srv
 	s.gmu.Lock()
 	merger := merge.New(s.global, sess.rig.Intr, s.cfg.MergeCfg)
+	if s.pmgr != nil {
+		merger.Journal = s.pmgr.Journal()
+	}
 	rep, err := merger.Merge(sess.localMap)
 	if err == nil && rep.Alignment != nil {
 		// Transform this session's live tracking state into global

@@ -36,6 +36,14 @@ func NewIDAllocator(client int) *IDAllocator {
 	return &IDAllocator{next: ID(client)<<ClientIDBits + 1}
 }
 
+// NewIDAllocatorFrom returns an allocator for the client whose next ID
+// follows the given per-client sequence number — used when a client
+// reconnects to a recovered map so fresh IDs never collide with the
+// IDs it allocated before the server restart.
+func NewIDAllocatorFrom(client int, seq ID) *IDAllocator {
+	return &IDAllocator{next: ID(client)<<ClientIDBits + seq + 1}
+}
+
 // Next returns a fresh ID.
 func (a *IDAllocator) Next() ID {
 	a.mu.Lock()
@@ -47,6 +55,27 @@ func (a *IDAllocator) Next() ID {
 
 // ClientOf extracts the client index an ID was allocated by.
 func ClientOf(id ID) int { return int(id >> ClientIDBits) }
+
+// SeqOf extracts the per-client sequence number of an ID.
+func SeqOf(id ID) ID { return id & (ID(1)<<ClientIDBits - 1) }
+
+// Observer receives notifications of map mutations. It is how the
+// persistence layer journals the shared global map without the map
+// depending on it. Callbacks run with the map's internal lock held:
+// implementations must be fast and must not call back into the Map.
+type Observer interface {
+	// KeyFrameAdded fires after a keyframe is inserted (or re-inserted).
+	KeyFrameAdded(kf *KeyFrame)
+	// MapPointAdded fires after a map point is inserted.
+	MapPointAdded(mp *MapPoint)
+	// KeyFrameErased fires after a keyframe is removed.
+	KeyFrameErased(id ID)
+	// MapPointErased fires after a map point is removed.
+	MapPointErased(id ID)
+	// ObservationAdded fires after a keypoint-to-map-point binding is
+	// established through AddObservation.
+	ObservationAdded(kfID, mpID ID, kpIdx int)
+}
 
 // KeyFrame is a camera frame promoted into the map: its pose, its
 // extracted keypoints, its bag-of-words encoding, and its links to the
@@ -115,6 +144,15 @@ type Map struct {
 	// order preserves keyframe insertion order for iteration and
 	// serialization determinism.
 	order []ID
+	// obs, when set, is notified of every mutation (persistence WAL).
+	obs Observer
+}
+
+// SetObserver installs (or removes, with nil) the mutation observer.
+func (m *Map) SetObserver(o Observer) {
+	m.mu.Lock()
+	m.obs = o
+	m.mu.Unlock()
 }
 
 // NewMap returns an empty map using the given vocabulary for its BoW
@@ -158,6 +196,9 @@ func (m *Map) addKeyFrameLocked(kf *KeyFrame) {
 	}
 	m.keyframes[kf.ID] = kf
 	m.bowDB.Add(kf.ID, kf.Bow)
+	if m.obs != nil {
+		m.obs.KeyFrameAdded(kf)
+	}
 }
 
 // AddMapPoint inserts a map point.
@@ -172,6 +213,9 @@ func (m *Map) addMapPointLocked(mp *MapPoint) {
 		mp.Obs = make(map[ID]int)
 	}
 	m.points[mp.ID] = mp
+	if m.obs != nil {
+		m.obs.MapPointAdded(mp)
+	}
 }
 
 // KeyFrame returns the keyframe with the given id.
@@ -202,6 +246,27 @@ func (m *Map) NMapPoints() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return len(m.points)
+}
+
+// MaxSeq returns the highest per-client sequence number any keyframe
+// or map point of the given client carries — 0 when the client has no
+// content in the map. Reconnecting clients seed their ID allocator
+// past it (NewIDAllocatorFrom) after a server recovery.
+func (m *Map) MaxSeq(client int) ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var max ID
+	for id := range m.keyframes {
+		if ClientOf(id) == client && SeqOf(id) > max {
+			max = SeqOf(id)
+		}
+	}
+	for id := range m.points {
+		if ClientOf(id) == client && SeqOf(id) > max {
+			max = SeqOf(id)
+		}
+	}
+	return max
 }
 
 // KeyFrames returns all keyframes in insertion order.
@@ -251,6 +316,9 @@ func (m *Map) EraseKeyFrame(id ID) {
 	}
 	delete(m.keyframes, id)
 	m.bowDB.Remove(id)
+	if m.obs != nil {
+		m.obs.KeyFrameErased(id)
+	}
 }
 
 // EraseMapPoint removes a map point and detaches it from its
@@ -268,6 +336,9 @@ func (m *Map) EraseMapPoint(id ID) {
 		}
 	}
 	delete(m.points, id)
+	if m.obs != nil {
+		m.obs.MapPointErased(id)
+	}
 }
 
 // AddObservation links keyframe kf's keypoint kpIdx to map point mp
@@ -288,6 +359,9 @@ func (m *Map) AddObservation(kfID, mpID ID, kpIdx int) error {
 	}
 	kf.MapPoints[kpIdx] = mpID
 	mp.Obs[kfID] = kpIdx
+	if m.obs != nil {
+		m.obs.ObservationAdded(kfID, mpID, kpIdx)
+	}
 	return nil
 }
 

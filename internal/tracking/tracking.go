@@ -500,6 +500,16 @@ func (t *Tracker) needKeyFrame(fr *Frame, inliers int) bool {
 	return float64(inliers) < t.Cfg.KFTrackedRatio*float64(ref.TrackedPoints())
 }
 
+// ResumeLost starts the tracker in the Lost state against a non-empty
+// (typically recovered) map, so the first frames relocalize by BoW
+// place recognition instead of initializing a fresh map — how a
+// returning client resumes its session after a server restart.
+func (t *Tracker) ResumeLost() {
+	if t.Map != nil && t.Map.NKeyFrames() > 0 {
+		t.state = Lost
+	}
+}
+
 // ApplyTransform moves the tracker's live state (last frame pose and
 // motion model) through a similarity transform — called when the map
 // this tracker operates in is merged into another map's coordinate

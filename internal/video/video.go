@@ -86,6 +86,14 @@ func NewEncoder() *Encoder {
 	return &Encoder{GOP: 30, Deadzone: 5}
 }
 
+// Reset restarts the stream: the next frame encodes intra, with no
+// reference to earlier frames. Clients call it when (re)connecting so
+// a fresh server-side decoder has a reference to start from.
+func (e *Encoder) Reset() {
+	e.recon = nil
+	e.count = 0
+}
+
 // blockSize is the motion-compensation block edge in pixels.
 const blockSize = 8
 

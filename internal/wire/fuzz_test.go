@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"slamshare/internal/bow"
+)
+
+// FuzzDecodeMap hammers the map decoder with arbitrary bytes: it must
+// return an error or a structurally valid map — never panic and never
+// over-allocate (the count guards bound every allocation by the bytes
+// actually present, so even a 16 MiB fuzz input cannot request more
+// than its own length in slices).
+func FuzzDecodeMap(f *testing.F) {
+	voc := bow.Default()
+	// Seed corpus: valid encodings of varied shapes, plus classic
+	// corruptions of each.
+	for seed := int64(1); seed <= 3; seed++ {
+		m := randomMap(seed, int(seed)+1, 10*int(seed), 8*int(seed))
+		data := EncodeMap(m)
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(data[:5])
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/3] ^= 0xFF
+		f.Add(flipped)
+		// Absurd keyframe count with no backing bytes.
+		huge := append([]byte(nil), data[:9]...)
+		huge = binary.LittleEndian.AppendUint32(huge, 1<<21)
+		f.Add(huge)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SLAMSLAMSLAMSLAM"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMap(data, voc)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil map returned with error")
+			}
+			return
+		}
+		// A successfully decoded map must be internally consistent
+		// enough to use: binding slices sized to keypoints.
+		for _, kf := range m.KeyFrames() {
+			if len(kf.MapPoints) != len(kf.Keypoints) {
+				t.Fatalf("keyframe %d: %d bindings for %d keypoints",
+					kf.ID, len(kf.MapPoints), len(kf.Keypoints))
+			}
+		}
+	})
+}
+
+// FuzzDecodeKeyFrame covers the journal-record entity decoder the
+// persistence layer replays on recovery.
+func FuzzDecodeKeyFrame(f *testing.F) {
+	m := randomMap(4, 2, 12, 6)
+	for _, kf := range m.KeyFrames() {
+		data := EncodeKeyFrame(kf)
+		f.Add(data)
+		f.Add(data[:len(data)-3])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kf, n, err := DecodeKeyFrame(data)
+		if err == nil {
+			if n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			if len(kf.MapPoints) != len(kf.Keypoints) {
+				t.Fatal("binding slice mismatch")
+			}
+		}
+	})
+}

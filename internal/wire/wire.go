@@ -2,7 +2,14 @@
 // frames. It is the cost the baseline pays on every merge round
 // (serialize → transfer → deserialize, Table 4 rows 2/4/5) and what
 // SLAM-Share's shared-memory design eliminates; it also measures the
-// map sizes of Table 1.
+// map sizes of Table 1, and provides the per-entity encoders the
+// persistence journal (internal/persist) records map mutations with.
+//
+// Every top-level encoding starts with a magic number and a format
+// version byte; decoders reject mismatches instead of misparsing stale
+// or corrupt checkpoints, and bound every allocation by the bytes
+// actually present in the input so corrupt counts can neither panic
+// nor over-allocate.
 package wire
 
 import (
@@ -20,12 +27,35 @@ import (
 // ErrCorrupt is returned when decoding fails.
 var ErrCorrupt = errors.New("wire: corrupt map encoding")
 
-const mapMagic = 0x534C414D // "SLAM"
+// ErrVersion is returned when an encoding carries an unknown format
+// version — a stale checkpoint or a newer writer.
+var ErrVersion = errors.New("wire: unsupported format version")
+
+// FormatVersion is the version byte every encoding carries after its
+// magic number. Bump it whenever the layout changes.
+const FormatVersion = 1
+
+const (
+	mapMagic  = 0x534C414D // "SLAM"
+	poseMagic = 0x534C5053 // "SLPS"
+)
+
+// Minimum encoded sizes per entity, used to bound allocations against
+// the remaining input before trusting a decoded count.
+const (
+	minKeypointBytes = 7*4 + feature.DescriptorBytes + 8
+	minKeyFrameBytes = 8 + 4 + 8 + 4 + 7*8 + 3*4
+	minMapPointBytes = 8 + 4 + 3*8 + feature.DescriptorBytes + 3*8 + 8 + 4
+	minBowBytes      = 4 + 4
+	minConnBytes     = 8 + 4
+	minObsBytes      = 8 + 4
+)
 
 type writer struct {
 	buf []byte
 }
 
+func (w *writer) u8(v byte) { w.buf = append(w.buf, v) }
 func (w *writer) u32(v uint32) {
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
 }
@@ -57,6 +87,15 @@ type reader struct {
 	err error
 }
 
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
 func (r *reader) u32() uint32 {
 	if r.err != nil || r.off+4 > len(r.buf) {
 		r.err = ErrCorrupt
@@ -92,6 +131,196 @@ func (r *reader) vec3() geom.Vec3 {
 	return geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()}
 }
 
+// count reads an element count and validates it against the remaining
+// input: at least minBytes per element must still be present, so a
+// corrupt count can never drive an over-allocation.
+func (r *reader) count(minBytes int) (int, bool) {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > (len(r.buf)-r.off)/minBytes {
+		r.err = ErrCorrupt
+		return 0, false
+	}
+	return n, true
+}
+
+// checkHeader consumes and validates a magic + version header.
+func (r *reader) checkHeader(magic uint32) error {
+	if r.u32() != magic || r.err != nil {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.u8(); r.err != nil || v != FormatVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, v, FormatVersion)
+	}
+	return nil
+}
+
+func appendKeyFrame(w *writer, kf *smap.KeyFrame) {
+	w.u64(kf.ID)
+	w.u32(uint32(kf.Client))
+	w.f64(kf.Stamp)
+	w.u32(uint32(kf.FrameIdx))
+	w.pose(kf.Tcw)
+	w.u32(uint32(len(kf.Keypoints)))
+	for i, kp := range kf.Keypoints {
+		w.f32(kp.X)
+		w.f32(kp.Y)
+		w.u32(uint32(kp.Level))
+		w.f32(kp.Angle)
+		w.f32(kp.Score)
+		w.f32(kp.Right)
+		w.f32(kp.Depth)
+		b := kp.Desc.Bytes()
+		w.buf = append(w.buf, b[:]...)
+		w.u64(kf.MapPoints[i])
+	}
+	w.u32(uint32(len(kf.Bow)))
+	for wid, val := range kf.Bow {
+		w.u32(uint32(wid))
+		w.f32(val)
+	}
+	w.u32(uint32(len(kf.Conns)))
+	for id, weight := range kf.Conns {
+		w.u64(id)
+		w.u32(uint32(weight))
+	}
+}
+
+func readKeyFrame(r *reader) (*smap.KeyFrame, error) {
+	kf := &smap.KeyFrame{}
+	kf.ID = r.u64()
+	kf.Client = int(r.u32())
+	kf.Stamp = r.f64()
+	kf.FrameIdx = int(r.u32())
+	kf.Tcw = r.pose()
+	nkp, ok := r.count(minKeypointBytes)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	kf.Keypoints = make([]feature.Keypoint, nkp)
+	kf.MapPoints = make([]smap.ID, nkp)
+	for i := 0; i < nkp; i++ {
+		kp := &kf.Keypoints[i]
+		kp.X = r.f32()
+		kp.Y = r.f32()
+		kp.Level = int(r.u32())
+		kp.Angle = r.f32()
+		kp.Score = r.f32()
+		kp.Right = r.f32()
+		kp.Depth = r.f32()
+		if r.off+feature.DescriptorBytes > len(r.buf) {
+			return nil, ErrCorrupt
+		}
+		var db [feature.DescriptorBytes]byte
+		copy(db[:], r.buf[r.off:])
+		r.off += feature.DescriptorBytes
+		kp.Desc = feature.DescriptorFromBytes(db)
+		kf.MapPoints[i] = r.u64()
+	}
+	nbow, ok := r.count(minBowBytes)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	kf.Bow = make(bow.Vec, nbow)
+	for i := 0; i < nbow; i++ {
+		wid := bow.WordID(r.u32())
+		kf.Bow[wid] = r.f32()
+	}
+	nconn, ok := r.count(minConnBytes)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	kf.Conns = make(map[smap.ID]int, nconn)
+	for i := 0; i < nconn; i++ {
+		id := r.u64()
+		kf.Conns[id] = int(r.u32())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return kf, nil
+}
+
+func appendMapPoint(w *writer, mp *smap.MapPoint) {
+	w.u64(mp.ID)
+	w.u32(uint32(mp.Client))
+	w.vec3(mp.Pos)
+	b := mp.Desc.Bytes()
+	w.buf = append(w.buf, b[:]...)
+	w.vec3(mp.Normal)
+	w.u64(mp.RefKF)
+	w.u32(uint32(len(mp.Obs)))
+	for kfID, kpI := range mp.Obs {
+		w.u64(kfID)
+		w.u32(uint32(kpI))
+	}
+}
+
+func readMapPoint(r *reader) (*smap.MapPoint, error) {
+	mp := &smap.MapPoint{Obs: make(map[smap.ID]int)}
+	mp.ID = r.u64()
+	mp.Client = int(r.u32())
+	mp.Pos = r.vec3()
+	if r.err != nil || r.off+feature.DescriptorBytes > len(r.buf) {
+		return nil, ErrCorrupt
+	}
+	var db [feature.DescriptorBytes]byte
+	copy(db[:], r.buf[r.off:])
+	r.off += feature.DescriptorBytes
+	mp.Desc = feature.DescriptorFromBytes(db)
+	mp.Normal = r.vec3()
+	mp.RefKF = r.u64()
+	nobs, ok := r.count(minObsBytes)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < nobs; i++ {
+		kfID := r.u64()
+		mp.Obs[kfID] = int(r.u32())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return mp, nil
+}
+
+// EncodeKeyFrame serializes one keyframe (pose, keypoints with
+// descriptors, BoW vector, bindings, covisibility) — a journal record
+// payload for the persistence layer.
+func EncodeKeyFrame(kf *smap.KeyFrame) []byte {
+	w := &writer{buf: make([]byte, 0, 256+len(kf.Keypoints)*(minKeypointBytes+4))}
+	appendKeyFrame(w, kf)
+	return w.buf
+}
+
+// DecodeKeyFrame reconstructs a keyframe serialized by EncodeKeyFrame
+// and reports the number of bytes consumed.
+func DecodeKeyFrame(data []byte) (*smap.KeyFrame, int, error) {
+	r := &reader{buf: data}
+	kf, err := readKeyFrame(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return kf, r.off, nil
+}
+
+// EncodeMapPoint serializes one map point.
+func EncodeMapPoint(mp *smap.MapPoint) []byte {
+	w := &writer{buf: make([]byte, 0, minMapPointBytes+len(mp.Obs)*minObsBytes)}
+	appendMapPoint(w, mp)
+	return w.buf
+}
+
+// DecodeMapPoint reconstructs a map point serialized by EncodeMapPoint
+// and reports the number of bytes consumed.
+func DecodeMapPoint(data []byte) (*smap.MapPoint, int, error) {
+	r := &reader{buf: data}
+	mp, err := readMapPoint(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mp, r.off, nil
+}
+
 // EncodeMap serializes a map: keyframes (poses, keypoints with
 // descriptors, BoW vectors, bindings, covisibility) and map points
 // (positions, descriptors, observations) — everything the baseline
@@ -99,156 +328,48 @@ func (r *reader) vec3() geom.Vec3 {
 func EncodeMap(m *smap.Map) []byte {
 	w := &writer{buf: make([]byte, 0, 1<<20)}
 	w.u32(mapMagic)
+	w.u8(FormatVersion)
 	kfs := m.KeyFrames()
 	mps := m.MapPoints()
 	w.u32(uint32(len(kfs)))
 	for _, kf := range kfs {
-		w.u64(kf.ID)
-		w.u32(uint32(kf.Client))
-		w.f64(kf.Stamp)
-		w.u32(uint32(kf.FrameIdx))
-		w.pose(kf.Tcw)
-		w.u32(uint32(len(kf.Keypoints)))
-		for i, kp := range kf.Keypoints {
-			w.f32(kp.X)
-			w.f32(kp.Y)
-			w.u32(uint32(kp.Level))
-			w.f32(kp.Angle)
-			w.f32(kp.Score)
-			w.f32(kp.Right)
-			w.f32(kp.Depth)
-			b := kp.Desc.Bytes()
-			w.buf = append(w.buf, b[:]...)
-			w.u64(kf.MapPoints[i])
-		}
-		w.u32(uint32(len(kf.Bow)))
-		for wid, val := range kf.Bow {
-			w.u32(uint32(wid))
-			w.f32(val)
-		}
-		w.u32(uint32(len(kf.Conns)))
-		for id, weight := range kf.Conns {
-			w.u64(id)
-			w.u32(uint32(weight))
-		}
+		appendKeyFrame(w, kf)
 	}
 	w.u32(uint32(len(mps)))
 	for _, mp := range mps {
-		w.u64(mp.ID)
-		w.u32(uint32(mp.Client))
-		w.vec3(mp.Pos)
-		b := mp.Desc.Bytes()
-		w.buf = append(w.buf, b[:]...)
-		w.vec3(mp.Normal)
-		w.u64(mp.RefKF)
-		w.u32(uint32(len(mp.Obs)))
-		for kfID, kpI := range mp.Obs {
-			w.u64(kfID)
-			w.u32(uint32(kpI))
-		}
+		appendMapPoint(w, mp)
 	}
 	return w.buf
 }
 
 // DecodeMap reconstructs a map serialized by EncodeMap, using voc for
-// the new map's BoW index.
+// the new map's BoW index. It returns an error — never panics, never
+// over-allocates — on truncated, corrupt, or version-mismatched input.
 func DecodeMap(data []byte, voc *bow.Vocabulary) (*smap.Map, error) {
 	r := &reader{buf: data}
-	if r.u32() != mapMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	if err := r.checkHeader(mapMagic); err != nil {
+		return nil, err
 	}
 	m := smap.NewMap(voc)
-	nkf := int(r.u32())
-	if r.err != nil || nkf < 0 || nkf > 1<<22 {
+	nkf, ok := r.count(minKeyFrameBytes)
+	if !ok {
 		return nil, ErrCorrupt
 	}
-	type obsFix struct {
-		mp  *smap.MapPoint
-		kf  smap.ID
-		idx int
-	}
 	for k := 0; k < nkf; k++ {
-		kf := &smap.KeyFrame{}
-		kf.ID = r.u64()
-		kf.Client = int(r.u32())
-		kf.Stamp = r.f64()
-		kf.FrameIdx = int(r.u32())
-		kf.Tcw = r.pose()
-		nkp := int(r.u32())
-		if r.err != nil || nkp < 0 || nkp > 1<<20 {
-			return nil, ErrCorrupt
-		}
-		kf.Keypoints = make([]feature.Keypoint, nkp)
-		kf.MapPoints = make([]smap.ID, nkp)
-		for i := 0; i < nkp; i++ {
-			kp := &kf.Keypoints[i]
-			kp.X = r.f32()
-			kp.Y = r.f32()
-			kp.Level = int(r.u32())
-			kp.Angle = r.f32()
-			kp.Score = r.f32()
-			kp.Right = r.f32()
-			kp.Depth = r.f32()
-			if r.off+32 > len(r.buf) {
-				return nil, ErrCorrupt
-			}
-			var db [32]byte
-			copy(db[:], r.buf[r.off:])
-			r.off += 32
-			kp.Desc = feature.DescriptorFromBytes(db)
-			kf.MapPoints[i] = r.u64()
-		}
-		nbow := int(r.u32())
-		if r.err != nil || nbow < 0 || nbow > 1<<20 {
-			return nil, ErrCorrupt
-		}
-		kf.Bow = make(bow.Vec, nbow)
-		for i := 0; i < nbow; i++ {
-			wid := bow.WordID(r.u32())
-			kf.Bow[wid] = r.f32()
-		}
-		nconn := int(r.u32())
-		if r.err != nil || nconn < 0 || nconn > 1<<20 {
-			return nil, ErrCorrupt
-		}
-		kf.Conns = make(map[smap.ID]int, nconn)
-		for i := 0; i < nconn; i++ {
-			id := r.u64()
-			kf.Conns[id] = int(r.u32())
-		}
-		if r.err != nil {
-			return nil, r.err
+		kf, err := readKeyFrame(r)
+		if err != nil {
+			return nil, err
 		}
 		m.AddKeyFrame(kf)
 	}
-	nmp := int(r.u32())
-	if r.err != nil || nmp < 0 || nmp > 1<<24 {
+	nmp, ok := r.count(minMapPointBytes)
+	if !ok {
 		return nil, ErrCorrupt
 	}
 	for k := 0; k < nmp; k++ {
-		mp := &smap.MapPoint{Obs: make(map[smap.ID]int)}
-		mp.ID = r.u64()
-		mp.Client = int(r.u32())
-		mp.Pos = r.vec3()
-		if r.off+32 > len(r.buf) {
-			return nil, ErrCorrupt
-		}
-		var db [32]byte
-		copy(db[:], r.buf[r.off:])
-		r.off += 32
-		mp.Desc = feature.DescriptorFromBytes(db)
-		mp.Normal = r.vec3()
-		mp.RefKF = r.u64()
-		nobs := int(r.u32())
-		if r.err != nil || nobs < 0 || nobs > 1<<20 {
-			return nil, ErrCorrupt
-		}
-		for i := 0; i < nobs; i++ {
-			kfID := r.u64()
-			mp.Obs[kfID] = int(r.u32())
-		}
-		if r.err != nil {
-			return nil, r.err
+		mp, err := readMapPoint(r)
+		if err != nil {
+			return nil, err
 		}
 		m.AddMapPoint(mp)
 	}
@@ -266,7 +387,9 @@ func MapSize(m *smap.Map) int { return len(EncodeMap(m)) }
 // to clients (the paper: "a small 4x4 matrix"), with the frame index
 // it answers.
 func EncodePose(frameIdx int, pose geom.SE3) []byte {
-	w := &writer{buf: make([]byte, 0, 8+16*8)}
+	w := &writer{buf: make([]byte, 0, 4+1+8+16*8)}
+	w.u32(poseMagic)
+	w.u8(FormatVersion)
 	w.u64(uint64(frameIdx))
 	m := pose.Mat4()
 	for _, v := range m {
@@ -278,6 +401,9 @@ func EncodePose(frameIdx int, pose geom.SE3) []byte {
 // DecodePose reverses EncodePose.
 func DecodePose(data []byte) (frameIdx int, pose geom.SE3, err error) {
 	r := &reader{buf: data}
+	if err := r.checkHeader(poseMagic); err != nil {
+		return 0, geom.SE3{}, err
+	}
 	frameIdx = int(r.u64())
 	var m geom.Mat4
 	for i := range m {

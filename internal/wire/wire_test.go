@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -122,6 +123,82 @@ func TestDecodeRejectsCorrupt(t *testing.T) {
 	bad[0] ^= 0xFF
 	if _, err := DecodeMap(bad, bow.Default()); err == nil {
 		t.Error("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	m := randomMap(12, 2, 20, 10)
+	data := EncodeMap(m)
+	// The version byte sits right after the 4-byte magic.
+	stale := append([]byte{}, data...)
+	stale[4] = FormatVersion + 1
+	_, err := DecodeMap(stale, bow.Default())
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("future version accepted: %v", err)
+	}
+	stale[4] = 0
+	if _, err := DecodeMap(stale, bow.Default()); !errors.Is(err, ErrVersion) {
+		t.Errorf("version 0 accepted: %v", err)
+	}
+
+	p := geom.SE3{T: geom.Vec3{X: 1}}
+	pd := EncodePose(7, p)
+	pd[4] = FormatVersion + 9
+	if _, _, err := DecodePose(pd); !errors.Is(err, ErrVersion) {
+		t.Errorf("stale pose version accepted: %v", err)
+	}
+}
+
+func TestDecodeBoundsAllocations(t *testing.T) {
+	// A tiny input claiming millions of entries must be rejected by
+	// the count guards, not over-allocated.
+	m := randomMap(13, 1, 4, 2)
+	data := EncodeMap(m)
+	for _, off := range []int{5} { // the keyframe-count field
+		bad := append([]byte{}, data[:off]...)
+		bad = append(bad, 0xFF, 0xFF, 0x3F, 0x00) // ~4M entries
+		if _, err := DecodeMap(bad, bow.Default()); err == nil {
+			t.Errorf("oversized count at %d accepted", off)
+		}
+	}
+}
+
+func TestKeyFrameAndMapPointRoundTrip(t *testing.T) {
+	m := randomMap(14, 3, 40, 60)
+	for _, kf := range m.KeyFrames() {
+		data := EncodeKeyFrame(kf)
+		got, n, err := DecodeKeyFrame(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if got.ID != kf.ID || got.Tcw.T.Dist(kf.Tcw.T) > 1e-12 ||
+			len(got.Keypoints) != len(kf.Keypoints) || len(got.Conns) != len(kf.Conns) {
+			t.Fatalf("keyframe %d corrupted", kf.ID)
+		}
+		for i := range got.MapPoints {
+			if got.MapPoints[i] != kf.MapPoints[i] {
+				t.Fatal("binding corrupted")
+			}
+		}
+	}
+	for _, mp := range m.MapPoints() {
+		data := EncodeMapPoint(mp)
+		got, n, err := DecodeMapPoint(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(data) || got.ID != mp.ID || got.Pos.Dist(mp.Pos) > 1e-12 || len(got.Obs) != len(mp.Obs) {
+			t.Fatalf("map point %d corrupted", mp.ID)
+		}
+	}
+	if _, _, err := DecodeKeyFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated keyframe accepted")
+	}
+	if _, _, err := DecodeMapPoint(nil); err == nil {
+		t.Error("empty map point accepted")
 	}
 }
 

@@ -27,6 +27,7 @@ package slamshare
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"slamshare/internal/baseline"
 	"slamshare/internal/camera"
@@ -39,6 +40,7 @@ import (
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
 	"slamshare/internal/netem"
+	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
 	"slamshare/internal/server"
 	"slamshare/internal/smap"
@@ -69,6 +71,8 @@ type (
 	Map = smap.Map
 	// NetemConfig shapes a connection (delay, bandwidth).
 	NetemConfig = netem.Config
+	// RecoveryInfo summarizes a server's startup recovery.
+	RecoveryInfo = persist.Recovery
 )
 
 // Camera modes.
@@ -95,6 +99,16 @@ type ServerOptions struct {
 	MergeAfterKFs int
 	// ShmCapacity is the shared-memory budget in bytes (default 2 GiB).
 	ShmCapacity int64
+	// CheckpointDir enables durable persistence: the global map is
+	// recovered from this directory on startup (latest checkpoint +
+	// journal replay) and journaled + checkpointed while running.
+	// Empty disables persistence.
+	CheckpointDir string
+	// CheckpointEvery is the background snapshot interval (0 = 30 s
+	// default, negative disables periodic checkpoints).
+	CheckpointEvery time.Duration
+	// FsyncJournal syncs every journal batch to disk.
+	FsyncJournal bool
 }
 
 // EdgeServer is the SLAM-Share edge server.
@@ -119,6 +133,13 @@ func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
 	if opts.ShmCapacity > 0 {
 		cfg.RegionCapacity = opts.ShmCapacity
 	}
+	if opts.CheckpointDir != "" {
+		cfg.Persist = persist.Options{
+			Dir:             opts.CheckpointDir,
+			CheckpointEvery: opts.CheckpointEvery,
+			Fsync:           opts.FsyncJournal,
+		}
+	}
 	s, err := server.New(cfg)
 	if err != nil {
 		return nil, err
@@ -131,6 +152,24 @@ func (s *EdgeServer) Close() { s.inner.Close() }
 
 // GlobalMap returns the shared global map.
 func (s *EdgeServer) GlobalMap() *Map { return s.inner.Global() }
+
+// Anchors returns the server's hologram anchor registry. With
+// persistence enabled it is checkpointed alongside the map and
+// restored on recovery.
+func (s *EdgeServer) Anchors() *AnchorRegistry { return s.inner.Anchors() }
+
+// Recovery returns the startup recovery summary (nil when the server
+// started without a checkpoint directory).
+func (s *EdgeServer) Recovery() *persist.Recovery { return s.inner.Recovery() }
+
+// CheckpointNow forces an immediate checkpoint; a no-op error-free
+// call is not possible without persistence enabled.
+func (s *EdgeServer) CheckpointNow() error {
+	if p := s.inner.Persist(); p != nil {
+		return p.CheckpointNow()
+	}
+	return fmt.Errorf("slamshare: persistence not enabled")
+}
 
 // MergeReports returns the recorded merge timing breakdowns.
 func (s *EdgeServer) MergeReports() []MergeReport { return s.inner.MergeReports() }
