@@ -2,6 +2,7 @@ package feature
 
 import (
 	"sort"
+	"sync"
 
 	"slamshare/internal/img"
 )
@@ -48,6 +49,22 @@ func NewExtractor(cfg Config) *Extractor {
 	return &Extractor{Cfg: cfg, Par: SerialRunner{}}
 }
 
+// workItem is one FAST detection strip: a row range of one pyramid
+// level.
+type workItem struct{ level, y0, y1 int }
+
+// extractScratch holds the per-call slices of Extract. Extraction runs
+// once per frame per client, so the slices are pooled across calls —
+// only the returned keypoints are freshly allocated.
+type extractScratch struct {
+	quotas   []int
+	items    []workItem
+	results  [][]rawCorner
+	perLevel [][]rawCorner
+}
+
+var extractPool = sync.Pool{New: func() any { return new(extractScratch) }}
+
 // Extract runs the full ORB pipeline on an image and returns
 // distributed, oriented, described keypoints in level-0 coordinates.
 func (e *Extractor) Extract(im *img.Gray) []Keypoint {
@@ -57,10 +74,17 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 	}
 	pyr := img.NewPyramid(im, e.Cfg.Levels, e.Cfg.ScaleFactor)
 	nLevels := len(pyr.Levels)
+	sc := extractPool.Get().(*extractScratch)
+	defer extractPool.Put(sc)
 
 	// Per-level feature quotas proportional to inverse scale (finer
 	// levels carry more features), normalized to NFeatures total.
-	quotas := make([]int, nLevels)
+	quotas := sc.quotas
+	if cap(quotas) < nLevels {
+		quotas = make([]int, nLevels)
+		sc.quotas = quotas
+	}
+	quotas = quotas[:nLevels]
 	total := 0.0
 	for i := 0; i < nLevels; i++ {
 		total += 1 / pyr.Scales[i]
@@ -74,8 +98,7 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 	if strip <= 0 {
 		strip = 40
 	}
-	type workItem struct{ level, y0, y1 int }
-	var items []workItem
+	items := sc.items[:0]
 	for l := 0; l < nLevels; l++ {
 		h := pyr.Levels[l].H
 		for y := 0; y < h; y += strip {
@@ -86,7 +109,13 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 			items = append(items, workItem{l, y, y1})
 		}
 	}
-	results := make([][]rawCorner, len(items))
+	sc.items = items
+	results := sc.results
+	if cap(results) < len(items) {
+		results = make([][]rawCorner, len(items))
+		sc.results = results
+	}
+	results = results[:len(items)]
 	par.Run(len(items), func(i int) {
 		it := items[i]
 		c := DetectFAST(pyr.Levels[it.level], e.Cfg.Threshold, Border, it.y0, it.y1)
@@ -95,7 +124,15 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 		}
 		results[i] = c
 	})
-	perLevel := make([][]rawCorner, nLevels)
+	perLevel := sc.perLevel
+	if cap(perLevel) < nLevels {
+		perLevel = make([][]rawCorner, nLevels)
+		sc.perLevel = perLevel
+	}
+	perLevel = perLevel[:nLevels]
+	for l := range perLevel {
+		perLevel[l] = perLevel[l][:0]
+	}
 	for i, it := range items {
 		perLevel[it.level] = append(perLevel[it.level], results[i]...)
 	}

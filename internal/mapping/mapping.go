@@ -362,12 +362,14 @@ func (mm *Mapper) localBA(kf *smap.KeyFrame) {
 		return
 	}
 	res := prob.Solve(mm.Cfg.BAIters)
-	// Write back poses and point positions.
+	// Write back poses and point positions through the map's setters:
+	// stripe-locked writes that bump versions, so concurrent snapshot
+	// readers never see a torn pose and stale views invalidate.
 	for _, w := range window {
-		w.Tcw = prob.Cams[camIdx[w.ID]]
+		mm.Map.SetKeyFramePose(w.ID, prob.Cams[camIdx[w.ID]])
 	}
-	for id, mp := range ptSet {
-		mp.Pos = prob.Points[ptIdx[id]]
+	for id := range ptSet {
+		mm.Map.SetMapPointPos(id, prob.Points[ptIdx[id]])
 	}
 	// Detach observations flagged as outliers so they stop polluting
 	// future tracking and adjustments.
@@ -376,11 +378,6 @@ func (mm *Mapper) localBA(kf *smap.KeyFrame) {
 			continue
 		}
 		ref := refs[i]
-		mp := ptSet[ref.mpID]
-		delete(mp.Obs, ref.kfID)
-		if obsKF, ok := mm.Map.KeyFrame(ref.kfID); ok &&
-			ref.kpI < len(obsKF.MapPoints) && obsKF.MapPoints[ref.kpI] == ref.mpID {
-			obsKF.MapPoints[ref.kpI] = 0
-		}
+		mm.Map.DetachObservation(ref.kfID, ref.mpID, ref.kpI)
 	}
 }

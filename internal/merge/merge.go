@@ -467,37 +467,24 @@ func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) []smap.ID {
 		return nil
 	}
 	g.Optimize(5)
+	// The client keyframes are in the global map by now (InsertAll ran
+	// before the graph), so the poses are written through the global
+	// map's stripe-locked setter: concurrent snapshot readers in other
+	// sessions never see a torn pose.
 	out := make([]smap.ID, len(kfs))
 	for i, kf := range kfs {
-		kf.Tcw = g.Poses[i].Inverse()
+		mg.Global.SetKeyFramePose(kf.ID, g.Poses[i].Inverse())
 		out[i] = kf.ID
 	}
 	return out
 }
 
 // fusePoint redirects every observation of the client point to the
-// global point and erases the client point.
+// global point and erases the client point. The redirect itself lives
+// in the map (Map.FusePoint) where it can take the two point stripes
+// in ID-hash order and each observing keyframe's stripe one at a time.
 func (mg *Merger) fusePoint(clientPt, globalPt smap.ID) bool {
-	cp, ok := mg.Global.MapPoint(clientPt)
-	if !ok {
-		return false
-	}
-	gp, ok := mg.Global.MapPoint(globalPt)
-	if !ok || cp == gp {
-		return false
-	}
-	for kfID, kpI := range cp.Obs {
-		kf, ok := mg.Global.KeyFrame(kfID)
-		if !ok {
-			continue
-		}
-		if kpI < len(kf.MapPoints) && kf.MapPoints[kpI] == clientPt {
-			kf.MapPoints[kpI] = globalPt
-			gp.Obs[kfID] = kpI
-		}
-	}
-	mg.Global.EraseMapPoint(clientPt)
-	return true
+	return mg.Global.FusePoint(clientPt, globalPt)
 }
 
 // seamBA bundle-adjusts the keyframes around the merge seam: the
@@ -568,15 +555,13 @@ func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
 		if prob.FixedCam[ci] {
 			continue
 		}
-		if kf, ok := mg.Global.KeyFrame(kfID); ok {
-			kf.Tcw = prob.Cams[ci]
+		if _, ok := mg.Global.KeyFrame(kfID); ok {
+			mg.Global.SetKeyFramePose(kfID, prob.Cams[ci])
 			kfChanged = append(kfChanged, kfID)
 		}
 	}
 	for i, mpID := range ptIDs {
-		if mp, ok := mg.Global.MapPoint(mpID); ok {
-			mp.Pos = prob.Points[i]
-		}
+		mg.Global.SetMapPointPos(mpID, prob.Points[i])
 	}
 	return kfChanged, ptIDs
 }

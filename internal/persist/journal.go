@@ -38,9 +38,11 @@ var ErrCorrupt = errors.New("persist: corrupt file")
 //	header: u32 magic "SLWJ" | u8 version | u64 baseSeq
 //	record: u32 len | u32 crc32(rest) | u64 seq | u8 op | body
 //
-// Records are appended asynchronously: observer callbacks encode the
-// record into memory and a writer goroutine drains batches to disk, so
-// the tracking/merge hot path never blocks on I/O. A torn tail (crash
+// Records are appended asynchronously: the map delivers mutation
+// snapshots to the observer callbacks on its notifier goroutine
+// (outside every map lock), the callbacks encode records into memory,
+// and a writer goroutine drains batches to disk, so the tracking/merge
+// hot path never blocks on encoding or I/O. A torn tail (crash
 // mid-write) fails the CRC and replay stops there — exactly the WAL
 // contract.
 const (

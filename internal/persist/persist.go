@@ -148,6 +148,9 @@ func (mgr *Manager) CheckpointNow() error {
 	defer mgr.cpMu.Unlock()
 	t0 := time.Now()
 
+	// Drain the map's async observer queue first so the rotation
+	// sequence covers every mutation the snapshot will contain.
+	mgr.m.FlushEvents()
 	seq, err := mgr.journal.rotate()
 	if err != nil {
 		return err
@@ -193,9 +196,13 @@ func (mgr *Manager) prune(newSeq uint64) {
 	}
 }
 
-// Flush synchronously drains queued journal records to disk. Tests and
-// graceful shutdown use it; the hot path never waits on it.
-func (mgr *Manager) Flush() error { return mgr.journal.Flush() }
+// Flush synchronously drains the map's observer event queue and the
+// queued journal records to disk. Tests and graceful shutdown use it;
+// the hot path never waits on it.
+func (mgr *Manager) Flush() error {
+	mgr.m.FlushEvents()
+	return mgr.journal.Flush()
+}
 
 // Close detaches the observer, stops the checkpoint ticker, and
 // flushes and closes the journal. It deliberately does NOT write a

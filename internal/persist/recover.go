@@ -181,25 +181,7 @@ func applyRecord(m *smap.Map, op byte, body []byte) {
 // point's keypoint bindings to the surviving global point, then erase
 // it. The subsequent journaled erase record becomes a no-op.
 func applyFuse(m *smap.Map, from, to smap.ID) {
-	fp, ok := m.MapPoint(from)
-	if !ok {
-		return
-	}
-	tp, ok := m.MapPoint(to)
-	if !ok || fp == tp {
-		return
-	}
-	for kfID, kpI := range fp.Obs {
-		kf, ok := m.KeyFrame(kfID)
-		if !ok {
-			continue
-		}
-		if kpI < len(kf.MapPoints) && kf.MapPoints[kpI] == from {
-			kf.MapPoints[kpI] = to
-			tp.Obs[kfID] = kpI
-		}
-	}
-	m.EraseMapPoint(from)
+	m.FusePoint(from, to)
 }
 
 // applyPoses replays a pose-graph correction: overwrite keyframe poses
@@ -213,9 +195,7 @@ func applyPoses(m *smap.Map, body []byte) {
 		if r.err {
 			return
 		}
-		if kf, ok := m.KeyFrame(id); ok {
-			kf.Tcw = p
-		}
+		m.SetKeyFramePose(id, p)
 	}
 	nmp := int(r.u32())
 	for i := 0; i < nmp && !r.err; i++ {
@@ -224,8 +204,6 @@ func applyPoses(m *smap.Map, body []byte) {
 		if r.err {
 			return
 		}
-		if mp, ok := m.MapPoint(id); ok {
-			mp.Pos = v
-		}
+		m.SetMapPointPos(id, v)
 	}
 }

@@ -1,0 +1,149 @@
+package persist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/geom"
+	"slamshare/internal/holo"
+	"slamshare/internal/smap"
+)
+
+// TestStressConcurrentMutationWithWAL hammers a journaled map from
+// eight goroutines mixing inserts, observation wiring, erases, pose
+// writes, snapshot views, and BoW queries — the workload mix of N
+// tracking sessions plus a mapper sharing one global map. Run it under
+// -race. It asserts two things no schedule may violate:
+//
+//  1. Snapshot views never expose a torn pose. Writers only ever store
+//     translations with equal components (k,k,k), so any view keyframe
+//     whose components differ leaked a half-written SE3.
+//  2. WAL replay reconstructs the same entity counts the live map
+//     ended with, i.e. the async event hand-off loses no mutations.
+func TestStressConcurrentMutationWithWAL(t *testing.T) {
+	const (
+		workers  = 8
+		opsPer   = 300
+		seedKFs  = 16
+		ptsPerKF = 12
+		kpsPerKF = 48
+	)
+	opts := testOptions(t)
+	voc := bow.Default()
+	m := smap.NewMap(voc)
+	mgr, err := Open(opts, m, holo.NewRegistry(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed keyframes every worker reads and rewrites; their IDs are the
+	// shared contention surface.
+	seedRng := rand.New(rand.NewSource(42))
+	seedAlloc := smap.NewIDAllocator(1)
+	var seedIDs []smap.ID
+	for k := 0; k < seedKFs; k++ {
+		kf := randomKeyFrame(seedRng, seedAlloc, 1, kpsPerKF, float64(k)/30)
+		kf.Tcw = geom.IdentitySE3()
+		m.AddKeyFrame(kf)
+		seedIDs = append(seedIDs, kf.ID)
+		for p := 0; p < ptsPerKF; p++ {
+			mp := randomMapPoint(seedRng, seedAlloc, 1, kf.ID)
+			m.AddMapPoint(mp)
+			m.AddObservation(kf.ID, mp.ID, (p*3)%kpsPerKF)
+		}
+	}
+
+	var torn atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			// Per-worker client IDs keep allocations disjoint without
+			// coordination, like real sessions.
+			alloc := smap.NewIDAllocator(2 + w)
+			var myPoints []smap.ID
+			lastKF := seedIDs[w%len(seedIDs)]
+			for i := 0; i < opsPer; i++ {
+				switch i % 6 {
+				case 0: // insert a keyframe and bind fresh points
+					kf := randomKeyFrame(rng, alloc, 2+w, kpsPerKF, float64(i)/30)
+					m.AddKeyFrame(kf)
+					lastKF = kf.ID
+					for p := 0; p < 4; p++ {
+						mp := randomMapPoint(rng, alloc, 2+w, kf.ID)
+						m.AddMapPoint(mp)
+						m.AddObservation(kf.ID, mp.ID, rng.Intn(kpsPerKF))
+						myPoints = append(myPoints, mp.ID)
+					}
+				case 1: // cross-wire an observation onto a shared seed KF
+					if len(myPoints) > 0 {
+						_ = m.AddObservation(seedIDs[rng.Intn(len(seedIDs))],
+							myPoints[rng.Intn(len(myPoints))], rng.Intn(kpsPerKF))
+					}
+				case 2: // cull one of our own points
+					if len(myPoints) > 4 {
+						j := rng.Intn(len(myPoints))
+						m.EraseMapPoint(myPoints[j])
+						myPoints = append(myPoints[:j], myPoints[j+1:]...)
+					}
+				case 3: // pose write with the equal-component pattern
+					k := float64(i%97) + float64(w)/8
+					m.SetKeyFramePose(seedIDs[rng.Intn(len(seedIDs))], geom.SE3{
+						R: geom.IdentityQuat(), T: geom.Vec3{X: k, Y: k, Z: k},
+					})
+				case 4: // snapshot view over a shared window; check tearing
+					v := m.LocalView(seedIDs[rng.Intn(len(seedIDs))], 8)
+					for _, kf := range v.KFs {
+						if kf.Tcw.T.X != kf.Tcw.T.Y || kf.Tcw.T.Y != kf.Tcw.T.Z {
+							torn.Store(true)
+							return
+						}
+					}
+				case 5: // place-recognition query against the shared index
+					if kf, ok := m.KeyFrame(lastKF); ok {
+						_ = m.QueryBow(kf.Bow, 3, func(id smap.ID) bool { return id == kf.ID })
+					}
+				}
+				if i%30 == 0 {
+					m.UpdateConnections(lastKF, 5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if torn.Load() {
+		t.Fatal("a snapshot view observed a torn pose")
+	}
+
+	// Pose writes are not observer events — the live pipeline journals
+	// them explicitly after each adjustment (see mapping/merge). Mirror
+	// that contract for the seed keyframes the workers rewrote.
+	finalPoses := make(map[smap.ID]geom.SE3, len(seedIDs))
+	for _, id := range seedIDs {
+		if kf, ok := m.KeyFrame(id); ok {
+			finalPoses[id] = kf.Tcw
+		}
+	}
+	mgr.Journal().PosesCorrected(finalPoses, nil)
+
+	// Close drains the event queue and flushes the journal; replay must
+	// land on exactly the entity counts the live map settled at.
+	wantKF, wantMP := m.NKeyFrames(), m.NMapPoints()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(opts.Dir, voc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Map.NKeyFrames() != wantKF || rec.Map.NMapPoints() != wantMP {
+		t.Fatalf("replay rebuilt %d kf / %d mp, live map had %d kf / %d mp",
+			rec.Map.NKeyFrames(), rec.Map.NMapPoints(), wantKF, wantMP)
+	}
+	assertMapsEqual(t, m, rec.Map)
+}

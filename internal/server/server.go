@@ -80,11 +80,17 @@ var regionSeq struct {
 
 // Server is the SLAM-Share edge server.
 type Server struct {
-	cfg     Config
-	voc     *bow.Vocabulary
-	region  *shm.Region
-	global  *smap.Map
-	gmu     *sync.RWMutex // the named shareable mutex guarding the global map
+	cfg    Config
+	voc    *bow.Vocabulary
+	region *shm.Region
+	global *smap.Map
+	// gmu is the named shareable mutex serializing compound global-map
+	// operations: merges (multi-step transform + insert + fuse + BA)
+	// and checkpoint snapshots. Per-entity reads and writes do NOT take
+	// it — the map's internal striped locks make those safe — so N
+	// sessions track concurrently while a merge is the only operation
+	// that drains the writers.
+	gmu     *sync.RWMutex
 	anchors *holo.Registry
 	pmgr    *persist.Manager
 	rec     *persist.Recovery

@@ -4,12 +4,30 @@
 // from per-client ranges so that multiple clients' keyframes and map
 // points never collide when their maps are inserted into the shared
 // global map — the index-renumbering problem §4.3.1 describes.
+//
+// Concurrency model. The Map shards its keyframe and map-point
+// storage across a fixed array of stripes, each guarded by its own
+// RWMutex, so N concurrent trackers contend only when their IDs hash
+// to the same stripe. Mutations bump a global version counter plus a
+// per-keyframe version; trackers read through immutable LocalView
+// snapshots that stay valid until a *relevant* keyframe version
+// moves, making the per-frame search-local-points path lock-free.
+// The lock-ordering rule: when a method needs several stripe locks it
+// acquires them in ascending stripe-index order (derived from the ID
+// hash), and the insertion-order/BoW index lock is only ever taken
+// after stripe locks, never before. Operations that restructure the
+// whole map (ApplyTransform, Renumber) take every stripe in ascending
+// order. Observer notifications are enqueued (as snapshot copies)
+// onto a bounded channel while the stripe lock is held and delivered
+// on a dedicated goroutine, so WAL encoding and disk writes never
+// extend a mutation critical section.
 package smap
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"slamshare/internal/bow"
 	"slamshare/internal/feature"
@@ -61,8 +79,11 @@ func SeqOf(id ID) ID { return id & (ID(1)<<ClientIDBits - 1) }
 
 // Observer receives notifications of map mutations. It is how the
 // persistence layer journals the shared global map without the map
-// depending on it. Callbacks run with the map's internal lock held:
-// implementations must be fast and must not call back into the Map.
+// depending on it. Callbacks run on a dedicated notifier goroutine,
+// outside the map's locks, and receive private snapshot copies of the
+// mutated entities: implementations may do real work (encoding, I/O)
+// but must not call back into the Map, or FlushEvents would deadlock.
+// Events for the same entity arrive in mutation order.
 type Observer interface {
 	// KeyFrameAdded fires after a keyframe is inserted (or re-inserted).
 	KeyFrameAdded(kf *KeyFrame)
@@ -131,53 +152,285 @@ type MapPoint struct {
 // NObs returns the number of observing keyframes.
 func (mp *MapPoint) NObs() int { return len(mp.Obs) }
 
+const (
+	stripeBits = 6
+	// numStripes is the fixed stripe count; a power of two so the
+	// stripe index is the top bits of a multiplicative hash.
+	numStripes = 1 << stripeBits
+	// eventQueueCap bounds the observer event queue. When the journal
+	// goroutine falls behind, producers block on the enqueue (while
+	// still holding the entity's stripe lock): back-pressure rather
+	// than unbounded memory or dropped WAL records, and the blocking
+	// send preserves per-entity record order.
+	eventQueueCap = 4096
+	// viewCacheMax bounds the cached LocalView table; the cache is
+	// dropped wholesale when it outgrows this (entries are keyed by
+	// reference keyframe, which advances as clients move).
+	viewCacheMax = 256
+)
+
+// stripeOf hashes an ID to its stripe index (Fibonacci hashing: the
+// top bits of the product are well mixed even for sequential IDs).
+func stripeOf(id ID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> (64 - stripeBits))
+}
+
+// stripe is one shard of the map: a private RWMutex over its slice of
+// the keyframe and map-point tables plus per-keyframe mutation
+// counters (kfVer) that LocalView snapshots validate against. Erased
+// keyframes keep a bumped tombstone counter so a version number is
+// never reused for an ID.
+type stripe struct {
+	mu        sync.RWMutex
+	keyframes map[ID]*KeyFrame
+	points    map[ID]*MapPoint
+	kfVer     map[ID]uint64
+}
+
+// mapEvent is one queued observer notification, carrying snapshot
+// copies so the notifier goroutine never races map mutators.
+type mapEvent struct {
+	kind byte
+	kf   *KeyFrame // evKF: private snapshot copy
+	mp   *MapPoint // evMP: private snapshot copy
+	id   ID        // erase target / observation keyframe
+	mpID ID        // observation map point
+	idx  int       // observation keypoint index
+	sync chan struct{}
+}
+
+const (
+	evKF byte = iota
+	evMP
+	evEraseKF
+	evEraseMP
+	evObs
+	evSync
+)
+
+// viewKey identifies a cached LocalView.
+type viewKey struct {
+	kf     ID
+	maxKFs int
+}
+
+// localScratch is pooled per-call working state for local-map window
+// collection (the seen-set and ID list LocalPoints used to reallocate
+// every frame).
+type localScratch struct {
+	seen map[ID]struct{}
+	ids  []ID
+}
+
 // Map is a SLAM map: keyframes + map points + covisibility + a BoW
 // index for place recognition. It is safe for concurrent use; the
 // shared global map of the paper is one Map value living in a shared
 // memory region (internal/shm) accessed by all client processes.
+// See the package comment for the locking model.
 type Map struct {
-	mu        sync.RWMutex
-	keyframes map[ID]*KeyFrame
-	points    map[ID]*MapPoint
-	bowDB     *bow.Database
-	voc       *bow.Vocabulary
-	// order preserves keyframe insertion order for iteration and
-	// serialization determinism.
-	order []ID
-	// obs, when set, is notified of every mutation (persistence WAL).
-	obs Observer
-}
+	voc *bow.Vocabulary
 
-// SetObserver installs (or removes, with nil) the mutation observer.
-func (m *Map) SetObserver(o Observer) {
-	m.mu.Lock()
-	m.obs = o
-	m.mu.Unlock()
+	// version counts every mutation; LocalView uses it as a fast-path
+	// validity check. Mutators bump the relevant per-keyframe counters
+	// first and version last, so a view that revalidates against a
+	// version value is never more than one mutation stale.
+	version atomic.Uint64
+	nkf     atomic.Int64
+	nmp     atomic.Int64
+
+	stripes [numStripes]stripe
+
+	// imu guards the insertion-order list and the BoW index. By the
+	// lock-ordering rule it may be taken while holding stripe locks
+	// but stripe locks are never acquired while holding it.
+	imu   sync.RWMutex
+	order []ID
+	bowDB *bow.Database
+
+	// events, when non-nil, carries observer notifications to the
+	// notifier goroutine. Written only with every stripe lock held;
+	// read under any stripe lock, which is what makes a blocking send
+	// safe against a concurrent SetObserver close.
+	events    chan mapEvent
+	notifDone chan struct{}
+
+	// vmu guards the LocalView cache. Leaf lock: taken with no other
+	// map locks held.
+	vmu   sync.RWMutex
+	views map[viewKey]*LocalView
+
+	scratch sync.Pool
 }
 
 // NewMap returns an empty map using the given vocabulary for its BoW
 // index.
 func NewMap(voc *bow.Vocabulary) *Map {
-	return &Map{
-		keyframes: make(map[ID]*KeyFrame),
-		points:    make(map[ID]*MapPoint),
-		bowDB:     bow.NewDatabase(),
-		voc:       voc,
+	m := &Map{
+		voc:   voc,
+		bowDB: bow.NewDatabase(),
+		views: make(map[viewKey]*LocalView),
 	}
+	for i := range m.stripes {
+		m.stripes[i].keyframes = make(map[ID]*KeyFrame)
+		m.stripes[i].points = make(map[ID]*MapPoint)
+		m.stripes[i].kfVer = make(map[ID]uint64)
+	}
+	m.scratch.New = func() any {
+		return &localScratch{seen: make(map[ID]struct{}, 512)}
+	}
+	return m
 }
 
 // Vocabulary returns the vocabulary the map's BoW index uses.
 func (m *Map) Vocabulary() *bow.Vocabulary { return m.voc }
 
-// AddKeyFrame inserts a keyframe (computing its BoW vector if absent)
-// and indexes it for place recognition.
-func (m *Map) AddKeyFrame(kf *KeyFrame) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.addKeyFrameLocked(kf)
+// Version returns the global mutation counter.
+func (m *Map) Version() uint64 { return m.version.Load() }
+
+func (m *Map) stripe(id ID) *stripe { return &m.stripes[stripeOf(id)] }
+
+// lockAll acquires every stripe lock in ascending index order;
+// unlockAll releases them in reverse.
+func (m *Map) lockAll() {
+	for i := range m.stripes {
+		m.stripes[i].mu.Lock()
+	}
 }
 
-func (m *Map) addKeyFrameLocked(kf *KeyFrame) {
+func (m *Map) unlockAll() {
+	for i := numStripes - 1; i >= 0; i-- {
+		m.stripes[i].mu.Unlock()
+	}
+}
+
+// lockPair acquires the stripes of two IDs in ascending stripe order
+// (once if they collide) and returns the unlock function.
+func (m *Map) lockPair(a, b ID) func() {
+	i, j := stripeOf(a), stripeOf(b)
+	if i == j {
+		m.stripes[i].mu.Lock()
+		return m.stripes[i].mu.Unlock
+	}
+	if i > j {
+		i, j = j, i
+	}
+	m.stripes[i].mu.Lock()
+	m.stripes[j].mu.Lock()
+	return func() {
+		m.stripes[j].mu.Unlock()
+		m.stripes[i].mu.Unlock()
+	}
+}
+
+func (m *Map) getScratch() *localScratch {
+	sc := m.scratch.Get().(*localScratch)
+	clear(sc.seen)
+	sc.ids = sc.ids[:0]
+	return sc
+}
+
+func (m *Map) putScratch(sc *localScratch) { m.scratch.Put(sc) }
+
+// ---- Observer machinery -------------------------------------------
+
+// SetObserver installs (or removes, with nil) the mutation observer.
+// Removing an observer blocks until every queued event has been
+// delivered, so a journal is complete once SetObserver(nil) returns.
+func (m *Map) SetObserver(o Observer) {
+	var ch chan mapEvent
+	var done chan struct{}
+	if o != nil {
+		ch = make(chan mapEvent, eventQueueCap)
+		done = make(chan struct{})
+		go runNotifier(o, ch, done)
+	}
+	m.lockAll()
+	oldCh, oldDone := m.events, m.notifDone
+	m.events, m.notifDone = ch, done
+	m.unlockAll()
+	if oldCh != nil {
+		close(oldCh)
+		<-oldDone
+	}
+}
+
+func runNotifier(o Observer, ch <-chan mapEvent, done chan<- struct{}) {
+	for ev := range ch {
+		switch ev.kind {
+		case evKF:
+			o.KeyFrameAdded(ev.kf)
+		case evMP:
+			o.MapPointAdded(ev.mp)
+		case evEraseKF:
+			o.KeyFrameErased(ev.id)
+		case evEraseMP:
+			o.MapPointErased(ev.id)
+		case evObs:
+			o.ObservationAdded(ev.id, ev.mpID, ev.idx)
+		case evSync:
+			close(ev.sync)
+		}
+	}
+	close(done)
+}
+
+// enqueue sends an event to the notifier. Callers must hold at least
+// one stripe lock: SetObserver swaps the channel only while holding
+// all of them, so the channel cannot be closed mid-send. The send
+// blocks when the queue is full (see eventQueueCap).
+func (m *Map) enqueue(ev mapEvent) {
+	if m.events != nil {
+		m.events <- ev
+	}
+}
+
+// FlushEvents blocks until every observer event enqueued before the
+// call has been delivered. The persistence layer calls it before
+// flushing or checkpointing so the WAL contains everything the map
+// does.
+func (m *Map) FlushEvents() {
+	s := &m.stripes[0]
+	s.mu.Lock()
+	if m.events == nil {
+		s.mu.Unlock()
+		return
+	}
+	ev := mapEvent{kind: evSync, sync: make(chan struct{})}
+	m.events <- ev
+	s.mu.Unlock()
+	<-ev.sync
+}
+
+// snapshotKF copies a keyframe for the event queue. The slices that
+// mutate after insertion (MapPoints bindings, covisibility edges) are
+// deep-copied; Keypoints and Bow are immutable once the frame is in
+// the map and stay shared.
+func snapshotKF(kf *KeyFrame) *KeyFrame {
+	c := *kf
+	c.MapPoints = append([]ID(nil), kf.MapPoints...)
+	if kf.Conns != nil {
+		c.Conns = make(map[ID]int, len(kf.Conns))
+		for k, v := range kf.Conns {
+			c.Conns[k] = v
+		}
+	}
+	return &c
+}
+
+func snapshotMP(mp *MapPoint) *MapPoint {
+	c := *mp
+	c.Obs = make(map[ID]int, len(mp.Obs))
+	for k, v := range mp.Obs {
+		c.Obs[k] = v
+	}
+	return &c
+}
+
+// ---- Mutations ----------------------------------------------------
+
+// prepKeyFrame completes a keyframe (BoW vector, sized binding slice)
+// before it becomes visible to other goroutines, off every lock.
+func (m *Map) prepKeyFrame(kf *KeyFrame) {
 	if kf.Bow == nil && m.voc != nil {
 		descs := make([]feature.Descriptor, len(kf.Keypoints))
 		for i, k := range kf.Keypoints {
@@ -191,91 +444,114 @@ func (m *Map) addKeyFrameLocked(kf *KeyFrame) {
 	if len(kf.MapPoints) != len(kf.Keypoints) {
 		kf.MapPoints = make([]ID, len(kf.Keypoints))
 	}
-	if _, exists := m.keyframes[kf.ID]; !exists {
+}
+
+// AddKeyFrame inserts a keyframe (computing its BoW vector if absent)
+// and indexes it for place recognition.
+func (m *Map) AddKeyFrame(kf *KeyFrame) {
+	m.prepKeyFrame(kf)
+	s := m.stripe(kf.ID)
+	s.mu.Lock()
+	_, exists := s.keyframes[kf.ID]
+	s.keyframes[kf.ID] = kf
+	s.kfVer[kf.ID]++
+	m.enqueue(mapEvent{kind: evKF, kf: snapshotKF(kf)})
+	m.version.Add(1)
+	s.mu.Unlock()
+	if !exists {
+		m.nkf.Add(1)
+	}
+	m.imu.Lock()
+	if !exists {
 		m.order = append(m.order, kf.ID)
 	}
-	m.keyframes[kf.ID] = kf
 	m.bowDB.Add(kf.ID, kf.Bow)
-	if m.obs != nil {
-		m.obs.KeyFrameAdded(kf)
-	}
+	m.imu.Unlock()
 }
 
 // AddMapPoint inserts a map point.
 func (m *Map) AddMapPoint(mp *MapPoint) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.addMapPointLocked(mp)
-}
-
-func (m *Map) addMapPointLocked(mp *MapPoint) {
 	if mp.Obs == nil {
 		mp.Obs = make(map[ID]int)
 	}
-	m.points[mp.ID] = mp
-	if m.obs != nil {
-		m.obs.MapPointAdded(mp)
+	s := m.stripe(mp.ID)
+	s.mu.Lock()
+	_, exists := s.points[mp.ID]
+	s.points[mp.ID] = mp
+	m.enqueue(mapEvent{kind: evMP, mp: snapshotMP(mp)})
+	m.version.Add(1)
+	s.mu.Unlock()
+	if !exists {
+		m.nmp.Add(1)
 	}
 }
 
 // KeyFrame returns the keyframe with the given id.
 func (m *Map) KeyFrame(id ID) (*KeyFrame, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	kf, ok := m.keyframes[id]
+	s := m.stripe(id)
+	s.mu.RLock()
+	kf, ok := s.keyframes[id]
+	s.mu.RUnlock()
 	return kf, ok
 }
 
 // MapPoint returns the map point with the given id.
 func (m *Map) MapPoint(id ID) (*MapPoint, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	mp, ok := m.points[id]
+	s := m.stripe(id)
+	s.mu.RLock()
+	mp, ok := s.points[id]
+	s.mu.RUnlock()
 	return mp, ok
 }
 
-// NKeyFrames returns the number of keyframes.
-func (m *Map) NKeyFrames() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.keyframes)
+// kfVersion returns the mutation counter of a keyframe (0 if the ID
+// was never inserted).
+func (m *Map) kfVersion(id ID) uint64 {
+	s := m.stripe(id)
+	s.mu.RLock()
+	v := s.kfVer[id]
+	s.mu.RUnlock()
+	return v
 }
 
+// NKeyFrames returns the number of keyframes.
+func (m *Map) NKeyFrames() int { return int(m.nkf.Load()) }
+
 // NMapPoints returns the number of map points.
-func (m *Map) NMapPoints() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.points)
-}
+func (m *Map) NMapPoints() int { return int(m.nmp.Load()) }
 
 // MaxSeq returns the highest per-client sequence number any keyframe
 // or map point of the given client carries — 0 when the client has no
 // content in the map. Reconnecting clients seed their ID allocator
 // past it (NewIDAllocatorFrom) after a server recovery.
 func (m *Map) MaxSeq(client int) ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	var max ID
-	for id := range m.keyframes {
-		if ClientOf(id) == client && SeqOf(id) > max {
-			max = SeqOf(id)
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		for id := range s.keyframes {
+			if ClientOf(id) == client && SeqOf(id) > max {
+				max = SeqOf(id)
+			}
 		}
-	}
-	for id := range m.points {
-		if ClientOf(id) == client && SeqOf(id) > max {
-			max = SeqOf(id)
+		for id := range s.points {
+			if ClientOf(id) == client && SeqOf(id) > max {
+				max = SeqOf(id)
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return max
 }
 
 // KeyFrames returns all keyframes in insertion order.
 func (m *Map) KeyFrames() []*KeyFrame {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]*KeyFrame, 0, len(m.keyframes))
-	for _, id := range m.order {
-		if kf, ok := m.keyframes[id]; ok {
+	m.imu.RLock()
+	order := append([]ID(nil), m.order...)
+	m.imu.RUnlock()
+	out := make([]*KeyFrame, 0, len(order))
+	for _, id := range order {
+		if kf, ok := m.KeyFrame(id); ok {
 			out = append(out, kf)
 		}
 	}
@@ -284,85 +560,227 @@ func (m *Map) KeyFrames() []*KeyFrame {
 
 // MapPoints returns all map points (unspecified order).
 func (m *Map) MapPoints() []*MapPoint {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]*MapPoint, 0, len(m.points))
-	for _, mp := range m.points {
-		out = append(out, mp)
+	out := make([]*MapPoint, 0, m.NMapPoints())
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		for _, mp := range s.points {
+			out = append(out, mp)
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
 
 // EraseKeyFrame removes a keyframe and its observation links.
 func (m *Map) EraseKeyFrame(id ID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	kf, ok := m.keyframes[id]
+	s := m.stripe(id)
+	s.mu.Lock()
+	kf, ok := s.keyframes[id]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
-	for _, mpID := range kf.MapPoints {
+	delete(s.keyframes, id)
+	s.kfVer[id]++ // tombstone: views holding this keyframe go stale
+	mpIDs := append([]ID(nil), kf.MapPoints...)
+	others := make([]ID, 0, len(kf.Conns))
+	for other := range kf.Conns {
+		others = append(others, other)
+	}
+	m.enqueue(mapEvent{kind: evEraseKF, id: id})
+	m.version.Add(1)
+	s.mu.Unlock()
+	m.nkf.Add(-1)
+	// Detach the two sides one stripe at a time; readers tolerate the
+	// transiently dangling references (every lookup is by ID).
+	for _, mpID := range mpIDs {
 		if mpID == 0 {
 			continue
 		}
-		if mp, ok := m.points[mpID]; ok {
+		ps := m.stripe(mpID)
+		ps.mu.Lock()
+		if mp, ok := ps.points[mpID]; ok {
 			delete(mp.Obs, id)
 		}
+		ps.mu.Unlock()
 	}
-	for other := range kf.Conns {
-		if o, ok := m.keyframes[other]; ok {
+	for _, other := range others {
+		os := m.stripe(other)
+		os.mu.Lock()
+		if o, ok := os.keyframes[other]; ok {
 			delete(o.Conns, id)
+			os.kfVer[other]++
 		}
+		os.mu.Unlock()
 	}
-	delete(m.keyframes, id)
+	m.version.Add(1)
+	m.imu.Lock()
 	m.bowDB.Remove(id)
-	if m.obs != nil {
-		m.obs.KeyFrameErased(id)
-	}
+	m.imu.Unlock()
 }
 
 // EraseMapPoint removes a map point and detaches it from its
 // observers.
 func (m *Map) EraseMapPoint(id ID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	mp, ok := m.points[id]
+	s := m.stripe(id)
+	s.mu.Lock()
+	mp, ok := s.points[id]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
+	delete(s.points, id)
+	obs := make([]obsRef, 0, len(mp.Obs))
 	for kfID, idx := range mp.Obs {
-		if kf, ok := m.keyframes[kfID]; ok && idx < len(kf.MapPoints) && kf.MapPoints[idx] == id {
-			kf.MapPoints[idx] = 0
+		obs = append(obs, obsRef{kfID, idx})
+	}
+	m.enqueue(mapEvent{kind: evEraseMP, id: id})
+	m.version.Add(1)
+	s.mu.Unlock()
+	m.nmp.Add(-1)
+	for _, o := range obs {
+		ks := m.stripe(o.kfID)
+		ks.mu.Lock()
+		if kf, ok := ks.keyframes[o.kfID]; ok && o.idx < len(kf.MapPoints) && kf.MapPoints[o.idx] == id {
+			kf.MapPoints[o.idx] = 0
+			ks.kfVer[o.kfID]++
 		}
+		ks.mu.Unlock()
 	}
-	delete(m.points, id)
-	if m.obs != nil {
-		m.obs.MapPointErased(id)
-	}
+	m.version.Add(1)
+}
+
+type obsRef struct {
+	kfID ID
+	idx  int
 }
 
 // AddObservation links keyframe kf's keypoint kpIdx to map point mp
 // and keeps both sides consistent.
 func (m *Map) AddObservation(kfID, mpID ID, kpIdx int) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	kf, ok := m.keyframes[kfID]
+	unlock := m.lockPair(kfID, mpID)
+	ks, ps := m.stripe(kfID), m.stripe(mpID)
+	kf, ok := ks.keyframes[kfID]
 	if !ok {
+		unlock()
 		return fmt.Errorf("smap: unknown keyframe %d", kfID)
 	}
-	mp, ok := m.points[mpID]
+	mp, ok := ps.points[mpID]
 	if !ok {
+		unlock()
 		return fmt.Errorf("smap: unknown map point %d", mpID)
 	}
 	if kpIdx < 0 || kpIdx >= len(kf.MapPoints) {
+		unlock()
 		return fmt.Errorf("smap: keypoint index %d out of range", kpIdx)
 	}
 	kf.MapPoints[kpIdx] = mpID
 	mp.Obs[kfID] = kpIdx
-	if m.obs != nil {
-		m.obs.ObservationAdded(kfID, mpID, kpIdx)
-	}
+	ks.kfVer[kfID]++
+	m.enqueue(mapEvent{kind: evObs, id: kfID, mpID: mpID, idx: kpIdx})
+	m.version.Add(1)
+	unlock()
 	return nil
+}
+
+// DetachObservation severs the keypoint-to-map-point binding if it
+// still matches — local BA uses it to drop outlier edges without
+// touching either entity's lifetime.
+func (m *Map) DetachObservation(kfID, mpID ID, kpIdx int) {
+	unlock := m.lockPair(kfID, mpID)
+	ks, ps := m.stripe(kfID), m.stripe(mpID)
+	if kf, ok := ks.keyframes[kfID]; ok && kpIdx >= 0 && kpIdx < len(kf.MapPoints) && kf.MapPoints[kpIdx] == mpID {
+		kf.MapPoints[kpIdx] = 0
+		ks.kfVer[kfID]++
+	}
+	if mp, ok := ps.points[mpID]; ok {
+		delete(mp.Obs, kfID)
+	}
+	m.version.Add(1)
+	unlock()
+}
+
+// SetKeyFramePose updates a keyframe's world-to-camera pose under its
+// stripe lock — the write path bundle adjustment and pose-graph
+// correction must use so snapshot readers never observe a torn pose.
+func (m *Map) SetKeyFramePose(id ID, pose geom.SE3) {
+	s := m.stripe(id)
+	s.mu.Lock()
+	if kf, ok := s.keyframes[id]; ok {
+		kf.Tcw = pose
+		s.kfVer[id]++
+	}
+	m.version.Add(1)
+	s.mu.Unlock()
+}
+
+// SetMapPointPos updates a map point's position. Position refinements
+// deliberately do not invalidate LocalView snapshots (the window's
+// keyframe versions don't move): tracking tolerates slightly stale
+// landmark positions for a frame or two, exactly as it does between
+// BA iterations.
+func (m *Map) SetMapPointPos(id ID, pos geom.Vec3) {
+	s := m.stripe(id)
+	s.mu.Lock()
+	if mp, ok := s.points[id]; ok {
+		mp.Pos = pos
+	}
+	m.version.Add(1)
+	s.mu.Unlock()
+}
+
+// BumpPointFound increments a map point's Found statistic under its
+// stripe lock (trackers on different clients share the point).
+func (m *Map) BumpPointFound(id ID) {
+	s := m.stripe(id)
+	s.mu.Lock()
+	if mp, ok := s.points[id]; ok {
+		mp.Found++
+	}
+	s.mu.Unlock()
+}
+
+// FusePoint redirects every observation of `from` onto `to` and
+// erases `from` — the duplicate-landmark fusion step of map merge.
+// Both point stripes are taken in ascending stripe order, then each
+// observing keyframe's stripe one at a time. Reports whether the fuse
+// happened (both points must exist and differ).
+func (m *Map) FusePoint(from, to ID) bool {
+	unlock := m.lockPair(from, to)
+	fs, ts := m.stripe(from), m.stripe(to)
+	fp, okF := fs.points[from]
+	_, okT := ts.points[to]
+	if !okF || !okT || from == to {
+		unlock()
+		return false
+	}
+	obs := make([]obsRef, 0, len(fp.Obs))
+	for kfID, idx := range fp.Obs {
+		obs = append(obs, obsRef{kfID, idx})
+	}
+	unlock()
+	redirected := obs[:0]
+	for _, o := range obs {
+		ks := m.stripe(o.kfID)
+		ks.mu.Lock()
+		if kf, ok := ks.keyframes[o.kfID]; ok && o.idx < len(kf.MapPoints) && kf.MapPoints[o.idx] == from {
+			kf.MapPoints[o.idx] = to
+			ks.kfVer[o.kfID]++
+			redirected = append(redirected, o)
+		}
+		ks.mu.Unlock()
+	}
+	ts.mu.Lock()
+	if tp, ok := ts.points[to]; ok {
+		for _, o := range redirected {
+			tp.Obs[o.kfID] = o.idx
+		}
+	}
+	m.version.Add(1)
+	ts.mu.Unlock()
+	m.EraseMapPoint(from)
+	return true
 }
 
 // UpdateConnections recomputes keyframe kf's covisibility edges from
@@ -370,61 +788,96 @@ func (m *Map) AddObservation(kfID, mpID ID, kpIdx int) error {
 // fewer than minShared shared points are dropped (but the single best
 // neighbour is always kept).
 func (m *Map) UpdateConnections(kfID ID, minShared int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	kf, ok := m.keyframes[kfID]
+	s := m.stripe(kfID)
+	s.mu.RLock()
+	kf, ok := s.keyframes[kfID]
 	if !ok {
+		s.mu.RUnlock()
 		return
 	}
+	mpIDs := append([]ID(nil), kf.MapPoints...)
+	s.mu.RUnlock()
+
 	counts := make(map[ID]int)
-	for _, mpID := range kf.MapPoints {
+	for _, mpID := range mpIDs {
 		if mpID == 0 {
 			continue
 		}
-		mp, ok := m.points[mpID]
-		if !ok {
-			continue
-		}
-		for other := range mp.Obs {
-			if other != kfID {
-				counts[other]++
+		ps := m.stripe(mpID)
+		ps.mu.RLock()
+		if mp, ok := ps.points[mpID]; ok {
+			for other := range mp.Obs {
+				if other != kfID {
+					counts[other]++
+				}
 			}
 		}
+		ps.mu.RUnlock()
 	}
-	// Drop old edges.
-	for other := range kf.Conns {
-		if o, ok := m.keyframes[other]; ok {
-			delete(o.Conns, kfID)
-		}
-	}
-	kf.Conns = make(map[ID]int)
+
+	conns := make(map[ID]int, len(counts))
 	bestID, bestN := ID(0), 0
 	for other, n := range counts {
 		if n > bestN {
 			bestID, bestN = other, n
 		}
 		if n >= minShared {
-			kf.Conns[other] = n
-			if o, ok := m.keyframes[other]; ok {
-				o.Conns[kfID] = n
+			conns[other] = n
+		}
+	}
+	if len(conns) == 0 && bestID != 0 {
+		conns[bestID] = bestN
+	}
+
+	s.mu.Lock()
+	kf, ok = s.keyframes[kfID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	oldConns := kf.Conns
+	kf.Conns = conns
+	s.kfVer[kfID]++
+	m.version.Add(1)
+	s.mu.Unlock()
+
+	// Reconcile the reciprocal edges one stripe at a time.
+	for other := range oldConns {
+		if _, keep := conns[other]; keep {
+			continue
+		}
+		os := m.stripe(other)
+		os.mu.Lock()
+		if o, ok := os.keyframes[other]; ok {
+			if _, had := o.Conns[kfID]; had {
+				delete(o.Conns, kfID)
+				os.kfVer[other]++
 			}
 		}
+		os.mu.Unlock()
 	}
-	if len(kf.Conns) == 0 && bestID != 0 {
-		kf.Conns[bestID] = bestN
-		if o, ok := m.keyframes[bestID]; ok {
-			o.Conns[kfID] = bestN
+	for other, n := range conns {
+		os := m.stripe(other)
+		os.mu.Lock()
+		if o, ok := os.keyframes[other]; ok {
+			if o.Conns[kfID] != n {
+				o.Conns[kfID] = n
+				os.kfVer[other]++
+			}
 		}
+		os.mu.Unlock()
 	}
+	m.version.Add(1)
 }
 
-// Covisible returns up to n keyframes best connected to kf, most
-// shared observations first.
-func (m *Map) Covisible(kfID ID, n int) []*KeyFrame {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	kf, ok := m.keyframes[kfID]
+// covisibleIDs returns up to n neighbour IDs of kf ordered by edge
+// weight (descending, ties by ID).
+func (m *Map) covisibleIDs(kfID ID, n int) []ID {
+	s := m.stripe(kfID)
+	s.mu.RLock()
+	kf, ok := s.keyframes[kfID]
 	if !ok {
+		s.mu.RUnlock()
 		return nil
 	}
 	type edge struct {
@@ -435,6 +888,7 @@ func (m *Map) Covisible(kfID ID, n int) []*KeyFrame {
 	for id, w := range kf.Conns {
 		edges = append(edges, edge{id, w})
 	}
+	s.mu.RUnlock()
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].w != edges[j].w {
 			return edges[i].w > edges[j].w
@@ -444,78 +898,255 @@ func (m *Map) Covisible(kfID ID, n int) []*KeyFrame {
 	if len(edges) > n {
 		edges = edges[:n]
 	}
-	out := make([]*KeyFrame, 0, len(edges))
+	out := make([]ID, 0, len(edges))
 	for _, e := range edges {
-		if o, ok := m.keyframes[e.id]; ok {
-			out = append(out, o)
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// Covisible returns up to n keyframes best connected to kf, most
+// shared observations first.
+func (m *Map) Covisible(kfID ID, n int) []*KeyFrame {
+	ids := m.covisibleIDs(kfID, n)
+	out := make([]*KeyFrame, 0, len(ids))
+	for _, id := range ids {
+		if kf, ok := m.KeyFrame(id); ok {
+			out = append(out, kf)
 		}
 	}
 	return out
 }
 
-// LocalPoints returns the map points observed by kf and its covisible
-// neighbours — the "local map" that tracking's search-local-points
-// matches each frame against.
-func (m *Map) LocalPoints(kfID ID, maxKFs int) []*MapPoint {
-	kfs := append(m.Covisible(kfID, maxKFs), nil)
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if kf, ok := m.keyframes[kfID]; ok {
-		kfs[len(kfs)-1] = kf
-	} else {
-		kfs = kfs[:len(kfs)-1]
-	}
-	seen := make(map[ID]bool)
-	var out []*MapPoint
-	for _, kf := range kfs {
-		for _, mpID := range kf.MapPoints {
-			if mpID == 0 || seen[mpID] {
-				continue
+// collectWindow walks the covisibility window of kfID (neighbours by
+// descending weight, then the keyframe itself) and hands each member
+// to visit while its stripe read lock is held; the per-keyframe
+// version at visit time is passed alongside. The seen-set/ID scratch
+// is pooled across calls.
+func (m *Map) collectWindow(kfID ID, maxKFs int, sc *localScratch,
+	visit func(kf *KeyFrame, ver uint64)) {
+	ids := append(m.covisibleIDs(kfID, maxKFs), kfID)
+	for _, id := range ids {
+		s := m.stripe(id)
+		s.mu.RLock()
+		kf, ok := s.keyframes[id]
+		if ok {
+			if visit != nil {
+				visit(kf, s.kfVer[id])
 			}
-			seen[mpID] = true
-			if mp, ok := m.points[mpID]; ok {
-				out = append(out, mp)
+			for _, mpID := range kf.MapPoints {
+				if mpID == 0 {
+					continue
+				}
+				if _, dup := sc.seen[mpID]; dup {
+					continue
+				}
+				sc.seen[mpID] = struct{}{}
+				sc.ids = append(sc.ids, mpID)
 			}
 		}
+		s.mu.RUnlock()
 	}
+}
+
+// LocalPoints returns the map points observed by kf and its covisible
+// neighbours — the "local map" that tracking's search-local-points
+// matches each frame against. The returned slice is freshly
+// allocated (callers like point fusion hold onto the live pointers);
+// per-frame read paths should prefer LocalView, which caches.
+func (m *Map) LocalPoints(kfID ID, maxKFs int) []*MapPoint {
+	sc := m.getScratch()
+	m.collectWindow(kfID, maxKFs, sc, nil)
+	out := make([]*MapPoint, 0, len(sc.ids))
+	for _, mpID := range sc.ids {
+		if mp, ok := m.MapPoint(mpID); ok {
+			out = append(out, mp)
+		}
+	}
+	m.putScratch(sc)
 	return out
 }
 
 // QueryBow returns merge/loop candidates for the given BoW vector,
 // excluding keyframes for which exclude returns true.
 func (m *Map) QueryBow(bv bow.Vec, topN int, exclude func(ID) bool) []bow.Result {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.imu.RLock()
+	defer m.imu.RUnlock()
 	return m.bowDB.Query(bv, topN, exclude)
 }
+
+// ---- LocalView ----------------------------------------------------
+
+// ViewKF is an immutable copy of a window keyframe's pose.
+type ViewKF struct {
+	ID  ID
+	Tcw geom.SE3
+}
+
+// ViewPoint is an immutable copy of a map point's matching state:
+// everything search-local-points needs, nothing it doesn't.
+type ViewPoint struct {
+	ID   ID
+	Pos  geom.Vec3
+	Desc feature.Descriptor
+}
+
+// LocalView is an immutable snapshot of a covisibility window: the
+// keyframes' poses and the deduplicated map points they observe,
+// copied once under the stripe read locks. Trackers iterate it with
+// no locks at all; Map.LocalView hands the same snapshot back frame
+// after frame until a keyframe in the window changes.
+type LocalView struct {
+	m      *Map
+	kfID   ID
+	maxKFs int
+	// version is the global counter the view last validated against
+	// (atomic: concurrent trackers sharing the cache re-arm it).
+	version atomic.Uint64
+	// deps pins the per-keyframe versions of the window members; the
+	// view stays valid while none of them move.
+	deps []viewDep
+
+	KFs    []ViewKF
+	Points []ViewPoint
+	index  map[ID]int32
+}
+
+type viewDep struct {
+	id  ID
+	ver uint64
+}
+
+// Valid reports whether the snapshot still reflects every relevant
+// mutation. Fast path: the global version hasn't moved (one atomic
+// load). Slow path: some mutation happened somewhere — the view
+// stays valid iff every window keyframe's version is unchanged, and
+// re-arms the fast path for the next frame.
+func (v *LocalView) Valid() bool {
+	if v == nil || v.m == nil {
+		return false
+	}
+	cur := v.m.version.Load()
+	if cur == v.version.Load() {
+		return true
+	}
+	for _, d := range v.deps {
+		if v.m.kfVersion(d.id) != d.ver {
+			return false
+		}
+	}
+	v.version.Store(cur)
+	return true
+}
+
+// Point returns the snapshot copy of a map point by ID.
+func (v *LocalView) Point(id ID) (ViewPoint, bool) {
+	if i, ok := v.index[id]; ok {
+		return v.Points[i], true
+	}
+	return ViewPoint{}, false
+}
+
+// RefKF returns the reference keyframe ID the view was built around.
+func (v *LocalView) RefKF() ID { return v.kfID }
+
+// LocalView returns a snapshot of kf's covisibility window, serving a
+// cached one as long as it is Valid. The returned view is shared and
+// immutable: do not mutate its slices.
+func (m *Map) LocalView(kfID ID, maxKFs int) *LocalView {
+	key := viewKey{kfID, maxKFs}
+	m.vmu.RLock()
+	v := m.views[key]
+	m.vmu.RUnlock()
+	if v != nil && v.Valid() {
+		return v
+	}
+	v = m.buildView(kfID, maxKFs)
+	m.vmu.Lock()
+	if len(m.views) >= viewCacheMax {
+		clear(m.views)
+	}
+	m.views[key] = v
+	m.vmu.Unlock()
+	return v
+}
+
+func (m *Map) buildView(kfID ID, maxKFs int) *LocalView {
+	v := &LocalView{m: m, kfID: kfID, maxKFs: maxKFs}
+	// Load the global version before collecting: mutations that land
+	// during the build force a dep check (or rebuild) next frame
+	// instead of being masked.
+	v.version.Store(m.version.Load())
+	sc := m.getScratch()
+	v.deps = make([]viewDep, 0, maxKFs+1)
+	m.collectWindow(kfID, maxKFs, sc, func(kf *KeyFrame, ver uint64) {
+		v.KFs = append(v.KFs, ViewKF{ID: kf.ID, Tcw: kf.Tcw})
+		v.deps = append(v.deps, viewDep{kf.ID, ver})
+	})
+	if len(v.deps) == 0 {
+		// Unknown keyframe: depend on it at version 0 so the view
+		// invalidates the moment it appears.
+		v.deps = append(v.deps, viewDep{kfID, 0})
+	}
+	v.Points = make([]ViewPoint, 0, len(sc.ids))
+	v.index = make(map[ID]int32, len(sc.ids))
+	for _, mpID := range sc.ids {
+		s := m.stripe(mpID)
+		s.mu.RLock()
+		mp, ok := s.points[mpID]
+		if ok {
+			v.index[mpID] = int32(len(v.Points))
+			v.Points = append(v.Points, ViewPoint{ID: mpID, Pos: mp.Pos, Desc: mp.Desc})
+		}
+		s.mu.RUnlock()
+	}
+	m.putScratch(sc)
+	return v
+}
+
+// dropViews empties the snapshot cache; whole-map restructures call
+// it since every cached window is garbage afterwards.
+func (m *Map) dropViews() {
+	m.vmu.Lock()
+	clear(m.views)
+	m.vmu.Unlock()
+}
+
+// ---- Whole-map operations -----------------------------------------
 
 // ApplyTransform maps every keyframe pose and map point position
 // through the similarity transform — the "apply T to the client's
 // map" step of the merge algorithm. Keyframe world-to-camera poses
 // compose with the inverse: Tcw' = Tcw ∘ S⁻¹.
 func (m *Map) ApplyTransform(s geom.Sim3) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, kf := range m.keyframes {
-		// Camera center c' = S(c) and orientation Rwc' = S.R * Rwc:
-		// rebuild Tcw from the transformed camera-to-world pose.
-		twc := kf.Tcw.Inverse()
-		twc2 := geom.SE3{
-			R: s.R.Mul(twc.R).Normalized(),
-			T: s.Apply(twc.T),
-		}
-		kf.Tcw = twc2.Inverse()
-		// Stereo depths scale with the map.
-		for i := range kf.Keypoints {
-			if kf.Keypoints[i].Depth > 0 {
-				kf.Keypoints[i].Depth *= s.S
+	m.lockAll()
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		for id, kf := range st.keyframes {
+			// Camera center c' = S(c) and orientation Rwc' = S.R * Rwc:
+			// rebuild Tcw from the transformed camera-to-world pose.
+			twc := kf.Tcw.Inverse()
+			twc2 := geom.SE3{
+				R: s.R.Mul(twc.R).Normalized(),
+				T: s.Apply(twc.T),
 			}
+			kf.Tcw = twc2.Inverse()
+			// Stereo depths scale with the map.
+			for k := range kf.Keypoints {
+				if kf.Keypoints[k].Depth > 0 {
+					kf.Keypoints[k].Depth *= s.S
+				}
+			}
+			st.kfVer[id]++
+		}
+		for _, mp := range st.points {
+			mp.Pos = s.Apply(mp.Pos)
+			mp.Normal = s.R.Rotate(mp.Normal)
 		}
 	}
-	for _, mp := range m.points {
-		mp.Pos = s.Apply(mp.Pos)
-		mp.Normal = s.R.Rotate(mp.Normal)
-	}
+	m.version.Add(1)
+	m.unlockAll()
+	m.dropViews()
 }
 
 // InsertAll moves every keyframe and map point of src into m without
@@ -524,43 +1155,56 @@ func (m *Map) ApplyTransform(s geom.Sim3) {
 // database"). src retains its contents; callers should stop using it
 // as an owner afterwards.
 func (m *Map) InsertAll(src *Map) {
-	srcKFs := src.KeyFrames()
-	srcMPs := src.MapPoints()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, mp := range srcMPs {
-		m.addMapPointLocked(mp)
+	for _, mp := range src.MapPoints() {
+		m.AddMapPoint(mp)
 	}
-	for _, kf := range srcKFs {
-		m.addKeyFrameLocked(kf)
+	for _, kf := range src.KeyFrames() {
+		m.AddKeyFrame(kf)
 	}
 }
 
 // Renumber rewrites every keyframe and map point ID through the
 // allocator, preserving all cross-references — the explicit index
 // renumbering the paper performs when a client's locally numbered map
-// enters the global map.
+// enters the global map. Runs with every stripe locked (ascending
+// order) since IDs migrate between stripes.
 func (m *Map) Renumber(alloc *IDAllocator) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	kfMap := make(map[ID]ID, len(m.keyframes))
-	mpMap := make(map[ID]ID, len(m.points))
+	m.lockAll()
+	m.imu.Lock()
+	kfMap := make(map[ID]ID, len(m.order))
+	mpMap := make(map[ID]ID)
 	for _, id := range m.order {
-		if _, ok := m.keyframes[id]; ok {
+		if _, ok := m.stripe(id).keyframes[id]; ok {
 			kfMap[id] = alloc.Next()
 		}
 	}
-	for id := range m.points {
-		mpMap[id] = alloc.Next()
-	}
-	newKFs := make(map[ID]*KeyFrame, len(m.keyframes))
-	newOrder := make([]ID, 0, len(m.order))
-	for _, oldID := range m.order {
-		kf, ok := m.keyframes[oldID]
-		if !ok {
-			continue
+	for i := range m.stripes {
+		for id := range m.stripes[i].points {
+			mpMap[id] = alloc.Next()
 		}
-		kf.ID = kfMap[oldID]
+	}
+	// Detach every entity, rewrite IDs and references, reinsert into
+	// the stripe its new ID hashes to.
+	oldKFs := make([]*KeyFrame, 0, len(kfMap))
+	for _, oldID := range m.order {
+		if kf, ok := m.stripe(oldID).keyframes[oldID]; ok {
+			kf.ID = kfMap[oldID]
+			oldKFs = append(oldKFs, kf)
+		}
+	}
+	oldMPs := make([]*MapPoint, 0, len(mpMap))
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		for oldID, mp := range st.points {
+			mp.ID = mpMap[oldID]
+			oldMPs = append(oldMPs, mp)
+		}
+		st.keyframes = make(map[ID]*KeyFrame)
+		st.points = make(map[ID]*MapPoint)
+		st.kfVer = make(map[ID]uint64)
+	}
+	newOrder := make([]ID, 0, len(oldKFs))
+	for _, kf := range oldKFs {
 		for i, mpID := range kf.MapPoints {
 			if mpID != 0 {
 				kf.MapPoints[i] = mpMap[mpID]
@@ -573,12 +1217,12 @@ func (m *Map) Renumber(alloc *IDAllocator) {
 			}
 		}
 		kf.Conns = conns
-		newKFs[kf.ID] = kf
+		st := m.stripe(kf.ID)
+		st.keyframes[kf.ID] = kf
+		st.kfVer[kf.ID]++
 		newOrder = append(newOrder, kf.ID)
 	}
-	newPts := make(map[ID]*MapPoint, len(m.points))
-	for oldID, mp := range m.points {
-		mp.ID = mpMap[oldID]
+	for _, mp := range oldMPs {
 		obs := make(map[ID]int, len(mp.Obs))
 		for kfID, idx := range mp.Obs {
 			if nid, ok := kfMap[kfID]; ok {
@@ -589,14 +1233,16 @@ func (m *Map) Renumber(alloc *IDAllocator) {
 		if nid, ok := kfMap[mp.RefKF]; ok {
 			mp.RefKF = nid
 		}
-		newPts[mp.ID] = mp
+		m.stripe(mp.ID).points[mp.ID] = mp
 	}
-	m.keyframes = newKFs
-	m.points = newPts
 	m.order = newOrder
 	// Rebuild the BoW index under the new IDs.
 	m.bowDB = bow.NewDatabase()
-	for _, kf := range newKFs {
+	for _, kf := range oldKFs {
 		m.bowDB.Add(kf.ID, kf.Bow)
 	}
+	m.version.Add(1)
+	m.imu.Unlock()
+	m.unlockAll()
+	m.dropViews()
 }

@@ -168,9 +168,8 @@ func (t *Tracker) makeKeyFrame(fr *Frame) *smap.KeyFrame {
 		if mpID == 0 {
 			continue
 		}
-		if mp, ok := t.Map.MapPoint(mpID); ok {
-			_ = t.Map.AddObservation(kf.ID, mp.ID, i)
-			mp.Found++
+		if err := t.Map.AddObservation(kf.ID, mpID, i); err == nil {
+			t.Map.BumpPointFound(mpID)
 		}
 	}
 	// New stereo points from unmatched keypoints with depth.

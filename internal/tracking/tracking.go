@@ -360,6 +360,9 @@ func (t *Tracker) predictPose(prior *geom.SE3) geom.SE3 {
 // predicted pose, then optimizes the pose on those matches.
 func (t *Tracker) trackLastFrame(fr *Frame) int {
 	grid := newGrid(fr.Kps, t.Rig.Intr.Width, t.Rig.Intr.Height)
+	// Resolve last-frame points through the local snapshot when they
+	// are in the window (the common case) so the loop stays lock-free.
+	view := t.Map.LocalView(t.refKF, t.Cfg.MaxLocalKFs)
 	var pts []geom.Vec3
 	var uvs []geom.Vec2
 	var kpIdx []int
@@ -367,20 +370,24 @@ func (t *Tracker) trackLastFrame(fr *Frame) int {
 		if mpID == 0 {
 			continue
 		}
-		mp, ok := t.Map.MapPoint(mpID)
+		vp, ok := view.Point(mpID)
 		if !ok {
-			continue
+			mp, live := t.Map.MapPoint(mpID)
+			if !live {
+				continue
+			}
+			vp = smap.ViewPoint{ID: mpID, Pos: mp.Pos, Desc: mp.Desc}
 		}
-		px, visible := t.Rig.WorldToPixel(fr.Tcw, mp.Pos)
+		px, visible := t.Rig.WorldToPixel(fr.Tcw, vp.Pos)
 		if !visible {
 			continue
 		}
-		j := grid.bestMatch(fr.Kps, px, t.Cfg.MatchRadius, mp.Desc, feature.MatchThresholdLoose)
+		j := grid.bestMatch(fr.Kps, px, t.Cfg.MatchRadius, vp.Desc, feature.MatchThresholdLoose)
 		if j < 0 || fr.MPs[j] != 0 {
 			continue
 		}
 		fr.MPs[j] = mpID
-		pts = append(pts, mp.Pos)
+		pts = append(pts, vp.Pos)
 		uvs = append(uvs, fr.Kps[j].Pt())
 		kpIdx = append(kpIdx, j)
 	}
@@ -401,9 +408,13 @@ func (t *Tracker) trackLastFrame(fr *Frame) int {
 // searchLocalPoints projects the local map (covisibility window of the
 // reference keyframe) into the frame and matches unbound keypoints,
 // then runs the final pose optimization. The per-point loop runs
-// through SearchPar — this is the paper's second GPU kernel.
+// through SearchPar — this is the paper's second GPU kernel. The local
+// map comes from an immutable LocalView snapshot, so the whole match
+// phase runs without touching a map lock; the snapshot is reused
+// across frames until another client mutates a window keyframe.
 func (t *Tracker) searchLocalPoints(fr *Frame) int {
-	local := t.Map.LocalPoints(t.refKF, t.Cfg.MaxLocalKFs)
+	view := t.Map.LocalView(t.refKF, t.Cfg.MaxLocalKFs)
+	local := view.Points
 	if len(local) == 0 {
 		return countBound(fr.MPs)
 	}
@@ -428,7 +439,7 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 	pose := fr.Tcw
 	par.Run(len(local), func(i int) {
 		cands[i] = cand{kp: -1}
-		mp := local[i]
+		mp := &local[i]
 		if bound[mp.ID] {
 			return
 		}
@@ -454,7 +465,9 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 	for kp, i := range bestFor {
 		fr.MPs[kp] = local[i].ID
 	}
-	// Final pose optimization over all bound points.
+	// Final pose optimization over all bound points; positions resolve
+	// through the snapshot, falling back to a live lookup for points
+	// bound before this window (e.g. carried over from the last frame).
 	var pts []geom.Vec3
 	var uvs []geom.Vec2
 	var kpIdx []int
@@ -462,12 +475,16 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 		if mpID == 0 {
 			continue
 		}
-		mp, ok := t.Map.MapPoint(mpID)
+		vp, ok := view.Point(mpID)
 		if !ok {
-			fr.MPs[j] = 0
-			continue
+			mp, live := t.Map.MapPoint(mpID)
+			if !live {
+				fr.MPs[j] = 0
+				continue
+			}
+			vp = smap.ViewPoint{ID: mpID, Pos: mp.Pos}
 		}
-		pts = append(pts, mp.Pos)
+		pts = append(pts, vp.Pos)
 		uvs = append(uvs, fr.Kps[j].Pt())
 		kpIdx = append(kpIdx, j)
 	}

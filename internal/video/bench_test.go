@@ -1,0 +1,48 @@
+package video
+
+import (
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/dataset"
+)
+
+// BenchmarkCodecRoundTrip measures the steady-state per-frame cost of
+// the video path (encode + decode) on a real sequence. Its allocs/op
+// is the regression guard for the scratch pooling: one frame should
+// cost a handful of allocations (the returned payload and frame), not
+// fresh filter/residual/DEFLATE state.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	seq := dataset.V202(camera.Mono)
+	const frames = 8
+	enc := NewEncoder()
+	dec := NewDecoder()
+	// Warm the stream so the loop measures steady state.
+	for i := 0; i < frames; i++ {
+		if _, err := dec.Decode(enc.Encode(seq.Frame(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := seq.Frame(i % frames)
+		b.StartTimer()
+		payload := enc.Encode(f)
+		if _, err := dec.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
+}
+
+// BenchmarkEncodeImage measures the image-transfer baseline encoder.
+func BenchmarkEncodeImage(b *testing.B) {
+	seq := dataset.V202(camera.Mono)
+	f := seq.Frame(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeImage(f)
+	}
+}

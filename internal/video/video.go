@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"slamshare/internal/img"
 )
@@ -26,11 +27,46 @@ const (
 	frameInter = 2
 )
 
+// The codec runs per frame on every client stream, so its transient
+// buffers — and above all the DEFLATE compressor state, which is far
+// larger than any frame — are pooled rather than reallocated 30 times
+// a second. Pools are safe for concurrent streams; the stateful
+// per-stream scratch (prediction images, residuals) lives on the
+// Encoder/Decoder instead.
+var (
+	scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+	deflFast    = sync.Pool{New: func() any {
+		zw, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return zw
+	}}
+	deflDefault = sync.Pool{New: func() any {
+		zw, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		return zw
+	}}
+	inflPool = sync.Pool{New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+)
+
+// getBuf returns a length-n scratch slice; callers must fully
+// overwrite it and hand it back with putBuf.
+func getBuf(n int) *[]byte {
+	p := scratchPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBuf(p *[]byte) { scratchPool.Put(p) }
+
 // EncodeImage compresses a single frame independently (the image-
 // transfer baseline): horizontal-predictor filtering + DEFLATE,
 // PNG-style.
 func EncodeImage(f *img.Gray) []byte {
-	filtered := make([]byte, len(f.Pix))
+	fp := getBuf(len(f.Pix))
+	filtered := *fp
 	for y := 0; y < f.H; y++ {
 		row := f.Row(y)
 		out := filtered[y*f.W : (y+1)*f.W]
@@ -46,9 +82,12 @@ func EncodeImage(f *img.Gray) []byte {
 	binary.LittleEndian.PutUint32(header[1:], uint32(f.W))
 	binary.LittleEndian.PutUint32(header[5:], uint32(f.H))
 	buf.Write(header)
-	zw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+	zw := deflFast.Get().(*flate.Writer)
+	zw.Reset(&buf)
 	zw.Write(filtered)
 	zw.Close()
+	deflFast.Put(zw)
+	putBuf(fp)
 	return buf.Bytes()
 }
 
@@ -77,6 +116,13 @@ type Encoder struct {
 
 	count int
 	recon *img.Gray
+
+	// Per-stream scratch reused across frames: the retired
+	// reconstruction becomes the next frame's prediction buffer, and
+	// the MV/residual slices keep their capacity.
+	spare *img.Gray
+	mvs   []byte
+	diff  []byte
 }
 
 // NewEncoder returns an encoder with the experiment defaults
@@ -110,7 +156,11 @@ func (e *Encoder) Encode(f *img.Gray) []byte {
 	e.count++
 	if isIntra {
 		data := EncodeImage(f)
-		e.recon = f.Clone()
+		if e.recon != nil && e.recon.W == f.W && e.recon.H == f.H {
+			copy(e.recon.Pix, f.Pix)
+		} else {
+			e.recon = f.Clone()
+		}
 		return data
 	}
 	// Inter frame: per-block motion compensation against the
@@ -122,8 +172,15 @@ func (e *Encoder) Encode(f *img.Gray) []byte {
 	bw := (w + blockSize - 1) / blockSize
 	bh := (h + blockSize - 1) / blockSize
 	gx, gy := globalMotion(e.recon, f)
-	mvs := make([]byte, bw*bh*2) // per-block (dx+64, dy+64)
-	pred := img.New(w, h)
+	if cap(e.mvs) < bw*bh*2 {
+		e.mvs = make([]byte, bw*bh*2)
+	}
+	mvs := e.mvs[:bw*bh*2] // per-block (dx+64, dy+64)
+	pred := e.spare
+	if pred == nil || pred.W != w || pred.H != h {
+		pred = img.New(w, h)
+	}
+	e.spare = nil
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
 			x0, y0 := bx*blockSize, by*blockSize
@@ -133,7 +190,10 @@ func (e *Encoder) Encode(f *img.Gray) []byte {
 			copyBlock(pred, e.recon, x0, y0, dx, dy)
 		}
 	}
-	diff := make([]byte, 2*len(f.Pix))
+	if cap(e.diff) < 2*len(f.Pix) {
+		e.diff = make([]byte, 2*len(f.Pix))
+	}
+	diff := e.diff[:2*len(f.Pix)]
 	dz := e.Deadzone
 	for i, v := range f.Pix {
 		d := int(v) - int(pred.Pix[i])
@@ -145,6 +205,7 @@ func (e *Encoder) Encode(f *img.Gray) []byte {
 		binary.LittleEndian.PutUint16(diff[2*i:], uint16(int16(d)))
 		pred.Pix[i] = byte(int(pred.Pix[i]) + d)
 	}
+	e.spare = e.recon // retired reference becomes next frame's pred buffer
 	e.recon = pred
 	// Delta-code motion vectors against the previous block: panning
 	// scenes have long runs of equal vectors, which DEFLATE then
@@ -159,10 +220,12 @@ func (e *Encoder) Encode(f *img.Gray) []byte {
 	binary.LittleEndian.PutUint32(header[1:], uint32(w))
 	binary.LittleEndian.PutUint32(header[5:], uint32(h))
 	buf.Write(header)
-	zw, _ := flate.NewWriter(&buf, flate.DefaultCompression)
+	zw := deflDefault.Get().(*flate.Writer)
+	zw.Reset(&buf)
 	zw.Write(mvs)
 	zw.Write(diff)
 	zw.Close()
+	deflDefault.Put(zw)
 	return buf.Bytes()
 }
 
@@ -172,8 +235,10 @@ func (e *Encoder) Encode(f *img.Gray) []byte {
 func globalMotion(prev, cur *img.Gray) (int, int) {
 	const ds = 4
 	pw, ph := prev.W/ds, prev.H/ds
-	small := func(src *img.Gray) []byte {
-		out := make([]byte, pw*ph)
+	ap, bp := getBuf(pw*ph), getBuf(pw*ph)
+	defer putBuf(ap)
+	defer putBuf(bp)
+	small := func(src *img.Gray, out []byte) []byte {
 		for y := 0; y < ph; y++ {
 			for x := 0; x < pw; x++ {
 				out[y*pw+x] = src.Pix[y*ds*src.W+x*ds]
@@ -181,8 +246,8 @@ func globalMotion(prev, cur *img.Gray) (int, int) {
 		}
 		return out
 	}
-	a := small(prev)
-	b := small(cur)
+	a := small(prev, *ap)
+	b := small(cur, *bp)
 	bestDX, bestDY, bestSAD := 0, 0, 1<<62
 	for dy := -2; dy <= 2; dy++ {
 		for dx := -2; dx <= 2; dx++ {
@@ -298,14 +363,15 @@ func NewDecoder() *Decoder { return &Decoder{} }
 // Decode reconstructs the next frame. Inter frames require that the
 // preceding frames were decoded in order.
 func (d *Decoder) Decode(data []byte) (*img.Gray, error) {
-	f, kind, err := decodePayload(data, d.recon)
+	f, _, err := decodePayload(data, d.recon)
 	if err != nil {
 		return nil, err
 	}
-	switch kind {
-	case frameIntra:
-		d.recon = f.Clone()
-	case frameInter:
+	// The caller owns the returned frame, so the reference copy reuses
+	// the previous reconstruction's storage instead of cloning.
+	if d.recon != nil && d.recon.W == f.W && d.recon.H == f.H {
+		copy(d.recon.Pix, f.Pix)
+	} else {
 		d.recon = f.Clone()
 	}
 	return f, nil
@@ -323,11 +389,18 @@ func decodePayload(data []byte, prev *img.Gray) (*img.Gray, byte, error) {
 	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
 		return nil, 0, fmt.Errorf("%w: bad dimensions %dx%d", ErrCorrupt, w, h)
 	}
-	zr := flate.NewReader(bytes.NewReader(data[9:]))
+	zr := inflPool.Get().(io.ReadCloser)
+	zr.(flate.Resetter).Reset(bytes.NewReader(data[9:]), nil)
+	defer func() {
+		zr.Close()
+		inflPool.Put(zr)
+	}()
 	out := img.New(w, h)
 	switch kind {
 	case frameIntra:
-		raw := make([]byte, w*h)
+		rp := getBuf(w * h)
+		defer putBuf(rp)
+		raw := *rp
 		if _, err := io.ReadFull(zr, raw); err != nil {
 			return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
@@ -346,7 +419,9 @@ func decodePayload(data []byte, prev *img.Gray) (*img.Gray, byte, error) {
 		}
 		bw := (w + blockSize - 1) / blockSize
 		bh := (h + blockSize - 1) / blockSize
-		payload := make([]byte, bw*bh*2+2*w*h)
+		pp := getBuf(bw*bh*2 + 2*w*h)
+		defer putBuf(pp)
+		payload := *pp
 		if _, err := io.ReadFull(zr, payload); err != nil {
 			return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
@@ -370,7 +445,6 @@ func decodePayload(data []byte, prev *img.Gray) (*img.Gray, byte, error) {
 	default:
 		return nil, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 	}
-	zr.Close()
 	return out, kind, nil
 }
 
