@@ -287,6 +287,16 @@ func (db *Database) Remove(id uint64) {
 // Len returns the number of indexed keyframes.
 func (db *Database) Len() int { return len(db.vecs) }
 
+// IDs returns the indexed keyframe ids (unspecified order). The
+// invariant checker uses it to audit index <-> map agreement.
+func (db *Database) IDs() []uint64 {
+	out := make([]uint64, 0, len(db.vecs))
+	for id := range db.vecs {
+		out = append(out, id)
+	}
+	return out
+}
+
 // Query returns the topN keyframes sharing words with bv, scored by
 // L1 similarity, excluding ids for which exclude returns true.
 func (db *Database) Query(bv Vec, topN int, exclude func(uint64) bool) []Result {

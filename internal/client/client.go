@@ -232,13 +232,14 @@ func (c *Client) frameToMM(frameIdx int) int {
 // asynchronously, so added network delay shows up exactly as in §4.2.2
 // (IMU covers the gap).
 func (c *Client) RunTCP(conn net.Conn, frames []int) error {
-	hello := make([]byte, 5)
-	hello[0] = byte(c.ID)
-	hello[1] = byte(c.ID >> 8)
-	hello[2] = byte(c.ID >> 16)
-	hello[3] = byte(c.ID >> 24)
-	hello[4] = byte(c.Seq.Rig.Mode)
-	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello); err != nil {
+	hello := protocol.HelloMsg{
+		ClientID: c.ID,
+		Mode:     c.Seq.Rig.Mode,
+		HasRig:   true,
+		Intr:     c.Seq.Rig.Intr,
+		Baseline: c.Seq.Rig.Baseline,
+	}
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello.Encode()); err != nil {
 		return err
 	}
 	errCh := make(chan error, 1)

@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"io"
+
+	"slamshare/internal/chaos"
 )
 
 // All returns the experiment ids in paper order.
@@ -11,6 +13,7 @@ func All() []string {
 		"table1", "fig5", "fig8", "table2", "table3",
 		"fig10a", "fig10b", "fig10c", "table4",
 		"fig11", "fig12a", "fig12b", "fig12c", "fig13",
+		"chaos",
 	}
 }
 
@@ -47,6 +50,8 @@ func Run(w io.Writer, id string, full bool) error {
 		_, err = Fig12c(w)
 	case "fig13":
 		_, err = Fig13(w)
+	case "chaos":
+		err = chaos.RunAll(w, full)
 	default:
 		return fmt.Errorf("exp: unknown experiment %q (known: %v)", id, All())
 	}

@@ -109,13 +109,13 @@ func (mm *Mapper) cullPoints() int {
 	culled := 0
 	for id, born := range mm.recent {
 		age := mm.kfCount - born
-		mp, ok := mm.Map.MapPoint(id)
+		nobs, ok := mm.Map.PointObsCount(id)
 		if !ok {
 			delete(mm.recent, id)
 			continue
 		}
 		if age >= mm.Cfg.CullAgeKFs {
-			if mp.NObs() < mm.Cfg.CullMinObs {
+			if nobs < mm.Cfg.CullMinObs {
 				mm.Map.EraseMapPoint(id)
 				culled++
 			}
@@ -135,17 +135,21 @@ func (mm *Mapper) cullKeyFrames(kf *smap.KeyFrame) int {
 		if cand.ID == kf.ID || cand.Client != mm.Client {
 			continue
 		}
+		_, bindings, ok := mm.Map.KeyFrameState(cand.ID)
+		if !ok {
+			continue
+		}
 		total, redundant := 0, 0
-		for _, mpID := range cand.MapPoints {
+		for _, mpID := range bindings {
 			if mpID == 0 {
 				continue
 			}
-			mp, ok := mm.Map.MapPoint(mpID)
+			nobs, ok := mm.Map.PointObsCount(mpID)
 			if !ok {
 				continue
 			}
 			total++
-			if mp.NObs() >= 4 {
+			if nobs >= 4 {
 				redundant++
 			}
 		}
@@ -160,16 +164,30 @@ func (mm *Mapper) cullKeyFrames(kf *smap.KeyFrame) int {
 // triangulateNew creates monocular map points by matching kf's unbound
 // keypoints against its best covisible neighbours and triangulating.
 func (mm *Mapper) triangulateNew(kf *smap.KeyFrame) int {
+	// All pose/binding state is read through stripe-locked snapshots:
+	// other sessions track against and adjust these keyframes
+	// concurrently. Keypoints are immutable after insertion and safe to
+	// share. The local binding copies are kept current as observations
+	// are added so this pass never double-binds a keypoint.
+	kfTcw, kfBind, ok := mm.Map.KeyFrameState(kf.ID)
+	if !ok {
+		return 0
+	}
+	kfCenter := kfTcw.Inverse().T
 	neighbors := mm.Map.Covisible(kf.ID, mm.Cfg.TriangulateNeighbors)
 	created := 0
 	for _, nb := range neighbors {
+		nbTcw, nbBind, ok := mm.Map.KeyFrameState(nb.ID)
+		if !ok {
+			continue
+		}
 		// Baseline check: skip neighbours too close for parallax.
-		if kf.Center().Dist(nb.Center()) < 0.03 {
+		if kfCenter.Dist(nbTcw.Inverse().T) < 0.03 {
 			continue
 		}
 		// Collect unbound keypoints on both sides.
-		ai := unboundIdx(kf)
-		bi := unboundIdx(nb)
+		ai := unboundIdx(kfBind)
+		bi := unboundIdx(nbBind)
 		if len(ai) == 0 || len(bi) == 0 {
 			continue
 		}
@@ -178,15 +196,15 @@ func (mm *Mapper) triangulateNew(kf *smap.KeyFrame) int {
 		matches := feature.MatchBrute(a, b, feature.MatchThresholdStrict, feature.RatioTest)
 		for _, m := range matches {
 			ia, ib := ai[m.A], bi[m.B]
-			if kf.MapPoints[ia] != 0 || nb.MapPoints[ib] != 0 {
+			if kfBind[ia] != 0 || nbBind[ib] != 0 {
 				continue
 			}
-			pw, ok := optimize.Triangulate(mm.Rig.Intr, kf.Tcw, nb.Tcw, kf.Keypoints[ia].Pt(), nb.Keypoints[ib].Pt())
+			pw, ok := optimize.Triangulate(mm.Rig.Intr, kfTcw, nbTcw, kf.Keypoints[ia].Pt(), nb.Keypoints[ib].Pt())
 			if !ok {
 				continue
 			}
-			if !mm.reprojectsWithin(kf.Tcw, pw, kf.Keypoints[ia].Pt()) ||
-				!mm.reprojectsWithin(nb.Tcw, pw, nb.Keypoints[ib].Pt()) {
+			if !mm.reprojectsWithin(kfTcw, pw, kf.Keypoints[ia].Pt()) ||
+				!mm.reprojectsWithin(nbTcw, pw, nb.Keypoints[ib].Pt()) {
 				continue
 			}
 			mp := &smap.MapPoint{
@@ -194,12 +212,13 @@ func (mm *Mapper) triangulateNew(kf *smap.KeyFrame) int {
 				Client: mm.Client,
 				Pos:    pw,
 				Desc:   kf.Keypoints[ia].Desc,
-				Normal: pw.Sub(kf.Center()).Normalized(),
+				Normal: pw.Sub(kfCenter).Normalized(),
 				RefKF:  kf.ID,
 			}
 			mm.Map.AddMapPoint(mp)
 			_ = mm.Map.AddObservation(kf.ID, mp.ID, ia)
 			_ = mm.Map.AddObservation(nb.ID, mp.ID, ib)
+			kfBind[ia], nbBind[ib] = mp.ID, mp.ID
 			mm.recent[mp.ID] = mm.kfCount
 			created++
 		}
@@ -212,9 +231,9 @@ func (mm *Mapper) reprojectsWithin(tcw geom.SE3, pw geom.Vec3, uv geom.Vec2) boo
 	return ok && px.Sub(uv).Norm() <= mm.Cfg.ReprojTol
 }
 
-func unboundIdx(kf *smap.KeyFrame) []int {
+func unboundIdx(bindings []smap.ID) []int {
 	var out []int
-	for i, id := range kf.MapPoints {
+	for i, id := range bindings {
 		if id == 0 {
 			out = append(out, i)
 		}
@@ -234,28 +253,37 @@ func subset(kps []feature.Keypoint, idx []int) []feature.Keypoint {
 // binds unambiguous matches to unbound keypoints, densifying the
 // covisibility graph.
 func (mm *Mapper) fuse(kf *smap.KeyFrame) int {
-	local := mm.Map.LocalPoints(kf.ID, mm.Cfg.BAWindow)
+	// The window points come from the immutable LocalView snapshot and
+	// the keyframe's bindings from a stripe-locked copy; the live
+	// MapPoints slice and Obs maps are written by other sessions
+	// concurrently and must not be read here.
+	view := mm.Map.LocalView(kf.ID, mm.Cfg.BAWindow)
+	kfTcw, bindings, ok := mm.Map.KeyFrameState(kf.ID)
+	if !ok {
+		return 0
+	}
 	fused := 0
 	bound := make(map[smap.ID]bool)
-	for _, id := range kf.MapPoints {
+	for _, id := range bindings {
 		if id != 0 {
 			bound[id] = true
 		}
 	}
-	for _, mp := range local {
+	for pi := range view.Points {
+		mp := &view.Points[pi]
 		if bound[mp.ID] {
 			continue
 		}
-		if _, seen := mp.Obs[kf.ID]; seen {
+		if mm.Map.HasObservation(mp.ID, kf.ID) {
 			continue
 		}
-		px, visible := mm.Rig.WorldToPixel(kf.Tcw, mp.Pos)
+		px, visible := mm.Rig.WorldToPixel(kfTcw, mp.Pos)
 		if !visible {
 			continue
 		}
 		bestI, bestD := -1, feature.MatchThresholdStrict+1
 		for i, kp := range kf.Keypoints {
-			if kf.MapPoints[i] != 0 {
+			if bindings[i] != 0 {
 				continue
 			}
 			dx := kp.X - px.X
@@ -268,8 +296,11 @@ func (mm *Mapper) fuse(kf *smap.KeyFrame) int {
 			}
 		}
 		if bestI >= 0 {
-			_ = mm.Map.AddObservation(kf.ID, mp.ID, bestI)
-			fused++
+			if err := mm.Map.AddObservation(kf.ID, mp.ID, bestI); err == nil {
+				bindings[bestI] = mp.ID
+				bound[mp.ID] = true
+				fused++
+			}
 		}
 	}
 	return fused
@@ -279,61 +310,90 @@ func (mm *Mapper) fuse(kf *smap.KeyFrame) int {
 // keyframes and every map point they observe, with outside observers
 // held fixed.
 func (mm *Mapper) localBA(kf *smap.KeyFrame) {
-	window := mm.Map.Covisible(kf.ID, mm.Cfg.BAWindow-1)
-	window = append(window, kf)
-	inWindow := make(map[smap.ID]bool, len(window))
-	for _, w := range window {
-		inWindow[w.ID] = true
+	// The whole problem is built from stripe-locked snapshots —
+	// poses/bindings via KeyFrameState, point positions and observation
+	// lists via PointObs — because the window is shared with other
+	// sessions' trackers and mappers. Keypoints are immutable and read
+	// off the live pointer.
+	winKFs := mm.Map.Covisible(kf.ID, mm.Cfg.BAWindow-1)
+	winIDs := make([]smap.ID, 0, len(winKFs)+1)
+	for _, w := range winKFs {
+		winIDs = append(winIDs, w.ID)
+	}
+	winIDs = append(winIDs, kf.ID)
+	inWindow := make(map[smap.ID]bool, len(winIDs))
+	for _, id := range winIDs {
+		inWindow[id] = true
 	}
 	// Gather the points observed by the window.
-	ptSet := make(map[smap.ID]*smap.MapPoint)
-	for _, w := range window {
-		for _, mpID := range w.MapPoints {
+	type ptState struct {
+		pos geom.Vec3
+		obs []smap.ObsEntry
+	}
+	winPoses := make(map[smap.ID]geom.SE3, len(winIDs))
+	ptSet := make(map[smap.ID]ptState)
+	for _, wid := range winIDs {
+		tcw, bindings, ok := mm.Map.KeyFrameState(wid)
+		if !ok {
+			continue
+		}
+		winPoses[wid] = tcw
+		for _, mpID := range bindings {
 			if mpID == 0 {
 				continue
 			}
-			if mp, ok := mm.Map.MapPoint(mpID); ok {
-				ptSet[mpID] = mp
+			if _, seen := ptSet[mpID]; seen {
+				continue
+			}
+			if pos, obs, ok := mm.Map.PointObs(mpID); ok {
+				ptSet[mpID] = ptState{pos: pos, obs: obs}
 			}
 		}
 	}
 	// Fixed cameras: outside observers of those points (bounded).
-	fixedSet := make(map[smap.ID]*smap.KeyFrame)
-	for _, mp := range ptSet {
-		for kfID := range mp.Obs {
-			if inWindow[kfID] {
+	fixedPoses := make(map[smap.ID]geom.SE3)
+	for _, st := range ptSet {
+		for _, o := range st.obs {
+			if inWindow[o.KF] {
 				continue
 			}
-			if other, ok := mm.Map.KeyFrame(kfID); ok {
-				fixedSet[kfID] = other
-				if len(fixedSet) >= 8 {
+			if _, seen := fixedPoses[o.KF]; seen {
+				continue
+			}
+			if tcw, _, ok := mm.Map.KeyFrameState(o.KF); ok {
+				fixedPoses[o.KF] = tcw
+				if len(fixedPoses) >= 8 {
 					break
 				}
 			}
 		}
-		if len(fixedSet) >= 8 {
+		if len(fixedPoses) >= 8 {
 			break
 		}
 	}
 	prob := &optimize.BAProblem{Intr: mm.Rig.Intr}
 	camIdx := make(map[smap.ID]int)
-	addCam := func(k *smap.KeyFrame, fixed bool) {
-		camIdx[k.ID] = len(prob.Cams)
-		prob.Cams = append(prob.Cams, k.Tcw)
+	addCam := func(id smap.ID, tcw geom.SE3, fixed bool) {
+		camIdx[id] = len(prob.Cams)
+		prob.Cams = append(prob.Cams, tcw)
 		prob.FixedCam = append(prob.FixedCam, fixed)
 	}
 	// The oldest window keyframe is held fixed to anchor the gauge
 	// when there are no outside observers yet.
-	for i, w := range window {
-		addCam(w, len(fixedSet) == 0 && i == 0)
+	for i, wid := range winIDs {
+		tcw, ok := winPoses[wid]
+		if !ok {
+			continue
+		}
+		addCam(wid, tcw, len(fixedPoses) == 0 && i == 0)
 	}
-	for _, f := range fixedSet {
-		addCam(f, true)
+	for fid, tcw := range fixedPoses {
+		addCam(fid, tcw, true)
 	}
 	ptIdx := make(map[smap.ID]int)
-	for id, mp := range ptSet {
+	for id, st := range ptSet {
 		ptIdx[id] = len(prob.Points)
-		prob.Points = append(prob.Points, mp.Pos)
+		prob.Points = append(prob.Points, st.pos)
 	}
 	type obsRef struct {
 		mpID smap.ID
@@ -341,21 +401,21 @@ func (mm *Mapper) localBA(kf *smap.KeyFrame) {
 		kpI  int
 	}
 	var refs []obsRef
-	for id, mp := range ptSet {
-		for kfID, kpI := range mp.Obs {
-			ci, ok := camIdx[kfID]
+	for id, st := range ptSet {
+		for _, o := range st.obs {
+			ci, ok := camIdx[o.KF]
 			if !ok {
 				continue
 			}
-			obsKF, ok := mm.Map.KeyFrame(kfID)
-			if !ok || kpI >= len(obsKF.Keypoints) {
+			obsKF, ok := mm.Map.KeyFrame(o.KF)
+			if !ok || o.Idx >= len(obsKF.Keypoints) {
 				continue
 			}
 			prob.Obs = append(prob.Obs, optimize.Observation{
 				Cam: ci, Pt: ptIdx[id],
-				UV: obsKF.Keypoints[kpI].Pt(),
+				UV: obsKF.Keypoints[o.Idx].Pt(),
 			})
-			refs = append(refs, obsRef{mpID: id, kfID: kfID, kpI: kpI})
+			refs = append(refs, obsRef{mpID: id, kfID: o.KF, kpI: o.Idx})
 		}
 	}
 	if len(prob.Obs) < 10 {
@@ -365,8 +425,10 @@ func (mm *Mapper) localBA(kf *smap.KeyFrame) {
 	// Write back poses and point positions through the map's setters:
 	// stripe-locked writes that bump versions, so concurrent snapshot
 	// readers never see a torn pose and stale views invalidate.
-	for _, w := range window {
-		mm.Map.SetKeyFramePose(w.ID, prob.Cams[camIdx[w.ID]])
+	for _, wid := range winIDs {
+		if ci, ok := camIdx[wid]; ok {
+			mm.Map.SetKeyFramePose(wid, prob.Cams[ci])
+		}
 	}
 	for id := range ptSet {
 		mm.Map.SetMapPointPos(id, prob.Points[ptIdx[id]])

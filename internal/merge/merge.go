@@ -140,17 +140,13 @@ func (mg *Merger) DetectCommonRegion(cmap *smap.Map) (Alignment, bool) {
 	var pool []corr
 	seen := make(map[[2]smap.ID]bool)
 	for _, kf := range cmap.KeyFrames() {
-		cPts, cIDs := observedPoints(cmap, kf)
+		cPts, cIDs, cPos := observedPoints(cmap, kf.ID)
 		if len(cPts) < 3 {
 			continue
 		}
 		cands := mg.Global.QueryBow(kf.Bow, mg.Cfg.CandidatesPerKF, nil)
 		for _, cand := range cands {
-			gkf, ok := mg.Global.KeyFrame(cand.ID)
-			if !ok {
-				continue
-			}
-			gPts, gIDs := observedPoints(mg.Global, gkf)
+			gPts, gIDs, gPos := observedPoints(mg.Global, cand.ID)
 			if len(gPts) < 3 {
 				continue
 			}
@@ -165,9 +161,9 @@ func (mg *Merger) DetectCommonRegion(cmap *smap.Map) (Alignment, bool) {
 				}
 				seen[key] = true
 				pool = append(pool, corr{
-					src: cPos(cmap, cIDs[m.A]), dst: cPos(mg.Global, gIDs[m.B]),
+					src: cPos[m.A], dst: gPos[m.B],
 					cID: cIDs[m.A], gID: gIDs[m.B],
-					cKF: kf.ID, gKF: gkf.ID,
+					cKF: kf.ID, gKF: cand.ID,
 				})
 			}
 		}
@@ -226,30 +222,32 @@ func (mg *Merger) DetectCommonRegion(cmap *smap.Map) (Alignment, bool) {
 	}, true
 }
 
-// observedPoints returns pseudo-keypoints (descriptor carriers) and the
-// ids of the map points a keyframe observes.
-func observedPoints(m *smap.Map, kf *smap.KeyFrame) ([]feature.Keypoint, []smap.ID) {
+// observedPoints returns pseudo-keypoints (descriptor carriers), ids,
+// and positions of the map points a keyframe observes. Everything is
+// read through the snapshot accessors: the global map is concurrently
+// mutated by other sessions' mappers while the merger scans it, so the
+// live keyframe/point pointers must not be dereferenced here.
+func observedPoints(m *smap.Map, kfID smap.ID) ([]feature.Keypoint, []smap.ID, []geom.Vec3) {
+	_, bindings, ok := m.KeyFrameState(kfID)
+	if !ok {
+		return nil, nil, nil
+	}
 	var kps []feature.Keypoint
 	var ids []smap.ID
-	for _, mpID := range kf.MapPoints {
+	var pos []geom.Vec3
+	for _, mpID := range bindings {
 		if mpID == 0 {
 			continue
 		}
-		mp, ok := m.MapPoint(mpID)
+		p, desc, ok := m.PointMatchState(mpID)
 		if !ok {
 			continue
 		}
-		kps = append(kps, feature.Keypoint{Desc: mp.Desc})
+		kps = append(kps, feature.Keypoint{Desc: desc})
 		ids = append(ids, mpID)
+		pos = append(pos, p)
 	}
-	return kps, ids
-}
-
-func cPos(m *smap.Map, id smap.ID) geom.Vec3 {
-	if mp, ok := m.MapPoint(id); ok {
-		return mp.Pos
-	}
-	return geom.Vec3{}
+	return kps, ids, pos
 }
 
 // ransacAlign estimates the similarity transform mapping src onto dst,
@@ -492,6 +490,10 @@ func (mg *Merger) fusePoint(clientPt, globalPt smap.ID) bool {
 // with the global side fixed (the paper's essential-graph-lite). It
 // returns the keyframes and map points whose state it rewrote.
 func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
+	// Poses, bindings and point positions are read through the
+	// stripe-locked snapshot accessors: the seam neighbourhood is the
+	// live global map, which other sessions track against and adjust
+	// concurrently. Keypoints are immutable and shared.
 	ckf, ok1 := mg.Global.KeyFrame(al.ClientKF)
 	gkf, ok2 := mg.Global.KeyFrame(al.GlobalKF)
 	if !ok1 || !ok2 {
@@ -502,21 +504,23 @@ func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
 
 	prob := &optimize.BAProblem{Intr: mg.Intr}
 	camIdx := make(map[smap.ID]int)
-	seen := make(map[smap.ID]bool)
-	add := func(kf *smap.KeyFrame, isFixed bool) {
-		if seen[kf.ID] {
+	add := func(kfID smap.ID, isFixed bool) {
+		if _, dup := camIdx[kfID]; dup {
 			return
 		}
-		seen[kf.ID] = true
-		camIdx[kf.ID] = len(prob.Cams)
-		prob.Cams = append(prob.Cams, kf.Tcw)
+		tcw, _, ok := mg.Global.KeyFrameState(kfID)
+		if !ok {
+			return
+		}
+		camIdx[kfID] = len(prob.Cams)
+		prob.Cams = append(prob.Cams, tcw)
 		prob.FixedCam = append(prob.FixedCam, isFixed)
 	}
 	for _, kf := range fixed {
-		add(kf, true)
+		add(kf.ID, true)
 	}
 	for _, kf := range free {
-		add(kf, false)
+		add(kf.ID, false)
 	}
 	ptIdx := make(map[smap.ID]int)
 	var ptIDs []smap.ID
@@ -525,11 +529,15 @@ func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
 		if !ok {
 			continue
 		}
-		for kpI, mpID := range kf.MapPoints {
-			if mpID == 0 {
+		_, bindings, ok := mg.Global.KeyFrameState(kfID)
+		if !ok {
+			continue
+		}
+		for kpI, mpID := range bindings {
+			if mpID == 0 || kpI >= len(kf.Keypoints) {
 				continue
 			}
-			mp, ok := mg.Global.MapPoint(mpID)
+			pos, _, ok := mg.Global.PointMatchState(mpID)
 			if !ok {
 				continue
 			}
@@ -538,7 +546,7 @@ func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
 				pi = len(prob.Points)
 				ptIdx[mpID] = pi
 				ptIDs = append(ptIDs, mpID)
-				prob.Points = append(prob.Points, mp.Pos)
+				prob.Points = append(prob.Points, pos)
 			}
 			prob.Obs = append(prob.Obs, optimize.Observation{
 				Cam: camIdx[kfID], Pt: pi,

@@ -222,3 +222,36 @@ func TestFusePointRedirectsObservations(t *testing.T) {
 		t.Error("unknown point fuse succeeded")
 	}
 }
+
+// A keyframe observing both points must not end up with two bindings
+// to the survivor: the duplicate binding is dropped, not rebound.
+func TestFusePointDropsDuplicateObservation(t *testing.T) {
+	global := smap.NewMap(bow.Default())
+	kf := &smap.KeyFrame{ID: 1, Keypoints: make([]feature.Keypoint, 4)}
+	global.AddKeyFrame(kf)
+	global.AddMapPoint(&smap.MapPoint{ID: 10, RefKF: 1})
+	b := &smap.MapPoint{ID: 20, RefKF: 1}
+	global.AddMapPoint(b)
+	if err := global.AddObservation(1, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := global.AddObservation(1, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	mg := New(global, camera.EuRoCIntrinsics(), DefaultConfig())
+	if !mg.fusePoint(10, 20) {
+		t.Fatal("fuse failed")
+	}
+	if kf.MapPoints[1] != 0 {
+		t.Errorf("duplicate binding kept: keypoint 1 -> %d", kf.MapPoints[1])
+	}
+	if kf.MapPoints[3] != 20 {
+		t.Errorf("original binding lost: keypoint 3 -> %d", kf.MapPoints[3])
+	}
+	if idx := b.Obs[1]; idx != 3 {
+		t.Errorf("survivor backref = %d, want 3", idx)
+	}
+	if rep := smap.CheckInvariants(global); len(rep.Violations) != 0 {
+		t.Errorf("invariant violations after fuse: %v", rep.Violations)
+	}
+}

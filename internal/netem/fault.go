@@ -1,0 +1,222 @@
+package netem
+
+// Fault injection: a deterministic, seeded layer under the shaping
+// discipline that emulates the ways real links die — abrupt resets,
+// cuts mid-message after a byte budget, stalls, and reordering. The
+// chaos harness (internal/chaos) scripts scenarios with it; decisions
+// are drawn from a seeded RNG keyed to the write sequence, so a fixed
+// seed and a deterministic byte stream replay the same faults.
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is returned by FaultConn I/O after an injected
+// connection reset.
+var ErrInjectedReset = errors.New("netem: injected connection reset")
+
+// FaultConfig configures the injected faults for one endpoint. All
+// probabilities are per-Write draws from the seeded RNG.
+type FaultConfig struct {
+	// Seed drives every probabilistic decision on this endpoint.
+	Seed int64
+	// ResetProb is the per-write probability of resetting the
+	// connection before any bytes of that write reach the wire.
+	ResetProb float64
+	// ResetAfterBytes cuts the connection mid-message once the total
+	// bytes written crosses this threshold (0 = disabled): the write
+	// that crosses it is truncated at the boundary, then the underlying
+	// connection is closed — the peer sees a partial frame.
+	ResetAfterBytes int64
+	// StallProb is the per-write probability of freezing for StallDur
+	// before the bytes go out, emulating a transient partition.
+	StallProb float64
+	// StallDur is how long an injected stall lasts.
+	StallDur time.Duration
+	// ReorderProb is the per-write probability that a write is held
+	// back and emitted after the following write, swapping adjacent
+	// messages on the wire.
+	ReorderProb float64
+}
+
+// FaultStats counts the faults an endpoint has injected, for test
+// assertions.
+type FaultStats struct {
+	Resets   int
+	Stalls   int
+	Reorders int
+	Written  int64
+}
+
+// FaultConn wraps a net.Conn with injected write-side faults. Reads
+// pass through untouched (a reset closes the underlying connection, so
+// both directions die together, like a RST).
+type FaultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu     sync.Mutex
+	frozen bool
+	thaw   chan struct{}
+	rng    *rand.Rand
+	held   []byte // write held back for reordering
+	failed bool
+	stats  FaultStats
+}
+
+// WrapFault applies fault injection to a connection. Compose with Wrap
+// to get both shaping and faults: WrapFault(Wrap(conn, shape), faults).
+func WrapFault(inner net.Conn, cfg FaultConfig) *FaultConn {
+	return &FaultConn{
+		Conn: inner,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		thaw: make(chan struct{}),
+	}
+}
+
+// Stats returns a copy of the endpoint's fault counters.
+func (c *FaultConn) Stats() FaultStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Cut deterministically resets the connection now: subsequent I/O on
+// either side fails. The harness uses it for scripted crashes.
+func (c *FaultConn) Cut() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+}
+
+// Freeze blocks all writes until Thaw, emulating a scripted partition.
+func (c *FaultConn) Freeze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.frozen {
+		c.frozen = true
+		c.thaw = make(chan struct{})
+	}
+}
+
+// Thaw lifts a Freeze.
+func (c *FaultConn) Thaw() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frozen {
+		c.frozen = false
+		close(c.thaw)
+	}
+}
+
+// reset closes the inner connection and latches the failure. Callers
+// hold c.mu.
+func (c *FaultConn) reset() {
+	if !c.failed {
+		c.failed = true
+		c.stats.Resets++
+		c.Conn.Close()
+	}
+}
+
+// Write applies the configured faults, then forwards to the inner
+// connection.
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	for c.frozen {
+		ch := c.thaw
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
+	}
+	if c.failed {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	// Mid-message cut: truncate at the byte budget, then reset.
+	if c.cfg.ResetAfterBytes > 0 && c.stats.Written+int64(len(p)) >= c.cfg.ResetAfterBytes {
+		keep := c.cfg.ResetAfterBytes - c.stats.Written
+		if keep < 0 {
+			keep = 0
+		}
+		var n int
+		var err error
+		if keep > 0 {
+			n, err = c.Conn.Write(p[:keep])
+			c.stats.Written += int64(n)
+		}
+		c.reset()
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrInjectedReset
+		}
+		return n, err
+	}
+	if c.cfg.ResetProb > 0 && c.rng.Float64() < c.cfg.ResetProb {
+		c.reset()
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	stall := c.cfg.StallProb > 0 && c.rng.Float64() < c.cfg.StallProb
+	if stall {
+		c.stats.Stalls++
+	}
+	// Reordering: hold this write back, or flush a held one after the
+	// current write.
+	var flush []byte
+	hold := false
+	if c.held != nil {
+		flush = c.held
+		c.held = nil
+	} else if c.cfg.ReorderProb > 0 && c.rng.Float64() < c.cfg.ReorderProb {
+		c.held = append([]byte(nil), p...)
+		c.stats.Reorders++
+		hold = true
+	}
+	c.mu.Unlock()
+
+	if stall && c.cfg.StallDur > 0 {
+		time.Sleep(c.cfg.StallDur)
+	}
+	if hold {
+		// Report success now; the bytes ride out with the next write.
+		return len(p), nil
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.stats.Written += int64(n)
+	c.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if flush != nil {
+		m, ferr := c.Conn.Write(flush)
+		c.mu.Lock()
+		c.stats.Written += int64(m)
+		c.mu.Unlock()
+		if ferr != nil {
+			return n, ferr
+		}
+	}
+	return n, err
+}
+
+// Read forwards to the inner connection, surfacing ErrInjectedReset
+// after a reset for a recognizable failure.
+func (c *FaultConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if err != nil {
+		c.mu.Lock()
+		failed := c.failed
+		c.mu.Unlock()
+		if failed {
+			err = ErrInjectedReset
+		}
+	}
+	return n, err
+}

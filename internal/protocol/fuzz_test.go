@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"testing"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/geom"
+	"slamshare/internal/imu"
+)
+
+// FuzzDecodeFrameMsg hammers the uplink frame decoder with arbitrary
+// bytes: it must return an error or a structurally sound message —
+// never panic, and never alias slices beyond the input.
+func FuzzDecodeFrameMsg(f *testing.F) {
+	// Seed corpus: valid round-trip encodings of varied shapes plus
+	// classic corruptions of each.
+	seeds := []*FrameMsg{
+		{ClientID: 1, FrameIdx: 0, Stamp: 0.05,
+			Delta: imu.FrameDelta{RotDelta: geom.IdentityQuat(), DT: 0.05},
+			Video: []byte("intra-frame")},
+		{ClientID: 7, FrameIdx: 42, Stamp: 2.1,
+			Delta:      imu.FrameDelta{RotDelta: geom.IdentityQuat(), PosDelta: geom.Vec3{X: 0.1}, DT: 0.05},
+			Video:      make([]byte, 256),
+			VideoRight: make([]byte, 256),
+			Prior:      geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{Z: 1}},
+			HasPrior:   true},
+	}
+	for _, m := range seeds {
+		data := m.Encode()
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/3] ^= 0xFF
+		f.Add(flipped)
+		// Absurd video length with no backing bytes.
+		huge := append([]byte(nil), data[:120]...)
+		huge[116], huge[117], huge[118], huge[119] = 0xFF, 0xFF, 0xFF, 0x7F
+		f.Add(huge)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a frame message"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFrameMsg(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil message returned with error")
+			}
+			return
+		}
+		// Decoded slices alias the input; they can never exceed it.
+		if len(m.Video)+len(m.VideoRight) > len(data) {
+			t.Fatalf("decoded %d video bytes from a %d-byte message",
+				len(m.Video)+len(m.VideoRight), len(data))
+		}
+	})
+}
+
+// FuzzDecodePoseMsg covers the downlink pose decoder.
+func FuzzDecodePoseMsg(f *testing.F) {
+	seeds := []*PoseMsg{
+		{FrameIdx: 0, Pose: geom.IdentitySE3(), Tracked: true},
+		{FrameIdx: 99, Pose: geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 1, Y: 2, Z: 3}}},
+	}
+	for _, m := range seeds {
+		data := m.Encode()
+		f.Add(data)
+		f.Add(data[:len(data)-1])
+		f.Add(append(append([]byte(nil), data...), 0))
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0xFF
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodePoseMsg(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil message returned with error")
+			}
+			return
+		}
+		if len(data) != 4+16*8+1 {
+			t.Fatalf("decoder accepted %d-byte pose message", len(data))
+		}
+	})
+}
+
+// FuzzDecodeHelloMsg covers the session-opening hello decoder, in both
+// the legacy 5-byte and extended-calibration forms.
+func FuzzDecodeHelloMsg(f *testing.F) {
+	legacy := &HelloMsg{ClientID: 3, Mode: camera.Stereo}
+	ext := &HelloMsg{ClientID: 9, Mode: camera.Mono, HasRig: true,
+		Intr: camera.EuRoCIntrinsics(), Baseline: 0.11}
+	for _, m := range []*HelloMsg{legacy, ext} {
+		data := m.Encode()
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(append(append([]byte(nil), data...), 0xAB))
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeHelloMsg(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil message returned with error")
+			}
+			return
+		}
+		// Whatever decoded must re-encode to the same bytes (the format
+		// has no redundancy).
+		if got := m.Encode(); string(got) != string(data) {
+			t.Fatalf("round-trip mismatch: %x -> %x", data, got)
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 
+	"slamshare/internal/camera"
 	"slamshare/internal/geom"
 	"slamshare/internal/imu"
 )
@@ -69,6 +70,86 @@ func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
 		return 0, nil, err
 	}
 	return hdr[0], payload, nil
+}
+
+// HelloMsg introduces a client: its ID, camera mode, and optionally
+// the rig calibration. The legacy 5-byte form (ID + mode) is still
+// accepted; without calibration the server assumes the EuRoC rig.
+type HelloMsg struct {
+	ClientID uint32
+	Mode     camera.Mode
+	// HasRig reports whether the calibration fields are meaningful.
+	HasRig   bool
+	Intr     camera.Intrinsics
+	Baseline float64 // metres; 0 for monocular rigs
+}
+
+// Rig materializes the advertised calibration (or the EuRoC default
+// for legacy hellos).
+func (m *HelloMsg) Rig() camera.Rig {
+	intr := m.Intr
+	if !m.HasRig {
+		intr = camera.EuRoCIntrinsics()
+	}
+	if m.Mode == camera.Stereo {
+		base := m.Baseline
+		if !m.HasRig {
+			base = 0.11
+		}
+		return camera.NewStereoRig(intr, base)
+	}
+	return camera.NewMonoRig(intr)
+}
+
+// Encode serializes the hello message.
+func (m *HelloMsg) Encode() []byte {
+	buf := make([]byte, 0, 5+1+6*8+2*4)
+	buf = binary.LittleEndian.AppendUint32(buf, m.ClientID)
+	buf = append(buf, byte(m.Mode))
+	if !m.HasRig {
+		return buf
+	}
+	buf = append(buf, 1)
+	for _, v := range []float64{m.Intr.Fx, m.Intr.Fy, m.Intr.Cx, m.Intr.Cy} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Intr.Width))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Intr.Height))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Baseline))
+	return buf
+}
+
+// DecodeHelloMsg reverses HelloMsg.Encode, accepting both the legacy
+// 5-byte form and the extended form with calibration.
+func DecodeHelloMsg(data []byte) (*HelloMsg, error) {
+	r := &byteReader{buf: data}
+	m := &HelloMsg{}
+	m.ClientID = r.u32()
+	m.Mode = camera.Mode(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off == len(data) {
+		return m, nil // legacy hello: no calibration
+	}
+	if flag := r.u8(); flag != 1 {
+		return nil, fmt.Errorf("protocol: bad hello calibration flag %d", flag)
+	}
+	m.HasRig = true
+	m.Intr.Fx = r.f64()
+	m.Intr.Fy = r.f64()
+	m.Intr.Cx = r.f64()
+	m.Intr.Cy = r.f64()
+	m.Intr.Width = int(r.u32())
+	m.Intr.Height = int(r.u32())
+	m.Baseline = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in hello", len(data)-r.off)
+	}
+	return m, nil
 }
 
 // FrameMsg is the per-frame uplink payload.

@@ -98,6 +98,41 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[uint32]*Session
 	merges   []merge.Report
+
+	net NetStats
+}
+
+// NetStats counts per-connection protocol events on the Serve path.
+// serveConn historically swallowed every failure; these counters make
+// dropped frames and rejected sessions observable (the chaos harness
+// asserts them after fault scenarios).
+type NetStats struct {
+	// BadHello counts malformed hello payloads and hellos the server
+	// refused (e.g. a client ID already in session).
+	BadHello metrics.Counter
+	// DupHello counts second hellos on an already-established
+	// connection, which are rejected to avoid leaking the first session.
+	DupHello metrics.Counter
+	// FramesRejected counts frame payloads that failed to decode.
+	FramesRejected metrics.Counter
+	// FramesFailed counts decoded frames the pipeline failed to process.
+	FramesFailed metrics.Counter
+	// SessionsOpened / SessionsClosed count session lifecycle on the
+	// Serve path; SessionsDropped is the subset of closes caused by a
+	// connection dying without a Bye.
+	SessionsOpened  metrics.Counter
+	SessionsClosed  metrics.Counter
+	SessionsDropped metrics.Counter
+}
+
+// NetStats returns the Serve-path counters.
+func (s *Server) NetStats() *NetStats { return &s.net }
+
+// NSessions returns the number of currently open sessions.
+func (s *Server) NSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
 }
 
 // New creates the server: it allocates the shared-memory region,
@@ -250,13 +285,11 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 	if _, ok := s.sessions[clientID]; ok {
 		return nil, fmt.Errorf("server: client %d already connected", clientID)
 	}
-	// A returning client after a server recovery already has keyframes
-	// in the restored global map: seed its allocator past the highest
-	// sequence it used before the crash so fresh IDs never collide.
-	resumeSeq := smap.ID(0)
-	if s.rec != nil {
-		resumeSeq = s.global.MaxSeq(int(clientID))
-	}
+	// A returning client — whether after a server recovery or a mid-run
+	// disconnect — already has keyframes in the global map: seed its
+	// allocator past the highest sequence it used before so fresh IDs
+	// never collide, and resume directly on the global map below.
+	resumeSeq := s.global.MaxSeq(int(clientID))
 	alloc := smap.NewIDAllocatorFrom(int(clientID), resumeSeq)
 	localMap := smap.NewMap(s.voc)
 	ex := feature.NewExtractor(feature.DefaultConfig())
@@ -486,9 +519,14 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	var sess *Session
+	clean := false
 	defer func() {
 		if sess != nil {
 			s.CloseSession(sess.ID)
+			s.net.SessionsClosed.Inc()
+			if !clean {
+				s.net.SessionsDropped.Inc()
+			}
 		}
 	}()
 	for {
@@ -498,32 +536,35 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch mt {
 		case protocol.TypeHello:
-			if len(payload) < 5 {
+			// One session per connection: a second hello would reassign
+			// sess and leak the first session past the deferred close.
+			if sess != nil {
+				s.net.DupHello.Inc()
 				return
 			}
-			clientID := uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24
-			mode := camera.Mode(payload[4])
-			intr := camera.EuRoCIntrinsics()
-			var rig camera.Rig
-			if mode == camera.Stereo {
-				rig = camera.NewStereoRig(intr, 0.11)
-			} else {
-				rig = camera.NewMonoRig(intr)
-			}
-			sess, err = s.OpenSession(clientID, rig)
+			hello, err := protocol.DecodeHelloMsg(payload)
 			if err != nil {
+				s.net.BadHello.Inc()
 				return
 			}
+			sess, err = s.OpenSession(hello.ClientID, hello.Rig())
+			if err != nil {
+				s.net.BadHello.Inc()
+				return
+			}
+			s.net.SessionsOpened.Inc()
 		case protocol.TypeFrame:
 			if sess == nil {
 				return
 			}
 			msg, err := protocol.DecodeFrameMsg(payload)
 			if err != nil {
+				s.net.FramesRejected.Inc()
 				return
 			}
 			res, err := sess.HandleFrame(msg)
 			if err != nil {
+				s.net.FramesFailed.Inc()
 				return
 			}
 			pm := protocol.PoseMsg{FrameIdx: msg.FrameIdx, Pose: res.Pose, Tracked: res.Tracked}
@@ -531,6 +572,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		case protocol.TypeBye:
+			clean = true
 			return
 		}
 	}

@@ -3,12 +3,14 @@ package server
 import (
 	"net"
 	"testing"
+	"time"
 
 	"slamshare/internal/camera"
 	"slamshare/internal/client"
 	"slamshare/internal/dataset"
 	"slamshare/internal/metrics"
 	"slamshare/internal/netem"
+	"slamshare/internal/protocol"
 )
 
 // lockstep drives a client against its server session synchronously
@@ -232,5 +234,122 @@ func TestOpenSessionDuplicate(t *testing.T) {
 	srv.CloseSession(1)
 	if _, err := srv.OpenSession(1, rig); err != nil {
 		t.Errorf("reopen after close failed: %v", err)
+	}
+}
+
+// serveTestListener starts a Serve loop and returns the dial address.
+func serveTestListener(t *testing.T, srv *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	return l.Addr().String()
+}
+
+// waitCounter polls a counter until it reaches want or the deadline
+// expires (serveConn runs asynchronously).
+func waitCounter(t *testing.T, c *metrics.Counter, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Load() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("counter stuck at %d, want %d", c.Load(), want)
+}
+
+func TestServeRejectsDuplicateHello(t *testing.T) {
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := serveTestListener(t, srv)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := protocol.HelloMsg{ClientID: 5, Mode: camera.Mono}
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, &srv.NetStats().SessionsOpened, 1)
+	if n := srv.NSessions(); n != 1 {
+		t.Fatalf("%d sessions after hello", n)
+	}
+	// The regression: a second hello on the same connection used to
+	// reassign the session and leak the first one past the deferred
+	// close. It must now drop the connection and release the session.
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, &srv.NetStats().DupHello, 1)
+	waitCounter(t, &srv.NetStats().SessionsClosed, 1)
+	if n := srv.NSessions(); n != 0 {
+		t.Fatalf("%d sessions leaked after duplicate hello", n)
+	}
+	// Dropped (no Bye), and the client ID is reusable immediately.
+	if got := srv.NetStats().SessionsDropped.Load(); got != 1 {
+		t.Errorf("SessionsDropped = %d, want 1", got)
+	}
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := protocol.WriteMessage(conn2, protocol.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, &srv.NetStats().SessionsOpened, 2)
+}
+
+func TestServeCountsBadHelloAndRejects(t *testing.T) {
+	srv, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := serveTestListener(t, srv)
+
+	// Malformed hello payload.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, &srv.NetStats().BadHello, 1)
+
+	// Same client ID on two live connections: the second is refused.
+	hello := protocol.HelloMsg{ClientID: 9, Mode: camera.Mono}
+	a, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := protocol.WriteMessage(a, protocol.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, &srv.NetStats().SessionsOpened, 1)
+	b, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := protocol.WriteMessage(b, protocol.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, &srv.NetStats().BadHello, 2)
+	if n := srv.NSessions(); n != 1 {
+		t.Fatalf("%d sessions, want 1", n)
 	}
 }

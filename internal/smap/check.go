@@ -1,0 +1,305 @@
+package smap
+
+// Invariant checker: a structural audit of a Map, run by the chaos
+// harness (internal/chaos) after fault scenarios and at quiescent sync
+// points. Every rule here is an invariant the mutation API maintains
+// at rest — i.e. when no mutators are mid-flight. The checker takes a
+// consistent snapshot under every stripe read lock (ascending order,
+// per the package lock hierarchy) plus the insertion-order/BoW lock,
+// then audits the copy without holding any lock.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"slamshare/internal/geom"
+)
+
+// Violation is one detected invariant breach, reported as a structured
+// diff: the rule that failed, the entities involved, and a
+// human-readable detail of expected-versus-found.
+type Violation struct {
+	// Rule names the invariant, e.g. "kf-binding-dangling".
+	Rule string
+	// KF and MP identify the involved entities (0 when not applicable).
+	KF ID
+	MP ID
+	// Detail is the expected-vs-found diff.
+	Detail string
+}
+
+func (v Violation) String() string {
+	s := v.Rule
+	if v.KF != 0 {
+		s += fmt.Sprintf(" kf=%d", v.KF)
+	}
+	if v.MP != 0 {
+		s += fmt.Sprintf(" mp=%d", v.MP)
+	}
+	return s + ": " + v.Detail
+}
+
+// CheckReport summarizes one CheckInvariants run.
+type CheckReport struct {
+	KeyFrames  int
+	MapPoints  int
+	Violations []Violation
+}
+
+// OK reports whether the audit found no violations.
+func (r CheckReport) OK() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as one line.
+func (r CheckReport) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("ok (%d KFs, %d MPs)", r.KeyFrames, r.MapPoints)
+	}
+	return fmt.Sprintf("%d violations (%d KFs, %d MPs); first: %s",
+		len(r.Violations), r.KeyFrames, r.MapPoints, r.Violations[0])
+}
+
+// rlockAll acquires every stripe read lock in ascending index order;
+// rUnlockAll releases them in reverse.
+func (m *Map) rlockAll() {
+	for i := range m.stripes {
+		m.stripes[i].mu.RLock()
+	}
+}
+
+func (m *Map) rUnlockAll() {
+	for i := numStripes - 1; i >= 0; i-- {
+		m.stripes[i].mu.RUnlock()
+	}
+}
+
+// checkSnapshot is the consistent copy the audit runs over.
+type checkSnapshot struct {
+	kfs    map[ID]*KeyFrame // snapshot copies
+	mps    map[ID]*MapPoint // snapshot copies
+	order  []ID
+	bowIDs []ID
+	nkf    int
+	nmp    int
+}
+
+func (m *Map) snapshotForCheck() checkSnapshot {
+	m.rlockAll()
+	snap := checkSnapshot{
+		kfs: make(map[ID]*KeyFrame, m.nkf.Load()),
+		mps: make(map[ID]*MapPoint, m.nmp.Load()),
+		nkf: int(m.nkf.Load()),
+		nmp: int(m.nmp.Load()),
+	}
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		for id, kf := range s.keyframes {
+			snap.kfs[id] = snapshotKF(kf)
+		}
+		for id, mp := range s.points {
+			snap.mps[id] = snapshotMP(mp)
+		}
+	}
+	// The imu lock may be taken while stripe locks are held (never the
+	// reverse), matching the package lock-ordering rule.
+	m.imu.RLock()
+	snap.order = append([]ID(nil), m.order...)
+	snap.bowIDs = m.bowDB.IDs()
+	m.imu.RUnlock()
+	m.rUnlockAll()
+	return snap
+}
+
+// CheckInvariants audits the map's structural invariants and returns a
+// report of every violation found:
+//
+//   - kf-binding-dangling: a keyframe keypoint binds a map point ID
+//     that is not in the map.
+//   - kf-binding-backref: a bound map point exists but does not record
+//     the observation back to that keyframe/keypoint.
+//   - kf-binding-len: the binding slice is not sized to the keypoints.
+//   - mp-obs-dangling: a map point records an observation by a
+//     keyframe that is not in the map.
+//   - mp-obs-backref: the observing keyframe exists but its keypoint
+//     does not bind the point back (index out of range or bound
+//     elsewhere).
+//   - covis-dangling / covis-asymmetric / covis-weight: covisibility
+//     edges must reference live keyframes, exist in both directions,
+//     and agree on the shared-observation weight.
+//   - covis-self: a keyframe lists itself as covisible.
+//   - id-zero / id-cross: entity IDs must be non-zero and never name
+//     both a keyframe and a map point (per-client allocators hand out
+//     disjoint IDs, which is what makes merge renumbering sound).
+//   - mp-refkf-zero: a map point's reference keyframe ID is zero.
+//   - bow-missing / bow-stale: the BoW place-recognition index must
+//     contain exactly the live keyframes.
+//   - order-missing / order-dup: the insertion-order list must contain
+//     every live keyframe exactly once (erased IDs may linger, live
+//     duplicates may not).
+//   - kf-pose-notfinite / mp-pos-notfinite: poses and positions must
+//     be finite (NaN/Inf poison every downstream solve).
+//   - count-mismatch: the atomic entity counters must match the
+//     stripe contents.
+//
+// The checker is safe to run concurrently with readers; run it at
+// quiescent points (no in-flight mutators) for a meaningful audit, as
+// several invariants are transiently relaxed mid-mutation by design.
+func (m *Map) CheckInvariants() CheckReport {
+	snap := m.snapshotForCheck()
+	rep := CheckReport{KeyFrames: len(snap.kfs), MapPoints: len(snap.mps)}
+	add := func(rule string, kf, mp ID, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Rule: rule, KF: kf, MP: mp, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if snap.nkf != len(snap.kfs) {
+		add("count-mismatch", 0, 0, "keyframe counter %d, stripes hold %d", snap.nkf, len(snap.kfs))
+	}
+	if snap.nmp != len(snap.mps) {
+		add("count-mismatch", 0, 0, "map-point counter %d, stripes hold %d", snap.nmp, len(snap.mps))
+	}
+
+	// Deterministic iteration order keeps reports stable run to run.
+	kfIDs := make([]ID, 0, len(snap.kfs))
+	for id := range snap.kfs {
+		kfIDs = append(kfIDs, id)
+	}
+	sort.Slice(kfIDs, func(i, j int) bool { return kfIDs[i] < kfIDs[j] })
+	mpIDs := make([]ID, 0, len(snap.mps))
+	for id := range snap.mps {
+		mpIDs = append(mpIDs, id)
+	}
+	sort.Slice(mpIDs, func(i, j int) bool { return mpIDs[i] < mpIDs[j] })
+
+	for _, id := range kfIDs {
+		kf := snap.kfs[id]
+		if id == 0 {
+			add("id-zero", id, 0, "keyframe with reserved ID 0")
+		}
+		if _, both := snap.mps[id]; both {
+			add("id-cross", id, id, "ID names both a keyframe and a map point")
+		}
+		if !finiteSE3(kf.Tcw) {
+			add("kf-pose-notfinite", id, 0, "Tcw not finite: %+v", kf.Tcw)
+		}
+		if len(kf.MapPoints) != len(kf.Keypoints) {
+			add("kf-binding-len", id, 0, "%d bindings for %d keypoints",
+				len(kf.MapPoints), len(kf.Keypoints))
+		}
+		for i, mpID := range kf.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			mp, ok := snap.mps[mpID]
+			if !ok {
+				add("kf-binding-dangling", id, mpID, "keypoint %d binds missing map point", i)
+				continue
+			}
+			if got, ok := mp.Obs[id]; !ok {
+				add("kf-binding-backref", id, mpID, "keypoint %d bound but point has no observation of this keyframe", i)
+			} else if got != i {
+				add("kf-binding-backref", id, mpID, "keypoint %d bound but point records keypoint %d", i, got)
+			}
+		}
+		for other, w := range kf.Conns {
+			if other == id {
+				add("covis-self", id, 0, "self edge with weight %d", w)
+				continue
+			}
+			okf, ok := snap.kfs[other]
+			if !ok {
+				add("covis-dangling", id, 0, "edge to missing keyframe %d (weight %d)", other, w)
+				continue
+			}
+			ow, ok := okf.Conns[id]
+			if !ok {
+				add("covis-asymmetric", id, 0, "edge to %d (weight %d) has no reverse edge", other, w)
+			} else if ow != w {
+				add("covis-weight", id, 0, "edge to %d weighs %d forward, %d reverse", other, w, ow)
+			}
+		}
+	}
+
+	for _, id := range mpIDs {
+		mp := snap.mps[id]
+		if id == 0 {
+			add("id-zero", 0, id, "map point with reserved ID 0")
+		}
+		if !finiteVec3(mp.Pos) {
+			add("mp-pos-notfinite", 0, id, "position not finite: %+v", mp.Pos)
+		}
+		if mp.RefKF == 0 {
+			add("mp-refkf-zero", 0, id, "reference keyframe ID is 0")
+		}
+		for kfID, idx := range mp.Obs {
+			kf, ok := snap.kfs[kfID]
+			if !ok {
+				add("mp-obs-dangling", kfID, id, "observed by missing keyframe (keypoint %d)", idx)
+				continue
+			}
+			if idx < 0 || idx >= len(kf.MapPoints) {
+				add("mp-obs-backref", kfID, id, "keypoint index %d out of range (%d keypoints)",
+					idx, len(kf.MapPoints))
+				continue
+			}
+			if got := kf.MapPoints[idx]; got != id {
+				add("mp-obs-backref", kfID, id, "keyframe keypoint %d binds %d, not this point", idx, got)
+			}
+		}
+	}
+
+	// BoW index <-> live keyframes.
+	inBow := make(map[ID]bool, len(snap.bowIDs))
+	for _, id := range snap.bowIDs {
+		inBow[id] = true
+		if _, ok := snap.kfs[id]; !ok {
+			add("bow-stale", id, 0, "BoW index entry for missing keyframe")
+		}
+	}
+	for _, id := range kfIDs {
+		if !inBow[id] {
+			add("bow-missing", id, 0, "live keyframe absent from BoW index")
+		}
+	}
+
+	// Insertion order: every live keyframe exactly once. Erased IDs may
+	// linger in the list by design (lookups skip them).
+	seenOrder := make(map[ID]int, len(snap.order))
+	for _, id := range snap.order {
+		if _, live := snap.kfs[id]; !live {
+			continue
+		}
+		seenOrder[id]++
+	}
+	for _, id := range kfIDs {
+		switch n := seenOrder[id]; {
+		case n == 0:
+			add("order-missing", id, 0, "live keyframe absent from insertion order")
+		case n > 1:
+			add("order-dup", id, 0, "live keyframe appears %d times in insertion order", n)
+		}
+	}
+
+	return rep
+}
+
+// CheckInvariants is the package-level convenience wrapper the chaos
+// harness calls: audit m and return the full report.
+func CheckInvariants(m *Map) CheckReport { return m.CheckInvariants() }
+
+func finiteVec3(v geom.Vec3) bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+func finiteSE3(p geom.SE3) bool {
+	q := p.R
+	for _, c := range []float64{q.W, q.X, q.Y, q.Z} {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return false
+		}
+	}
+	return finiteVec3(p.T)
+}

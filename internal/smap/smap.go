@@ -504,6 +504,92 @@ func (m *Map) MapPoint(id ID) (*MapPoint, bool) {
 	return mp, ok
 }
 
+// KeyFrameState returns a consistent copy of the keyframe's pose and
+// map-point bindings, captured under the stripe lock. Readers that
+// match against a keyframe while other sessions may move its pose or
+// rebind its points (e.g. relocalization) use this instead of the live
+// pointer from KeyFrame.
+func (m *Map) KeyFrameState(id ID) (tcw geom.SE3, mps []ID, ok bool) {
+	s := m.stripe(id)
+	s.mu.RLock()
+	kf, ok := s.keyframes[id]
+	if ok {
+		tcw = kf.Tcw
+		mps = append([]ID(nil), kf.MapPoints...)
+	}
+	s.mu.RUnlock()
+	return tcw, mps, ok
+}
+
+// PointMatchState returns a consistent copy of a map point's matching
+// state (position and descriptor) under the stripe lock — the safe
+// counterpart of reading Pos/Desc off the live MapPoint pointer while
+// bundle adjustment may be rewriting the position.
+func (m *Map) PointMatchState(id ID) (pos geom.Vec3, desc feature.Descriptor, ok bool) {
+	s := m.stripe(id)
+	s.mu.RLock()
+	mp, ok := s.points[id]
+	if ok {
+		pos, desc = mp.Pos, mp.Desc
+	}
+	s.mu.RUnlock()
+	return pos, desc, ok
+}
+
+// ObsEntry is one (keyframe, keypoint index) observation pair in a
+// point-observation snapshot.
+type ObsEntry struct {
+	KF  ID
+	Idx int
+}
+
+// PointObs returns a consistent copy of a map point's position and
+// observation list under the stripe lock. The live Obs map must never
+// be iterated off a pointer from MapPoint while other sessions add
+// observations — that is a concurrent map read/write.
+func (m *Map) PointObs(id ID) (pos geom.Vec3, obs []ObsEntry, ok bool) {
+	s := m.stripe(id)
+	s.mu.RLock()
+	mp, ok := s.points[id]
+	if ok {
+		pos = mp.Pos
+		obs = make([]ObsEntry, 0, len(mp.Obs))
+		for kfID, idx := range mp.Obs {
+			obs = append(obs, ObsEntry{KF: kfID, Idx: idx})
+		}
+	}
+	s.mu.RUnlock()
+	return pos, obs, ok
+}
+
+// PointObsCount returns how many keyframes observe the point (ok
+// reports existence), without exposing the live observation map.
+func (m *Map) PointObsCount(id ID) (int, bool) {
+	s := m.stripe(id)
+	s.mu.RLock()
+	mp, ok := s.points[id]
+	n := 0
+	if ok {
+		n = len(mp.Obs)
+	}
+	s.mu.RUnlock()
+	return n, ok
+}
+
+// HasObservation reports whether the point is observed by the given
+// keyframe.
+func (m *Map) HasObservation(mpID, kfID ID) bool {
+	s := m.stripe(mpID)
+	s.mu.RLock()
+	mp, ok := s.points[mpID]
+	seen := false
+	if ok {
+		_, seen = mp.Obs[kfID]
+	}
+	s.mu.RUnlock()
+	return seen
+}
+
 // kfVersion returns the mutation counter of a keyframe (0 if the ID
 // was never inserted).
 func (m *Map) kfVersion(id ID) uint64 {
@@ -675,6 +761,14 @@ func (m *Map) AddObservation(kfID, mpID ID, kpIdx int) error {
 		unlock()
 		return fmt.Errorf("smap: keypoint index %d out of range", kpIdx)
 	}
+	// Re-observation: the point is already bound in this keyframe at
+	// another keypoint (e.g. a concurrent fuse redirected it here while
+	// the tracker was promoting the frame). Clear the old binding —
+	// same keyframe, so the stripe lock already covers it — so the
+	// keyframe never holds two bindings to one point.
+	if old, dup := mp.Obs[kfID]; dup && old != kpIdx && old >= 0 && old < len(kf.MapPoints) && kf.MapPoints[old] == mpID {
+		kf.MapPoints[old] = 0
+	}
 	kf.MapPoints[kpIdx] = mpID
 	mp.Obs[kfID] = kpIdx
 	ks.kfVer[kfID]++
@@ -759,26 +853,45 @@ func (m *Map) FusePoint(from, to ID) bool {
 	for kfID, idx := range fp.Obs {
 		obs = append(obs, obsRef{kfID, idx})
 	}
-	unlock()
-	redirected := obs[:0]
-	for _, o := range obs {
-		ks := m.stripe(o.kfID)
-		ks.mu.Lock()
-		if kf, ok := ks.keyframes[o.kfID]; ok && o.idx < len(kf.MapPoints) && kf.MapPoints[o.idx] == from {
-			kf.MapPoints[o.idx] = to
-			ks.kfVer[o.kfID]++
-			redirected = append(redirected, o)
-		}
-		ks.mu.Unlock()
+	tp := ts.points[to]
+	already := make(map[ID]bool, len(tp.Obs))
+	for kfID := range tp.Obs {
+		already[kfID] = true
 	}
-	ts.mu.Lock()
-	if tp, ok := ts.points[to]; ok {
-		for _, o := range redirected {
-			tp.Obs[o.kfID] = o.idx
+	unlock()
+	for _, o := range obs {
+		if already[o.kfID] {
+			// `to` is observed in this keyframe at another keypoint:
+			// rebinding would leave two bindings to one point and a
+			// backref that matches only one of them. Leave the binding
+			// on `from`; EraseMapPoint below clears it.
+			continue
 		}
+		// Take the keyframe stripe and `to`'s stripe together so the
+		// binding and its backref move atomically — a concurrent
+		// AddObservation can bind `to` here between the snapshot above
+		// and this redirect, so re-check for a duplicate under the lock.
+		unlockKF := m.lockPair(o.kfID, to)
+		ks := m.stripe(o.kfID)
+		if kf, ok := ks.keyframes[o.kfID]; ok && o.idx < len(kf.MapPoints) && kf.MapPoints[o.idx] == from {
+			dup := false
+			for _, b := range kf.MapPoints {
+				if b == to {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kf.MapPoints[o.idx] = to
+				ks.kfVer[o.kfID]++
+				if tp, ok := ts.points[to]; ok {
+					tp.Obs[o.kfID] = o.idx
+				}
+			}
+		}
+		unlockKF()
 	}
 	m.version.Add(1)
-	ts.mu.Unlock()
 	m.EraseMapPoint(from)
 	return true
 }

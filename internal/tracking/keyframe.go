@@ -163,13 +163,18 @@ func (t *Tracker) newKeyFrameFrom(fr *Frame) *smap.KeyFrame {
 func (t *Tracker) makeKeyFrame(fr *Frame) *smap.KeyFrame {
 	kf := t.newKeyFrameFrom(fr)
 	t.Map.AddKeyFrame(kf)
-	// Register existing observations.
+	// Register existing observations. A tracked point may have been
+	// culled by another session's mapper between the frame's search and
+	// this promotion; clear the binding then (under the stripe lock, the
+	// keyframe is already shared) so it never dangles in the map.
 	for i, mpID := range fr.MPs {
 		if mpID == 0 {
 			continue
 		}
 		if err := t.Map.AddObservation(kf.ID, mpID, i); err == nil {
 			t.Map.BumpPointFound(mpID)
+		} else {
+			t.Map.DetachObservation(kf.ID, mpID, i)
 		}
 	}
 	// New stereo points from unmatched keypoints with depth.

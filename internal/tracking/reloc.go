@@ -26,11 +26,7 @@ func (t *Tracker) relocalize(fr *Frame) bool {
 	bv := voc.BowOf(descs)
 	cands := t.Map.QueryBow(bv, 5, nil)
 	for _, cand := range cands {
-		kf, ok := t.Map.KeyFrame(cand.ID)
-		if !ok {
-			continue
-		}
-		if t.tryRelocAgainst(fr, kf) {
+		if t.tryRelocAgainst(fr, cand.ID) {
 			return true
 		}
 	}
@@ -38,21 +34,29 @@ func (t *Tracker) relocalize(fr *Frame) bool {
 }
 
 // tryRelocAgainst matches the frame against one candidate keyframe's
-// map points and solves the pose.
-func (t *Tracker) tryRelocAgainst(fr *Frame, kf *smap.KeyFrame) bool {
+// map points and solves the pose. The candidate lives in the shared
+// map while other sessions track and adjust it, so all of its state is
+// read through the snapshot accessors, never the live pointers.
+func (t *Tracker) tryRelocAgainst(fr *Frame, kfID smap.ID) bool {
+	seedTcw, bindings, ok := t.Map.KeyFrameState(kfID)
+	if !ok {
+		return false
+	}
 	// Gather the candidate's map points as descriptor carriers.
 	var mpKps []feature.Keypoint
 	var mpIDs []smap.ID
-	for _, mpID := range kf.MapPoints {
+	var mpPos []geom.Vec3
+	for _, mpID := range bindings {
 		if mpID == 0 {
 			continue
 		}
-		mp, ok := t.Map.MapPoint(mpID)
+		pos, desc, ok := t.Map.PointMatchState(mpID)
 		if !ok {
 			continue
 		}
-		mpKps = append(mpKps, feature.Keypoint{Desc: mp.Desc})
+		mpKps = append(mpKps, feature.Keypoint{Desc: desc})
 		mpIDs = append(mpIDs, mpID)
+		mpPos = append(mpPos, pos)
 	}
 	if len(mpKps) < t.Cfg.MinInliers {
 		return false
@@ -66,19 +70,15 @@ func (t *Tracker) tryRelocAgainst(fr *Frame, kf *smap.KeyFrame) bool {
 	var kpIdx []int
 	var ids []smap.ID
 	for _, m := range matches {
-		mp, ok := t.Map.MapPoint(mpIDs[m.B])
-		if !ok {
-			continue
-		}
-		pts = append(pts, mp.Pos)
+		pts = append(pts, mpPos[m.B])
 		uvs = append(uvs, fr.Kps[m.A].Pt())
 		kpIdx = append(kpIdx, m.A)
-		ids = append(ids, mp.ID)
+		ids = append(ids, mpIDs[m.B])
 	}
 	if len(pts) < t.Cfg.MinInliers {
 		return false
 	}
-	res := optimize.OptimizePose(t.Rig.Intr, kf.Tcw, pts, uvs, nil)
+	res := optimize.OptimizePose(t.Rig.Intr, seedTcw, pts, uvs, nil)
 	if res.NInliers < t.Cfg.MinInliers {
 		return false
 	}
@@ -93,6 +93,6 @@ func (t *Tracker) tryRelocAgainst(fr *Frame, kf *smap.KeyFrame) bool {
 	}
 	// Re-anchor the reference keyframe at the relocalization site so
 	// search-local-points pulls the right neighbourhood.
-	t.refKF = kf.ID
+	t.refKF = kfID
 	return true
 }

@@ -372,11 +372,11 @@ func (t *Tracker) trackLastFrame(fr *Frame) int {
 		}
 		vp, ok := view.Point(mpID)
 		if !ok {
-			mp, live := t.Map.MapPoint(mpID)
+			pos, desc, live := t.Map.PointMatchState(mpID)
 			if !live {
 				continue
 			}
-			vp = smap.ViewPoint{ID: mpID, Pos: mp.Pos, Desc: mp.Desc}
+			vp = smap.ViewPoint{ID: mpID, Pos: pos, Desc: desc}
 		}
 		px, visible := t.Rig.WorldToPixel(fr.Tcw, vp.Pos)
 		if !visible {
@@ -477,12 +477,12 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 		}
 		vp, ok := view.Point(mpID)
 		if !ok {
-			mp, live := t.Map.MapPoint(mpID)
+			pos, _, live := t.Map.PointMatchState(mpID)
 			if !live {
 				fr.MPs[j] = 0
 				continue
 			}
-			vp = smap.ViewPoint{ID: mpID, Pos: mp.Pos}
+			vp = smap.ViewPoint{ID: mpID, Pos: pos}
 		}
 		pts = append(pts, vp.Pos)
 		uvs = append(uvs, fr.Kps[j].Pt())
