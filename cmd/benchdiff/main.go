@@ -1,0 +1,228 @@
+// Command benchdiff is the benchmark-regression harness: it runs the
+// repo's tier-1 benchmarks (-benchtime=1x -count=N), records the
+// per-benchmark medians to a BENCH_*.json file, and compares them
+// against the most recent committed baseline. A >threshold ns/op
+// regression fails the run, so a PR that slows the pipeline down
+// shows up in CI next to the tests it kept green.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff                 # run, write BENCH_PR4.json, compare
+//	go run ./cmd/benchdiff -threshold 0   # record only, never fail
+//
+// Medians over -count runs absorb scheduler noise; -benchtime=1x keeps
+// a full sweep in minutes on a shared CI runner. The comparison is
+// advisory by design (CI marks the job continue-on-error): on noisy
+// hardware a red benchdiff is a prompt to look, not proof of a
+// regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the recorded median of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Samples     int     `json:"samples"`
+}
+
+// File is the on-disk BENCH_*.json format.
+type File struct {
+	Label       string            `json:"label"`
+	GoVersion   string            `json:"go_version"`
+	BenchRegexp string            `json:"bench_regexp"`
+	Count       int               `json:"count"`
+	Results     map[string]Result `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result line. Names are kept
+// verbatim — including any -GOMAXPROCS suffix — because sub-benchmarks
+// also end in -<number> (e.g. /clients-8) and stripping would merge
+// them; a differing core count between runs shows up as "new" rows,
+// never as a false regression.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output file (BENCH_<label>.json)")
+	benchRe := flag.String("bench", "MultiClient|CodecRoundTrip|SpanStartEnd$|StageObserve|HistogramObserve|EncodeMap|DecodeMap",
+		"benchmark regexp passed to go test -bench")
+	pkgs := flag.String("pkgs", "./ ./internal/obs ./internal/video ./internal/wire",
+		"space-separated packages to benchmark")
+	count := flag.Int("count", 3, "runs per benchmark (median is recorded)")
+	threshold := flag.Float64("threshold", 0.25, "fail when ns/op regresses by more than this fraction (0 disables)")
+	baselinePath := flag.String("baseline", "", "baseline BENCH_*.json (default: newest other BENCH_*.json next to -out)")
+	flag.Parse()
+
+	results, err := runBenchmarks(*benchRe, strings.Fields(*pkgs), *count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks matched", *benchRe)
+		os.Exit(2)
+	}
+
+	label := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(*out), "BENCH_"), ".json")
+	f := File{
+		Label:       label,
+		GoVersion:   runtime.Version(),
+		BenchRegexp: *benchRe,
+		Count:       *count,
+		Results:     results,
+	}
+	blob, _ := json.MarshalIndent(f, "", "  ")
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, median of %d)\n", *out, len(results), *count)
+
+	base, baseName := loadBaseline(*baselinePath, *out)
+	if base == nil {
+		fmt.Println("no baseline BENCH_*.json found; recorded results only")
+		return
+	}
+	fmt.Printf("comparing against %s\n", baseName)
+	if regressed := compare(os.Stdout, base.Results, results, *threshold); regressed && *threshold > 0 {
+		fmt.Printf("FAIL: ns/op regression beyond %.0f%% vs %s\n", *threshold*100, baseName)
+		os.Exit(1)
+	}
+}
+
+var (
+	bPerOpRe = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsRe = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// runBenchmarks executes the suite and returns per-benchmark medians.
+func runBenchmarks(benchRe string, pkgs []string, count int) (map[string]Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchtime=1x",
+		"-count", strconv.Itoa(count)}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBlob, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+
+	type samples struct{ ns, b, allocs []float64 }
+	all := map[string]*samples{}
+	for _, line := range strings.Split(string(outBlob), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		s := all[name]
+		if s == nil {
+			s = &samples{}
+			all[name] = s
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		s.ns = append(s.ns, ns)
+		if bm := bPerOpRe.FindStringSubmatch(m[3]); bm != nil {
+			v, _ := strconv.ParseFloat(bm[1], 64)
+			s.b = append(s.b, v)
+		}
+		if am := allocsRe.FindStringSubmatch(m[3]); am != nil {
+			v, _ := strconv.ParseFloat(am[1], 64)
+			s.allocs = append(s.allocs, v)
+		}
+	}
+	results := make(map[string]Result, len(all))
+	for name, s := range all {
+		results[name] = Result{
+			NsPerOp:     median(s.ns),
+			BPerOp:      median(s.b),
+			AllocsPerOp: median(s.allocs),
+			Samples:     len(s.ns),
+		}
+	}
+	return results, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// loadBaseline returns the baseline file to diff against: an explicit
+// path, or the lexicographically newest BENCH_*.json beside out that
+// is not out itself.
+func loadBaseline(explicit, out string) (*File, string) {
+	path := explicit
+	if path == "" {
+		pattern := filepath.Join(filepath.Dir(out), "BENCH_*.json")
+		matches, _ := filepath.Glob(pattern)
+		sort.Strings(matches)
+		for i := len(matches) - 1; i >= 0; i-- {
+			if filepath.Base(matches[i]) != filepath.Base(out) {
+				path = matches[i]
+				break
+			}
+		}
+	}
+	if path == "" {
+		return nil, ""
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ""
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s: %v\n", path, err)
+		return nil, ""
+	}
+	return &f, filepath.Base(path)
+}
+
+// compare prints the diff table and reports whether any shared
+// benchmark regressed beyond the threshold.
+func compare(w *os.File, old, new map[string]Result, threshold float64) bool {
+	names := make([]string, 0, len(new))
+	for n := range new {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressed := false
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, n := range names {
+		nw := new[n]
+		od, ok := old[n]
+		if !ok || od.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s\n", n, "-", nw.NsPerOp, "new")
+			continue
+		}
+		delta := nw.NsPerOp/od.NsPerOp - 1
+		mark := ""
+		if threshold > 0 && delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%%%s\n", n, od.NsPerOp, nw.NsPerOp, delta*100, mark)
+	}
+	return regressed
+}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"slamshare"
@@ -14,6 +15,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7007", "listen address")
+	debugAddr := flag.String("debug-addr", "", "serve live observability (/debug/vars, /debug/spans, /debug/pprof/) on this address (empty = disabled)")
 	gpuLanes := flag.Int("gpu-lanes", 8, "simulated GPU lanes (0 = CPU only)")
 	lanesPerClient := flag.Int("lanes-per-client", 4, "GSlice lanes per client session")
 	shmGB := flag.Int64("shm-gb", 2, "shared-memory budget in GiB")
@@ -39,6 +41,19 @@ func main() {
 		log.Printf("recovered map from %s: %d keyframes, %d map points (checkpoint seq %d + %d journal records in %v)",
 			*checkpointDir, srv.GlobalMap().NKeyFrames(), srv.GlobalMap().NMapPoints(),
 			rec.CheckpointSeq, rec.ReplayedRecords, rec.ReplayTime.Round(time.Millisecond))
+	}
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint on http://%s/debug/", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, srv.DebugHandler()); err != nil {
+				log.Printf("debug endpoint: %v", err)
+			}
+		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)

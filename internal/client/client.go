@@ -17,6 +17,7 @@ import (
 	"slamshare/internal/geom"
 	"slamshare/internal/imu"
 	"slamshare/internal/metrics"
+	"slamshare/internal/obs"
 	"slamshare/internal/protocol"
 	"slamshare/internal/video"
 )
@@ -25,7 +26,13 @@ import (
 type Client struct {
 	ID  uint32
 	Seq *dataset.Sequence
+	// Obs, when non-nil, records a "client.encode" span per built
+	// frame (the device's whole per-frame compute: IMU integration +
+	// video encoding), completing the end-to-end frame trace the
+	// server-side stages continue.
+	Obs *obs.Tracer
 
+	stEncode  *obs.Stage
 	mu        sync.Mutex
 	mm        *imu.MotionModel
 	encL      *video.Encoder
@@ -123,6 +130,11 @@ func (c *Client) Reconnect() {
 func (c *Client) BuildFrame(i int) *protocol.FrameMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.Obs != nil && c.stEncode == nil {
+		c.stEncode = c.Obs.Stage("client.encode")
+	}
+	sp := c.stEncode.Start(c.ID, uint64(c.sent))
+	defer sp.End()
 	msg := &protocol.FrameMsg{
 		ClientID: c.ID,
 		FrameIdx: uint32(i),

@@ -13,7 +13,7 @@ func All() []string {
 		"table1", "fig5", "fig8", "table2", "table3",
 		"fig10a", "fig10b", "fig10c", "table4",
 		"fig11", "fig12a", "fig12b", "fig12c", "fig13",
-		"chaos",
+		"latency", "chaos",
 	}
 }
 
@@ -50,6 +50,8 @@ func Run(w io.Writer, id string, full bool) error {
 		_, err = Fig12c(w)
 	case "fig13":
 		_, err = Fig13(w)
+	case "latency":
+		_, err = Latency(w)
 	case "chaos":
 		err = chaos.RunAll(w, full)
 	default:

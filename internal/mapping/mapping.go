@@ -12,6 +12,7 @@ import (
 	"slamshare/internal/camera"
 	"slamshare/internal/feature"
 	"slamshare/internal/geom"
+	"slamshare/internal/obs"
 	"slamshare/internal/optimize"
 	"slamshare/internal/smap"
 )
@@ -66,6 +67,12 @@ type Mapper struct {
 	Alloc  *smap.IDAllocator
 	Client int
 	Cfg    Config
+	// Obs, when non-nil, records local-mapping spans (whole keyframe
+	// integration and the local BA share) keyed by (client, keyframe
+	// ordinal).
+	Obs *obs.Tracer
+
+	stKF, stBA *obs.Stage
 
 	kfCount int
 	// recent tracks recently created points for age-based culling:
@@ -84,6 +91,10 @@ func New(m *smap.Map, rig camera.Rig, alloc *smap.IDAllocator, client int, cfg C
 // ProcessKeyFrame integrates a freshly inserted keyframe into the map.
 func (mm *Mapper) ProcessKeyFrame(kf *smap.KeyFrame) Stats {
 	t0 := time.Now()
+	if mm.Obs != nil && mm.stKF == nil {
+		mm.stKF = mm.Obs.Stage("mapping.keyframe")
+		mm.stBA = mm.Obs.Stage("mapping.local_ba")
+	}
 	var st Stats
 	mm.kfCount++
 	st.Culled = mm.cullPoints()
@@ -98,8 +109,10 @@ func (mm *Mapper) ProcessKeyFrame(kf *smap.KeyFrame) Stats {
 		mm.localBA(kf)
 		st.RanBA = true
 		st.BADur = time.Since(tb)
+		mm.stBA.Observe(tb, st.BADur, uint32(mm.Client), uint64(mm.kfCount))
 	}
 	st.TotalDur = time.Since(t0)
+	mm.stKF.Observe(t0, st.TotalDur, uint32(mm.Client), uint64(mm.kfCount))
 	return st
 }
 

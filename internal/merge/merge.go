@@ -16,6 +16,7 @@ import (
 	"slamshare/internal/camera"
 	"slamshare/internal/feature"
 	"slamshare/internal/geom"
+	"slamshare/internal/obs"
 	"slamshare/internal/optimize"
 	"slamshare/internal/smap"
 )
@@ -112,7 +113,13 @@ type Merger struct {
 	// Journal, when non-nil, is notified of merge-level mutations for
 	// durability (see internal/persist).
 	Journal Journal
-	rng     *rand.Rand
+	// Obs, when non-nil, records the merge's phase spans (detect,
+	// align, insert, fuse, BA, total — the Table 4 breakdown) under
+	// the ObsClient/ObsSeq trace the caller sets before Merge.
+	Obs       *obs.Tracer
+	ObsClient uint32
+	ObsSeq    uint64
+	rng       *rand.Rand
 }
 
 // New returns a merger for the given global map.
@@ -326,9 +333,9 @@ func ransacAlign(src, dst []geom.Vec3, cfg Config, rng *rand.Rand) (geom.Sim3, [
 // insert (zero-copy), fuse, seam BA. When the global map is empty, the
 // client map is inserted as the founding map with no alignment. The
 // client map's contents are owned by the global map afterwards.
-func (mg *Merger) Merge(cmap *smap.Map) (Report, error) {
-	var rep Report
+func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 	t0 := time.Now()
+	defer func() { mg.observe(t0, rep) }()
 	rep.InsertKFs = cmap.NKeyFrames()
 	rep.InsertMPs = cmap.NMapPoints()
 	if mg.Global.NKeyFrames() == 0 {
@@ -413,6 +420,30 @@ func (mg *Merger) Merge(cmap *smap.Map) (Report, error) {
 
 	rep.Total = time.Since(t0)
 	return rep, nil
+}
+
+// observe emits the merge's phase breakdown as spans under the
+// caller-set (ObsClient, ObsSeq) trace. Phase start times are
+// reconstructed by accumulating the measured durations from t0; the
+// small gaps between phases (journal encoding) are attributed to the
+// total span only.
+func (mg *Merger) observe(t0 time.Time, rep Report) {
+	if mg.Obs == nil {
+		return
+	}
+	at := t0
+	rec := func(name string, d time.Duration) {
+		if d > 0 {
+			mg.Obs.Stage(name).Observe(at, d, mg.ObsClient, mg.ObsSeq)
+			at = at.Add(d)
+		}
+	}
+	rec("merge.detect", rep.Detect)
+	rec("merge.align", rep.Align)
+	rec("merge.insert", rep.Insert)
+	rec("merge.fuse", rep.Fuse)
+	rec("merge.ba", rep.BA)
+	mg.Obs.Stage("merge.total").Observe(t0, rep.Total, mg.ObsClient, mg.ObsSeq)
 }
 
 // essentialGraph propagates the seam adjustment to the client

@@ -160,9 +160,9 @@ func ShortTermSeries(est, truth Trajectory, step, window float64) []CumulativePo
 
 // LatencyStats summarizes a set of durations.
 type LatencyStats struct {
-	N               int
-	Mean, P50, P99  time.Duration
-	Min, Max, Total time.Duration
+	N                   int
+	Mean, P50, P90, P99 time.Duration
+	Min, Max, Total     time.Duration
 }
 
 // Latencies collects duration samples; safe for concurrent use.
@@ -193,13 +193,23 @@ func (l *Latencies) Stats() LatencyStats {
 		total += d
 	}
 	idx := func(q float64) time.Duration {
-		i := int(q * float64(len(s)-1))
+		// Nearest rank: the value whose 1-based rank is ceil(q*N). The
+		// previous floor indexing int(q*(N-1)) under-reported upper
+		// quantiles for small N (P99 of two samples returned the min).
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
 		return s[i]
 	}
 	return LatencyStats{
 		N:     len(s),
 		Mean:  total / time.Duration(len(s)),
 		P50:   idx(0.50),
+		P90:   idx(0.90),
 		P99:   idx(0.99),
 		Min:   s[0],
 		Max:   s[len(s)-1],

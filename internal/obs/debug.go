@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the live debug endpoint for one tracer:
+//
+//	/debug/vars          expvar-style JSON of every registered
+//	                     counter, gauge, func var and histogram
+//	                     (with p50/p90/p99/max and raw buckets)
+//	/debug/spans?n=200   the most recent completed spans, newest first
+//	/debug/pprof/...     the standard net/http/pprof profiles
+//
+// Everything is read-only over atomics: scraping never blocks the
+// pipeline. Mount it on a private -debug-addr listener.
+func Handler(t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Registry().Snapshot())
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		n := 200
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		writeJSON(w, struct {
+			Spans []SpanRecord `json:"spans"`
+		}{Spans: t.RecentSpans(n)})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("slamshare debug endpoint\n\n/debug/vars\n/debug/spans?n=200\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

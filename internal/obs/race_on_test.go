@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled relaxes timing assertions when the race detector
+// instruments every atomic (an order of magnitude slower).
+const raceEnabled = true

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span as read back from the ring. The
+// (Client, Seq) pair is the trace ID: every span a frame produces on
+// its way through the pipeline carries the session's client ID and
+// the session-local frame ordinal, so one frame's full journey is
+// reconstructable by filtering the ring.
+type SpanRecord struct {
+	Stage  string        `json:"stage"`
+	Client uint32        `json:"client"`
+	Seq    uint64        `json:"seq"`
+	Start  int64         `json:"start_unix_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// ringSlot is a seqlock-protected span record. Every field is an
+// atomic so concurrent overwrite is race-clean; the version counter is
+// odd while a writer is mid-flight so readers can reject torn records.
+type ringSlot struct {
+	ver    atomic.Uint64 // even = stable, odd = being written
+	stage  atomic.Uint32
+	client atomic.Uint32
+	seq    atomic.Uint64
+	start  atomic.Int64
+	dur    atomic.Int64
+}
+
+// spanRing is a fixed-size lock-free ring of completed spans. Writers
+// claim slots with one atomic add (overwriting the oldest records when
+// full); readers walk backwards from the cursor and skip slots whose
+// seqlock version moves under them. Capacity is rounded up to a power
+// of two.
+type spanRing struct {
+	slots []ringSlot
+	mask  uint64
+	cur   atomic.Uint64 // next slot to claim (== number of pushes)
+}
+
+func newSpanRing(capacity int) *spanRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spanRing{slots: make([]ringSlot, n), mask: uint64(n - 1)}
+}
+
+// push records one completed span. Lock-free: one fetch-add to claim a
+// slot, then plain atomic stores bracketed by the slot's version.
+func (r *spanRing) push(stage uint32, client uint32, seq uint64, start int64, dur int64) {
+	i := r.cur.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.ver.Add(1) // odd: in flight
+	s.stage.Store(stage)
+	s.client.Store(client)
+	s.seq.Store(seq)
+	s.start.Store(start)
+	s.dur.Store(dur)
+	s.ver.Add(1) // even: stable
+}
+
+// snapshot returns up to n of the most recent spans, newest first.
+// Slots a writer is concurrently overwriting are skipped.
+func (r *spanRing) snapshot(n int, stageName func(uint32) string) []SpanRecord {
+	total := r.cur.Load()
+	avail := total
+	if avail > uint64(len(r.slots)) {
+		avail = uint64(len(r.slots))
+	}
+	if n <= 0 || uint64(n) > avail {
+		n = int(avail)
+	}
+	out := make([]SpanRecord, 0, n)
+	for k := uint64(0); k < avail && len(out) < n; k++ {
+		i := total - 1 - k
+		s := &r.slots[i&r.mask]
+		v0 := s.ver.Load()
+		if v0%2 != 0 {
+			continue // writer in flight
+		}
+		rec := SpanRecord{
+			Stage:  stageName(s.stage.Load()),
+			Client: s.client.Load(),
+			Seq:    s.seq.Load(),
+			Start:  s.start.Load(),
+			Dur:    time.Duration(s.dur.Load()),
+		}
+		if s.ver.Load() != v0 {
+			continue // torn read: slot was overwritten mid-copy
+		}
+		out = append(out, rec)
+	}
+	return out
+}

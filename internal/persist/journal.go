@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"slamshare/internal/geom"
+	"slamshare/internal/obs"
 	"slamshare/internal/smap"
 	"slamshare/internal/wire"
 )
@@ -75,6 +76,11 @@ type Journal struct {
 	dir   string
 	fsync bool
 	stats *Stats
+	// stWAL, when non-nil, records a "wal.append" span per drained
+	// batch (seq = latest record sequence covered by the batch). The
+	// spans live on the writer goroutine: the hot-path append only
+	// queues bytes.
+	stWAL *obs.Stage
 
 	mu      sync.Mutex // guards seq, pending, f, closed
 	f       *os.File
@@ -200,10 +206,13 @@ func (j *Journal) drain() {
 	buf := j.pending
 	j.pending = nil
 	f := j.f
+	seq := j.seq
 	j.mu.Unlock()
 	if len(buf) == 0 || f == nil {
 		return
 	}
+	sp := j.stWAL.Start(0, seq)
+	defer sp.End()
 	_, err := f.Write(buf)
 	if err == nil && j.fsync {
 		err = f.Sync()

@@ -7,6 +7,7 @@ import (
 
 	"slamshare/internal/holo"
 	"slamshare/internal/metrics"
+	"slamshare/internal/obs"
 	"slamshare/internal/smap"
 	"slamshare/internal/wire"
 )
@@ -26,6 +27,10 @@ type Options struct {
 	// KeepCheckpoints is how many recent checkpoints survive pruning
 	// (default 2, so a corrupt newest snapshot still has a fallback).
 	KeepCheckpoints int
+	// Obs, when non-nil, records persistence spans: "wal.append" per
+	// drained journal batch (on the writer goroutine, never the hot
+	// path) and "persist.checkpoint" per snapshot rotation.
+	Obs *obs.Tracer
 }
 
 // DefaultCheckpointEvery is the background snapshot interval when
@@ -58,6 +63,7 @@ type Manager struct {
 	journal *Journal
 	stats   *Stats
 	start   time.Time
+	stCkpt  *obs.Stage
 
 	// cpMu serializes checkpoints (ticker vs explicit CheckpointNow).
 	cpMu sync.Mutex
@@ -88,6 +94,9 @@ func Open(opts Options, m *smap.Map, anchors *holo.Registry, lastSeq uint64, loc
 	if err != nil {
 		return nil, err
 	}
+	if opts.Obs != nil {
+		j.stWAL = opts.Obs.Stage("wal.append")
+	}
 	mgr := &Manager{
 		opts:    opts,
 		m:       m,
@@ -98,6 +107,9 @@ func Open(opts Options, m *smap.Map, anchors *holo.Registry, lastSeq uint64, loc
 		start:   time.Now(),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if opts.Obs != nil {
+		mgr.stCkpt = opts.Obs.Stage("persist.checkpoint")
 	}
 	m.SetObserver(j)
 	if opts.CheckpointEvery > 0 {
@@ -147,6 +159,8 @@ func (mgr *Manager) CheckpointNow() error {
 	mgr.cpMu.Lock()
 	defer mgr.cpMu.Unlock()
 	t0 := time.Now()
+	sp := mgr.stCkpt.Start(0, uint64(mgr.stats.Checkpoints.Load()+1))
+	defer sp.End()
 
 	// Drain the map's async observer queue first so the rotation
 	// sequence covers every mutation the snapshot will contain.

@@ -8,6 +8,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"slamshare/internal/mapping"
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
+	"slamshare/internal/obs"
 	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
 	"slamshare/internal/shm"
@@ -59,6 +61,11 @@ type Config struct {
 	// server recovers the map from that directory (latest checkpoint +
 	// journal replay); returning clients then resume by relocalization.
 	Persist persist.Options
+	// Obs is the observability layer every pipeline stage reports
+	// into. Nil gets a private tracer — the instrumentation is always
+	// on (its hot-path cost is a few atomics per stage, see
+	// internal/obs).
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns the experiment configuration.
@@ -94,6 +101,10 @@ type Server struct {
 	anchors *holo.Registry
 	pmgr    *persist.Manager
 	rec     *persist.Recovery
+
+	obs      *obs.Tracer
+	stDecode *obs.Stage
+	stFrame  *obs.Stage
 
 	mu       sync.Mutex
 	sessions map[uint32]*Session
@@ -152,6 +163,13 @@ func New(cfg Config) (*Server, error) {
 	if voc == nil {
 		voc = bow.Default()
 	}
+	tracer := cfg.Obs
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.NewRegistry(), obs.DefaultRingSize)
+	}
+	// Persistence spans (WAL drains, checkpoint rotations) report into
+	// the same tracer as the frame pipeline.
+	cfg.Persist.Obs = tracer
 	name := cfg.RegionName
 	if name == "" {
 		regionSeq.Lock()
@@ -191,7 +209,7 @@ func New(cfg Config) (*Server, error) {
 		pmgr.Stats().ReplayedRecords.Add(int64(rec.ReplayedRecords))
 		pmgr.Stats().ReplayLat.Add(rec.ReplayTime)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		voc:      voc,
 		region:   region,
@@ -200,9 +218,33 @@ func New(cfg Config) (*Server, error) {
 		anchors:  anchors,
 		pmgr:     pmgr,
 		rec:      rec,
+		obs:      tracer,
+		stDecode: tracer.Stage("decode"),
+		stFrame:  tracer.Stage("frame.total"),
 		sessions: make(map[uint32]*Session),
-	}, nil
+	}
+	reg := tracer.Registry()
+	reg.RegisterFunc("map.keyframes", func() any { return s.global.NKeyFrames() })
+	reg.RegisterFunc("map.points", func() any { return s.global.NMapPoints() })
+	reg.RegisterFunc("sessions.open", func() any { return s.NSessions() })
+	reg.RegisterCounter("net.bad_hello", &s.net.BadHello)
+	reg.RegisterCounter("net.dup_hello", &s.net.DupHello)
+	reg.RegisterCounter("net.frames_rejected", &s.net.FramesRejected)
+	reg.RegisterCounter("net.frames_failed", &s.net.FramesFailed)
+	reg.RegisterCounter("net.sessions_opened", &s.net.SessionsOpened)
+	reg.RegisterCounter("net.sessions_closed", &s.net.SessionsClosed)
+	reg.RegisterCounter("net.sessions_dropped", &s.net.SessionsDropped)
+	return s, nil
 }
+
+// Obs returns the server's tracer (the one every pipeline stage
+// reports into).
+func (s *Server) Obs() *obs.Tracer { return s.obs }
+
+// DebugHandler returns the live debug endpoint: registry JSON at
+// /debug/vars, recent spans at /debug/spans, and net/http/pprof under
+// /debug/pprof/. Mount it on a side listener, never the client port.
+func (s *Server) DebugHandler() http.Handler { return obs.Handler(s.obs) }
 
 // Close releases the shared-memory region name and, when persistence
 // is enabled, flushes and closes the journal (without a final
@@ -265,10 +307,13 @@ type Session struct {
 	// attempts so the session does not retry every frame.
 	mergeBackoff int
 
-	trackLat metrics.Latencies
-	stages   tracking.Stages
-	frames   int
-	kfBytes  int64 // shared-memory accounting of this client's inserts
+	// trackHist is this session's end-to-end tracking latency
+	// histogram. It is private to the session (the registry's
+	// "track.total" aggregates all sessions); Stats summarizes it.
+	trackHist *obs.Histogram
+	stages    tracking.Stages
+	frames    int
+	kfBytes   int64 // shared-memory accounting of this client's inserts
 
 	// Traj records the server-side pose estimates (camera centers).
 	Traj metrics.Trajectory
@@ -301,15 +346,19 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 	}
 	tr := tracking.New(localMap, rig, ex, alloc, int(clientID), s.cfg.TrackCfg)
 	tr.SearchPar = searchPar
+	tr.Obs = s.obs
+	mapper := mapping.New(localMap, rig, alloc, int(clientID), s.cfg.MapCfg)
+	mapper.Obs = s.obs
 	sess := &Session{
-		ID:       clientID,
-		srv:      s,
-		rig:      rig,
-		tracker:  tr,
-		mapper:   mapping.New(localMap, rig, alloc, int(clientID), s.cfg.MapCfg),
-		localMap: localMap,
-		decL:     video.NewDecoder(),
-		decR:     video.NewDecoder(),
+		ID:        clientID,
+		srv:       s,
+		rig:       rig,
+		tracker:   tr,
+		mapper:    mapper,
+		localMap:  localMap,
+		decL:      video.NewDecoder(),
+		decR:      video.NewDecoder(),
+		trackHist: obs.NewHistogram("track.session"),
 	}
 	if resumeSeq > 0 {
 		// Resume the session directly on the recovered global map: the
@@ -345,17 +394,29 @@ type Result struct {
 // is large enough) the merge into the global map.
 func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 	var res Result
+	// ord is this session's frame ordinal: the trace ID linking the
+	// decode/track/frame spans of one frame across stage histograms.
+	// The tracker numbers frames with the same counter, so its spans
+	// join the trace without any plumbing.
+	ord := uint64(sess.frames)
+	fsp := sess.srv.stFrame.Start(sess.ID, ord)
+	defer fsp.End()
+
+	dsp := sess.srv.stDecode.Start(sess.ID, ord)
 	left, err := sess.decL.Decode(msg.Video)
 	if err != nil {
+		dsp.End()
 		return res, fmt.Errorf("server: left video: %w", err)
 	}
 	var rightImg *img.Gray
 	if len(msg.VideoRight) > 0 {
 		rightImg, err = sess.decR.Decode(msg.VideoRight)
 		if err != nil {
+			dsp.End()
 			return res, fmt.Errorf("server: right video: %w", err)
 		}
 	}
+	dsp.End()
 
 	// IMU-assisted prior: advance the server-side motion model by the
 	// client's preintegrated delta (§4.2.2). The first frame's prior
@@ -372,7 +433,7 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 
 	t0 := time.Now()
 	tr := sess.tracker.ProcessFrame(left, rightImg, msg.Stamp, prior)
-	sess.trackLat.Add(time.Since(t0))
+	sess.trackHist.Observe(time.Since(t0))
 	sess.stages.Add(tr.Timing)
 	sess.frames++
 
@@ -429,6 +490,9 @@ func (sess *Session) tryMerge() bool {
 	s := sess.srv
 	s.gmu.Lock()
 	merger := merge.New(s.global, sess.rig.Intr, s.cfg.MergeCfg)
+	merger.Obs = s.obs
+	merger.ObsClient = sess.ID
+	merger.ObsSeq = uint64(sess.frames - 1) // frame ordinal that triggered the merge
 	if s.pmgr != nil {
 		merger.Journal = s.pmgr.Journal()
 	}
@@ -481,16 +545,18 @@ func (s *Server) cfgRetry(sess *Session) {
 type Stats struct {
 	Frames     int
 	AvgStages  tracking.Stages
-	TrackStats metrics.LatencyStats
+	TrackStats obs.Summary
 	Merged     bool
 }
 
-// Stats returns the session's aggregate statistics.
+// Stats returns the session's aggregate statistics. Quantiles come
+// from the session's latency histogram, so they are O(buckets) to
+// read regardless of how many frames the session has processed.
 func (sess *Session) Stats() Stats {
 	return Stats{
 		Frames:     sess.frames,
 		AvgStages:  sess.stages.Scale(sess.frames),
-		TrackStats: sess.trackLat.Stats(),
+		TrackStats: sess.trackHist.Summary(),
 		Merged:     sess.merged,
 	}
 }

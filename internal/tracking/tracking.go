@@ -13,6 +13,7 @@ import (
 	"slamshare/internal/feature"
 	"slamshare/internal/geom"
 	"slamshare/internal/img"
+	"slamshare/internal/obs"
 	"slamshare/internal/optimize"
 	"slamshare/internal/smap"
 )
@@ -138,7 +139,14 @@ type Tracker struct {
 	Alloc     *smap.IDAllocator
 	Client    int
 	Cfg       Config
+	// Obs, when non-nil, receives per-stage latency spans (extract,
+	// match, pose-predict, search-local, total) keyed by (client,
+	// frame ordinal). Set it before the first ProcessFrame; stage
+	// handles resolve lazily and a nil tracer costs one predictable
+	// branch per frame.
+	Obs *obs.Tracer
 
+	obsStages trackStages
 	state     State
 	last      Frame
 	velocity  geom.SE3 // frame-to-frame motion estimate Tcw_k * Tcw_{k-1}^-1
@@ -175,8 +183,30 @@ func (t *Tracker) RefKF() smap.ID { return t.refKF }
 // posePrior, when non-nil, seeds the pose prediction (the IMU pose
 // from the client, or ground truth during map bootstrap); it is a
 // world-to-camera transform.
+// trackStages caches the tracker's pre-resolved span handles. All
+// fields stay nil when no tracer is attached, making every Observe a
+// no-op.
+type trackStages struct {
+	extract, match, posePredict, searchLocal, total *obs.Stage
+}
+
+func (t *Tracker) wireObs() {
+	if t.Obs == nil || t.obsStages.total != nil {
+		return
+	}
+	t.obsStages = trackStages{
+		extract:     t.Obs.Stage("track.extract"),
+		match:       t.Obs.Stage("track.match"),
+		posePredict: t.Obs.Stage("track.pose_predict"),
+		searchLocal: t.Obs.Stage("track.search_local"),
+		total:       t.Obs.Stage("track.total"),
+	}
+}
+
 func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *geom.SE3) Result {
 	t0 := time.Now()
+	t.wireObs()
+	obsClient, obsSeq := uint32(t.Client), uint64(t.frameIdx)
 	// Sample every distinct device ledger once so Total can be
 	// converted to device-accurate time at the end.
 	devs := t.uniqueDevices()
@@ -189,6 +219,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 	ew0, em0 := counters(t.Extractor.Par)
 	kps := t.Extractor.Extract(left)
 	res.Timing.Extract = deviceTime(time.Since(t0), t.Extractor.Par, ew0, em0)
+	t.obsStages.extract.Observe(t0, res.Timing.Extract, obsClient, obsSeq)
 
 	// Stage 2: matching (stereo correspondence).
 	tm := time.Now()
@@ -198,6 +229,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		feature.StereoMatch(kps, rkps, t.Rig.Intr.Fx, t.Rig.Baseline, 2)
 	}
 	res.Timing.Match = deviceTime(time.Since(tm), t.Extractor.Par, mw0, mm0)
+	t.obsStages.match.Observe(tm, res.Timing.Match, obsClient, obsSeq)
 
 	fr := Frame{Idx: idx, Stamp: stamp, Kps: kps, MPs: make([]smap.ID, len(kps))}
 
@@ -228,12 +260,14 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		}
 		inl1 := t.trackLastFrame(&fr)
 		res.Timing.PosePredict = time.Since(tp)
+		t.obsStages.posePredict.Observe(tp, res.Timing.PosePredict, obsClient, obsSeq)
 
 		// Stage 4: search local points + final optimization.
 		ts := time.Now()
 		sw0, sm0 := counters(t.SearchPar)
 		inl2 := t.searchLocalPoints(&fr)
 		res.Timing.SearchLocal = deviceTime(time.Since(ts), t.SearchPar, sw0, sm0)
+		t.obsStages.searchLocal.Observe(ts, res.Timing.SearchLocal, obsClient, obsSeq)
 
 		inliers := inl2
 		if inliers == 0 {
@@ -249,6 +283,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 			// frames via the prior.
 			t.last = fr
 			res.Timing.Total = adjustTotal(time.Since(t0), devs, w0, m0)
+			t.obsStages.total.Observe(t0, res.Timing.Total, obsClient, obsSeq)
 			return res
 		}
 		t.state = OK
@@ -264,6 +299,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 	}
 	t.last = fr
 	res.Timing.Total = adjustTotal(time.Since(t0), devs, w0, m0)
+	t.obsStages.total.Observe(t0, res.Timing.Total, obsClient, obsSeq)
 	return res
 }
 

@@ -27,6 +27,7 @@ package slamshare
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"time"
 
 	"slamshare/internal/baseline"
@@ -40,6 +41,7 @@ import (
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
 	"slamshare/internal/netem"
+	"slamshare/internal/obs"
 	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
 	"slamshare/internal/server"
@@ -173,6 +175,15 @@ func (s *EdgeServer) CheckpointNow() error {
 
 // MergeReports returns the recorded merge timing breakdowns.
 func (s *EdgeServer) MergeReports() []MergeReport { return s.inner.MergeReports() }
+
+// Obs returns the server's tracer: per-stage latency histograms and
+// the recent-span ring every pipeline stage reports into.
+func (s *EdgeServer) Obs() *obs.Tracer { return s.inner.Obs() }
+
+// DebugHandler returns the live observability endpoint (/debug/vars,
+// /debug/spans, /debug/pprof/). Serve it on a private address — it
+// exposes profiling data, not the client protocol.
+func (s *EdgeServer) DebugHandler() http.Handler { return s.inner.DebugHandler() }
 
 // Serve accepts device connections on the listener (blocking).
 func (s *EdgeServer) Serve(l net.Listener) error { return s.inner.Serve(l) }
