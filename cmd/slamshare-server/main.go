@@ -22,15 +22,27 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable map checkpoints + journal (empty = no persistence)")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval")
 	fsyncJournal := flag.Bool("fsync-journal", false, "fsync every journal batch")
+	maxSessions := flag.Int("max-sessions", 0, "admission ceiling on concurrent device sessions (0 = default 64, negative = unlimited)")
+	maxMerges := flag.Int("max-merges", 0, "ceiling on concurrent map merges (0 = default 2, negative = unlimited)")
+	shedBudget := flag.Duration("shed-budget", 0, "per-session backlog budget before stale frames are shed (0 = shedding disabled)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "evict connections idle this long (0 = default 2m, negative = never)")
+	readTimeout := flag.Duration("read-timeout", 0, "evict peers stalled mid-message this long (0 = default 30s, negative = never)")
+	frameDeadline := flag.Duration("frame-deadline", 0, "per-frame tracking budget; over it, frames skip refinement (0 = no deadline)")
 	flag.Parse()
 
 	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
-		GPULanes:        *gpuLanes,
-		LanesPerClient:  *lanesPerClient,
-		ShmCapacity:     *shmGB << 30,
-		CheckpointDir:   *checkpointDir,
-		CheckpointEvery: *checkpointEvery,
-		FsyncJournal:    *fsyncJournal,
+		GPULanes:          *gpuLanes,
+		LanesPerClient:    *lanesPerClient,
+		ShmCapacity:       *shmGB << 30,
+		CheckpointDir:     *checkpointDir,
+		CheckpointEvery:   *checkpointEvery,
+		FsyncJournal:      *fsyncJournal,
+		MaxSessions:       *maxSessions,
+		MaxMergesInFlight: *maxMerges,
+		ShedBudget:        *shedBudget,
+		IdleTimeout:       *idleTimeout,
+		ReadTimeout:       *readTimeout,
+		FrameDeadline:     *frameDeadline,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"slamshare/internal/imu"
 	"slamshare/internal/metrics"
 	"slamshare/internal/obs"
+	"slamshare/internal/overload"
 	"slamshare/internal/protocol"
 	"slamshare/internal/video"
 )
@@ -43,6 +44,7 @@ type Client struct {
 	live      metrics.Trajectory
 	sent      int
 	applied   int
+	shed      int
 	lastFrame int
 	upBytes   int64
 }
@@ -110,6 +112,21 @@ func (c *Client) FramesSent() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sent
+}
+
+// ShedPoses returns how many of the server's answers were shed — the
+// frames an overloaded server refused to track, leaving the device on
+// IMU dead-reckoning until the next real fix.
+func (c *Client) ShedPoses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shed
+}
+
+func (c *Client) noteShed() {
+	c.mu.Lock()
+	c.shed++
+	c.mu.Unlock()
 }
 
 // Reconnect prepares the device for a fresh server session (e.g.
@@ -272,6 +289,9 @@ func (c *Client) RunTCP(conn net.Conn, frames []int) error {
 				errCh <- err
 				return
 			}
+			if pm.Shed {
+				c.noteShed()
+			}
 			c.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
 			if int(pm.FrameIdx) == frames[len(frames)-1] {
 				errCh <- nil
@@ -292,6 +312,116 @@ func (c *Client) RunTCP(conn net.Conn, frames []int) error {
 			return err
 		}
 	default:
+	}
+	_ = protocol.WriteMessage(conn, protocol.TypeBye, nil)
+	return nil
+}
+
+// reencode refreshes a built frame's video payloads after an encoder
+// reset: the new stream must open with intra frames, but the motion
+// model and trajectory were already advanced by BuildFrame and must
+// not move again.
+func (c *Client) reencode(msg *protocol.FrameMsg, i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	left, right := c.Seq.StereoFrame(i)
+	msg.Video = c.encL.Encode(left)
+	if right != nil {
+		msg.VideoRight = c.encR.Encode(right)
+	}
+}
+
+// awaitPose reads pose answers until the one for frameIdx arrives,
+// applying every answer (and counting shed ones) along the way.
+func (c *Client) awaitPose(conn net.Conn, frameIdx uint32) error {
+	for {
+		mt, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		if mt != protocol.TypePose {
+			continue
+		}
+		pm, err := protocol.DecodePoseMsg(payload)
+		if err != nil {
+			return err
+		}
+		if pm.Shed {
+			c.noteShed()
+		}
+		c.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
+		if pm.FrameIdx == frameIdx {
+			return nil
+		}
+	}
+}
+
+// RunTCPReconnect drives the socket loop in lockstep (one frame sent,
+// its answer awaited) and survives connection loss: on any socket
+// error it redials with the jittered backoff policy, restarts the
+// video streams, and resumes from the first unanswered frame. The
+// retry budget (pol.MaxAttempts, 0 = unbounded) spans consecutive
+// failures; any successfully answered frame resets it. Delays are
+// read as milliseconds.
+func (c *Client) RunTCPReconnect(dial func() (net.Conn, error), frames []int, pol overload.Backoff) error {
+	hello := protocol.HelloMsg{
+		ClientID: c.ID,
+		Mode:     c.Seq.Rig.Mode,
+		HasRig:   true,
+		Intr:     c.Seq.Rig.Intr,
+		Baseline: c.Seq.Rig.Baseline,
+	}
+	var conn net.Conn
+	closeConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer closeConn()
+	attempt := 0
+	connect := func() error {
+		closeConn()
+		for {
+			if pol.Exhausted(attempt) {
+				return fmt.Errorf("client %d: reconnect retries exhausted after %d attempts", c.ID, attempt)
+			}
+			nc, err := dial()
+			if err == nil {
+				if err = protocol.WriteMessage(nc, protocol.TypeHello, hello.Encode()); err == nil {
+					conn = nc
+					// Fresh server session, fresh decoders: restart the
+					// video streams intra.
+					c.Reconnect()
+					return nil
+				}
+				nc.Close()
+			}
+			time.Sleep(pol.DelayDuration(uint64(c.ID), attempt))
+			attempt++
+		}
+	}
+	if err := connect(); err != nil {
+		return err
+	}
+	for _, i := range frames {
+		msg := c.BuildFrame(i)
+		for {
+			err := protocol.WriteMessage(conn, protocol.TypeFrame, msg.Encode())
+			if err == nil {
+				err = c.awaitPose(conn, uint32(i))
+			}
+			if err == nil {
+				attempt = 0
+				break
+			}
+			if cerr := connect(); cerr != nil {
+				return cerr
+			}
+			// The frame was built once (IMU state advanced); only its
+			// video needs re-encoding for the new stream.
+			c.reencode(msg, i)
+		}
 	}
 	_ = protocol.WriteMessage(conn, protocol.TypeBye, nil)
 	return nil

@@ -84,6 +84,10 @@ type Report struct {
 	FusedPts  int
 	InsertKFs int
 	InsertMPs int
+	// RolledBack marks a merge whose pre-commit validation failed: the
+	// global map was restored and the returned error is a
+	// *RollbackError carrying the violations.
+	RolledBack bool
 }
 
 // Journal receives the merge-level mutations the per-entity map
@@ -119,7 +123,12 @@ type Merger struct {
 	Obs       *obs.Tracer
 	ObsClient uint32
 	ObsSeq    uint64
-	rng       *rand.Rand
+	// Sabotage, when non-nil, runs after the pipeline's mutations and
+	// before pre-commit validation — a failpoint that emulates a
+	// map-corrupting merge bug so tests and the chaos harness can prove
+	// the transaction rolls back. Never set in production.
+	Sabotage func(tx SabotageContext)
+	rng      *rand.Rand
 }
 
 // New returns a merger for the given global map.
@@ -333,15 +342,34 @@ func ransacAlign(src, dst []geom.Vec3, cfg Config, rng *rand.Rand) (geom.Sim3, [
 // insert (zero-copy), fuse, seam BA. When the global map is empty, the
 // client map is inserted as the founding map with no alignment. The
 // client map's contents are owned by the global map afterwards.
+//
+// The pipeline is transactional: entities are inserted staged (not yet
+// discoverable by place recognition), every mutation goes through an
+// undo log, and the touched subgraph is validated against the map
+// invariants before commit. On a validation failure everything is
+// rolled back — the global map is as it was, the client map is carried
+// back to its own coordinates for a later retry — and a *RollbackError
+// is returned.
 func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 	t0 := time.Now()
 	defer func() { mg.observe(t0, rep) }()
 	rep.InsertKFs = cmap.NKeyFrames()
 	rep.InsertMPs = cmap.NMapPoints()
+	tx := newTxn(mg.Global)
 	if mg.Global.NKeyFrames() == 0 {
 		ti := time.Now()
-		mg.Global.InsertAll(cmap)
+		tx.insertAll(cmap)
 		rep.Insert = time.Since(ti)
+		if mg.Sabotage != nil {
+			mg.Sabotage(tx)
+		}
+		if bad := mg.validate(tx); bad != nil {
+			tx.rollback(cmap, geom.IdentitySim3(), false, mg.Journal)
+			rep.RolledBack = true
+			rep.Total = time.Since(t0)
+			return rep, bad
+		}
+		tx.commit()
 		rep.Total = time.Since(t0)
 		return rep, nil
 	}
@@ -367,9 +395,11 @@ func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 		mg.Journal.MergeApplied(al.Transform, rep.InsertKFs, rep.InsertMPs)
 	}
 
-	// Zero-copy insert (the shared-memory step: pointers only).
+	// Zero-copy insert (the shared-memory step: pointers only). Staged:
+	// the new keyframes stay out of the BoW index until commit, so no
+	// other session can anchor to entities this merge may roll back.
 	ti := time.Now()
-	mg.Global.InsertAll(cmap)
+	tx.insertAll(cmap)
 	rep.Insert = time.Since(ti)
 
 	// Fuse duplicate points: each inlier pair collapses the client
@@ -381,7 +411,7 @@ func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 		if mg.Journal != nil {
 			mg.Journal.PointsFused(pair[0], pair[1])
 		}
-		if mg.fusePoint(pair[0], pair[1]) {
+		if tx.fusePoint(pair[0], pair[1]) {
 			rep.FusedPts++
 		}
 	}
@@ -391,9 +421,21 @@ func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 	// lines 13-15), then essential-graph optimization to propagate the
 	// seam correction through the rest of the client map.
 	tb := time.Now()
-	kfSeam, mpSeam := mg.seamBA(al)
-	kfGraph := mg.essentialGraph(cmap, al)
+	kfSeam, mpSeam := mg.seamBA(tx, al)
+	kfGraph := mg.essentialGraph(tx, cmap, al)
 	rep.BA = time.Since(tb)
+
+	if mg.Sabotage != nil {
+		mg.Sabotage(tx)
+	}
+	if bad := mg.validate(tx); bad != nil {
+		tx.rollback(cmap, al.Transform, true, mg.Journal)
+		rep.RolledBack = true
+		rep.FusedPts = 0
+		rep.Total = time.Since(t0)
+		return rep, bad
+	}
+	tx.commit()
 
 	if mg.Journal != nil {
 		kfPoses := make(map[smap.ID]geom.SE3, len(kfSeam)+len(kfGraph))
@@ -446,13 +488,24 @@ func (mg *Merger) observe(t0 time.Time, rep Report) {
 	mg.Obs.Stage("merge.total").Observe(t0, rep.Total, mg.ObsClient, mg.ObsSeq)
 }
 
+// validate audits the merge's touched subgraph against the map
+// invariants; a violation means the pipeline corrupted something and
+// the transaction must abort.
+func (mg *Merger) validate(tx *txn) error {
+	kfs, mps := tx.touched()
+	if chk := mg.Global.CheckSubgraph(kfs, mps); !chk.OK() {
+		return &RollbackError{Violations: chk.Violations}
+	}
+	return nil
+}
+
 // essentialGraph propagates the seam adjustment to the client
 // keyframes outside the seam window: a pose graph over the client map
 // with covisibility edges (relative poses measured before the seam
 // adjustment warped the seam), anchored at the seam keyframe — the
 // "essential graph optimization" of Alg. 2 line 15. It returns the
 // keyframes whose poses it rewrote.
-func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) []smap.ID {
+func (mg *Merger) essentialGraph(tx *txn, cmap *smap.Map, al Alignment) []smap.ID {
 	kfs := cmap.KeyFrames()
 	if len(kfs) < 3 {
 		return nil
@@ -496,31 +549,24 @@ func (mg *Merger) essentialGraph(cmap *smap.Map, al Alignment) []smap.ID {
 		return nil
 	}
 	g.Optimize(5)
-	// The client keyframes are in the global map by now (InsertAll ran
-	// before the graph), so the poses are written through the global
-	// map's stripe-locked setter: concurrent snapshot readers in other
-	// sessions never see a torn pose.
+	// The client keyframes are in the global map by now (the staged
+	// insert ran before the graph), so the poses are written through
+	// the transaction's recorded setter over the global map's
+	// stripe-locked path: concurrent snapshot readers in other sessions
+	// never see a torn pose, and a rollback can restore the originals.
 	out := make([]smap.ID, len(kfs))
 	for i, kf := range kfs {
-		mg.Global.SetKeyFramePose(kf.ID, g.Poses[i].Inverse())
+		tx.SetKeyFramePose(kf.ID, g.Poses[i].Inverse())
 		out[i] = kf.ID
 	}
 	return out
-}
-
-// fusePoint redirects every observation of the client point to the
-// global point and erases the client point. The redirect itself lives
-// in the map (Map.FusePoint) where it can take the two point stripes
-// in ID-hash order and each observing keyframe's stripe one at a time.
-func (mg *Merger) fusePoint(clientPt, globalPt smap.ID) bool {
-	return mg.Global.FusePoint(clientPt, globalPt)
 }
 
 // seamBA bundle-adjusts the keyframes around the merge seam: the
 // matched client and global keyframes plus their covisible neighbours,
 // with the global side fixed (the paper's essential-graph-lite). It
 // returns the keyframes and map points whose state it rewrote.
-func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
+func (mg *Merger) seamBA(tx *txn, al Alignment) ([]smap.ID, []smap.ID) {
 	// Poses, bindings and point positions are read through the
 	// stripe-locked snapshot accessors: the seam neighbourhood is the
 	// live global map, which other sessions track against and adjust
@@ -595,12 +641,12 @@ func (mg *Merger) seamBA(al Alignment) ([]smap.ID, []smap.ID) {
 			continue
 		}
 		if _, ok := mg.Global.KeyFrame(kfID); ok {
-			mg.Global.SetKeyFramePose(kfID, prob.Cams[ci])
+			tx.SetKeyFramePose(kfID, prob.Cams[ci])
 			kfChanged = append(kfChanged, kfID)
 		}
 	}
 	for i, mpID := range ptIDs {
-		mg.Global.SetMapPointPos(mpID, prob.Points[i])
+		tx.SetMapPointPos(mpID, prob.Points[i])
 	}
 	return kfChanged, ptIDs
 }

@@ -1,6 +1,8 @@
 package merge
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -109,6 +111,154 @@ func TestMergeRecoversDisplacedClientMap(t *testing.T) {
 	}
 }
 
+// A sabotaged merge must leave no trace: the global map returns to its
+// exact pre-merge state, the client map returns to its own coordinate
+// frame, and a clean retry of the same merge succeeds.
+func TestMergeRollbackRestoresGlobalMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline test")
+	}
+	seqA := dataset.MH04(camera.Stereo)
+	seqB := dataset.MH05(camera.Stereo)
+	mapA, _ := buildClientMap(t, seqA, 1, 120, 2)
+	mapB, _ := buildClientMap(t, seqB, 2, 120, 2)
+
+	global := smap.NewMap(bow.Default())
+	mg := New(global, seqA.Rig.Intr, DefaultConfig())
+	if _, err := mg.Merge(mapA); err != nil {
+		t.Fatalf("founding merge: %v", err)
+	}
+
+	// Record the global map's exact state: entity sets, poses,
+	// positions.
+	preKF := make(map[smap.ID]geom.SE3)
+	for _, kf := range global.KeyFrames() {
+		tcw, _, _ := global.KeyFrameState(kf.ID)
+		preKF[kf.ID] = tcw
+	}
+	preMP := make(map[smap.ID]geom.Vec3)
+	for _, mp := range global.MapPoints() {
+		pos, _, _ := global.PointMatchState(mp.ID)
+		preMP[mp.ID] = pos
+	}
+	// And the client map's poses in its own frame.
+	preB := make(map[smap.ID]geom.SE3)
+	for _, kf := range mapB.KeyFrames() {
+		preB[kf.ID] = kf.Tcw
+	}
+
+	nan := math.NaN()
+	mg.Sabotage = func(tx SabotageContext) {
+		ids := tx.InsertedKFs()
+		if len(ids) == 0 {
+			t.Fatal("sabotage hook saw no inserted keyframes")
+		}
+		tx.SetKeyFramePose(ids[0], geom.SE3{
+			R: geom.IdentityQuat(), T: geom.Vec3{X: nan, Y: nan, Z: nan},
+		})
+	}
+	rep, err := mg.Merge(mapB)
+	var rbErr *RollbackError
+	if !errors.As(err, &rbErr) {
+		t.Fatalf("sabotaged merge: err = %v, want *RollbackError", err)
+	}
+	if !rep.RolledBack {
+		t.Error("report does not mark the rollback")
+	}
+	if len(rbErr.Violations) == 0 {
+		t.Error("rollback error carries no violations")
+	}
+
+	// Global map: same entities, same state, invariant-clean.
+	if got := global.NKeyFrames(); got != len(preKF) {
+		t.Errorf("global keyframes after rollback: %d, want %d", got, len(preKF))
+	}
+	if got := global.NMapPoints(); got != len(preMP) {
+		t.Errorf("global map points after rollback: %d, want %d", got, len(preMP))
+	}
+	for id, want := range preKF {
+		tcw, _, ok := global.KeyFrameState(id)
+		if !ok {
+			t.Fatalf("keyframe %d lost in rollback", id)
+		}
+		if tcw.T.Dist(want.T) > 1e-9 || tcw.R.AngleTo(want.R) > 1e-9 {
+			t.Errorf("keyframe %d pose not restored", id)
+		}
+	}
+	for id, want := range preMP {
+		pos, _, ok := global.PointMatchState(id)
+		if !ok {
+			t.Fatalf("map point %d lost in rollback", id)
+		}
+		if pos.Dist(want) > 1e-9 {
+			t.Errorf("map point %d position not restored", id)
+		}
+	}
+	if chk := smap.CheckInvariants(global); !chk.OK() {
+		t.Fatalf("global map dirty after rollback: %s", chk.Summary())
+	}
+
+	// Client map: back in its own coordinates (transform + inverse
+	// round-trip), structurally clean, ready for a retry.
+	for id, want := range preB {
+		kf, ok := mapB.KeyFrame(id)
+		if !ok {
+			t.Fatalf("client keyframe %d lost in rollback", id)
+		}
+		if kf.Tcw.T.Dist(want.T) > 1e-6 || kf.Tcw.R.AngleTo(want.R) > 1e-6 {
+			t.Errorf("client keyframe %d not returned to local frame", id)
+		}
+	}
+	if chk := smap.CheckInvariants(mapB); !chk.OK() {
+		t.Fatalf("client map dirty after rollback: %s", chk.Summary())
+	}
+
+	// The retry — same maps, no sabotage — must succeed.
+	mg.Sabotage = nil
+	rep2, err := mg.Merge(mapB)
+	if err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if rep2.Alignment == nil || rep2.FusedPts == 0 {
+		t.Errorf("retry did not produce a real merge: %+v", rep2)
+	}
+	if got, want := global.NKeyFrames(), len(preKF)+mapB.NKeyFrames(); got != want {
+		t.Errorf("keyframes after retry: %d, want %d", got, want)
+	}
+	if chk := smap.CheckInvariants(global); !chk.OK() {
+		t.Fatalf("global map dirty after retry: %s", chk.Summary())
+	}
+}
+
+// The founding insert is transactional too: a corrupted founding map
+// is rejected wholesale and the global map stays empty.
+func TestFoundingMergeRollback(t *testing.T) {
+	global := smap.NewMap(bow.Default())
+	client := smap.NewMap(bow.Default())
+	client.AddKeyFrame(&smap.KeyFrame{ID: 1<<41 | 1, Tcw: geom.IdentitySE3()})
+	mg := New(global, camera.EuRoCIntrinsics(), DefaultConfig())
+	mg.Sabotage = func(tx SabotageContext) {
+		tx.SetKeyFramePose(tx.InsertedKFs()[0], geom.SE3{
+			R: geom.IdentityQuat(), T: geom.Vec3{X: math.Inf(1)},
+		})
+	}
+	rep, err := mg.Merge(client)
+	var rbErr *RollbackError
+	if !errors.As(err, &rbErr) {
+		t.Fatalf("err = %v, want *RollbackError", err)
+	}
+	if !rep.RolledBack || global.NKeyFrames() != 0 {
+		t.Fatalf("founding rollback left %d keyframes", global.NKeyFrames())
+	}
+	mg.Sabotage = nil
+	if _, err := mg.Merge(client); err != nil {
+		t.Fatalf("retry after founding rollback: %v", err)
+	}
+	if global.NKeyFrames() != 1 {
+		t.Error("retry did not insert the founding keyframe")
+	}
+}
+
 func TestMergeFailsAcrossWorlds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline test")
@@ -202,7 +352,8 @@ func TestFusePointRedirectsObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 	mg := New(global, camera.EuRoCIntrinsics(), DefaultConfig())
-	if !mg.fusePoint(10, 20) {
+	tx := newTxn(mg.Global)
+	if !tx.fusePoint(10, 20) {
 		t.Fatal("fuse failed")
 	}
 	if kf.MapPoints[2] != 20 {
@@ -215,10 +366,10 @@ func TestFusePointRedirectsObservations(t *testing.T) {
 		t.Error("global point did not gain observation")
 	}
 	// Self-fuse and unknown ids are no-ops.
-	if mg.fusePoint(20, 20) {
+	if tx.fusePoint(20, 20) {
 		t.Error("self fuse succeeded")
 	}
-	if mg.fusePoint(99, 20) || mg.fusePoint(20, 99) {
+	if tx.fusePoint(99, 20) || tx.fusePoint(20, 99) {
 		t.Error("unknown point fuse succeeded")
 	}
 }
@@ -239,7 +390,7 @@ func TestFusePointDropsDuplicateObservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	mg := New(global, camera.EuRoCIntrinsics(), DefaultConfig())
-	if !mg.fusePoint(10, 20) {
+	if !newTxn(mg.Global).fusePoint(10, 20) {
 		t.Fatal("fuse failed")
 	}
 	if kf.MapPoints[1] != 0 {

@@ -56,11 +56,13 @@ func FuzzDecodeFrameMsg(f *testing.F) {
 	})
 }
 
-// FuzzDecodePoseMsg covers the downlink pose decoder.
+// FuzzDecodePoseMsg covers the downlink pose decoder, in both the
+// legacy form and the extended shed-flagged form.
 func FuzzDecodePoseMsg(f *testing.F) {
 	seeds := []*PoseMsg{
 		{FrameIdx: 0, Pose: geom.IdentitySE3(), Tracked: true},
 		{FrameIdx: 99, Pose: geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 1, Y: 2, Z: 3}}},
+		{FrameIdx: 7, Pose: geom.IdentitySE3(), Shed: true},
 	}
 	for _, m := range seeds {
 		data := m.Encode()
@@ -81,8 +83,13 @@ func FuzzDecodePoseMsg(f *testing.F) {
 			}
 			return
 		}
-		if len(data) != 4+16*8+1 {
+		if len(data) != poseMsgLegacyLen && len(data) != poseMsgLegacyLen+1 {
 			t.Fatalf("decoder accepted %d-byte pose message", len(data))
+		}
+		// The encoding is canonical (shed byte only when set), so any
+		// accepted message must re-encode to the same length.
+		if got := m.Encode(); len(got) != len(data) {
+			t.Fatalf("round-trip length mismatch: %d -> %d", len(data), len(got))
 		}
 	})
 }

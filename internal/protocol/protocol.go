@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"time"
 
 	"slamshare/internal/camera"
 	"slamshare/internal/geom"
@@ -69,6 +71,42 @@ func ReadMessage(r io.Reader) (msgType byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
+	return hdr[0], payload, nil
+}
+
+// ReadMessageDeadlines reads one framed message from a connection with
+// two distinct read deadlines: idle bounds the wait for the message
+// header (a healthy session may legitimately pause between frames up
+// to this long), while stall bounds the wait for the remainder once
+// the header has arrived (a peer that freezes mid-message is stuck,
+// not idle). A zero duration disables that deadline. The deadline is
+// cleared before returning so later undeadlined reads are unaffected.
+func ReadMessageDeadlines(c net.Conn, idle, stall time.Duration) (msgType byte, payload []byte, err error) {
+	setDeadline := func(d time.Duration) error {
+		if d <= 0 {
+			return c.SetReadDeadline(time.Time{})
+		}
+		return c.SetReadDeadline(time.Now().Add(d))
+	}
+	if err := setDeadline(idle); err != nil {
+		return 0, nil, err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxMessageSize {
+		return 0, nil, ErrTooLarge
+	}
+	if err := setDeadline(stall); err != nil {
+		return 0, nil, err
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return 0, nil, err
+	}
+	c.SetReadDeadline(time.Time{})
 	return hdr[0], payload, nil
 }
 
@@ -249,11 +287,21 @@ type PoseMsg struct {
 	FrameIdx uint32
 	Pose     geom.SE3 // world-to-camera
 	Tracked  bool     // false when the server lost tracking that frame
+	// Shed marks a frame the overloaded server dropped without
+	// processing (process-latest load shedding): the pose fields carry
+	// no information and the client should keep dead-reckoning on its
+	// IMU (Alg. 1) until the next tracked answer.
+	Shed bool
 }
+
+// poseMsgLegacyLen is the pre-Shed encoding: frame index + 4x4 matrix
+// + tracked byte. Shed answers append one flag byte; non-shed answers
+// keep the legacy form so old decoders still parse them.
+const poseMsgLegacyLen = 4 + 16*8 + 1
 
 // Encode serializes the pose message.
 func (m *PoseMsg) Encode() []byte {
-	buf := make([]byte, 0, 4+16*8+1)
+	buf := make([]byte, 0, poseMsgLegacyLen+1)
 	buf = binary.LittleEndian.AppendUint32(buf, m.FrameIdx)
 	mat := m.Pose.Mat4()
 	for _, v := range mat {
@@ -264,12 +312,16 @@ func (m *PoseMsg) Encode() []byte {
 	} else {
 		buf = append(buf, 0)
 	}
+	if m.Shed {
+		buf = append(buf, 1)
+	}
 	return buf
 }
 
-// DecodePoseMsg reverses PoseMsg.Encode.
+// DecodePoseMsg reverses PoseMsg.Encode, accepting both the legacy
+// form (no shed byte, Shed=false) and the extended form.
 func DecodePoseMsg(data []byte) (*PoseMsg, error) {
-	if len(data) != 4+16*8+1 {
+	if len(data) != poseMsgLegacyLen && len(data) != poseMsgLegacyLen+1 {
 		return nil, fmt.Errorf("protocol: bad pose message length %d", len(data))
 	}
 	m := &PoseMsg{}
@@ -280,6 +332,12 @@ func DecodePoseMsg(data []byte) (*PoseMsg, error) {
 	}
 	m.Pose = geom.SE3FromMat4(mat)
 	m.Tracked = data[4+16*8] == 1
+	if len(data) == poseMsgLegacyLen+1 {
+		if data[poseMsgLegacyLen] != 1 {
+			return nil, fmt.Errorf("protocol: bad pose shed flag %d", data[poseMsgLegacyLen])
+		}
+		m.Shed = true
+	}
 	return m, nil
 }
 

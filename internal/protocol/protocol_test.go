@@ -127,6 +127,40 @@ func TestPoseMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPoseMsgShed(t *testing.T) {
+	m := &PoseMsg{FrameIdx: 12, Pose: geom.IdentitySE3(), Shed: true}
+	data := m.Encode()
+	if len(data) != 4+16*8+2 {
+		t.Fatalf("shed pose encodes to %d bytes", len(data))
+	}
+	got, err := DecodePoseMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shed || got.Tracked || got.FrameIdx != 12 {
+		t.Errorf("shed fields wrong: %+v", got)
+	}
+
+	// A non-shed pose keeps the legacy byte layout, and legacy bytes
+	// (no shed flag) still decode.
+	legacy := (&PoseMsg{FrameIdx: 3, Pose: geom.IdentitySE3(), Tracked: true}).Encode()
+	if len(legacy) != 4+16*8+1 {
+		t.Fatalf("non-shed pose encodes to %d bytes", len(legacy))
+	}
+	old, err := DecodePoseMsg(legacy)
+	if err != nil {
+		t.Fatalf("legacy pose rejected: %v", err)
+	}
+	if old.Shed || !old.Tracked {
+		t.Errorf("legacy fields wrong: %+v", old)
+	}
+
+	// A trailing zero flag byte is non-canonical and rejected.
+	if _, err := DecodePoseMsg(append(legacy, 0)); err == nil {
+		t.Error("non-canonical shed byte accepted")
+	}
+}
+
 func TestFramingOverSocket(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()

@@ -6,6 +6,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -24,6 +25,7 @@ import (
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
 	"slamshare/internal/obs"
+	"slamshare/internal/overload"
 	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
 	"slamshare/internal/shm"
@@ -66,6 +68,71 @@ type Config struct {
 	// on (its hot-path cost is a few atomics per stage, see
 	// internal/obs).
 	Obs *obs.Tracer
+	// Overload bounds the server's load (admission ceilings, frame
+	// shedding, connection timeouts, merge retry/quarantine policy).
+	// Zero fields are filled from DefaultOverloadConfig; negative
+	// timeouts disable that timeout.
+	Overload OverloadConfig
+	// MergeHook, when non-nil, is called with the merger before every
+	// merge attempt. It exists for fault injection — the chaos harness
+	// installs a Sabotage failpoint through it — and for tests that
+	// need to observe attempt numbers.
+	MergeHook func(clientID uint32, attempt int, mg *merge.Merger)
+}
+
+// OverloadConfig is the server's overload-protection policy.
+type OverloadConfig struct {
+	// MaxSessions caps concurrently open sessions; OpenSession returns
+	// overload.ErrOverloaded beyond it.
+	MaxSessions int
+	// MaxMergesInFlight caps concurrent merge attempts across all
+	// sessions. A saturated gate skips the attempt without a backoff
+	// penalty — the session simply retries on a later frame.
+	MaxMergesInFlight int
+	// ShedBudget is the wall-clock uplink backlog a session may
+	// accumulate before the server sheds stale frames (process-latest
+	// semantics): shed frames are answered immediately with a PoseMsg
+	// flagged Shed, and the client covers the gap with IMU
+	// dead-reckoning (Alg. 1). Zero disables shedding.
+	ShedBudget time.Duration
+	// IdleTimeout evicts a connection that sends no message header for
+	// this long. ReadTimeout evicts one that stalls mid-message (the
+	// frozen-peer case). WriteTimeout bounds pose writes to a client
+	// that stopped reading. Negative disables each.
+	IdleTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Retry* parameterize the merge retry backoff, in keyframes of
+	// local-map growth: attempt n waits ~Base*Factor^n (capped at Max,
+	// jittered ±Jitter) more keyframes before the next attempt.
+	RetryBase   float64
+	RetryFactor float64
+	RetryMax    float64
+	RetryJitter float64
+	// MaxMergeRollbacks quarantines a session once this many of its
+	// merge attempts were rolled back by pre-commit validation: a map
+	// that keeps failing validation is poisonous, not unlucky.
+	MaxMergeRollbacks int
+	// Seed fixes the deterministic backoff jitter.
+	Seed int64
+}
+
+// DefaultOverloadConfig returns conservative production defaults;
+// shedding stays off until a budget is configured.
+func DefaultOverloadConfig() OverloadConfig {
+	return OverloadConfig{
+		MaxSessions:       64,
+		MaxMergesInFlight: 2,
+		IdleTimeout:       2 * time.Minute,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		RetryBase:         3,
+		RetryFactor:       2,
+		RetryMax:          24,
+		RetryJitter:       0.25,
+		MaxMergeRollbacks: 3,
+		Seed:              0x51A87A5E,
+	}
 }
 
 // DefaultConfig returns the experiment configuration.
@@ -110,6 +177,9 @@ type Server struct {
 	sessions map[uint32]*Session
 	merges   []merge.Report
 
+	gate    *overload.Gate
+	backoff overload.Backoff
+
 	net NetStats
 }
 
@@ -134,6 +204,26 @@ type NetStats struct {
 	SessionsOpened  metrics.Counter
 	SessionsClosed  metrics.Counter
 	SessionsDropped metrics.Counter
+	// SessionsRejected counts opens refused by the admission gate
+	// (overload.ErrOverloaded).
+	SessionsRejected metrics.Counter
+	// FramesShed counts uplink frames answered with a Shed pose instead
+	// of being tracked (deadline-aware process-latest shedding).
+	FramesShed metrics.Counter
+	// TrackLost counts frames the tracker processed but could not
+	// localize.
+	TrackLost metrics.Counter
+	// KFRejected counts keyframes whose shared-memory reservation
+	// failed (region exhausted) — the mapper-rejection path.
+	KFRejected metrics.Counter
+	// MergeRollbacks counts merge attempts undone by pre-commit
+	// invariant validation; MergeQuarantines counts sessions barred
+	// from further merging after MaxMergeRollbacks of them.
+	MergeRollbacks   metrics.Counter
+	MergeQuarantines metrics.Counter
+	// IdleEvicted counts connections evicted by the read watchdog
+	// (idle or frozen mid-message).
+	IdleEvicted metrics.Counter
 }
 
 // NetStats returns the Serve-path counters.
@@ -159,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.LanesPerClient == 0 {
 		cfg.LanesPerClient = 8
 	}
+	fillOverloadDefaults(&cfg.Overload)
 	voc := cfg.Vocabulary
 	if voc == nil {
 		voc = bow.Default()
@@ -222,6 +313,14 @@ func New(cfg Config) (*Server, error) {
 		stDecode: tracer.Stage("decode"),
 		stFrame:  tracer.Stage("frame.total"),
 		sessions: make(map[uint32]*Session),
+		gate:     overload.NewGate(cfg.Overload.MaxSessions, cfg.Overload.MaxMergesInFlight),
+		backoff: overload.Backoff{
+			Base:   cfg.Overload.RetryBase,
+			Factor: cfg.Overload.RetryFactor,
+			Max:    cfg.Overload.RetryMax,
+			Jitter: cfg.Overload.RetryJitter,
+			Seed:   cfg.Overload.Seed,
+		},
 	}
 	reg := tracer.Registry()
 	reg.RegisterFunc("map.keyframes", func() any { return s.global.NKeyFrames() })
@@ -234,7 +333,65 @@ func New(cfg Config) (*Server, error) {
 	reg.RegisterCounter("net.sessions_opened", &s.net.SessionsOpened)
 	reg.RegisterCounter("net.sessions_closed", &s.net.SessionsClosed)
 	reg.RegisterCounter("net.sessions_dropped", &s.net.SessionsDropped)
+	reg.RegisterCounter("net.sessions_rejected", &s.net.SessionsRejected)
+	reg.RegisterCounter("net.frames_shed", &s.net.FramesShed)
+	reg.RegisterCounter("net.track_lost", &s.net.TrackLost)
+	reg.RegisterCounter("net.kf_rejected", &s.net.KFRejected)
+	reg.RegisterCounter("net.idle_evicted", &s.net.IdleEvicted)
+	reg.RegisterCounter("merge.rollback", &s.net.MergeRollbacks)
+	reg.RegisterCounter("merge.quarantine", &s.net.MergeQuarantines)
+	reg.RegisterFunc("overload.sessions", func() any { return s.gate.Sessions() })
+	reg.RegisterFunc("overload.merges_inflight", func() any { return s.gate.Merges() })
 	return s, nil
+}
+
+// fillOverloadDefaults replaces zero fields with the defaults so a
+// zero-valued Config keeps working; negative timeouts mean "disabled"
+// and are preserved.
+func fillOverloadDefaults(ov *OverloadConfig) {
+	def := DefaultOverloadConfig()
+	if ov.MaxSessions == 0 {
+		ov.MaxSessions = def.MaxSessions
+	}
+	if ov.MaxMergesInFlight == 0 {
+		ov.MaxMergesInFlight = def.MaxMergesInFlight
+	}
+	if ov.IdleTimeout == 0 {
+		ov.IdleTimeout = def.IdleTimeout
+	}
+	if ov.ReadTimeout == 0 {
+		ov.ReadTimeout = def.ReadTimeout
+	}
+	if ov.WriteTimeout == 0 {
+		ov.WriteTimeout = def.WriteTimeout
+	}
+	if ov.RetryBase == 0 {
+		ov.RetryBase = def.RetryBase
+	}
+	if ov.RetryFactor == 0 {
+		ov.RetryFactor = def.RetryFactor
+	}
+	if ov.RetryMax == 0 {
+		ov.RetryMax = def.RetryMax
+	}
+	if ov.RetryJitter == 0 {
+		ov.RetryJitter = def.RetryJitter
+	}
+	if ov.MaxMergeRollbacks == 0 {
+		ov.MaxMergeRollbacks = def.MaxMergeRollbacks
+	}
+	if ov.Seed == 0 {
+		ov.Seed = def.Seed
+	}
+}
+
+// timeout maps the "negative disables" convention onto the protocol
+// layer's "zero disables".
+func timeout(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Obs returns the server's tracer (the one every pipeline stage
@@ -303,9 +460,20 @@ type Session struct {
 	prevTwc    geom.SE3
 	prevStamp  float64
 	havePrev   bool
-	// mergeBackoff raises the keyframe threshold after failed merge
-	// attempts so the session does not retry every frame.
-	mergeBackoff int
+	// mergeAttempts numbers this session's merge attempts (the backoff
+	// schedule is keyed on it); mergeBarrier is the extra local-map
+	// growth (keyframes) failed attempts demand before the next one.
+	// rollbacks counts attempts undone by pre-commit validation;
+	// quarantined bars the session from merging once that hits
+	// Overload.MaxMergeRollbacks. All four belong to the session's
+	// single processing goroutine.
+	mergeAttempts int
+	mergeBarrier  int
+	rollbacks     int
+	quarantined   bool
+	// lag is the uplink backlog accounting behind frame shedding. Owned
+	// by the serveConn loop.
+	lag *overload.LagTracker
 
 	// trackHist is this session's end-to-end tracking latency
 	// histogram. It is private to the session (the registry's
@@ -322,6 +490,19 @@ type Session struct {
 // OpenSession registers a client process. Each session attaches the
 // shared-memory region and gets its own GPU slice.
 func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) {
+	// Admission control: beyond the session ceiling the server refuses
+	// outright (typed overload.ErrOverloaded) instead of degrading
+	// every existing session's tracking rate.
+	if err := s.gate.AcquireSession(); err != nil {
+		s.net.SessionsRejected.Inc()
+		return nil, err
+	}
+	admitted := false
+	defer func() {
+		if !admitted {
+			s.gate.ReleaseSession()
+		}
+	}()
 	if _, err := shm.Attach(s.region.Name()); err != nil {
 		return nil, err
 	}
@@ -358,6 +539,7 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 		localMap:  localMap,
 		decL:      video.NewDecoder(),
 		decR:      video.NewDecoder(),
+		lag:       overload.NewLagTracker(s.cfg.Overload.ShedBudget),
 		trackHist: obs.NewHistogram("track.session"),
 	}
 	if resumeSeq > 0 {
@@ -370,14 +552,19 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 		sess.tracker.ResumeLost()
 	}
 	s.sessions[clientID] = sess
+	admitted = true
 	return sess, nil
 }
 
 // CloseSession removes a client process.
 func (s *Server) CloseSession(clientID uint32) {
 	s.mu.Lock()
+	_, ok := s.sessions[clientID]
 	delete(s.sessions, clientID)
 	s.mu.Unlock()
+	if ok {
+		s.gate.ReleaseSession()
+	}
 }
 
 // Result reports one processed frame.
@@ -385,8 +572,12 @@ type Result struct {
 	Pose    geom.SE3 // world-to-camera
 	Tracked bool
 	Merged  bool // true if this frame triggered a successful map merge
-	Timing  tracking.Stages
-	Inliers int
+	// Degraded marks a frame the tracker answered past its deadline
+	// budget with motion-model tracking only (local-point search
+	// skipped).
+	Degraded bool
+	Timing   tracking.Stages
+	Inliers  int
 }
 
 // HandleFrame processes one uplink frame message end to end: video
@@ -406,6 +597,7 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 	left, err := sess.decL.Decode(msg.Video)
 	if err != nil {
 		dsp.End()
+		sess.srv.net.FramesFailed.Inc()
 		return res, fmt.Errorf("server: left video: %w", err)
 	}
 	var rightImg *img.Gray
@@ -413,6 +605,7 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 		rightImg, err = sess.decR.Decode(msg.VideoRight)
 		if err != nil {
 			dsp.End()
+			sess.srv.net.FramesFailed.Inc()
 			return res, fmt.Errorf("server: right video: %w", err)
 		}
 	}
@@ -439,8 +632,12 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 
 	res.Pose = tr.Pose
 	res.Tracked = tr.State == tracking.OK
+	res.Degraded = tr.Degraded
 	res.Timing = tr.Timing
 	res.Inliers = tr.Inliers
+	if tr.State == tracking.Lost {
+		sess.srv.net.TrackLost.Inc()
+	}
 
 	if res.Tracked {
 		twc := tr.Pose.Inverse()
@@ -469,12 +666,17 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 		sz := int64(len(tr.NewKF.Keypoints))*80 + 4096
 		if _, err := sess.srv.region.Alloc(sz); err == nil {
 			sess.kfBytes += sz
+		} else {
+			sess.srv.net.KFRejected.Inc()
 		}
 	}
 
 	// Merge process M: once the local map has substance, fold it into
-	// the shared global map and rebind this process to it.
-	if !sess.merged && sess.localMap.NKeyFrames() >= sess.srv.cfg.MergeAfterKFs+sess.mergeBackoff {
+	// the shared global map and rebind this process to it. A
+	// quarantined session (repeated merge rollbacks) keeps tracking on
+	// its local map but never merges again.
+	if !sess.merged && !sess.quarantined &&
+		sess.localMap.NKeyFrames() >= sess.srv.cfg.MergeAfterKFs+sess.mergeBarrier {
 		if sess.tryMerge() {
 			res.Merged = true
 		}
@@ -482,12 +684,37 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 	return res, nil
 }
 
+// ShedFrame consumes a shed uplink frame's stream side effects without
+// running the tracking pipeline: the video decoders must see every
+// encoded frame (inter frames predict from the previous decoded one)
+// and the motion model integrates the IMU delta so the next tracked
+// frame's prior spans the gap. It costs a decode — cheap next to the
+// feature extraction and map search that shedding skips.
+func (sess *Session) ShedFrame(msg *protocol.FrameMsg) {
+	if _, err := sess.decL.Decode(msg.Video); err == nil && len(msg.VideoRight) > 0 {
+		sess.decR.Decode(msg.VideoRight)
+	}
+	if sess.mmReady {
+		sess.mm.ApproxPoseUpdateMM(msg.Delta)
+	}
+}
+
 // tryMerge runs the merge under the named global-map mutex. On
 // success the session's tracker and mapper operate directly on the
-// global map afterwards; on failure (no overlap yet) the session keeps
-// its local map and retries when it has grown.
+// global map afterwards; on failure (no overlap yet, or a validation
+// rollback) the session keeps its local map and retries after the
+// backoff's worth of further growth.
 func (sess *Session) tryMerge() bool {
 	s := sess.srv
+	// In-flight merge ceiling: a saturated gate skips the attempt with
+	// no backoff penalty — the session was not at fault, so it retries
+	// on the next qualifying frame.
+	if !s.gate.TryAcquireMerge() {
+		return false
+	}
+	defer s.gate.ReleaseMerge()
+	attempt := sess.mergeAttempts
+	sess.mergeAttempts++
 	s.gmu.Lock()
 	merger := merge.New(s.global, sess.rig.Intr, s.cfg.MergeCfg)
 	merger.Obs = s.obs
@@ -495,6 +722,9 @@ func (sess *Session) tryMerge() bool {
 	merger.ObsSeq = uint64(sess.frames - 1) // frame ordinal that triggered the merge
 	if s.pmgr != nil {
 		merger.Journal = s.pmgr.Journal()
+	}
+	if s.cfg.MergeHook != nil {
+		s.cfg.MergeHook(sess.ID, attempt, merger)
 	}
 	rep, err := merger.Merge(sess.localMap)
 	if err == nil && rep.Alignment != nil {
@@ -518,11 +748,22 @@ func (sess *Session) tryMerge() bool {
 	}
 	s.gmu.Unlock()
 	if err != nil {
-		// No overlap yet: retry after the local map has grown by a few
-		// more keyframes.
-		sess.srv.mu.Lock()
-		sess.srv.cfgRetry(sess)
-		sess.srv.mu.Unlock()
+		var rbe *merge.RollbackError
+		if errors.As(err, &rbe) {
+			// The merge mutated the global map, failed validation, and
+			// was rolled back. Count it toward quarantine: a client map
+			// that keeps producing invalid merges is poisonous.
+			s.net.MergeRollbacks.Inc()
+			sess.rollbacks++
+			if sess.rollbacks >= s.cfg.Overload.MaxMergeRollbacks {
+				sess.quarantined = true
+				s.net.MergeQuarantines.Inc()
+			}
+		}
+		// Retry after the local map has grown by the backoff schedule's
+		// worth of keyframes (jittered exponential, deterministic per
+		// client and attempt).
+		sess.mergeBarrier += s.backoff.DelaySteps(uint64(sess.ID), attempt)
 		return false
 	}
 	s.mu.Lock()
@@ -534,12 +775,12 @@ func (sess *Session) tryMerge() bool {
 	return true
 }
 
-// cfgRetry postpones the next merge attempt (simple backoff by
-// requiring more keyframes). Caller holds s.mu.
-func (s *Server) cfgRetry(sess *Session) {
-	// Each failed attempt raises this session's threshold.
-	sess.mergeBackoff += 3
-}
+// Quarantined reports whether the session was barred from merging
+// after repeated validation rollbacks.
+func (sess *Session) Quarantined() bool { return sess.quarantined }
+
+// MergeAttempts returns how many merge attempts the session has made.
+func (sess *Session) MergeAttempts() int { return sess.mergeAttempts }
 
 // Stats summarizes a session.
 type Stats struct {
@@ -582,8 +823,16 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// inbound is one decoded-framing message handed from the connection's
+// reader goroutine to its processing loop.
+type inbound struct {
+	mt      byte
+	payload []byte
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	ov := s.cfg.Overload
 	var sess *Session
 	clean := false
 	defer func() {
@@ -595,12 +844,46 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 	}()
-	for {
-		mt, payload, err := protocol.ReadMessage(conn)
-		if err != nil {
-			return
+
+	// A reader goroutine decouples the socket from the pipeline: the
+	// processing loop observes its own backlog (len(in)) for frame
+	// shedding, and the per-message deadlines evict idle connections
+	// and frozen peers (a peer that sends a partial message and stalls
+	// used to wedge this goroutine forever).
+	in := make(chan inbound, 64)
+	rdErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(in)
+		for {
+			mt, payload, err := protocol.ReadMessageDeadlines(conn,
+				timeout(ov.IdleTimeout), timeout(ov.ReadTimeout))
+			if err != nil {
+				rdErr <- err
+				return
+			}
+			select {
+			case in <- inbound{mt, payload}:
+			case <-done:
+				return
+			}
 		}
-		switch mt {
+	}()
+
+	// Pose writes are bounded too: a client that stopped reading must
+	// not pin this goroutine (and its session slot) on a full socket
+	// buffer.
+	writePose := func(pm protocol.PoseMsg) bool {
+		if wt := timeout(ov.WriteTimeout); wt > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wt))
+			defer conn.SetWriteDeadline(time.Time{})
+		}
+		return protocol.WriteMessage(conn, protocol.TypePose, pm.Encode()) == nil
+	}
+
+	for m := range in {
+		switch m.mt {
 		case protocol.TypeHello:
 			// One session per connection: a second hello would reassign
 			// sess and leak the first session past the deferred close.
@@ -608,7 +891,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.net.DupHello.Inc()
 				return
 			}
-			hello, err := protocol.DecodeHelloMsg(payload)
+			hello, err := protocol.DecodeHelloMsg(m.payload)
 			if err != nil {
 				s.net.BadHello.Inc()
 				return
@@ -623,24 +906,52 @@ func (s *Server) serveConn(conn net.Conn) {
 			if sess == nil {
 				return
 			}
-			msg, err := protocol.DecodeFrameMsg(payload)
+			msg, err := protocol.DecodeFrameMsg(m.payload)
 			if err != nil {
 				s.net.FramesRejected.Inc()
 				return
 			}
+			sess.lag.Note(msg.Stamp)
+			// Deadline-aware shedding (process-latest): when the frames
+			// queued behind this one represent more wall-clock lag than
+			// the budget, answer it immediately with a Shed pose — the
+			// client's IMU dead-reckoning covers the gap (Alg. 1) — and
+			// spend the tracking time on a fresher frame. Frames are
+			// only shed while tracking is OK: during initialization and
+			// relocalization every frame is keyframe-critical.
+			if len(in) > 0 && sess.lag.ShouldShed(len(in)) &&
+				sess.tracker.State() == tracking.OK {
+				sess.ShedFrame(msg)
+				s.net.FramesShed.Inc()
+				if !writePose(protocol.PoseMsg{
+					FrameIdx: msg.FrameIdx, Pose: geom.IdentitySE3(), Shed: true,
+				}) {
+					return
+				}
+				continue
+			}
 			res, err := sess.HandleFrame(msg)
 			if err != nil {
-				s.net.FramesFailed.Inc()
 				return
 			}
 			pm := protocol.PoseMsg{FrameIdx: msg.FrameIdx, Pose: res.Pose, Tracked: res.Tracked}
-			if err := protocol.WriteMessage(conn, protocol.TypePose, pm.Encode()); err != nil {
+			if !writePose(pm) {
 				return
 			}
 		case protocol.TypeBye:
 			clean = true
 			return
 		}
+	}
+	// The reader stopped. A timeout means the watchdog evicted an idle
+	// or frozen peer rather than the peer hanging up.
+	select {
+	case err := <-rdErr:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.net.IdleEvicted.Inc()
+		}
+	default:
 	}
 }
 

@@ -288,6 +288,152 @@ func (m *Map) CheckInvariants() CheckReport {
 // harness calls: audit m and return the full report.
 func CheckInvariants(m *Map) CheckReport { return m.CheckInvariants() }
 
+// CheckSubgraph audits only the given entities — the merge
+// transaction's pre-commit validation. A merge must not run the
+// whole-map audit: other sessions' mappers mutate untouched regions of
+// the global map concurrently (the per-frame path does not serialize
+// against merges), so only the subgraph this merge inserted or rewrote
+// can be held to the at-rest invariants. References from a touched
+// entity to an untouched one are checked for existence; backrefs,
+// covisibility symmetry, and the global index rules (BoW, insertion
+// order, counters) are audited only within the touched set.
+func (m *Map) CheckSubgraph(kfIDs, mpIDs []ID) CheckReport {
+	// Snapshot the touched entities plus the existence of everything
+	// they reference, under every stripe read lock for one consistent
+	// instant.
+	m.rlockAll()
+	kfs := make(map[ID]*KeyFrame, len(kfIDs))
+	mps := make(map[ID]*MapPoint, len(mpIDs))
+	for _, id := range kfIDs {
+		if kf, ok := m.stripe(id).keyframes[id]; ok {
+			kfs[id] = snapshotKF(kf)
+		}
+	}
+	for _, id := range mpIDs {
+		if mp, ok := m.stripe(id).points[id]; ok {
+			mps[id] = snapshotMP(mp)
+		}
+	}
+	existsKF := make(map[ID]bool)
+	existsMP := make(map[ID]bool)
+	for _, kf := range kfs {
+		for _, b := range kf.MapPoints {
+			if b != 0 {
+				_, existsMP[b] = m.stripe(b).points[b]
+			}
+		}
+		for other := range kf.Conns {
+			_, existsKF[other] = m.stripe(other).keyframes[other]
+		}
+	}
+	for _, mp := range mps {
+		for kfID := range mp.Obs {
+			_, existsKF[kfID] = m.stripe(kfID).keyframes[kfID]
+		}
+	}
+	m.rUnlockAll()
+
+	rep := CheckReport{KeyFrames: len(kfs), MapPoints: len(mps)}
+	add := func(rule string, kf, mp ID, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Rule: rule, KF: kf, MP: mp, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	sortedKFs := make([]ID, 0, len(kfs))
+	for id := range kfs {
+		sortedKFs = append(sortedKFs, id)
+	}
+	sort.Slice(sortedKFs, func(i, j int) bool { return sortedKFs[i] < sortedKFs[j] })
+	sortedMPs := make([]ID, 0, len(mps))
+	for id := range mps {
+		sortedMPs = append(sortedMPs, id)
+	}
+	sort.Slice(sortedMPs, func(i, j int) bool { return sortedMPs[i] < sortedMPs[j] })
+
+	for _, id := range sortedKFs {
+		kf := kfs[id]
+		if id == 0 {
+			add("id-zero", id, 0, "keyframe with reserved ID 0")
+		}
+		if !finiteSE3(kf.Tcw) {
+			add("kf-pose-notfinite", id, 0, "Tcw not finite: %+v", kf.Tcw)
+		}
+		if len(kf.MapPoints) != len(kf.Keypoints) {
+			add("kf-binding-len", id, 0, "%d bindings for %d keypoints",
+				len(kf.MapPoints), len(kf.Keypoints))
+		}
+		for i, mpID := range kf.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			mp, touched := mps[mpID]
+			if !touched {
+				if !existsMP[mpID] {
+					add("kf-binding-dangling", id, mpID, "keypoint %d binds missing map point", i)
+				}
+				continue
+			}
+			if got, ok := mp.Obs[id]; !ok {
+				add("kf-binding-backref", id, mpID, "keypoint %d bound but point has no observation of this keyframe", i)
+			} else if got != i {
+				add("kf-binding-backref", id, mpID, "keypoint %d bound but point records keypoint %d", i, got)
+			}
+		}
+		for other, w := range kf.Conns {
+			if other == id {
+				add("covis-self", id, 0, "self edge with weight %d", w)
+				continue
+			}
+			okf, touched := kfs[other]
+			if !touched {
+				if !existsKF[other] {
+					add("covis-dangling", id, 0, "edge to missing keyframe %d (weight %d)", other, w)
+				}
+				continue
+			}
+			ow, ok := okf.Conns[id]
+			if !ok {
+				add("covis-asymmetric", id, 0, "edge to %d (weight %d) has no reverse edge", other, w)
+			} else if ow != w {
+				add("covis-weight", id, 0, "edge to %d weighs %d forward, %d reverse", other, w, ow)
+			}
+		}
+	}
+
+	for _, id := range sortedMPs {
+		mp := mps[id]
+		if id == 0 {
+			add("id-zero", 0, id, "map point with reserved ID 0")
+		}
+		if !finiteVec3(mp.Pos) {
+			add("mp-pos-notfinite", 0, id, "position not finite: %+v", mp.Pos)
+		}
+		if mp.RefKF == 0 {
+			add("mp-refkf-zero", 0, id, "reference keyframe ID is 0")
+		}
+		for kfID, idx := range mp.Obs {
+			kf, touched := kfs[kfID]
+			if !touched {
+				if !existsKF[kfID] {
+					add("mp-obs-dangling", kfID, id, "observed by missing keyframe (keypoint %d)", idx)
+				}
+				continue
+			}
+			if idx < 0 || idx >= len(kf.MapPoints) {
+				add("mp-obs-backref", kfID, id, "keypoint index %d out of range (%d keypoints)",
+					idx, len(kf.MapPoints))
+				continue
+			}
+			if got := kf.MapPoints[idx]; got != id {
+				add("mp-obs-backref", kfID, id, "keyframe keypoint %d binds %d, not this point", idx, got)
+			}
+		}
+	}
+
+	return rep
+}
+
 func finiteVec3(v geom.Vec3) bool {
 	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
 		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&

@@ -449,6 +449,12 @@ func (m *Map) prepKeyFrame(kf *KeyFrame) {
 // AddKeyFrame inserts a keyframe (computing its BoW vector if absent)
 // and indexes it for place recognition.
 func (m *Map) AddKeyFrame(kf *KeyFrame) {
+	m.addKeyFrame(kf, true)
+}
+
+// addKeyFrame inserts a keyframe; indexBow=false stages it without
+// place-recognition indexing (see InsertAllStaged).
+func (m *Map) addKeyFrame(kf *KeyFrame, indexBow bool) {
 	m.prepKeyFrame(kf)
 	s := m.stripe(kf.ID)
 	s.mu.Lock()
@@ -465,7 +471,9 @@ func (m *Map) AddKeyFrame(kf *KeyFrame) {
 	if !exists {
 		m.order = append(m.order, kf.ID)
 	}
-	m.bowDB.Add(kf.ID, kf.Bow)
+	if indexBow {
+		m.bowDB.Add(kf.ID, kf.Bow)
+	}
 	m.imu.Unlock()
 }
 

@@ -7,6 +7,7 @@
 package tracking
 
 import (
+	"sync/atomic"
 	"time"
 
 	"slamshare/internal/camera"
@@ -91,6 +92,10 @@ type Result struct {
 	Inliers int
 	NewKF   *smap.KeyFrame // non-nil when the frame became a keyframe
 	Timing  Stages
+	// Degraded marks a frame whose deadline budget ran out before
+	// search-local-points: the pose comes from motion-model tracking
+	// alone (see Config.FrameDeadline).
+	Degraded bool
 }
 
 // Config tunes the tracker.
@@ -110,6 +115,14 @@ type Config struct {
 	KFTrackedRatio float64
 	// MaxLocalKFs bounds the covisibility window of the local map.
 	MaxLocalKFs int
+	// FrameDeadline bounds a frame's processing budget: when the
+	// earlier stages have already consumed it by the time search-local-
+	// points would run, the refinement is skipped and the motion-model
+	// pose stands — degraded tracking, the overloaded server's way of
+	// answering every frame on time at reduced quality. Zero disables
+	// the deadline. Frames that initialize or relocalize the tracker
+	// are never degraded.
+	FrameDeadline time.Duration
 }
 
 // DefaultConfig returns the tracking parameters used by the
@@ -147,6 +160,7 @@ type Tracker struct {
 	Obs *obs.Tracer
 
 	obsStages trackStages
+	degraded  atomic.Int64
 	state     State
 	last      Frame
 	velocity  geom.SE3 // frame-to-frame motion estimate Tcw_k * Tcw_{k-1}^-1
@@ -179,6 +193,11 @@ func (t *Tracker) LastFrame() Frame { return t.last }
 // RefKF returns the current reference keyframe id.
 func (t *Tracker) RefKF() smap.ID { return t.refKF }
 
+// DegradedFrames returns how many frames were tracked in degraded mode
+// (search-local-points skipped to meet the frame deadline). Safe to
+// read from another goroutine (/debug/vars gauges).
+func (t *Tracker) DegradedFrames() int64 { return t.degraded.Load() }
+
 // ProcessFrame tracks one frame. right may be nil for monocular rigs.
 // posePrior, when non-nil, seeds the pose prediction (the IMU pose
 // from the client, or ground truth during map bootstrap); it is a
@@ -187,7 +206,7 @@ func (t *Tracker) RefKF() smap.ID { return t.refKF }
 // fields stay nil when no tracer is attached, making every Observe a
 // no-op.
 type trackStages struct {
-	extract, match, posePredict, searchLocal, total *obs.Stage
+	extract, match, posePredict, searchLocal, degraded, total *obs.Stage
 }
 
 func (t *Tracker) wireObs() {
@@ -199,6 +218,7 @@ func (t *Tracker) wireObs() {
 		match:       t.Obs.Stage("track.match"),
 		posePredict: t.Obs.Stage("track.pose_predict"),
 		searchLocal: t.Obs.Stage("track.search_local"),
+		degraded:    t.Obs.Stage("track.degraded"),
 		total:       t.Obs.Stage("track.total"),
 	}
 }
@@ -262,12 +282,25 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		res.Timing.PosePredict = time.Since(tp)
 		t.obsStages.posePredict.Observe(tp, res.Timing.PosePredict, obsClient, obsSeq)
 
-		// Stage 4: search local points + final optimization.
-		ts := time.Now()
-		sw0, sm0 := counters(t.SearchPar)
-		inl2 := t.searchLocalPoints(&fr)
-		res.Timing.SearchLocal = deviceTime(time.Since(ts), t.SearchPar, sw0, sm0)
-		t.obsStages.searchLocal.Observe(ts, res.Timing.SearchLocal, obsClient, obsSeq)
+		// Stage 4: search local points + final optimization — unless
+		// the frame deadline is already spent, in which case the
+		// refinement is the stage sacrificed: the motion-model pose
+		// from stage 3 stands (degraded mode). The recorded
+		// "track.degraded" span carries the budget consumed at the
+		// moment of degradation, so Fig. 5-style breakdowns show how
+		// far over deadline degraded frames were.
+		var inl2 int
+		if t.Cfg.FrameDeadline > 0 && time.Since(t0) > t.Cfg.FrameDeadline {
+			res.Degraded = true
+			t.degraded.Add(1)
+			t.obsStages.degraded.Observe(t0, time.Since(t0), obsClient, obsSeq)
+		} else {
+			ts := time.Now()
+			sw0, sm0 := counters(t.SearchPar)
+			inl2 = t.searchLocalPoints(&fr)
+			res.Timing.SearchLocal = deviceTime(time.Since(ts), t.SearchPar, sw0, sm0)
+			t.obsStages.searchLocal.Observe(ts, res.Timing.SearchLocal, obsClient, obsSeq)
+		}
 
 		inliers := inl2
 		if inliers == 0 {

@@ -111,6 +111,28 @@ type ServerOptions struct {
 	CheckpointEvery time.Duration
 	// FsyncJournal syncs every journal batch to disk.
 	FsyncJournal bool
+	// MaxSessions caps concurrently open device sessions; opens beyond
+	// it fail fast with an overload error (0 = default, negative =
+	// unlimited).
+	MaxSessions int
+	// MaxMergesInFlight caps concurrent map merges (0 = default,
+	// negative = unlimited).
+	MaxMergesInFlight int
+	// ShedBudget is the per-session backlog budget: when the frames
+	// queued behind the current one represent more wall-clock lag than
+	// this, stale frames are answered with a Shed pose instead of being
+	// tracked (0 = shedding disabled).
+	ShedBudget time.Duration
+	// IdleTimeout evicts a connection with no uplink traffic for this
+	// long (0 = default, negative = no eviction).
+	IdleTimeout time.Duration
+	// ReadTimeout bounds the mid-message stall a peer is allowed
+	// before eviction (0 = default, negative = unbounded).
+	ReadTimeout time.Duration
+	// FrameDeadline is the tracking-time budget per frame; frames over
+	// it skip local-map refinement and reuse the motion-model pose
+	// (0 = no deadline).
+	FrameDeadline time.Duration
 }
 
 // EdgeServer is the SLAM-Share edge server.
@@ -134,6 +156,24 @@ func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
 	}
 	if opts.ShmCapacity > 0 {
 		cfg.RegionCapacity = opts.ShmCapacity
+	}
+	if opts.MaxSessions != 0 {
+		cfg.Overload.MaxSessions = opts.MaxSessions
+	}
+	if opts.MaxMergesInFlight != 0 {
+		cfg.Overload.MaxMergesInFlight = opts.MaxMergesInFlight
+	}
+	if opts.ShedBudget > 0 {
+		cfg.Overload.ShedBudget = opts.ShedBudget
+	}
+	if opts.IdleTimeout != 0 {
+		cfg.Overload.IdleTimeout = opts.IdleTimeout
+	}
+	if opts.ReadTimeout != 0 {
+		cfg.Overload.ReadTimeout = opts.ReadTimeout
+	}
+	if opts.FrameDeadline > 0 {
+		cfg.TrackCfg.FrameDeadline = opts.FrameDeadline
 	}
 	if opts.CheckpointDir != "" {
 		cfg.Persist = persist.Options{
