@@ -28,6 +28,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "evict connections idle this long (0 = default 2m, negative = never)")
 	readTimeout := flag.Duration("read-timeout", 0, "evict peers stalled mid-message this long (0 = default 30s, negative = never)")
 	frameDeadline := flag.Duration("frame-deadline", 0, "per-frame tracking budget; over it, frames skip refinement (0 = no deadline)")
+	maxMapKF := flag.Int("max-map-kf", 0, "resident keyframe budget; past it the lifecycle manager culls redundant keyframes (0 = unbounded)")
+	evictAfter := flag.Uint64("evict-after", 0, "evict map regions untouched for this many handled frames to disk, reloading on demand (0 = never; needs -checkpoint-dir)")
 	flag.Parse()
 
 	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
@@ -43,6 +45,8 @@ func main() {
 		IdleTimeout:       *idleTimeout,
 		ReadTimeout:       *readTimeout,
 		FrameDeadline:     *frameDeadline,
+		MaxMapKF:          *maxMapKF,
+		EvictAfter:        *evictAfter,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -297,6 +297,43 @@ func (db *Database) IDs() []uint64 {
 	return out
 }
 
+// CheckIndex audits the inverted index against the vector table and
+// returns the disagreements: orphans are ids that appear in some
+// word's posting list but have no vector (an erase that tore the
+// posting-list side), missing are id/word pairs a stored vector says
+// should be posted but are not (an add that tore). Both slices are
+// empty on a healthy database. The erase-heavy lifecycle paths make
+// these leftovers the likeliest corruption, so the map invariant
+// checker audits at this level rather than only comparing id sets.
+func (db *Database) CheckIndex() (orphans, missing []uint64) {
+	orphanSeen := make(map[uint64]bool)
+	for _, list := range db.index {
+		for _, id := range list {
+			if _, ok := db.vecs[id]; !ok && !orphanSeen[id] {
+				orphanSeen[id] = true
+				orphans = append(orphans, id)
+			}
+		}
+	}
+	missingSeen := make(map[uint64]bool)
+	for id, bv := range db.vecs {
+		for w := range bv {
+			posted := false
+			for _, v := range db.index[w] {
+				if v == id {
+					posted = true
+					break
+				}
+			}
+			if !posted && !missingSeen[id] {
+				missingSeen[id] = true
+				missing = append(missing, id)
+			}
+		}
+	}
+	return orphans, missing
+}
+
 // Query returns the topN keyframes sharing words with bv, scored by
 // L1 similarity, excluding ids for which exclude returns true.
 func (db *Database) Query(bv Vec, topN int, exclude func(uint64) bool) []Result {

@@ -9,6 +9,7 @@ import (
 	"slamshare/internal/camera"
 	"slamshare/internal/client"
 	"slamshare/internal/dataset"
+	"slamshare/internal/lifecycle"
 	"slamshare/internal/netem"
 	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
@@ -27,6 +28,10 @@ type ClientScript struct {
 	// empty defaults to MH04 for odd IDs and MH05 for even ones, both
 	// in the shared machine-hall world so maps can merge.
 	SeqName string
+	// Seq supplies a generated sequence directly (e.g. a city-grid
+	// route), overriding SeqName. The harness still halves its
+	// resolution.
+	Seq *dataset.Sequence
 	// JoinRound is the round this client first connects.
 	JoinRound int
 	// CrashAt hard-cuts the link at that round: the client goes away
@@ -66,6 +71,10 @@ type Expect struct {
 	MinMerges int
 	// MinReconnects is the minimum client rejoin count.
 	MinReconnects int
+	// MinCulled / MinEvictions are floors on the lifecycle manager's
+	// work across server lifetimes (scenarios with a map budget).
+	MinCulled    int64
+	MinEvictions int64
 	// ResumedTracking requires at least one reconnected client to get
 	// a tracked pose after resuming (relocalization worked).
 	ResumedTracking bool
@@ -93,8 +102,15 @@ type Scenario struct {
 	// CheckEvery audits map invariants every k rounds (the final audit
 	// always runs).
 	CheckEvery int
-	Clients    []ClientScript
-	Expect     Expect
+	// Lifecycle bounds the resident map (zero disables). Its Dir
+	// defaults to the scenario's persist dir inside the server.
+	Lifecycle lifecycle.Config
+	// Urban applies the vehicular tracking profile city-grid routes
+	// need: a wider keyframe-insertion window and a lower lost line, so
+	// fast forward motion cannot decay straight past both thresholds.
+	Urban   bool
+	Clients []ClientScript
+	Expect  Expect
 }
 
 // Result summarizes one scenario run.
@@ -115,6 +131,9 @@ type Result struct {
 	BadHello   int64
 	FramesRej  int64
 	Dropped    int64
+	Culled     int64 // lifecycle: keyframes culled
+	Evicted    int64 // lifecycle: regions evicted
+	Reloaded   int64 // lifecycle: regions reloaded
 	Elapsed    time.Duration
 	// Failures lists expectation mismatches (empty = scenario passed).
 	Failures []string
@@ -171,6 +190,11 @@ func serverConfig(sc Scenario, persistDir string) server.Config {
 	cfg.MergeCfg.MinMatches = 12
 	cfg.MergeCfg.InlierTol = 0.5
 	cfg.MergeCfg.MaxRMSE = 0.3
+	cfg.Lifecycle = sc.Lifecycle
+	if sc.Urban {
+		cfg.TrackCfg.KFTrackedRatio = 0.85
+		cfg.TrackCfg.MinInliers = 10
+	}
 	if sc.KillServerAt > 0 {
 		// Journal-only persistence: recovery replays the WAL from the
 		// last (absent) checkpoint, the hardest recovery path.
@@ -214,9 +238,13 @@ func Run(sc Scenario, persistDir string) (*Result, error) {
 				name = "MH05"
 			}
 		}
-		seq, err := dataset.ByName(name, camera.Stereo)
-		if err != nil {
-			return nil, err
+		seq := cs.Seq
+		if seq == nil {
+			var err error
+			seq, err = dataset.ByName(name, camera.Stereo)
+			if err != nil {
+				return nil, err
+			}
 		}
 		seq = HalfRes(seq)
 		h.clients = append(h.clients, &rclient{
@@ -480,6 +508,12 @@ func (h *harness) snapshotNet() {
 	h.res.BadHello += ns.BadHello.Load()
 	h.res.FramesRej += ns.FramesRejected.Load()
 	h.res.Dropped += ns.SessionsDropped.Load()
+	if lm := h.srv.Lifecycle(); lm != nil {
+		st := lm.Stats()
+		h.res.Culled += st.CulledKeyFrames.Load()
+		h.res.Evicted += st.EvictedRegions.Load()
+		h.res.Reloaded += st.ReloadedRegions.Load()
+	}
 }
 
 // aliveSessions counts the clients whose server session should exist.
@@ -592,6 +626,12 @@ func (h *harness) assess() {
 	}
 	if h.res.Dropped < e.MinDropped {
 		fail("SessionsDropped = %d, want >= %d", h.res.Dropped, e.MinDropped)
+	}
+	if h.res.Culled < e.MinCulled {
+		fail("lifecycle culled = %d keyframes, want >= %d", h.res.Culled, e.MinCulled)
+	}
+	if h.res.Evicted < e.MinEvictions {
+		fail("lifecycle evicted = %d regions, want >= %d", h.res.Evicted, e.MinEvictions)
 	}
 	if h.res.Poses == 0 {
 		fail("no pose replies at all")

@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"time"
 
+	"slamshare/internal/camera"
+	"slamshare/internal/dataset"
+	"slamshare/internal/lifecycle"
 	"slamshare/internal/netem"
 )
 
@@ -94,6 +97,28 @@ func Scenarios() []Scenario {
 			},
 			Expect: Expect{Survivors: 2, MinMerges: 2, MinReconnects: 1,
 				MinDupHello: 1, MinDropped: 1},
+		},
+		{
+			// City-grid fleet under a map budget: three vehicles leave a
+			// shared depot block (guaranteed merge overlap) and diverge,
+			// the lifecycle manager culls the over-budget map and evicts
+			// the streets everyone has left behind, and the server is
+			// killed mid-run — recovery must replay the compacted map
+			// from the WAL, restore the evicted-region index, and resume
+			// every returning client by relocalization.
+			Name: "city-lifecycle-kill", Seed: 9, Rounds: 52, Stride: 4,
+			KillServerAt: 34, CheckEvery: 13, Urban: true,
+			Lifecycle: lifecycle.Config{MaxKeyFrames: 12, EvictAfter: 30},
+			Clients: []ClientScript{
+				{ID: 1, AutoReconnect: true, Shape: link,
+					Seq: dataset.CityRoute("chaos-veh1", [][2]int{{0, 2}, {1, 2}, {2, 2}}, 7, camera.Stereo, 301)},
+				{ID: 2, AutoReconnect: true, Shape: link,
+					Seq: dataset.CityRoute("chaos-veh2", [][2]int{{0, 2}, {1, 2}, {1, 3}}, 7, camera.Stereo, 302)},
+				{ID: 3, AutoReconnect: true, Shape: link,
+					Seq: dataset.CityRoute("chaos-veh3", [][2]int{{0, 2}, {1, 2}, {1, 1}}, 7, camera.Stereo, 303)},
+			},
+			Expect: Expect{Survivors: 3, MinMerges: 3, MinReconnects: 3,
+				ResumedTracking: true, MinEvictions: 1},
 		},
 		{
 			// Flaky link: the connection dies mid-message every ~700 KiB

@@ -295,6 +295,66 @@ func KITTI05(mode camera.Mode) *Sequence {
 	}
 }
 
+// The shared city grid all CITY sequences observe: 4x4 blocks of
+// 60 m, so a compressed "hour" of vehicular loops and pedestrian
+// strolls covers distinct neighbourhoods that go cold independently —
+// the workload the map-lifecycle soak runs.
+const (
+	CityBlocks = 4
+	CityBlockM = 60.0
+)
+
+var (
+	cityOnce  sync.Once
+	cityWorld *worldgen.World
+)
+
+func cityGrid() *worldgen.World {
+	cityOnce.Do(func() { cityWorld = worldgen.CityGrid(0xC17F, CityBlocks, CityBlockM) })
+	return cityWorld
+}
+
+// CityRoute builds a sequence through the shared city grid along the
+// given intersection route ((i, j) street indices). speed is metres
+// per second — ~11 for a vehicle, ~1.4 for a pedestrian AR user; the
+// camera height follows the platform.
+func CityRoute(name string, route [][2]int, speed float64, mode camera.Mode, seed int64) *Sequence {
+	if speed <= 0 {
+		speed = 10
+	}
+	height := 1.65
+	if speed < 4 { // pedestrian: head height
+		height = 1.5
+	}
+	dt := CityBlockM / speed
+	path := worldgen.GridRoute(route, CityBlockM, dt, height)
+	return &Sequence{
+		Name:      name,
+		World:     cityGrid(),
+		Traj:      worldgen.NewSplineTrajectory(path),
+		Rig:       rigFor(camera.KITTIIntrinsics(), mode, kittiBaseline),
+		FPS:       30,
+		IMURate:   200,
+		Noise:     imu.ConsumerGradeNoise(),
+		RenderCfg: render.VehicularConfig(),
+		Seed:      seed,
+	}
+}
+
+// City00 is a vehicular loop around the city grid's perimeter.
+func City00(mode camera.Mode) *Sequence {
+	return CityRoute("CITY-00", [][2]int{
+		{0, 0}, {2, 0}, {4, 0}, {4, 2}, {4, 4}, {2, 4}, {0, 4}, {0, 2}, {0, 0}, {1, 0},
+	}, 11, mode, 107)
+}
+
+// City01 is a pedestrian stroll through the grid's inner streets.
+func City01(mode camera.Mode) *Sequence {
+	return CityRoute("CITY-01", [][2]int{
+		{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3}, {2, 3}, {2, 2}, {1, 2}, {1, 1},
+	}, 1.4, mode, 108)
+}
+
 func rigFor(in camera.Intrinsics, mode camera.Mode, baseline float64) camera.Rig {
 	if mode == camera.Stereo {
 		return camera.NewStereoRig(in, baseline)
@@ -317,6 +377,10 @@ func ByName(name string, mode camera.Mode) (*Sequence, error) {
 		return KITTI00(mode), nil
 	case "KITTI-05":
 		return KITTI05(mode), nil
+	case "CITY-00":
+		return City00(mode), nil
+	case "CITY-01":
+		return City01(mode), nil
 	}
 	return nil, fmt.Errorf("dataset: unknown sequence %q", name)
 }

@@ -1,0 +1,749 @@
+// Package lifecycle keeps the shared map's resident size bounded on a
+// server that runs forever. Three mechanisms, all driven off the map's
+// version counters and activity clock so the tracking hot path never
+// stalls behind them:
+//
+//   - Keyframe culling: a keyframe whose tracked points are almost all
+//     (RedundantRatio, default 90%) observed by at least RedundantObs
+//     other keyframes at the same or a finer pyramid scale is
+//     redundant — erasing it loses no coverage. Erases go through
+//     smap.EraseKeyFrame under the pin protocol, and flow to the WAL
+//     through the map observer, so crash recovery replays the same
+//     compact map.
+//
+//   - Map-point sparsification: points that no tracker ever re-found
+//     after triangulation and that almost nothing observes are noise;
+//     they are erased once their neighbourhood has gone cold.
+//
+//   - Cold-region eviction: a covisibility-connected cluster no
+//     session has touched for EvictAfter frames is serialized to a
+//     region checkpoint file (wire.EncodeRegion), journaled, and
+//     dropped from memory. A ghost BoW index remembers what the
+//     evicted keyframes looked like; when a session relocalizes into
+//     the region, or a merge's place recognition lands there, the
+//     region is transparently reloaded before the caller queries the
+//     live map.
+//
+// The manager owns no locks of the map; the server serializes Step,
+// MaybeReload, and RestoreEvicted against merges with its global merge
+// mutex, and the manager's own mutex makes them safe against each
+// other regardless.
+package lifecycle
+
+import (
+	"sort"
+	"sync"
+
+	"slamshare/internal/bow"
+	"slamshare/internal/metrics"
+	"slamshare/internal/persist"
+	"slamshare/internal/smap"
+	"slamshare/internal/wire"
+)
+
+// Config tunes the lifecycle policies. The zero value disables
+// everything; Defaults fills the scoring knobs most callers keep.
+type Config struct {
+	// MaxKeyFrames is the resident keyframe budget. Culling and
+	// sparsification run only while the map exceeds it; 0 disables
+	// both (and eviction, which exists to serve the same budget).
+	MaxKeyFrames int
+	// EvictAfter is the age, in activity-clock ticks (handled frames,
+	// across all sessions), after which an untouched covisibility
+	// cluster is cold enough to evict. 0 disables eviction.
+	EvictAfter uint64
+	// Dir is where region checkpoint files live — normally the persist
+	// checkpoint directory. Empty disables eviction.
+	Dir string
+
+	// RedundantObs is how many *other* keyframes must observe a point
+	// at equal-or-finer scale for the observation to be redundant.
+	RedundantObs int
+	// RedundantRatio is the fraction of a keyframe's tracked points
+	// that must be redundant before the keyframe is culled.
+	RedundantRatio float64
+	// MinObs: a never-re-found point with at most this many observers
+	// is sparsified. 0 disables sparsification.
+	MinObs int
+	// ProtectRecent shields anything touched within this many ticks
+	// from culling and sparsification (fresh triangulations and the
+	// windows trackers sit in are off limits).
+	ProtectRecent uint64
+	// CullBatch bounds keyframes culled per Step.
+	CullBatch int
+	// SparsifyBatch bounds map points sparsified per Step.
+	SparsifyBatch int
+	// ClusterMax / ClusterMin bound an evicted region's keyframe
+	// count: clusters smaller than ClusterMin are not worth a file.
+	ClusterMax int
+	ClusterMin int
+	// ReloadScore is the minimum BoW similarity against a ghost
+	// keyframe for MaybeReload to pull its region back in.
+	ReloadScore float64
+}
+
+// Defaults returns cfg with every unset scoring knob at its default.
+func (cfg Config) Defaults() Config {
+	if cfg.RedundantObs == 0 {
+		cfg.RedundantObs = 3
+	}
+	if cfg.RedundantRatio == 0 {
+		cfg.RedundantRatio = 0.9
+	}
+	if cfg.MinObs == 0 {
+		cfg.MinObs = 1
+	}
+	if cfg.ProtectRecent == 0 {
+		cfg.ProtectRecent = 30
+	}
+	if cfg.CullBatch == 0 {
+		cfg.CullBatch = 8
+	}
+	if cfg.SparsifyBatch == 0 {
+		cfg.SparsifyBatch = 64
+	}
+	if cfg.ClusterMax == 0 {
+		cfg.ClusterMax = 40
+	}
+	if cfg.ClusterMin == 0 {
+		cfg.ClusterMin = 3
+	}
+	if cfg.ReloadScore == 0 {
+		cfg.ReloadScore = 0.05
+	}
+	return cfg
+}
+
+// Journal is the slice of the WAL the manager records boundaries to;
+// *persist.Journal implements it. The entity erases and re-inserts
+// themselves flow through the map observer.
+type Journal interface {
+	RegionEvicted(id uint64, kfIDs, mpIDs []smap.ID)
+	RegionReloaded(id uint64)
+}
+
+// Stats are the manager's monotonic counters, exported on /debug/vars.
+type Stats struct {
+	CulledKeyFrames  metrics.Counter
+	SparsifiedPoints metrics.Counter
+	EvictedRegions   metrics.Counter
+	EvictedKeyFrames metrics.Counter
+	ReloadedRegions  metrics.Counter
+	DroppedRegions   metrics.Counter // corrupt/unreadable region files abandoned
+	Steps            metrics.Counter
+}
+
+// region is one evicted cluster the manager can bring back.
+type region struct {
+	id    uint64
+	kfIDs []smap.ID
+	mpIDs []smap.ID
+}
+
+// Manager runs the lifecycle policies over one shared map.
+type Manager struct {
+	cfg     Config
+	m       *smap.Map
+	journal Journal // may be nil (no persistence)
+
+	mu      sync.Mutex
+	regions map[uint64]*region
+	ghostKF map[smap.ID]uint64 // evicted keyframe -> region holding it
+	ghosts  *bow.Database      // BoW index over evicted keyframes
+	nextID  uint64
+	lastVer uint64 // map version at the previous Step (skip idle steps)
+
+	stats Stats
+}
+
+// New builds a manager over m. journal may be nil when the server runs
+// without persistence (eviction then requires only cfg.Dir).
+func New(cfg Config, m *smap.Map, journal Journal) *Manager {
+	return &Manager{
+		cfg:     cfg.Defaults(),
+		m:       m,
+		journal: journal,
+		regions: make(map[uint64]*region),
+		ghostKF: make(map[smap.ID]uint64),
+		ghosts:  bow.NewDatabase(),
+		nextID:  1,
+	}
+}
+
+// Stats returns the manager's counters.
+func (lm *Manager) Stats() *Stats { return &lm.stats }
+
+// EvictedRegionCount returns how many regions are currently on disk
+// instead of in memory.
+func (lm *Manager) EvictedRegionCount() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.regions)
+}
+
+// EvictedKeyFrameCount returns how many keyframes the evicted regions
+// hold between them.
+func (lm *Manager) EvictedKeyFrameCount() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.ghostKF)
+}
+
+// Step runs one bounded maintenance pass: cull redundant keyframes
+// while over budget, sparsify dead points, evict at most one cold
+// region. The caller (the mapper's post-BA hook) invokes it off the
+// frame hot path and serializes it against merges; now is the current
+// activity-clock tick. It returns true if it mutated the map.
+func (lm *Manager) Step(now uint64) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if lm.cfg.MaxKeyFrames <= 0 {
+		return false
+	}
+	if v := lm.m.Version(); v == lm.lastVer {
+		return false // map unchanged since last pass; nothing new to score
+	}
+	lm.stats.Steps.Inc()
+
+	mutated := false
+	if lm.m.NKeyFrames() > lm.cfg.MaxKeyFrames {
+		if lm.cullPass(now) {
+			mutated = true
+		}
+		if lm.sparsifyPass(now) {
+			mutated = true
+		}
+	}
+	if lm.cfg.EvictAfter > 0 && lm.cfg.Dir != "" {
+		if lm.evictPass(now) {
+			mutated = true
+		}
+	}
+	lm.m.PruneTouch(func(id smap.ID) bool {
+		_, ok := lm.m.KeyFrame(id)
+		return ok
+	})
+	// Record the post-pass version so our own mutations don't make the
+	// next Step look like new activity.
+	lm.lastVer = lm.m.Version()
+	return mutated
+}
+
+// ---- culling ----
+
+type cullCand struct {
+	id    smap.ID
+	score float64
+}
+
+// cullPass erases up to CullBatch redundant keyframes, never dropping
+// the map below budget.
+func (lm *Manager) cullPass(now uint64) bool {
+	cands := make([]cullCand, 0, 32)
+	for _, kf := range lm.m.KeyFrames() {
+		if lm.protected(kf.ID, now) {
+			continue
+		}
+		if score, ok := lm.redundancy(kf); ok && score >= lm.cfg.RedundantRatio {
+			cands = append(cands, cullCand{kf.ID, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	culled := 0
+	for _, c := range cands {
+		if culled >= lm.cfg.CullBatch || lm.m.NKeyFrames() <= lm.cfg.MaxKeyFrames {
+			break
+		}
+		lm.m.EraseKeyFrame(c.id)
+		if _, still := lm.m.KeyFrame(c.id); still {
+			continue // pinned by an in-flight reader; retry next pass
+		}
+		culled++
+		lm.stats.CulledKeyFrames.Inc()
+	}
+	return culled > 0
+}
+
+// redundancy returns the fraction of kf's tracked points that at least
+// RedundantObs other keyframes observe at equal-or-finer scale.
+// ok is false when the keyframe tracks too few points to judge.
+func (lm *Manager) redundancy(kf *smap.KeyFrame) (float64, bool) {
+	_, bindings, ok := lm.m.KeyFrameState(kf.ID)
+	if !ok {
+		return 0, false
+	}
+	tracked, redundant := 0, 0
+	for i, mpID := range bindings {
+		if mpID == 0 || i >= len(kf.Keypoints) {
+			continue
+		}
+		tracked++
+		level := kf.Keypoints[i].Level
+		_, obs, ok := lm.m.PointObs(mpID)
+		if !ok {
+			continue
+		}
+		n := 0
+		for _, o := range obs {
+			if o.KF == kf.ID {
+				continue
+			}
+			// Keypoints are immutable after insert, so reading the
+			// observer's pyramid level off the live pointer is safe.
+			okf, ok := lm.m.KeyFrame(o.KF)
+			if !ok || o.Idx < 0 || o.Idx >= len(okf.Keypoints) {
+				continue
+			}
+			if okf.Keypoints[o.Idx].Level <= level {
+				n++
+			}
+		}
+		if n >= lm.cfg.RedundantObs {
+			redundant++
+		}
+	}
+	if tracked < 10 {
+		return 0, false // too sparse to call anything redundant
+	}
+	return float64(redundant) / float64(tracked), true
+}
+
+// ---- sparsification ----
+
+// sparsifyPass erases up to SparsifyBatch map points that were never
+// re-found by any tracker, have at most MinObs observers, and whose
+// observers have all gone cold.
+func (lm *Manager) sparsifyPass(now uint64) bool {
+	if lm.cfg.MinObs <= 0 {
+		return false
+	}
+	erased := 0
+	for _, mp := range lm.m.MapPoints() {
+		if erased >= lm.cfg.SparsifyBatch {
+			break
+		}
+		found, nobs, _, ok := lm.m.PointStats(mp.ID)
+		if !ok || found > 0 || nobs > lm.cfg.MinObs {
+			continue
+		}
+		_, obs, ok := lm.m.PointObs(mp.ID)
+		if !ok {
+			continue
+		}
+		hot := false
+		for _, o := range obs {
+			if !lm.cold(o.KF, now, lm.cfg.ProtectRecent) {
+				hot = true
+				break
+			}
+		}
+		if hot {
+			continue
+		}
+		lm.m.EraseMapPoint(mp.ID)
+		erased++
+		lm.stats.SparsifiedPoints.Inc()
+	}
+	return erased > 0
+}
+
+// ---- eviction ----
+
+// evictPass finds the coldest unprotected keyframe, grows the cold
+// covisibility cluster around it, and evicts the cluster to a region
+// file. At most one region per Step keeps the pause bounded.
+func (lm *Manager) evictPass(now uint64) bool {
+	if now < lm.cfg.EvictAfter {
+		return false
+	}
+	seed, seedTouch := smap.ID(0), now
+	for _, kf := range lm.m.KeyFrames() {
+		t := lm.m.LastTouch(kf.ID)
+		if !lm.evictable(kf.ID, now) {
+			continue
+		}
+		if seed == 0 || t < seedTouch || (t == seedTouch && kf.ID < seed) {
+			seed, seedTouch = kf.ID, t
+		}
+	}
+	if seed == 0 {
+		return false
+	}
+	cluster := lm.m.CovisCluster(seed, lm.cfg.ClusterMax, func(id smap.ID) bool {
+		return lm.evictable(id, now)
+	})
+	if len(cluster) < lm.cfg.ClusterMin {
+		return false
+	}
+	return lm.evictCluster(cluster)
+}
+
+// evictCluster erases the cluster from the map and parks it in a
+// region file. Keyframes that an in-flight reader pinned between the
+// scan and the erase simply stay resident and are left out of the
+// region.
+func (lm *Manager) evictCluster(cluster []smap.ID) bool {
+	var (
+		kfObjs []*smap.KeyFrame
+		kfIDs  []smap.ID
+	)
+	for _, id := range cluster {
+		kf, ok := lm.m.KeyFrame(id)
+		if !ok {
+			continue
+		}
+		lm.m.EraseKeyFrame(id)
+		if _, still := lm.m.KeyFrame(id); still {
+			continue // pin race: the reader keeps it; skip
+		}
+		// Erased from every table, so the object is quiescent (all map
+		// mutators go through ID lookups); safe to serialize directly.
+		kfObjs = append(kfObjs, kf)
+		kfIDs = append(kfIDs, id)
+	}
+	if len(kfIDs) < lm.cfg.ClusterMin {
+		// The pins won; reinsert what we did erase and give up.
+		lm.reinsert(kfObjs, nil)
+		return false
+	}
+
+	// Cluster-private map points: after the keyframe erases detached
+	// their observations, a point observed only inside the cluster has
+	// no observers left. Shared points keep their resident observers
+	// and stay.
+	var (
+		mpObjs []*smap.MapPoint
+		mpIDs  []smap.ID
+		seen   = make(map[smap.ID]bool)
+	)
+	for _, kf := range kfObjs {
+		for _, mpID := range kf.MapPoints {
+			if mpID == 0 || seen[mpID] {
+				continue
+			}
+			seen[mpID] = true
+			if n, ok := lm.m.PointObsCount(mpID); ok && n == 0 {
+				if mp, ok := lm.m.MapPoint(mpID); ok {
+					lm.m.EraseMapPoint(mpID)
+					mpObjs = append(mpObjs, mp)
+					mpIDs = append(mpIDs, mpID)
+				}
+			}
+		}
+	}
+
+	id := lm.nextID
+	blob := wire.EncodeRegion(id, kfObjs, mpObjs)
+	if err := persist.WriteRegion(lm.cfg.Dir, id, blob); err != nil {
+		// Disk refused the region: the entities are already out of the
+		// map, so put them back rather than lose them.
+		lm.reinsert(kfObjs, mpObjs)
+		return false
+	}
+	lm.nextID++
+	if lm.journal != nil {
+		lm.journal.RegionEvicted(id, kfIDs, mpIDs)
+	}
+	lm.regions[id] = &region{id: id, kfIDs: kfIDs, mpIDs: mpIDs}
+	for _, kf := range kfObjs {
+		lm.ghostKF[kf.ID] = id
+		lm.ghosts.Add(uint64(kf.ID), kf.Bow)
+	}
+	lm.stats.EvictedRegions.Inc()
+	lm.stats.EvictedKeyFrames.Add(int64(len(kfIDs)))
+	return true
+}
+
+// ---- reload ----
+
+// MaybeReload checks a query BoW vector against the ghost index and
+// reloads any region a strong match points into. Trackers call it just
+// before relocalization candidate search, the merger just before
+// common-region detection, so the subsequent live QueryBow sees the
+// reloaded keyframes. Returns the number of regions brought back.
+func (lm *Manager) MaybeReload(bv bow.Vec) int {
+	if len(bv) == 0 {
+		return 0
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if len(lm.regions) == 0 {
+		return 0
+	}
+	hits := lm.ghosts.Query(bv, 3, nil)
+	want := make([]uint64, 0, 2)
+	for _, h := range hits {
+		if h.Score < lm.cfg.ReloadScore {
+			continue
+		}
+		rid, ok := lm.ghostKF[smap.ID(h.ID)]
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, w := range want {
+			if w == rid {
+				dup = true
+			}
+		}
+		if !dup {
+			want = append(want, rid)
+		}
+	}
+	n := 0
+	for _, rid := range want {
+		if lm.reload(rid) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReloadAll brings every evicted region back into memory (used by
+// shutdown checkpoints and tests that want the whole world resident).
+func (lm *Manager) ReloadAll() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	ids := make([]uint64, 0, len(lm.regions))
+	for id := range lm.regions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n := 0
+	for _, id := range ids {
+		if lm.reload(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// reload (mu held) reads one region file back into the live map. A
+// corrupt or missing file abandons the region — the area is re-mapped
+// from scratch next time a session goes there — never a panic.
+func (lm *Manager) reload(id uint64) bool {
+	reg, ok := lm.regions[id]
+	if !ok {
+		return false
+	}
+	blob, err := persist.ReadRegion(lm.cfg.Dir, id)
+	var (
+		kfs []*smap.KeyFrame
+		mps []*smap.MapPoint
+	)
+	if err == nil {
+		var gotID uint64
+		gotID, kfs, mps, err = wire.DecodeRegion(blob)
+		if err == nil && gotID != id {
+			err = wire.ErrCorrupt
+		}
+	}
+	lm.forget(reg)
+	if err != nil {
+		lm.stats.DroppedRegions.Inc()
+		persist.RemoveRegion(lm.cfg.Dir, id)
+		return false
+	}
+
+	present := make(map[smap.ID]bool, len(mps))
+	for _, mp := range mps {
+		present[mp.ID] = true
+	}
+	for _, mp := range mps {
+		// Observations were detached at eviction; the bindings in the
+		// keyframes below re-establish them.
+		mp.Obs = make(map[smap.ID]int)
+		lm.m.AddMapPoint(mp)
+	}
+	var kfIDs []smap.ID
+	for _, kf := range kfs {
+		// Bindings to points sparsified while the region slept would
+		// dangle; clear them. Covisibility is recomputed below.
+		for i, mpID := range kf.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			if _, ok := lm.m.MapPoint(mpID); !ok && !present[mpID] {
+				kf.MapPoints[i] = 0
+			}
+		}
+		kf.Conns = make(map[smap.ID]int)
+		lm.m.AddKeyFrame(kf)
+		kfIDs = append(kfIDs, kf.ID)
+	}
+	for _, kf := range kfs {
+		for i, mpID := range kf.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			if err := lm.m.AddObservation(kf.ID, mpID, i); err != nil {
+				kf.MapPoints[i] = 0 // point vanished mid-reload
+			}
+		}
+	}
+	for _, kfID := range kfIDs {
+		lm.m.UpdateConnections(kfID, 15)
+	}
+	lm.m.TouchKeyFrames(kfIDs)
+	if lm.journal != nil {
+		lm.journal.RegionReloaded(id)
+	}
+	persist.RemoveRegion(lm.cfg.Dir, id)
+	lm.stats.ReloadedRegions.Inc()
+	return true
+}
+
+// forget (mu held) drops a region from the reload index.
+func (lm *Manager) forget(reg *region) {
+	for _, kfID := range reg.kfIDs {
+		delete(lm.ghostKF, kfID)
+		lm.ghosts.Remove(uint64(kfID))
+	}
+	delete(lm.regions, reg.id)
+}
+
+// ---- recovery ----
+
+// RestoreEvicted seeds the reload index after crash recovery: evicted
+// is persist.Recovery.EvictedRegions (region id -> keyframe ids still
+// on disk at crash time). Region files the WAL does not vouch for are
+// deleted — a crash between the file write and the WAL record left the
+// entities live in the replayed map, so the file is stale. Unreadable
+// vouched-for files are abandoned (and journaled as reloaded so the
+// next recovery forgets them too).
+func (lm *Manager) RestoreEvicted(evicted map[uint64][]smap.ID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if lm.cfg.Dir == "" {
+		return
+	}
+	onDisk, _ := persist.ListRegions(lm.cfg.Dir)
+	for _, id := range onDisk {
+		if id >= lm.nextID {
+			lm.nextID = id + 1
+		}
+		if _, ok := evicted[id]; !ok {
+			persist.RemoveRegion(lm.cfg.Dir, id)
+		}
+	}
+	ids := make([]uint64, 0, len(evicted))
+	for id := range evicted {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if id >= lm.nextID {
+			lm.nextID = id + 1
+		}
+		blob, err := persist.ReadRegion(lm.cfg.Dir, id)
+		var (
+			kfs []*smap.KeyFrame
+			mps []*smap.MapPoint
+		)
+		if err == nil {
+			var gotID uint64
+			gotID, kfs, mps, err = wire.DecodeRegion(blob)
+			if err == nil && gotID != id {
+				err = wire.ErrCorrupt
+			}
+		}
+		if err != nil {
+			lm.stats.DroppedRegions.Inc()
+			persist.RemoveRegion(lm.cfg.Dir, id)
+			if lm.journal != nil {
+				lm.journal.RegionReloaded(id)
+			}
+			continue
+		}
+		reg := &region{id: id}
+		for _, kf := range kfs {
+			reg.kfIDs = append(reg.kfIDs, kf.ID)
+			lm.ghostKF[kf.ID] = id
+			lm.ghosts.Add(uint64(kf.ID), kf.Bow)
+		}
+		for _, mp := range mps {
+			reg.mpIDs = append(reg.mpIDs, mp.ID)
+		}
+		lm.regions[id] = reg
+	}
+}
+
+// ---- helpers ----
+
+// reinsert undoes a partially performed eviction after a disk error:
+// the erased entities go back through the normal insert paths (which
+// re-journal them, neutralizing the journaled erases).
+func (lm *Manager) reinsert(kfs []*smap.KeyFrame, mps []*smap.MapPoint) {
+	for _, mp := range mps {
+		mp.Obs = make(map[smap.ID]int)
+		lm.m.AddMapPoint(mp)
+	}
+	for _, kf := range kfs {
+		kf.Conns = make(map[smap.ID]int)
+		lm.m.AddKeyFrame(kf)
+	}
+	for _, kf := range kfs {
+		for i, mpID := range kf.MapPoints {
+			if mpID == 0 {
+				continue
+			}
+			if err := lm.m.AddObservation(kf.ID, mpID, i); err != nil {
+				kf.MapPoints[i] = 0
+			}
+		}
+		lm.m.UpdateConnections(kf.ID, 15)
+	}
+}
+
+// protected reports whether the keyframe must not be culled: recently
+// touched, pinned by a reader, or currently unknown.
+func (lm *Manager) protected(id smap.ID, now uint64) bool {
+	if lm.m.PinCount(id) > 0 {
+		return true
+	}
+	return !lm.cold(id, now, lm.cfg.ProtectRecent)
+}
+
+// evictable reports whether the keyframe is cold enough to leave
+// memory.
+func (lm *Manager) evictable(id smap.ID, now uint64) bool {
+	if lm.m.PinCount(id) > 0 {
+		return false
+	}
+	if _, ghost := lm.ghostKF[id]; ghost {
+		return false // already parked in a region file
+	}
+	return lm.cold(id, now, lm.cfg.EvictAfter)
+}
+
+// EstimateResidentBytes approximates the map's in-memory footprint
+// for the /debug/vars gauge: per-entity struct overheads plus the
+// dominant per-keypoint payload (descriptor, geometry, binding). It
+// reads only immutable fields and atomic counters, so it is safe to
+// call concurrently with tracking.
+func EstimateResidentBytes(m *smap.Map) int64 {
+	const (
+		kfFixed = 256 // struct, pose, bow map overhead
+		kpBytes = 104 // keypoint fields + descriptor + binding slot
+		mpBytes = 224 // struct, descriptor, position, obs map overhead
+	)
+	var b int64
+	for _, kf := range m.KeyFrames() {
+		b += kfFixed + int64(len(kf.Keypoints))*kpBytes
+	}
+	b += int64(m.NMapPoints()) * mpBytes
+	return b
+}
+
+// cold reports whether the keyframe's last touch is at least age ticks
+// ago. An unknown stamp (zero) counts as cold only when the clock has
+// itself advanced past age, so a fresh map is never evicted wholesale.
+func (lm *Manager) cold(id smap.ID, now, age uint64) bool {
+	t := lm.m.LastTouch(id)
+	return now >= age && t <= now-age
+}

@@ -71,6 +71,11 @@ type Mapper struct {
 	// integration and the local BA share) keyed by (client, keyframe
 	// ordinal).
 	Obs *obs.Tracer
+	// AfterBA, when non-nil, runs after each local bundle adjustment —
+	// the quiet moment the server hangs map-lifecycle maintenance
+	// (keyframe culling, cold-region eviction) on, off the per-frame
+	// hot path.
+	AfterBA func()
 
 	stKF, stBA *obs.Stage
 
@@ -110,6 +115,9 @@ func (mm *Mapper) ProcessKeyFrame(kf *smap.KeyFrame) Stats {
 		st.RanBA = true
 		st.BADur = time.Since(tb)
 		mm.stBA.Observe(tb, st.BADur, uint32(mm.Client), uint64(mm.kfCount))
+		if mm.AfterBA != nil {
+			mm.AfterBA()
+		}
 	}
 	st.TotalDur = time.Since(t0)
 	mm.stKF.Observe(t0, st.TotalDur, uint32(mm.Client), uint64(mm.kfCount))

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"slamshare/internal/bow"
 	"slamshare/internal/camera"
 	"slamshare/internal/feature"
 	"slamshare/internal/geom"
@@ -128,7 +129,14 @@ type Merger struct {
 	// map-corrupting merge bug so tests and the chaos harness can prove
 	// the transaction rolls back. Never set in production.
 	Sabotage func(tx SabotageContext)
-	rng      *rand.Rand
+	// Reload, when non-nil, is offered each client keyframe's BoW
+	// vector before candidate search, so the lifecycle manager can
+	// pull an evicted cold region back into memory when the common
+	// region lies inside it. It runs before the merge transaction
+	// begins: an aborted merge rolls back only the entities the
+	// transaction inserted, never a reloaded region.
+	Reload func(bv bow.Vec)
+	rng    *rand.Rand
 }
 
 // New returns a merger for the given global map.
@@ -159,6 +167,9 @@ func (mg *Merger) DetectCommonRegion(cmap *smap.Map) (Alignment, bool) {
 		cPts, cIDs, cPos := observedPoints(cmap, kf.ID)
 		if len(cPts) < 3 {
 			continue
+		}
+		if mg.Reload != nil {
+			mg.Reload(kf.Bow)
 		}
 		cands := mg.Global.QueryBow(kf.Bow, mg.Cfg.CandidatesPerKF, nil)
 		for _, cand := range cands {

@@ -65,6 +65,8 @@ const (
 	opFuse
 	opPoses
 	opMerge
+	opEvictRegion
+	opReloadRegion
 )
 
 // Journal is the write-ahead log of global-map mutations. It

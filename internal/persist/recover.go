@@ -32,6 +32,11 @@ type Recovery struct {
 	ReplayedRecords int
 	// ReplayTime is the wall time spent loading and replaying.
 	ReplayTime time.Duration
+	// EvictedRegions maps the region ids still evicted at crash time to
+	// the keyframe ids each region holds on disk. The lifecycle manager
+	// seeds its reload index from this set, so sessions can relocalize
+	// into regions evicted before the crash.
+	EvictedRegions map[uint64][]smap.ID
 }
 
 // Recover rebuilds the global map and anchor registry from the
@@ -46,7 +51,7 @@ func Recover(dir string, voc *bow.Vocabulary) (*Recovery, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	rec := &Recovery{}
+	rec := &Recovery{EvictedRegions: make(map[uint64][]smap.ID)}
 
 	ckpts, err := listCheckpoints(dir)
 	if err != nil {
@@ -126,7 +131,7 @@ func replayJournal(path string, rec *Recovery) bool {
 		if seq <= rec.CheckpointSeq {
 			continue // already in the checkpoint snapshot
 		}
-		applyRecord(rec.Map, op, body)
+		applyRecord(rec, op, body)
 		if seq > rec.LastSeq {
 			rec.LastSeq = seq
 		}
@@ -139,7 +144,8 @@ func replayJournal(path string, rec *Recovery) bool {
 // are idempotent or tolerant of missing entities, because the
 // checkpoint snapshot may already include mutations journaled just
 // after the snapshot's sequence point.
-func applyRecord(m *smap.Map, op byte, body []byte) {
+func applyRecord(rec *Recovery, op byte, body []byte) {
+	m := rec.Map
 	switch op {
 	case opKeyFrame:
 		if kf, _, err := wire.DecodeKeyFrame(body); err == nil {
@@ -174,6 +180,27 @@ func applyRecord(m *smap.Map, op byte, body []byte) {
 	case opMerge:
 		// Informational boundary marker; the inserted entities and
 		// corrections follow as their own records.
+	case opEvictRegion:
+		// The erases were journaled as their own records (the map is
+		// already compact); this marker restores the evicted-region set
+		// so the lifecycle manager can serve reloads after the restart.
+		r := &byteReader{buf: body}
+		id := r.u64()
+		nkf := int(r.u32())
+		if r.err || nkf < 0 || nkf > (len(body)-r.off)/8 {
+			return
+		}
+		kfIDs := make([]smap.ID, 0, nkf)
+		for i := 0; i < nkf; i++ {
+			kfIDs = append(kfIDs, r.u64())
+		}
+		if !r.err {
+			rec.EvictedRegions[id] = kfIDs
+		}
+	case opReloadRegion:
+		if len(body) >= 8 {
+			delete(rec.EvictedRegions, binary.LittleEndian.Uint64(body))
+		}
 	}
 }
 

@@ -7,16 +7,26 @@ package persist_test
 // and its post-recovery accuracy matches an uninterrupted run.
 
 import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"slamshare/internal/bow"
 	"slamshare/internal/camera"
 	"slamshare/internal/client"
 	"slamshare/internal/dataset"
+	"slamshare/internal/feature"
 	"slamshare/internal/geom"
+	"slamshare/internal/holo"
+	"slamshare/internal/lifecycle"
 	"slamshare/internal/metrics"
 	"slamshare/internal/persist"
 	"slamshare/internal/server"
+	"slamshare/internal/smap"
+	"slamshare/internal/wire"
 )
 
 const (
@@ -204,4 +214,265 @@ func TestCrashRecoveryMatchesUninterruptedRun(t *testing.T) {
 	}
 	t.Logf("recovery: %d records in %v; ATE %.3f m (ref %.3f m, delta %+.3f m); %d/%d tracked",
 		rec.ReplayedRecords, rec.ReplayTime, recATE, refATE, delta, tracked, frames)
+}
+
+// ---- lifecycle records in the WAL ----
+
+// populateClusters fills an already-journaled map with nClusters
+// disjoint covisibility neighbourhoods (kfPer keyframes sharing ptsPer
+// points each, all pair weights = ptsPer) plus two junk points no
+// keyframe observes — sparsification fodder. Pair weights stay >= 15
+// so the live covisibility graph matches Recover's minShared-15
+// recompute edge for edge.
+func populateClusters(t *testing.T, m *smap.Map, seed int64, nClusters, kfPer, ptsPer int) [][]smap.ID {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	alloc := smap.NewIDAllocator(1)
+	clusters := make([][]smap.ID, nClusters)
+	for c := 0; c < nClusters; c++ {
+		kfIDs := make([]smap.ID, kfPer)
+		for k := 0; k < kfPer; k++ {
+			kps := make([]feature.Keypoint, ptsPer)
+			for i := range kps {
+				var d feature.Descriptor
+				for w := range d {
+					d[w] = rng.Uint64()
+				}
+				kps[i] = feature.Keypoint{
+					X: rng.Float64() * 700, Y: rng.Float64() * 400,
+					Level: 2, Right: -1, Desc: d,
+				}
+			}
+			kf := &smap.KeyFrame{
+				ID: alloc.Next(), Client: 1,
+				Stamp:     float64(c*kfPer + k),
+				Tcw:       geom.SE3{R: geom.Quat{W: 1}, T: geom.Vec3{X: float64(c) * 100}},
+				Keypoints: kps,
+			}
+			m.AddKeyFrame(kf)
+			kfIDs[k] = kf.ID
+		}
+		for p := 0; p < ptsPer; p++ {
+			var d feature.Descriptor
+			for w := range d {
+				d[w] = rng.Uint64()
+			}
+			mp := &smap.MapPoint{
+				ID: alloc.Next(), Client: 1,
+				Pos:    geom.Vec3{X: float64(c)*100 + rng.NormFloat64(), Y: rng.NormFloat64(), Z: 5},
+				Desc:   d,
+				Normal: geom.Vec3{Z: 1},
+				RefKF:  kfIDs[0],
+			}
+			m.AddMapPoint(mp)
+			for _, kfID := range kfIDs {
+				if err := m.AddObservation(kfID, mp.ID, p); err != nil {
+					t.Fatalf("AddObservation: %v", err)
+				}
+			}
+		}
+		for _, id := range kfIDs {
+			m.UpdateConnections(id, 15)
+		}
+		clusters[c] = kfIDs
+	}
+	for i := 0; i < 2; i++ {
+		m.AddMapPoint(&smap.MapPoint{
+			ID: alloc.Next(), Client: 1, Pos: geom.Vec3{Z: 3},
+			Normal: geom.Vec3{Z: 1}, RefKF: clusters[0][0],
+		})
+	}
+	return clusters
+}
+
+// TestRecoveryReplaysLifecycleRecords drives the full lifecycle record
+// vocabulary — entity erases from culling and sparsification, region
+// eviction, region reload — through a real WAL and asserts the
+// replayed map is byte-for-byte the compacted map the server held at
+// crash time, with the still-evicted region restored to the reload
+// index and servable from its file.
+func TestRecoveryReplaysLifecycleRecords(t *testing.T) {
+	dir := t.TempDir()
+	m := smap.NewMap(bow.Default())
+	mgr, err := persist.Open(persist.Options{Dir: dir, CheckpointEvery: -1}, m, holo.NewRegistry(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := populateClusters(t, m, 11, 3, 6, 30)
+
+	lcfg := lifecycle.Config{
+		MaxKeyFrames: 12, CullBatch: 6, ProtectRecent: 5,
+		EvictAfter: 20, Dir: dir, ClusterMax: 16,
+	}
+	lm := lifecycle.New(lcfg, m, mgr.Journal())
+	var now uint64
+	for i := 0; i < 40; i++ {
+		now = m.Tick()
+	}
+	m.TouchKeyFrames(clusters[2]) // cluster 2 hot; 0 and 1 cold
+
+	// A cluster-1 BoW vector, captured while the keyframe is resident:
+	// the relocalization query that will pull the region back in.
+	kf1, ok := m.KeyFrame(clusters[1][0])
+	if !ok {
+		t.Fatal("cluster 1 keyframe missing")
+	}
+	bow1 := kf1.Bow
+
+	// Pass 1: over budget by 6 -> cull cluster 0, sparsify the junk
+	// points, evict cold cluster 1 to a region file.
+	if !lm.Step(now) {
+		t.Fatal("first Step mutated nothing")
+	}
+	st := lm.Stats()
+	if st.CulledKeyFrames.Load() == 0 || st.SparsifiedPoints.Load() == 0 || st.EvictedRegions.Load() != 1 {
+		t.Fatalf("pass 1: culled=%d sparsified=%d evicted=%d, want >0 / >0 / 1",
+			st.CulledKeyFrames.Load(), st.SparsifiedPoints.Load(), st.EvictedRegions.Load())
+	}
+
+	// Relocalize into the evicted area: region comes back, journaling a
+	// reload record.
+	if n := lm.MaybeReload(bow1); n != 1 {
+		t.Fatalf("MaybeReload = %d regions, want 1", n)
+	}
+
+	// Pass 2: everything has gone cold again; the coldest cluster (the
+	// reloaded one — lowest IDs on the tie) is evicted a second time,
+	// so the crash happens with one region on disk.
+	kf2, _ := m.KeyFrame(clusters[2][0])
+	m.SetKeyFramePose(kf2.ID, kf2.Tcw) // defeat the idle-version gate
+	for i := 0; i < 60; i++ {
+		now = m.Tick()
+	}
+	if !lm.Step(now) {
+		t.Fatal("second Step mutated nothing")
+	}
+	if lm.EvictedRegionCount() != 1 {
+		t.Fatalf("evicted regions at crash = %d, want 1", lm.EvictedRegionCount())
+	}
+
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := wire.EncodeMap(m)
+	wantKFs, wantMPs := m.NKeyFrames(), m.NMapPoints()
+	// Abandon mgr without Close: on-disk state is journal + region file.
+
+	rec, err := persist.Recover(dir, bow.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ReplayedRecords == 0 {
+		t.Fatal("no journal records replayed")
+	}
+	if got := wire.EncodeMap(rec.Map); !bytes.Equal(got, want) {
+		t.Fatalf("replayed map differs from crash-time map: %d bytes vs %d (KFs %d/%d, MPs %d/%d)",
+			len(got), len(want), rec.Map.NKeyFrames(), wantKFs, rec.Map.NMapPoints(), wantMPs)
+	}
+	if len(rec.EvictedRegions) != 1 {
+		t.Fatalf("EvictedRegions = %v, want exactly the crash-time region", rec.EvictedRegions)
+	}
+	for id, kfIDs := range rec.EvictedRegions {
+		if len(kfIDs) != len(clusters[1]) {
+			t.Fatalf("region %d holds %d keyframes, want %d", id, len(kfIDs), len(clusters[1]))
+		}
+	}
+	if regions, _ := persist.ListRegions(dir); len(regions) != 1 {
+		t.Fatalf("region files on disk = %d, want 1", len(regions))
+	}
+
+	// A restarted lifecycle manager serves the pre-crash region.
+	lm2 := lifecycle.New(lcfg, rec.Map, nil)
+	lm2.RestoreEvicted(rec.EvictedRegions)
+	if n := lm2.ReloadAll(); n != 1 {
+		t.Fatalf("ReloadAll after recovery = %d, want 1", n)
+	}
+	for _, id := range clusters[1] {
+		if _, ok := rec.Map.KeyFrame(id); !ok {
+			t.Fatalf("keyframe %d missing after post-recovery reload", id)
+		}
+	}
+	if rep := rec.Map.CheckInvariants(); !rep.OK() {
+		t.Fatalf("after post-recovery reload: %s", rep.Summary())
+	}
+	if res := rec.Map.QueryBow(bow1, 3, nil); len(res) == 0 {
+		t.Fatal("reloaded keyframe not findable by BoW query after recovery")
+	}
+}
+
+// TestRecoverySweepsUnvouchedRegionFile crashes between the region
+// file write and its WAL record reaching disk: replay leaves the
+// cluster live (its erases were lost with the record), so the orphan
+// file is stale and RestoreEvicted must delete it rather than serve a
+// second copy of live keyframes.
+func TestRecoverySweepsUnvouchedRegionFile(t *testing.T) {
+	dir := t.TempDir()
+	m := smap.NewMap(bow.Default())
+	mgr, err := persist.Open(persist.Options{Dir: dir, CheckpointEvery: -1}, m, holo.NewRegistry(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := populateClusters(t, m, 12, 2, 4, 20)
+	lcfg := lifecycle.Config{MaxKeyFrames: 1000, EvictAfter: 20, Dir: dir, ClusterMax: 16}
+	lm := lifecycle.New(lcfg, m, mgr.Journal())
+	var now uint64
+	for i := 0; i < 40; i++ {
+		now = m.Tick()
+	}
+	m.TouchKeyFrames(clusters[1])
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wals, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("journal files = %v (err %v), want exactly one", wals, err)
+	}
+	fi, err := os.Stat(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	preEvict := fi.Size()
+
+	nkf := m.NKeyFrames()
+	if !lm.Step(now) {
+		t.Fatal("eviction did not run")
+	}
+	if err := mgr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if regions, _ := persist.ListRegions(dir); len(regions) != 1 {
+		t.Fatalf("region files = %d, want 1", len(regions))
+	}
+	// The crash: every record from the eviction batch is lost, the
+	// region file survives.
+	if err := os.Truncate(wals[0], preEvict); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := persist.Recover(dir, bow.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Map.NKeyFrames() != nkf {
+		t.Fatalf("replayed map has %d keyframes, want %d (erases were lost with the WAL tail)",
+			rec.Map.NKeyFrames(), nkf)
+	}
+	if len(rec.EvictedRegions) != 0 {
+		t.Fatalf("EvictedRegions = %v, want none", rec.EvictedRegions)
+	}
+
+	lm2 := lifecycle.New(lcfg, rec.Map, nil)
+	lm2.RestoreEvicted(rec.EvictedRegions)
+	if regions, _ := persist.ListRegions(dir); len(regions) != 0 {
+		t.Fatalf("stale region file survived restore: %v", regions)
+	}
+	if lm2.EvictedRegionCount() != 0 {
+		t.Fatal("unvouched region entered the reload index")
+	}
+	if n := lm2.ReloadAll(); n != 0 {
+		t.Fatalf("ReloadAll = %d on an empty index", n)
+	}
+	if rep := rec.Map.CheckInvariants(); !rep.OK() {
+		t.Fatalf("replayed map: %s", rep.Summary())
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"slamshare/internal/holo"
 	"slamshare/internal/img"
 	"slamshare/internal/imu"
+	"slamshare/internal/lifecycle"
 	"slamshare/internal/mapping"
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
@@ -78,6 +79,13 @@ type Config struct {
 	// installs a Sabotage failpoint through it — and for tests that
 	// need to observe attempt numbers.
 	MergeHook func(clientID uint32, attempt int, mg *merge.Merger)
+	// Lifecycle bounds the resident size of the shared map on a server
+	// that runs forever: redundancy-scored keyframe culling, dead-point
+	// sparsification, and cold-region eviction to disk with transparent
+	// reload (see internal/lifecycle). Lifecycle.MaxKeyFrames == 0
+	// disables all of it. Lifecycle.Dir defaults to Persist.Dir, so
+	// evicted regions live next to the checkpoints and journals.
+	Lifecycle lifecycle.Config
 }
 
 // OverloadConfig is the server's overload-protection policy.
@@ -168,6 +176,9 @@ type Server struct {
 	anchors *holo.Registry
 	pmgr    *persist.Manager
 	rec     *persist.Recovery
+	// lm, when non-nil, is the map-lifecycle manager. Its mutating
+	// passes (Step, MaybeReload) run under gmu like merges do.
+	lm *lifecycle.Manager
 
 	obs      *obs.Tracer
 	stDecode *obs.Stage
@@ -322,9 +333,38 @@ func New(cfg Config) (*Server, error) {
 			Seed:   cfg.Overload.Seed,
 		},
 	}
+	if lcfg := cfg.Lifecycle; lcfg.MaxKeyFrames > 0 || lcfg.EvictAfter > 0 {
+		if lcfg.Dir == "" {
+			lcfg.Dir = cfg.Persist.Dir
+		}
+		var jn lifecycle.Journal
+		if pmgr != nil {
+			jn = pmgr.Journal()
+		}
+		s.lm = lifecycle.New(lcfg, global, jn)
+		if rec != nil {
+			// Re-arm the reload index with the regions still evicted at
+			// crash time, and sweep region files the WAL does not vouch
+			// for (a crash between file write and WAL record left those
+			// entities live in the replayed map).
+			s.lm.RestoreEvicted(rec.EvictedRegions)
+		}
+	}
 	reg := tracer.Registry()
 	reg.RegisterFunc("map.keyframes", func() any { return s.global.NKeyFrames() })
 	reg.RegisterFunc("map.points", func() any { return s.global.NMapPoints() })
+	reg.RegisterFunc("map.resident_bytes", func() any { return lifecycle.EstimateResidentBytes(s.global) })
+	if s.lm != nil {
+		st := s.lm.Stats()
+		reg.RegisterCounter("lifecycle.culled_keyframes", &st.CulledKeyFrames)
+		reg.RegisterCounter("lifecycle.sparsified_points", &st.SparsifiedPoints)
+		reg.RegisterCounter("lifecycle.evictions", &st.EvictedRegions)
+		reg.RegisterCounter("lifecycle.evicted_keyframes_total", &st.EvictedKeyFrames)
+		reg.RegisterCounter("lifecycle.reloads", &st.ReloadedRegions)
+		reg.RegisterCounter("lifecycle.dropped_regions", &st.DroppedRegions)
+		reg.RegisterFunc("lifecycle.evicted_regions", func() any { return s.lm.EvictedRegionCount() })
+		reg.RegisterFunc("lifecycle.evicted_keyframes", func() any { return s.lm.EvictedKeyFrameCount() })
+	}
 	reg.RegisterFunc("sessions.open", func() any { return s.NSessions() })
 	reg.RegisterCounter("net.bad_hello", &s.net.BadHello)
 	reg.RegisterCounter("net.dup_hello", &s.net.DupHello)
@@ -426,6 +466,9 @@ func (s *Server) Recovery() *persist.Recovery { return s.rec }
 
 // Global returns the shared global map.
 func (s *Server) Global() *smap.Map { return s.global }
+
+// Lifecycle returns the map-lifecycle manager, or nil when disabled.
+func (s *Server) Lifecycle() *lifecycle.Manager { return s.lm }
 
 // Region returns the shared-memory region (for capacity accounting).
 func (s *Server) Region() *shm.Region { return s.region }
@@ -530,6 +573,25 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 	tr.Obs = s.obs
 	mapper := mapping.New(localMap, rig, alloc, int(clientID), s.cfg.MapCfg)
 	mapper.Obs = s.obs
+	if s.lm != nil {
+		// Lost trackers offer their frame's BoW signature to the
+		// lifecycle manager before relocalizing: if the client is
+		// standing in an evicted region, it is reloaded (under gmu,
+		// like a merge) so candidate search sees it.
+		tr.Reload = func(bv bow.Vec) {
+			s.gmu.Lock()
+			s.lm.MaybeReload(bv)
+			s.gmu.Unlock()
+		}
+		// Maintenance rides the local-BA cadence: the mapper already
+		// pauses for BA every BAEvery keyframes, and the lifecycle pass
+		// is version-gated so idle calls cost two atomic loads.
+		mapper.AfterBA = func() {
+			s.gmu.Lock()
+			s.lm.Step(s.global.CurrentTick())
+			s.gmu.Unlock()
+		}
+	}
 	sess := &Session{
 		ID:        clientID,
 		srv:       s,
@@ -592,6 +654,11 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 	ord := uint64(sess.frames)
 	fsp := sess.srv.stFrame.Start(sess.ID, ord)
 	defer fsp.End()
+
+	// Advance the map-lifecycle activity clock: eviction ages ("cold
+	// for N frames") are measured in frames handled across all
+	// sessions, so a quiet server never evicts by wall clock alone.
+	sess.srv.global.Tick()
 
 	dsp := sess.srv.stDecode.Start(sess.ID, ord)
 	left, err := sess.decL.Decode(msg.Video)
@@ -722,6 +789,12 @@ func (sess *Session) tryMerge() bool {
 	merger.ObsSeq = uint64(sess.frames - 1) // frame ordinal that triggered the merge
 	if s.pmgr != nil {
 		merger.Journal = s.pmgr.Journal()
+	}
+	if s.lm != nil {
+		// gmu is already held here, so the reload commits before the
+		// merge transaction starts — an aborted merge rolls back its
+		// own inserts, never a freshly reloaded region.
+		merger.Reload = func(bv bow.Vec) { s.lm.MaybeReload(bv) }
 	}
 	if s.cfg.MergeHook != nil {
 		s.cfg.MergeHook(sess.ID, attempt, merger)

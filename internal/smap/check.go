@@ -75,12 +75,15 @@ func (m *Map) rUnlockAll() {
 
 // checkSnapshot is the consistent copy the audit runs over.
 type checkSnapshot struct {
-	kfs    map[ID]*KeyFrame // snapshot copies
-	mps    map[ID]*MapPoint // snapshot copies
-	order  []ID
-	bowIDs []ID
-	nkf    int
-	nmp    int
+	kfs        map[ID]*KeyFrame // snapshot copies
+	mps        map[ID]*MapPoint // snapshot copies
+	order      []ID
+	bowIDs     []ID
+	bowOrphans []ID // posting-list entries with no stored vector
+	bowMissing []ID // stored vectors with a word not posted
+	pins       map[ID]int
+	nkf        int
+	nmp        int
 }
 
 func (m *Map) snapshotForCheck() checkSnapshot {
@@ -105,8 +108,12 @@ func (m *Map) snapshotForCheck() checkSnapshot {
 	m.imu.RLock()
 	snap.order = append([]ID(nil), m.order...)
 	snap.bowIDs = m.bowDB.IDs()
+	orphans, missing := m.bowDB.CheckIndex()
 	m.imu.RUnlock()
 	m.rUnlockAll()
+	snap.bowOrphans = append(snap.bowOrphans, orphans...)
+	snap.bowMissing = append(snap.bowMissing, missing...)
+	snap.pins, _ = m.lifecycleSnapshot()
 	return snap
 }
 
@@ -133,6 +140,11 @@ func (m *Map) snapshotForCheck() checkSnapshot {
 //   - mp-refkf-zero: a map point's reference keyframe ID is zero.
 //   - bow-missing / bow-stale: the BoW place-recognition index must
 //     contain exactly the live keyframes.
+//   - bow-index-orphan / bow-index-missing: inside the BoW database,
+//     the inverted posting lists and the stored vectors must agree
+//     (erase paths can tear one side without disturbing the id set).
+//   - pin-leak: a lifecycle pin count survives on a keyframe that is
+//     no longer in the map (unbalanced Pin/Unpin).
 //   - order-missing / order-dup: the insertion-order list must contain
 //     every live keyframe exactly once (erased IDs may linger, live
 //     duplicates may not).
@@ -260,6 +272,28 @@ func (m *Map) CheckInvariants() CheckReport {
 	for _, id := range kfIDs {
 		if !inBow[id] {
 			add("bow-missing", id, 0, "live keyframe absent from BoW index")
+		}
+	}
+	// Inverted-index-level audit: the erase paths (culling, eviction,
+	// merge rollback) must never tear the posting lists away from the
+	// vector table.
+	for _, id := range snap.bowOrphans {
+		add("bow-index-orphan", id, 0, "posting-list entry with no stored vector")
+	}
+	for _, id := range snap.bowMissing {
+		add("bow-index-missing", id, 0, "stored vector with an unposted word")
+	}
+
+	// Pin table: a pin on a missing keyframe means a Pin without a
+	// matching Unpin survived past the entity it protected.
+	pinIDs := make([]ID, 0, len(snap.pins))
+	for id := range snap.pins {
+		pinIDs = append(pinIDs, id)
+	}
+	sort.Slice(pinIDs, func(i, j int) bool { return pinIDs[i] < pinIDs[j] })
+	for _, id := range pinIDs {
+		if _, live := snap.kfs[id]; !live {
+			add("pin-leak", id, 0, "pin count %d on missing keyframe", snap.pins[id])
 		}
 	}
 

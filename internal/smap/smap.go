@@ -245,7 +245,11 @@ type Map struct {
 	// but stripe locks are never acquired while holding it.
 	imu   sync.RWMutex
 	order []ID
-	bowDB *bow.Database
+	// inOrder tracks membership of order: erases leave IDs lingering
+	// there (KeyFrames skips the dead ones), so a re-insert — a
+	// lifecycle region reload — must not append a duplicate.
+	inOrder map[ID]struct{}
+	bowDB   *bow.Database
 
 	// events, when non-nil, carries observer notifications to the
 	// notifier goroutine. Written only with every stripe lock held;
@@ -259,6 +263,15 @@ type Map struct {
 	vmu   sync.RWMutex
 	views map[viewKey]*LocalView
 
+	// lmu guards the lifecycle tables (see region.go). Leaf lock like
+	// vmu: taken with no stripe locks held, and never held across a
+	// stripe acquisition. tick is the frame-activity clock.
+	lmu       sync.Mutex
+	pins      map[ID]int
+	condemned map[ID]struct{}
+	lastTouch map[ID]uint64
+	tick      atomic.Uint64
+
 	scratch sync.Pool
 }
 
@@ -266,9 +279,13 @@ type Map struct {
 // index.
 func NewMap(voc *bow.Vocabulary) *Map {
 	m := &Map{
-		voc:   voc,
-		bowDB: bow.NewDatabase(),
-		views: make(map[viewKey]*LocalView),
+		voc:       voc,
+		inOrder:   make(map[ID]struct{}),
+		bowDB:     bow.NewDatabase(),
+		views:     make(map[viewKey]*LocalView),
+		pins:      make(map[ID]int),
+		condemned: make(map[ID]struct{}),
+		lastTouch: make(map[ID]uint64),
 	}
 	for i := range m.stripes {
 		m.stripes[i].keyframes = make(map[ID]*KeyFrame)
@@ -468,13 +485,15 @@ func (m *Map) addKeyFrame(kf *KeyFrame, indexBow bool) {
 		m.nkf.Add(1)
 	}
 	m.imu.Lock()
-	if !exists {
+	if _, listed := m.inOrder[kf.ID]; !listed {
 		m.order = append(m.order, kf.ID)
+		m.inOrder[kf.ID] = struct{}{}
 	}
 	if indexBow {
 		m.bowDB.Add(kf.ID, kf.Bow)
 	}
 	m.imu.Unlock()
+	m.touchOne(kf.ID)
 }
 
 // AddMapPoint inserts a map point.
@@ -666,8 +685,15 @@ func (m *Map) MapPoints() []*MapPoint {
 	return out
 }
 
-// EraseKeyFrame removes a keyframe and its observation links.
+// EraseKeyFrame removes a keyframe and its observation links. A
+// pinned keyframe (an in-flight LocalView build or merge window holds
+// it, see region.go) is left alone; callers that cull retry on a later
+// pass.
 func (m *Map) EraseKeyFrame(id ID) {
+	if !m.beginErase(id) {
+		return
+	}
+	defer m.endErase(id)
 	s := m.stripe(id)
 	s.mu.Lock()
 	kf, ok := s.keyframes[id]
@@ -1039,14 +1065,19 @@ func (m *Map) Covisible(kfID ID, n int) []*KeyFrame {
 	return out
 }
 
-// collectWindow walks the covisibility window of kfID (neighbours by
-// descending weight, then the keyframe itself) and hands each member
-// to visit while its stripe read lock is held; the per-keyframe
-// version at visit time is passed alongside. The seen-set/ID scratch
-// is pooled across calls.
-func (m *Map) collectWindow(kfID ID, maxKFs int, sc *localScratch,
+// windowIDs returns the covisibility window of kfID: neighbours by
+// descending weight, then the keyframe itself.
+func (m *Map) windowIDs(kfID ID, maxKFs int) []ID {
+	return append(m.covisibleIDs(kfID, maxKFs), kfID)
+}
+
+// collectWindow walks the given window members and hands each to
+// visit while its stripe read lock is held; the per-keyframe version
+// at visit time is passed alongside. The seen-set/ID scratch is
+// pooled across calls. Callers that need the window to hold still
+// against concurrent culling pin the IDs first (see region.go).
+func (m *Map) collectWindow(ids []ID, sc *localScratch,
 	visit func(kf *KeyFrame, ver uint64)) {
-	ids := append(m.covisibleIDs(kfID, maxKFs), kfID)
 	for _, id := range ids {
 		s := m.stripe(id)
 		s.mu.RLock()
@@ -1077,7 +1108,10 @@ func (m *Map) collectWindow(kfID ID, maxKFs int, sc *localScratch,
 // per-frame read paths should prefer LocalView, which caches.
 func (m *Map) LocalPoints(kfID ID, maxKFs int) []*MapPoint {
 	sc := m.getScratch()
-	m.collectWindow(kfID, maxKFs, sc, nil)
+	ids := m.windowIDs(kfID, maxKFs)
+	pinned := m.Pin(ids)
+	m.collectWindow(ids, sc, nil)
+	m.Unpin(pinned)
 	out := make([]*MapPoint, 0, len(sc.ids))
 	for _, mpID := range sc.ids {
 		if mp, ok := m.MapPoint(mpID); ok {
@@ -1124,6 +1158,11 @@ type LocalView struct {
 	// version is the global counter the view last validated against
 	// (atomic: concurrent trackers sharing the cache re-arm it).
 	version atomic.Uint64
+	// touched is the activity-clock tick the window members were last
+	// stamped at; cache hits re-stamp at most once per tick so a
+	// region under active tracking never looks cold to the eviction
+	// policy.
+	touched atomic.Uint64
 	// deps pins the per-keyframe versions of the window members; the
 	// view stays valid while none of them move.
 	deps []viewDep
@@ -1160,6 +1199,21 @@ func (v *LocalView) Valid() bool {
 	return true
 }
 
+// touch re-stamps the window members on the activity clock, at most
+// once per tick (a shared cache hit path — keep it one atomic in the
+// common case).
+func (v *LocalView) touch() {
+	now := v.m.tick.Load()
+	if v.touched.Swap(now) == now {
+		return
+	}
+	v.m.lmu.Lock()
+	for _, d := range v.deps {
+		v.m.lastTouch[d.id] = now
+	}
+	v.m.lmu.Unlock()
+}
+
 // Point returns the snapshot copy of a map point by ID.
 func (v *LocalView) Point(id ID) (ViewPoint, bool) {
 	if i, ok := v.index[id]; ok {
@@ -1180,6 +1234,7 @@ func (m *Map) LocalView(kfID ID, maxKFs int) *LocalView {
 	v := m.views[key]
 	m.vmu.RUnlock()
 	if v != nil && v.Valid() {
+		v.touch()
 		return v
 	}
 	v = m.buildView(kfID, maxKFs)
@@ -1200,7 +1255,13 @@ func (m *Map) buildView(kfID ID, maxKFs int) *LocalView {
 	v.version.Store(m.version.Load())
 	sc := m.getScratch()
 	v.deps = make([]viewDep, 0, maxKFs+1)
-	m.collectWindow(kfID, maxKFs, sc, func(kf *KeyFrame, ver uint64) {
+	// Pin the window for the duration of the build: a concurrent cull
+	// cannot erase a member mid-walk, so the snapshot is built from a
+	// window that holds still. Anything the pin loses the race to
+	// (already-condemned IDs) is caught by the dep check on next use.
+	ids := m.windowIDs(kfID, maxKFs)
+	pinned := m.Pin(ids)
+	m.collectWindow(ids, sc, func(kf *KeyFrame, ver uint64) {
 		v.KFs = append(v.KFs, ViewKF{ID: kf.ID, Tcw: kf.Tcw})
 		v.deps = append(v.deps, viewDep{kf.ID, ver})
 	})
@@ -1221,6 +1282,8 @@ func (m *Map) buildView(kfID ID, maxKFs int) *LocalView {
 		}
 		s.mu.RUnlock()
 	}
+	m.Unpin(pinned)
+	m.TouchKeyFrames(ids)
 	m.putScratch(sc)
 	return v
 }
@@ -1357,6 +1420,10 @@ func (m *Map) Renumber(alloc *IDAllocator) {
 		m.stripe(mp.ID).points[mp.ID] = mp
 	}
 	m.order = newOrder
+	m.inOrder = make(map[ID]struct{}, len(newOrder))
+	for _, id := range newOrder {
+		m.inOrder[id] = struct{}{}
+	}
 	// Rebuild the BoW index under the new IDs.
 	m.bowDB = bow.NewDatabase()
 	for _, kf := range oldKFs {
@@ -1365,5 +1432,8 @@ func (m *Map) Renumber(alloc *IDAllocator) {
 	m.version.Add(1)
 	m.imu.Unlock()
 	m.unlockAll()
+	// The lifecycle stamps are keyed by the IDs just rewritten; client
+	// maps being renumbered have no pins in flight, so clear wholesale.
+	m.resetLifecycle()
 	m.dropViews()
 }

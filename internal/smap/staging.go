@@ -98,11 +98,13 @@ func (m *Map) RemoveEntities(kfIDs, mpIDs []ID) {
 		}
 		m.order = order
 		for id := range removedKF {
+			delete(m.inOrder, id)
 			m.bowDB.Remove(id)
 		}
 		m.imu.Unlock()
 	}
 	m.version.Add(1)
+	m.forgetTouch(kfIDs)
 	m.dropViews()
 }
 

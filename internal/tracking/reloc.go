@@ -11,10 +11,16 @@ import (
 // recognition: the frame is matched against candidate keyframes from
 // the map's BoW index, their map points are matched to the frame's
 // keypoints, and a pose is solved from the 2D-3D correspondences
-// seeded at the candidate's pose (ORB-SLAM3's relocalization, which
-// the paper inherits). Returns true and fills fr.Tcw / fr.MPs on
-// success.
-func (t *Tracker) relocalize(fr *Frame) bool {
+// (ORB-SLAM3's relocalization, which the paper inherits). The pose
+// solve is seeded from the client's dead-reckoned prior when one is
+// available — the paper's Alg. 1 keeps the device extrapolating
+// through tracking gaps, so the prior is usually within a metre of
+// truth, while in a self-similar environment (a street grid) the BoW
+// candidate's own pose can be tens of metres away, outside the
+// optimizer's convergence basin. The candidate pose remains the
+// fallback seed for priorless recovery. Returns true and fills
+// fr.Tcw / fr.MPs on success.
+func (t *Tracker) relocalize(fr *Frame, prior *geom.SE3) bool {
 	voc := t.Map.Vocabulary()
 	if voc == nil || len(fr.Kps) == 0 {
 		return false
@@ -24,9 +30,12 @@ func (t *Tracker) relocalize(fr *Frame) bool {
 		descs[i] = kp.Desc
 	}
 	bv := voc.BowOf(descs)
+	if t.Reload != nil {
+		t.Reload(bv)
+	}
 	cands := t.Map.QueryBow(bv, 5, nil)
 	for _, cand := range cands {
-		if t.tryRelocAgainst(fr, cand.ID) {
+		if t.tryRelocAgainst(fr, cand.ID, prior) {
 			return true
 		}
 	}
@@ -37,7 +46,7 @@ func (t *Tracker) relocalize(fr *Frame) bool {
 // map points and solves the pose. The candidate lives in the shared
 // map while other sessions track and adjust it, so all of its state is
 // read through the snapshot accessors, never the live pointers.
-func (t *Tracker) tryRelocAgainst(fr *Frame, kfID smap.ID) bool {
+func (t *Tracker) tryRelocAgainst(fr *Frame, kfID smap.ID, prior *geom.SE3) bool {
 	seedTcw, bindings, ok := t.Map.KeyFrameState(kfID)
 	if !ok {
 		return false
@@ -78,8 +87,55 @@ func (t *Tracker) tryRelocAgainst(fr *Frame, kfID smap.ID) bool {
 	if len(pts) < t.Cfg.MinInliers {
 		return false
 	}
-	res := optimize.OptimizePose(t.Rig.Intr, seedTcw, pts, uvs, nil)
-	if res.NInliers < t.Cfg.MinInliers {
+	// Two attempts, ORB-SLAM-style. First, guided: gate the brute
+	// matches by reprojection at the client's dead-reckoned prior and
+	// solve from the prior. Descriptor-only matching in a self-similar
+	// environment (repeated facades down a street grid) is mostly
+	// outliers, which swamps the Huber kernel; the prior is usually
+	// within a metre of truth (the paper's Alg. 1 keeps devices
+	// extrapolating through gaps), so the gate leaves a clean set.
+	// Second, the classic fallback for priorless recovery: all matches
+	// seeded at the candidate keyframe's pose.
+	var res optimize.PoseResult
+	solved := false
+	var sKp []int
+	var sIDs []smap.ID
+	if prior != nil {
+		const gatePx2 = 20 * 20
+		var fPts []geom.Vec3
+		var fUvs []geom.Vec2
+		var fKp []int
+		var fIDs []smap.ID
+		for i := range pts {
+			pc := prior.Apply(pts[i])
+			if pc.Z < 0.05 {
+				continue
+			}
+			px := t.Rig.Intr.ProjectUnchecked(pc)
+			if px.Sub(uvs[i]).NormSq() > gatePx2 {
+				continue
+			}
+			fPts = append(fPts, pts[i])
+			fUvs = append(fUvs, uvs[i])
+			fKp = append(fKp, kpIdx[i])
+			fIDs = append(fIDs, ids[i])
+		}
+		if len(fPts) >= t.Cfg.MinInliers {
+			res = optimize.OptimizePose(t.Rig.Intr, *prior, fPts, fUvs, nil)
+			if res.NInliers >= t.Cfg.MinInliers {
+				solved = true
+				sKp, sIDs = fKp, fIDs
+			}
+		}
+	}
+	if !solved {
+		res = optimize.OptimizePose(t.Rig.Intr, seedTcw, pts, uvs, nil)
+		if res.NInliers >= t.Cfg.MinInliers {
+			solved = true
+			sKp, sIDs = kpIdx, ids
+		}
+	}
+	if !solved {
 		return false
 	}
 	fr.Tcw = res.Pose
@@ -88,7 +144,7 @@ func (t *Tracker) tryRelocAgainst(fr *Frame, kfID smap.ID) bool {
 	}
 	for k, inl := range res.Inliers {
 		if inl {
-			fr.MPs[kpIdx[k]] = ids[k]
+			fr.MPs[sKp[k]] = sIDs[k]
 		}
 	}
 	// Re-anchor the reference keyframe at the relocalization site so

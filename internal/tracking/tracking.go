@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"slamshare/internal/bow"
 	"slamshare/internal/camera"
 	"slamshare/internal/feature"
 	"slamshare/internal/geom"
@@ -158,6 +159,11 @@ type Tracker struct {
 	// handles resolve lazily and a nil tracer costs one predictable
 	// branch per frame.
 	Obs *obs.Tracer
+	// Reload, when non-nil, is offered the lost frame's BoW vector
+	// before relocalization candidate search, so the lifecycle manager
+	// can pull an evicted cold region back into memory when the client
+	// is standing inside it.
+	Reload func(bv bow.Vec)
 
 	obsStages trackStages
 	degraded  atomic.Int64
@@ -270,7 +276,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		if t.state == Lost {
 			// BoW relocalization: recover against the map before
 			// falling back to dead-reckoned prediction.
-			if t.relocalize(&fr) {
+			if t.relocalize(&fr, posePrior) {
 				t.state = OK
 			}
 		}

@@ -52,6 +52,47 @@ func FuzzDecodeMap(f *testing.F) {
 	})
 }
 
+// FuzzDecodeRegion hammers the evicted-region checkpoint decoder: a
+// truncated or corrupt region file must decode to an error — the
+// lifecycle manager then degrades to a re-map — never a panic or an
+// over-allocation.
+func FuzzDecodeRegion(f *testing.F) {
+	for seed := int64(1); seed <= 3; seed++ {
+		m := randomMap(seed, int(seed)+1, 8*int(seed), 6*int(seed))
+		data := EncodeRegion(uint64(seed), m.KeyFrames(), m.MapPoints())
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(data[:len(data)-4]) // CRC stripped
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/3] ^= 0xFF
+		f.Add(flipped)
+		// Absurd keyframe count with no backing bytes.
+		huge := append([]byte(nil), data[:17]...)
+		huge = binary.LittleEndian.AppendUint32(huge, 1<<21)
+		f.Add(huge)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SLRGSLRGSLRGSLRGSLRG"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, kfs, mps, err := DecodeRegion(data)
+		if err != nil {
+			if kfs != nil || mps != nil {
+				t.Fatal("non-nil entities returned with error")
+			}
+			return
+		}
+		// A successfully decoded region must be internally consistent
+		// enough to reload: binding slices sized to keypoints.
+		for _, kf := range kfs {
+			if len(kf.MapPoints) != len(kf.Keypoints) {
+				t.Fatalf("keyframe %d: %d bindings for %d keypoints",
+					kf.ID, len(kf.MapPoints), len(kf.Keypoints))
+			}
+		}
+	})
+}
+
 // FuzzDecodeKeyFrame covers the journal-record entity decoder the
 // persistence layer replays on recovery.
 func FuzzDecodeKeyFrame(f *testing.F) {

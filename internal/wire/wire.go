@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"slamshare/internal/bow"
 	"slamshare/internal/feature"
@@ -53,6 +54,10 @@ const (
 
 type writer struct {
 	buf []byte
+	// Scratch key slices for canonical (sorted-key) map emission,
+	// reused across entities to keep EncodeMap allocation-flat.
+	scr32 []uint32
+	scr64 []uint64
 }
 
 func (w *writer) u8(v byte) { w.buf = append(w.buf, v) }
@@ -173,15 +178,30 @@ func appendKeyFrame(w *writer, kf *smap.KeyFrame) {
 		w.buf = append(w.buf, b[:]...)
 		w.u64(kf.MapPoints[i])
 	}
-	w.u32(uint32(len(kf.Bow)))
-	for wid, val := range kf.Bow {
-		w.u32(uint32(wid))
-		w.f32(val)
+	// Map-valued fields are emitted in sorted key order so the same
+	// map state always encodes to the same bytes — what lets crash
+	// recovery be verified byte-for-byte and checkpoints be diffed.
+	words := w.scr32[:0]
+	for wid := range kf.Bow {
+		words = append(words, uint32(wid))
 	}
-	w.u32(uint32(len(kf.Conns)))
-	for id, weight := range kf.Conns {
+	slices.Sort(words)
+	w.scr32 = words
+	w.u32(uint32(len(words)))
+	for _, wid := range words {
+		w.u32(wid)
+		w.f32(kf.Bow[bow.WordID(wid)])
+	}
+	conns := w.scr64[:0]
+	for id := range kf.Conns {
+		conns = append(conns, id)
+	}
+	slices.Sort(conns)
+	w.scr64 = conns
+	w.u32(uint32(len(conns)))
+	for _, id := range conns {
 		w.u64(id)
-		w.u32(uint32(weight))
+		w.u32(uint32(kf.Conns[id]))
 	}
 }
 
@@ -248,10 +268,16 @@ func appendMapPoint(w *writer, mp *smap.MapPoint) {
 	w.buf = append(w.buf, b[:]...)
 	w.vec3(mp.Normal)
 	w.u64(mp.RefKF)
-	w.u32(uint32(len(mp.Obs)))
-	for kfID, kpI := range mp.Obs {
+	obs := w.scr64[:0]
+	for kfID := range mp.Obs {
+		obs = append(obs, kfID)
+	}
+	slices.Sort(obs)
+	w.scr64 = obs
+	w.u32(uint32(len(obs)))
+	for _, kfID := range obs {
 		w.u64(kfID)
-		w.u32(uint32(kpI))
+		w.u32(uint32(mp.Obs[kfID]))
 	}
 }
 
@@ -331,6 +357,18 @@ func EncodeMap(m *smap.Map) []byte {
 	w.u8(FormatVersion)
 	kfs := m.KeyFrames()
 	mps := m.MapPoints()
+	// KeyFrames() is already deterministic (insertion order); the map
+	// points come out of the stripes unordered, so sort them by ID to
+	// keep the whole-map encoding canonical.
+	slices.SortFunc(mps, func(a, b *smap.MapPoint) int {
+		if a.ID < b.ID {
+			return -1
+		}
+		if a.ID > b.ID {
+			return 1
+		}
+		return 0
+	})
 	w.u32(uint32(len(kfs)))
 	for _, kf := range kfs {
 		appendKeyFrame(w, kf)

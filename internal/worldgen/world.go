@@ -244,4 +244,72 @@ func StreetCorridor(seed uint64, path *Spline, spacing float64) *World {
 	return NewWorld(pts, seed)
 }
 
+// CityGrid builds an urban street grid: (blocks+1) streets in each
+// direction spaced blockM metres apart, with building facades lining
+// both sides of every street and clutter near the intersections. Any
+// route along the grid lines (see GridRoute) sees facades all the way,
+// and two routes sharing a street observe the same landmarks — which
+// is what lets a fleet of vehicles and pedestrians merge into one map
+// and what gives the lifecycle soak distinct regions to go cold.
+func CityGrid(seed uint64, blocks int, blockM float64) *World {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	if blocks < 1 {
+		blocks = 1
+	}
+	if blockM <= 0 {
+		blockM = 60
+	}
+	extent := float64(blocks) * blockM
+	var pts []geom.Vec3
+	// facadesAlong lines one street: p walks the centerline, dir is the
+	// street direction, left its horizontal normal.
+	facadesAlong := func(at func(d float64) geom.Vec3, dir geom.Vec3) {
+		left := geom.Vec3{Z: 1}.Cross(dir).Normalized()
+		for d := 0.0; d <= extent; d += 2.0 {
+			p := at(d)
+			for side := -1.0; side <= 1.0; side += 2 {
+				off := left.Scale(side * (8 + rng.Float64()*3))
+				for h := 0; h < 4; h++ {
+					pts = append(pts, p.Add(off).Add(geom.Vec3{
+						X: rng.NormFloat64() * 0.4,
+						Y: rng.NormFloat64() * 0.4,
+						Z: 0.5 + float64(h)*1.9 + rng.Float64(),
+					}))
+				}
+				// Sparse roadside clutter, kept at facade-like lateral
+				// distance: points much nearer the roadway sweep too
+				// fast across a vehicular camera to match frame to
+				// frame, and a cluttered foreground starves the
+				// tracker of the stable mid-range features it needs.
+				if rng.Float64() < 0.15 {
+					pts = append(pts, p.Add(left.Scale(side*(6+rng.Float64()*2))).
+						Add(geom.Vec3{Z: 0.5 + rng.Float64()*2}))
+				}
+			}
+		}
+	}
+	for i := 0; i <= blocks; i++ {
+		c := float64(i) * blockM
+		facadesAlong(func(d float64) geom.Vec3 { return geom.Vec3{X: d, Y: c} }, geom.Vec3{X: 1})
+		facadesAlong(func(d float64) geom.Vec3 { return geom.Vec3{X: c, Y: d} }, geom.Vec3{Y: 1})
+	}
+	return NewWorld(pts, seed)
+}
+
+// GridRoute turns a sequence of CityGrid intersection coordinates
+// (i, j) — street indices, not metres — into a spline along the
+// streets, dt seconds per leg. Routes sharing grid edges see the same
+// facades.
+func GridRoute(route [][2]int, blockM, dt float64, height float64) *Spline {
+	wp := make([]geom.Vec3, len(route))
+	for k, ij := range route {
+		wp[k] = geom.Vec3{
+			X: float64(ij[0]) * blockM,
+			Y: float64(ij[1]) * blockM,
+			Z: height,
+		}
+	}
+	return NewSpline(wp, dt)
+}
+
 func lerp(a, b, t float64) float64 { return a + (b-a)*t }

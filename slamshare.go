@@ -133,6 +133,17 @@ type ServerOptions struct {
 	// it skip local-map refinement and reuse the motion-model pose
 	// (0 = no deadline).
 	FrameDeadline time.Duration
+	// MaxMapKF bounds the resident keyframe count of the global map:
+	// past it, the lifecycle manager culls redundant keyframes and
+	// sparsifies dead map points in the background (0 = unbounded, the
+	// map grows forever).
+	MaxMapKF int
+	// EvictAfter is the age, in handled frames across all sessions,
+	// after which an untouched region of the map is serialized to disk
+	// (next to the checkpoints) and dropped from memory, transparently
+	// reloading when a session relocalizes into it (0 = never evict).
+	// Eviction needs CheckpointDir for the region files.
+	EvictAfter uint64
 }
 
 // EdgeServer is the SLAM-Share edge server.
@@ -181,6 +192,12 @@ func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
 			CheckpointEvery: opts.CheckpointEvery,
 			Fsync:           opts.FsyncJournal,
 		}
+	}
+	if opts.MaxMapKF > 0 {
+		cfg.Lifecycle.MaxKeyFrames = opts.MaxMapKF
+	}
+	if opts.EvictAfter > 0 {
+		cfg.Lifecycle.EvictAfter = opts.EvictAfter
 	}
 	s, err := server.New(cfg)
 	if err != nil {
