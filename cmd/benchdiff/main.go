@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff                 # run, write BENCH_PR6.json, compare
+//	go run ./cmd/benchdiff                 # run, write BENCH_PR7.json, compare
 //	go run ./cmd/benchdiff -threshold 0   # record only, never fail
 //
 // Medians over -count runs absorb scheduler noise; -benchtime=1x keeps
@@ -56,7 +56,7 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output file (BENCH_<label>.json)")
+	out := flag.String("out", "BENCH_PR7.json", "output file (BENCH_<label>.json)")
 	benchRe := flag.String("bench", "MultiClient|CodecRoundTrip|SpanStartEnd$|StageObserve|HistogramObserve|EncodeMap|DecodeMap|HandleFrameShedding|LifecycleCull",
 		"benchmark regexp passed to go test -bench")
 	pkgs := flag.String("pkgs", "./ ./internal/obs ./internal/video ./internal/wire ./internal/server ./internal/lifecycle",

@@ -17,7 +17,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7007", "listen address")
 	debugAddr := flag.String("debug-addr", "", "serve live observability (/debug/vars, /debug/spans, /debug/pprof/) on this address (empty = disabled)")
 	gpuLanes := flag.Int("gpu-lanes", 8, "simulated GPU lanes (0 = CPU only)")
-	lanesPerClient := flag.Int("lanes-per-client", 4, "GSlice lanes per client session")
+	lanesPerClient := flag.Int("lanes-per-client", 4, "GSlice lanes per client session (only without batched tracking)")
+	trackWorkers := flag.Int("track-workers", 0, "batched tracking pool workers shared by all sessions (0 = GOMAXPROCS, negative = disable batching)")
 	shmGB := flag.Int64("shm-gb", 2, "shared-memory budget in GiB")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for durable map checkpoints + journal (empty = no persistence)")
 	checkpointEvery := flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval")
@@ -35,6 +36,7 @@ func main() {
 	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
 		GPULanes:          *gpuLanes,
 		LanesPerClient:    *lanesPerClient,
+		TrackWorkers:      *trackWorkers,
 		ShmCapacity:       *shmGB << 30,
 		CheckpointDir:     *checkpointDir,
 		CheckpointEvery:   *checkpointEvery,

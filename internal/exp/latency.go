@@ -36,6 +36,7 @@ type LatencyRow struct {
 var latencyStageOrder = []string{
 	"client.encode",
 	"decode",
+	"track.queue",
 	"track.extract",
 	"track.match",
 	"track.pose_predict",

@@ -34,6 +34,7 @@ func TestLatencyTableGolden(t *testing.T) {
 	}
 	feed("frame.total", 10*time.Millisecond, 20*time.Millisecond, 30*time.Millisecond, 40*time.Millisecond)
 	feed("decode", time.Millisecond, 2*time.Millisecond, 3*time.Millisecond, 4*time.Millisecond)
+	feed("track.queue", 300*time.Microsecond, 500*time.Microsecond)
 	feed("track.extract", 5*time.Millisecond, 5*time.Millisecond, 5*time.Millisecond, 5*time.Millisecond)
 	feed("track.search_local", 700*time.Microsecond, 900*time.Microsecond)
 	feed("track.total", 8*time.Millisecond, 16*time.Millisecond, 24*time.Millisecond, 32*time.Millisecond)

@@ -55,12 +55,16 @@ type workItem struct{ level, y0, y1 int }
 
 // extractScratch holds the per-call slices of Extract. Extraction runs
 // once per frame per client, so the slices are pooled across calls —
-// only the returned keypoints are freshly allocated.
+// only the returned keypoints are freshly allocated. The per-item
+// strip result buffers in results are reused in place (AppendFAST into
+// results[i][:0]), and soa stages the describe kernel's inputs and
+// outputs in struct-of-arrays form.
 type extractScratch struct {
 	quotas   []int
 	items    []workItem
 	results  [][]rawCorner
 	perLevel [][]rawCorner
+	soa      SoA
 }
 
 var extractPool = sync.Pool{New: func() any { return new(extractScratch) }}
@@ -72,7 +76,11 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 	if par == nil {
 		par = SerialRunner{}
 	}
-	pyr := img.NewPyramid(im, e.Cfg.Levels, e.Cfg.ScaleFactor)
+	// The pyramid resample batches through the same Parallelizer as the
+	// detection kernels: on a pool-backed Stream even this prologue runs
+	// under the server-wide EDF queue instead of on the session's own
+	// goroutine, keeping the whole frame's compute run-to-completion.
+	pyr := img.NewPyramidWith(im, e.Cfg.Levels, e.Cfg.ScaleFactor, par.Run)
 	nLevels := len(pyr.Levels)
 	sc := extractPool.Get().(*extractScratch)
 	defer extractPool.Put(sc)
@@ -118,9 +126,9 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 	results = results[:len(items)]
 	par.Run(len(items), func(i int) {
 		it := items[i]
-		c := DetectFAST(pyr.Levels[it.level], e.Cfg.Threshold, Border, it.y0, it.y1)
+		c := AppendFAST(results[i][:0], pyr.Levels[it.level], e.Cfg.Threshold, Border, it.y0, it.y1)
 		if len(c) == 0 && e.Cfg.MinThreshold < e.Cfg.Threshold {
-			c = DetectFAST(pyr.Levels[it.level], e.Cfg.MinThreshold, Border, it.y0, it.y1)
+			c = AppendFAST(c[:0], pyr.Levels[it.level], e.Cfg.MinThreshold, Border, it.y0, it.y1)
 		}
 		results[i] = c
 	})
@@ -153,16 +161,31 @@ func (e *Extractor) Extract(im *img.Gray) []Keypoint {
 		}
 	}
 
-	// Stage 3: orientation + description, parallel over keypoints.
+	// Stage 3: orientation + description, parallel over keypoints. The
+	// kernel reads and writes struct-of-arrays staging: each work item
+	// touches 8-byte X/Y/angle and 32-byte descriptor cells instead of
+	// striding whole ~112-byte Keypoints, so batched workers walking
+	// adjacent indices stay cache-dense and don't false-share lines.
+	soa := &sc.soa
+	soa.Resize(len(kps))
+	for i := range kps {
+		soa.X[i] = kps[i].X
+		soa.Y[i] = kps[i].Y
+		soa.Level[i] = int32(kps[i].Level)
+	}
 	par.Run(len(kps), func(i int) {
-		k := &kps[i]
-		lv := pyr.Levels[k.Level]
-		s := pyr.Scales[k.Level]
-		x := int(k.X/s + 0.5)
-		y := int(k.Y/s + 0.5)
-		k.Angle = Orientation(lv, x, y)
-		k.Desc = Describe(lv, x, y, k.Angle)
+		l := soa.Level[i]
+		lv := pyr.Levels[l]
+		s := pyr.Scales[l]
+		x := int(soa.X[i]/s + 0.5)
+		y := int(soa.Y[i]/s + 0.5)
+		soa.Angle[i] = Orientation(lv, x, y)
+		soa.Desc[i] = Describe(lv, x, y, soa.Angle[i])
 	})
+	for i := range kps {
+		kps[i].Angle = soa.Angle[i]
+		kps[i].Desc = soa.Desc[i]
+	}
 	return kps
 }
 

@@ -1,6 +1,10 @@
 package feature
 
-import "slamshare/internal/img"
+import (
+	"sync"
+
+	"slamshare/internal/img"
+)
 
 // circle16 is the Bresenham circle of radius 3 used by FAST: 16 pixel
 // offsets (dx, dy) in clockwise order.
@@ -64,6 +68,19 @@ func fastScore(pix []byte, w int, x, y int, t int, offsets *[16]int) int {
 	return best
 }
 
+// stripScratch holds one detection strip's score rows and candidate
+// buffer, pooled across calls: strips are detected once per (level,
+// strip) work item per frame per client, and each used to allocate its
+// row table and grow a fresh candidate slice. Score rows are scrubbed
+// back to zero before the scratch is returned (cheaper than clearing:
+// only candidate cells were written).
+type stripScratch struct {
+	rows  [][]int32
+	cands []rawCorner
+}
+
+var stripPool = sync.Pool{New: func() any { return new(stripScratch) }}
+
 // DetectFAST finds FAST-9 corners in the image with the given
 // threshold, applying 3x3 non-max suppression, restricted to rows
 // [y0, y1). It is the unit of work the tiled/parallel detector
@@ -71,6 +88,13 @@ func fastScore(pix []byte, w int, x, y int, t int, offsets *[16]int) int {
 // range. border pixels are skipped so descriptor sampling stays in
 // bounds.
 func DetectFAST(im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
+	return AppendFAST(nil, im, t, border, y0, y1)
+}
+
+// AppendFAST is DetectFAST appending into a caller-owned slice, so a
+// per-frame detector can reuse its strip result buffers across frames
+// instead of growing fresh ones.
+func AppendFAST(dst []rawCorner, im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
 	if border < 3 {
 		border = 3
 	}
@@ -81,7 +105,7 @@ func DetectFAST(im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
 		y1 = im.H - border
 	}
 	if y0 >= y1 {
-		return nil
+		return dst
 	}
 	var offsets [16]int
 	for i, o := range circle16 {
@@ -90,10 +114,20 @@ func DetectFAST(im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
 	pix := im.Pix
 	w := im.W
 	// First pass: score every corner candidate in the strip.
-	rows := make([][]int32, y1-y0)
-	var cands []rawCorner
+	ss := stripPool.Get().(*stripScratch)
+	if cap(ss.rows) < y1-y0 {
+		ss.rows = make([][]int32, y1-y0)
+	}
+	rows := ss.rows[:y1-y0]
+	cands := ss.cands[:0]
 	for y := y0; y < y1; y++ {
-		var rowScores []int32
+		rowScores := rows[y-y0]
+		// A pooled row may be narrower than this level; stale wider rows
+		// are fine (cells beyond w are never read) and stale cells within
+		// w are already scrubbed to zero.
+		if rowScores != nil && len(rowScores) < w {
+			rowScores = nil
+		}
 		for x := border; x < w-border; x++ {
 			// High-speed test on pixels 0, 4, 8, 12 of the circle.
 			c := int(pix[y*w+x])
@@ -130,7 +164,6 @@ func DetectFAST(im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
 		rows[y-y0] = rowScores
 	}
 	// Non-max suppression within the strip (3x3 neighbourhood).
-	out := cands[:0]
 	at := func(x, y int) int32 {
 		if y < y0 || y >= y1 {
 			return 0
@@ -153,7 +186,14 @@ func DetectFAST(im *img.Gray, t int, border int, y0, y1 int) []rawCorner {
 			at(c.x-1, c.y+1) > s || at(c.x, c.y+1) > s || at(c.x+1, c.y+1) > s {
 			continue
 		}
-		out = append(out, c)
+		dst = append(dst, c)
 	}
-	return out
+	// Scrub only the written score cells so the pooled rows come back
+	// zeroed for the next strip.
+	for _, c := range cands {
+		rows[c.y-y0][c.x] = 0
+	}
+	ss.cands = cands
+	stripPool.Put(ss)
+	return dst
 }

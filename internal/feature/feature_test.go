@@ -244,14 +244,35 @@ func TestExtractParallelMatchesSerial(t *testing.T) {
 	im := randomTexture(300, 200, 9)
 	cfg := Config{NFeatures: 300, Levels: 3, ScaleFactor: 1.2, Threshold: 25, MinThreshold: 10, StripRows: 31}
 	serial := (&Extractor{Cfg: cfg, Par: SerialRunner{}}).Extract(im)
-	par := (&Extractor{Cfg: cfg, Par: goRunner{}}).Extract(im)
-	if len(serial) != len(par) {
-		t.Fatalf("serial %d vs parallel %d keypoints", len(serial), len(par))
-	}
-	for i := range serial {
-		if serial[i].X != par[i].X || serial[i].Y != par[i].Y || serial[i].Desc != par[i].Desc {
-			t.Fatalf("keypoint %d differs between serial and parallel", i)
+	for name, par := range map[string]Parallelizer{
+		"goroutine-per-item": goRunner{},
+		"reversed":           reverseRunner{},
+	} {
+		ex := &Extractor{Cfg: cfg, Par: par}
+		// Two rounds so the second runs on warm pooled scratch — reuse
+		// must not leak state between frames.
+		for round := 0; round < 2; round++ {
+			kps := ex.Extract(im)
+			if len(serial) != len(kps) {
+				t.Fatalf("%s round %d: serial %d vs parallel %d keypoints", name, round, len(serial), len(kps))
+			}
+			for i := range serial {
+				if serial[i] != kps[i] {
+					t.Fatalf("%s round %d: keypoint %d differs between serial and parallel:\n%+v\n%+v",
+						name, round, i, serial[i], kps[i])
+				}
+			}
 		}
+	}
+}
+
+// reverseRunner executes items in reverse order on the calling
+// goroutine — the worst-case legal schedule for order dependence.
+type reverseRunner struct{}
+
+func (reverseRunner) Run(n int, f func(i int)) {
+	for i := n - 1; i >= 0; i-- {
+		f(i)
 	}
 }
 

@@ -53,6 +53,13 @@ func MatchBrute(a, b []Keypoint, maxDist int, ratio float64) []Match {
 // rowTol is the vertical matching tolerance in pixels. Returns the
 // number of stereo matches found.
 func StereoMatch(left, right []Keypoint, fx, baseline float64, rowTol float64) int {
+	return StereoMatchPar(left, right, fx, baseline, rowTol, nil)
+}
+
+// StereoMatchPar is StereoMatch with the per-left-keypoint search run
+// through par. Each work item writes only its own left[i], so any
+// execution order produces identical matches; nil par runs serially.
+func StereoMatchPar(left, right []Keypoint, fx, baseline float64, rowTol float64, par Parallelizer) int {
 	if baseline <= 0 || len(right) == 0 {
 		return 0
 	}
@@ -66,8 +73,10 @@ func StereoMatch(left, right []Keypoint, fx, baseline float64, rowTol float64) i
 	if tol < 1 {
 		tol = 1
 	}
-	n := 0
-	for i := range left {
+	if par == nil {
+		par = SerialRunner{}
+	}
+	par.Run(len(left), func(i int) {
 		lk := &left[i]
 		r0 := int(lk.Y + 0.5)
 		best, second := math.MaxInt32, math.MaxInt32
@@ -90,15 +99,20 @@ func StereoMatch(left, right []Keypoint, fx, baseline float64, rowTol float64) i
 			}
 		}
 		if bestJ < 0 || best > MatchThresholdStrict {
-			continue
+			return
 		}
 		if second < math.MaxInt32 && float64(best) >= RatioTest*float64(second) {
-			continue
+			return
 		}
 		disp := lk.X - right[bestJ].X
 		lk.Right = right[bestJ].X
 		lk.Depth = fx * baseline / disp
-		n++
+	})
+	n := 0
+	for i := range left {
+		if left[i].Right >= 0 {
+			n++
+		}
 	}
 	return n
 }

@@ -93,8 +93,17 @@ func (d *Device) Lanes() int { return d.cfg.Lanes }
 // would have taken. Counters exposes both so callers can report
 // device-accurate stage latencies (see feature.ModeledParallelizer).
 func (d *Device) Run(n int, f func(i int)) {
+	d.RunTimed(n, f)
+}
+
+// RunTimed executes one kernel like Run and returns its (wall,
+// modeled) cost, so a scheduler multiplexing the device across many
+// streams can attribute the batch's time to the stream that submitted
+// it (feature.TimedParallelizer). The cumulative Counters ledger is
+// still updated.
+func (d *Device) RunTimed(n int, f func(i int)) (wallDur, modeledDur time.Duration) {
 	if n <= 0 {
-		return
+		return 0, 0
 	}
 	start := time.Now()
 	d.kernels.Add(1)
@@ -145,6 +154,7 @@ func (d *Device) Run(n int, f func(i int)) {
 	d.mu.Lock()
 	d.stats.BusyTime += wall
 	d.mu.Unlock()
+	return wall, time.Duration(modeled)
 }
 
 // Counters returns the cumulative (wall, modeled) kernel time. It

@@ -84,9 +84,18 @@ func (g *Gray) Resize(w, h int) *Gray {
 	if g.W == 0 || g.H == 0 || w == 0 || h == 0 {
 		return out
 	}
+	g.ResizeRows(out, 0, out.H)
+	return out
+}
+
+// ResizeRows fills rows [y0, y1) of out with a bilinear resample of
+// g. Rows are written independently, so disjoint ranges can be filled
+// concurrently.
+func (g *Gray) ResizeRows(out *Gray, rowLo, rowHi int) {
+	w, h := out.W, out.H
 	sx := float64(g.W) / float64(w)
 	sy := float64(g.H) / float64(h)
-	for y := 0; y < h; y++ {
+	for y := rowLo; y < rowHi; y++ {
 		fy := (float64(y)+0.5)*sy - 0.5
 		y0 := int(fy)
 		if y0 < 0 {
@@ -119,7 +128,6 @@ func (g *Gray) Resize(w, h int) *Gray {
 			out.Set(x, y, byte(v+0.5))
 		}
 	}
-	return out
 }
 
 // AbsDiff returns the mean absolute pixel difference between two
@@ -150,6 +158,20 @@ type Pyramid struct {
 
 // NewPyramid builds an n-level pyramid with the given scale factor.
 func NewPyramid(base *Gray, n int, factor float64) *Pyramid {
+	return NewPyramidWith(base, n, factor, nil)
+}
+
+// pyramidStrip is the row granularity of one parallel resample work
+// item — coarse enough that per-item dispatch cost stays negligible.
+const pyramidStrip = 32
+
+// NewPyramidWith builds the pyramid with each level's resample rows
+// executed through run (the feature package passes its Parallelizer
+// here, so pyramid construction batches through the same scheduler as
+// the detection kernels). Levels stay sequential — each is sampled
+// from the previous — and rows are index-disjoint, so the result is
+// identical for any execution order. run == nil resamples inline.
+func NewPyramidWith(base *Gray, n int, factor float64, run func(n int, f func(i int))) *Pyramid {
 	if n < 1 {
 		n = 1
 	}
@@ -172,7 +194,22 @@ func NewPyramid(base *Gray, n int, factor float64) *Pyramid {
 			p.Scales = p.Scales[:i]
 			break
 		}
-		p.Levels[i] = p.Levels[i-1].Resize(w, h)
+		src := p.Levels[i-1]
+		if run == nil {
+			p.Levels[i] = src.Resize(w, h)
+			continue
+		}
+		out := New(w, h)
+		strips := (h + pyramidStrip - 1) / pyramidStrip
+		run(strips, func(s int) {
+			lo := s * pyramidStrip
+			hi := lo + pyramidStrip
+			if hi > h {
+				hi = h
+			}
+			src.ResizeRows(out, lo, hi)
+		})
+		p.Levels[i] = out
 	}
 	return p
 }

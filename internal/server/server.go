@@ -32,6 +32,7 @@ import (
 	"slamshare/internal/shm"
 	"slamshare/internal/smap"
 	"slamshare/internal/tracking"
+	"slamshare/internal/trackpool"
 	"slamshare/internal/video"
 	"slamshare/internal/wire"
 )
@@ -48,8 +49,19 @@ type Config struct {
 	// every stage on the CPU (the ORB-SLAM3 baseline configuration of
 	// Figs. 5/8).
 	GPU *gpu.Device
-	// LanesPerClient is each client process's GSlice share.
+	// LanesPerClient is each client process's GSlice share. It applies
+	// only when the tracking pool is disabled (TrackWorkers < 0): with
+	// the pool on, sessions share the device through the pool's
+	// deadline-aware queue instead of static slices.
 	LanesPerClient int
+	// TrackWorkers sizes the shared batched tracking service
+	// (internal/trackpool): every session's extraction and
+	// search-local-points batches drain through one server-wide worker
+	// pool scheduled earliest-deadline-first. 0 (the default) enables
+	// the pool with GOMAXPROCS workers, > 0 sets the worker count, and
+	// < 0 disables batching — each session fans out per-call, the
+	// pre-pool behavior.
+	TrackWorkers int
 	// MergeAfterKFs triggers the first merge attempt once a client's
 	// local map holds this many keyframes.
 	MergeAfterKFs int
@@ -179,6 +191,9 @@ type Server struct {
 	// lm, when non-nil, is the map-lifecycle manager. Its mutating
 	// passes (Step, MaybeReload) run under gmu like merges do.
 	lm *lifecycle.Manager
+	// tpool, when non-nil, is the shared batched tracking service every
+	// session's data-parallel stages drain through (Config.TrackWorkers).
+	tpool *trackpool.Pool
 
 	obs      *obs.Tracer
 	stDecode *obs.Stage
@@ -333,6 +348,17 @@ func New(cfg Config) (*Server, error) {
 			Seed:   cfg.Overload.Seed,
 		},
 	}
+	if cfg.TrackWorkers >= 0 {
+		// The batched tracking service is the default path: the modeled
+		// GPU, when configured, becomes the pool's backend so sessions
+		// share it through the deadline-aware queue instead of static
+		// per-session slices.
+		var dev feature.TimedParallelizer
+		if cfg.GPU != nil {
+			dev = cfg.GPU
+		}
+		s.tpool = trackpool.New(trackpool.Config{Workers: cfg.TrackWorkers, Device: dev})
+	}
 	if lcfg := cfg.Lifecycle; lcfg.MaxKeyFrames > 0 || lcfg.EvictAfter > 0 {
 		if lcfg.Dir == "" {
 			lcfg.Dir = cfg.Persist.Dir
@@ -382,6 +408,14 @@ func New(cfg Config) (*Server, error) {
 	reg.RegisterCounter("merge.quarantine", &s.net.MergeQuarantines)
 	reg.RegisterFunc("overload.sessions", func() any { return s.gate.Sessions() })
 	reg.RegisterFunc("overload.merges_inflight", func() any { return s.gate.Merges() })
+	if s.tpool != nil {
+		reg.RegisterFunc("trackpool.workers", func() any { return s.tpool.Workers() })
+		reg.RegisterFunc("trackpool.streams", func() any { return s.tpool.Stats().Streams })
+		reg.RegisterFunc("trackpool.queue_depth", func() any { return s.tpool.Stats().QueueDepth })
+		reg.RegisterFunc("trackpool.batches", func() any { return s.tpool.Stats().Batches })
+		reg.RegisterFunc("trackpool.items", func() any { return s.tpool.Stats().Items })
+		reg.RegisterFunc("trackpool.queue_wait_ns", func() any { return int64(s.tpool.Stats().QueueWait) })
+	}
 	return s, nil
 }
 
@@ -450,8 +484,18 @@ func (s *Server) Close() {
 	if s.pmgr != nil {
 		s.pmgr.Close()
 	}
+	if s.tpool != nil {
+		// Drain and stop the batched tracking service. Sessions racing
+		// the shutdown fall back to inline execution for their remaining
+		// batches.
+		s.tpool.Close()
+	}
 	shm.Unlink(s.region.Name())
 }
+
+// TrackPool returns the shared batched tracking service, or nil when
+// disabled (Config.TrackWorkers < 0).
+func (s *Server) TrackPool() *trackpool.Pool { return s.tpool }
 
 // Anchors returns the session's hologram anchor registry. It is
 // included in checkpoints when persistence is enabled.
@@ -517,6 +561,9 @@ type Session struct {
 	// lag is the uplink backlog accounting behind frame shedding. Owned
 	// by the serveConn loop.
 	lag *overload.LagTracker
+	// stream is the session's handle on the shared tracking pool (nil
+	// when Config.TrackWorkers < 0 disabled batching).
+	stream *trackpool.Stream
 
 	// trackHist is this session's end-to-end tracking latency
 	// histogram. It is private to the session (the registry's
@@ -531,7 +578,8 @@ type Session struct {
 }
 
 // OpenSession registers a client process. Each session attaches the
-// shared-memory region and gets its own GPU slice.
+// shared-memory region and a stream on the shared tracking pool (or
+// its own GPU slice when the pool is disabled).
 func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) {
 	// Admission control: beyond the session ceiling the server refuses
 	// outright (typed overload.ErrOverloaded) instead of degrading
@@ -563,7 +611,16 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 	localMap := smap.NewMap(s.voc)
 	ex := feature.NewExtractor(feature.DefaultConfig())
 	var searchPar feature.Parallelizer
-	if s.cfg.GPU != nil {
+	var stream *trackpool.Stream
+	switch {
+	case s.tpool != nil:
+		// Batched tracking: the session's data-parallel stages submit to
+		// the server-wide pool through a per-session stream (which also
+		// carries the frame deadline tags and queue-wait ledger).
+		stream = s.tpool.NewStream()
+		ex.Par = stream
+		searchPar = stream
+	case s.cfg.GPU != nil:
 		slice := s.cfg.GPU.NewSlice(s.cfg.LanesPerClient)
 		ex.Par = slice
 		searchPar = slice
@@ -603,6 +660,7 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 		decR:      video.NewDecoder(),
 		lag:       overload.NewLagTracker(s.cfg.Overload.ShedBudget),
 		trackHist: obs.NewHistogram("track.session"),
+		stream:    stream,
 	}
 	if resumeSeq > 0 {
 		// Resume the session directly on the recovered global map: the
@@ -621,10 +679,13 @@ func (s *Server) OpenSession(clientID uint32, rig camera.Rig) (*Session, error) 
 // CloseSession removes a client process.
 func (s *Server) CloseSession(clientID uint32) {
 	s.mu.Lock()
-	_, ok := s.sessions[clientID]
+	sess, ok := s.sessions[clientID]
 	delete(s.sessions, clientID)
 	s.mu.Unlock()
 	if ok {
+		if sess.stream != nil {
+			sess.stream.Close()
+		}
 		s.gate.ReleaseSession()
 	}
 }

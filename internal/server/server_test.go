@@ -353,3 +353,59 @@ func TestServeCountsBadHelloAndRejects(t *testing.T) {
 		t.Fatalf("%d sessions, want 1", n)
 	}
 }
+
+// TestPooledTrackingMatchesIndependent is the whole-pipeline half of
+// the batching equivalence contract: the same sequence tracked through
+// the shared pool must match a server with batching disabled
+// (TrackWorkers < 0). The pool's kernels are bit-identical to serial
+// (covered at the extraction layer by trackpool's
+// TestStreamExtractionMatchesSerial), but mapping's float accumulation
+// order already varies run-to-run at ~1e-15, so the pipeline-level
+// comparison is tolerance-based: identical tracking decisions, poses
+// within micrometers.
+func TestPooledTrackingMatchesIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system test")
+	}
+	const n = 40
+	run := func(trackWorkers int) ([]Result, int, int) {
+		cfg := DefaultConfig()
+		cfg.TrackWorkers = trackWorkers
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		seq := dataset.MH04(camera.Stereo)
+		sess, err := srv.OpenSession(1, seq.Rig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := client.New(1, seq)
+		res := lockstep(t, sess, cl, n, 1, 2)
+		return res, srv.Global().NKeyFrames(), srv.Global().NMapPoints()
+	}
+	indep, ikf, imp := run(-1)
+	pooled, pkf, pmp := run(2)
+	if len(indep) != len(pooled) {
+		t.Fatalf("result count differs: %d vs %d", len(indep), len(pooled))
+	}
+	const tol = 1e-6
+	for i := range indep {
+		a, b := indep[i], pooled[i]
+		if a.Tracked != b.Tracked || a.Degraded != b.Degraded {
+			t.Fatalf("frame %d tracking decision diverges:\nindependent %+v\npooled      %+v", i, a, b)
+		}
+		if d := a.Inliers - b.Inliers; d < -2 || d > 2 {
+			t.Fatalf("frame %d inliers diverge: independent %d, pooled %d", i, a.Inliers, b.Inliers)
+		}
+		dt := a.Pose.T.Sub(b.Pose.T)
+		if dt.Norm() > tol {
+			t.Fatalf("frame %d pose diverges by %g m:\nindependent %+v\npooled      %+v",
+				i, dt.Norm(), a.Pose, b.Pose)
+		}
+	}
+	if ikf != pkf || imp != pmp {
+		t.Errorf("map growth diverges: independent %d KFs/%d MPs, pooled %d KFs/%d MPs", ikf, imp, pkf, pmp)
+	}
+}

@@ -219,28 +219,38 @@ type grid struct {
 	bins [][]int
 }
 
-func newGrid(kps []feature.Keypoint, w, h int) *grid {
+// reset rebuilds the grid over the keypoints staged in soa, reusing
+// the bin storage of the previous frame (frame geometry is fixed per
+// rig, so after warmup reset allocates nothing).
+func (g *grid) reset(soa *feature.SoA, w, h int) {
 	const cell = 32
-	g := &grid{
-		cell: cell,
-		cols: (w + cell - 1) / cell,
-		rows: (h + cell - 1) / cell,
+	g.cell = cell
+	g.cols = (w + cell - 1) / cell
+	g.rows = (h + cell - 1) / cell
+	n := g.cols * g.rows
+	if cap(g.bins) < n {
+		g.bins = make([][]int, n)
 	}
-	g.bins = make([][]int, g.cols*g.rows)
-	for i, kp := range kps {
-		c := int(kp.X) / cell
-		r := int(kp.Y) / cell
+	g.bins = g.bins[:n]
+	for i := range g.bins {
+		g.bins[i] = g.bins[i][:0]
+	}
+	for i := range soa.X {
+		c := int(soa.X[i]) / cell
+		r := int(soa.Y[i]) / cell
 		if c < 0 || r < 0 || c >= g.cols || r >= g.rows {
 			continue
 		}
 		g.bins[r*g.cols+c] = append(g.bins[r*g.cols+c], i)
 	}
-	return g
 }
 
 // bestMatch returns the keypoint index within radius of px whose
-// descriptor is closest to desc (and below maxDist), or -1.
-func (g *grid) bestMatch(kps []feature.Keypoint, px geom.Vec2, radius float64, desc feature.Descriptor, maxDist int) int {
+// descriptor is closest to desc (and below maxDist), or -1. Keypoint
+// hot data is read from the frame's struct-of-arrays staging: the
+// radius test touches only the X/Y arrays and the descriptor compare
+// only Desc, instead of striding whole Keypoints.
+func (g *grid) bestMatch(soa *feature.SoA, px geom.Vec2, radius float64, desc feature.Descriptor, maxDist int) int {
 	c0 := int((px.X - radius)) / g.cell
 	c1 := int((px.X + radius)) / g.cell
 	r0 := int((px.Y - radius)) / g.cell
@@ -255,13 +265,12 @@ func (g *grid) bestMatch(kps []feature.Keypoint, px geom.Vec2, radius float64, d
 				continue
 			}
 			for _, i := range g.bins[r*g.cols+c] {
-				kp := &kps[i]
-				dx := kp.X - px.X
-				dy := kp.Y - px.Y
+				dx := soa.X[i] - px.X
+				dy := soa.Y[i] - px.Y
 				if dx*dx+dy*dy > radius*radius {
 					continue
 				}
-				if d := feature.Distance(desc, kp.Desc); d < bestD {
+				if d := feature.Distance(desc, soa.Desc[i]); d < bestD {
 					best, bestD = i, d
 				}
 			}

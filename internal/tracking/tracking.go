@@ -166,6 +166,7 @@ type Tracker struct {
 	Reload func(bv bow.Vec)
 
 	obsStages trackStages
+	sc        trackScratch
 	degraded  atomic.Int64
 	state     State
 	last      Frame
@@ -212,7 +213,7 @@ func (t *Tracker) DegradedFrames() int64 { return t.degraded.Load() }
 // fields stay nil when no tracer is attached, making every Observe a
 // no-op.
 type trackStages struct {
-	extract, match, posePredict, searchLocal, degraded, total *obs.Stage
+	extract, match, posePredict, searchLocal, degraded, queue, total *obs.Stage
 }
 
 func (t *Tracker) wireObs() {
@@ -225,14 +226,140 @@ func (t *Tracker) wireObs() {
 		posePredict: t.Obs.Stage("track.pose_predict"),
 		searchLocal: t.Obs.Stage("track.search_local"),
 		degraded:    t.Obs.Stage("track.degraded"),
+		queue:       t.Obs.Stage("track.queue"),
 		total:       t.Obs.Stage("track.total"),
 	}
+}
+
+// trackScratch is the tracker's per-frame working set, reused across
+// frames so steady-state tracking does not allocate for it: the
+// keypoint grid and struct-of-arrays staging (built once per frame and
+// shared by trackLastFrame and searchLocalPoints), the binding and
+// conflict-resolution maps with the candidate buffer of
+// searchLocalPoints, and the pose-optimization input slices.
+type trackScratch struct {
+	grid      grid
+	soa       feature.SoA
+	gridFrame int
+	gridBuilt bool
+	bound     map[smap.ID]bool
+	cands     []searchCand
+	bestFor   map[int]int
+	pts       []geom.Vec3
+	uvs       []geom.Vec2
+	kpIdx     []int
+}
+
+// searchCand is one search-local-points candidate: the keypoint index
+// a local map point matched (-1 for none) and the descriptor distance.
+type searchCand struct {
+	kp   int
+	dist int
+}
+
+// frameGrid returns the keypoint grid and SoA staging for fr, building
+// them at most once per frame.
+func (t *Tracker) frameGrid(fr *Frame) (*grid, *feature.SoA) {
+	sc := &t.sc
+	if !sc.gridBuilt || sc.gridFrame != fr.Idx {
+		sc.soa.Gather(fr.Kps)
+		sc.grid.reset(&sc.soa, t.Rig.Intr.Width, t.Rig.Intr.Height)
+		sc.gridFrame = fr.Idx
+		sc.gridBuilt = true
+	}
+	return &sc.grid, &sc.soa
+}
+
+// beginFrame tags pool-backed parallelizers with the frame's admission
+// window (arrival, deadline) so the shared tracking pool can order
+// batches earliest-deadline-first and let a nearly-overdue frame jump
+// the queue. Extraction and search usually share one stream, so the
+// second tag is skipped when the parallelizers are the same value.
+func (t *Tracker) beginFrame(arrival time.Time) {
+	var deadline time.Time
+	if t.Cfg.FrameDeadline > 0 {
+		deadline = arrival.Add(t.Cfg.FrameDeadline)
+	}
+	var ep feature.Parallelizer
+	if t.Extractor != nil {
+		ep = t.Extractor.Par
+	}
+	if fs, ok := ep.(feature.FrameScheduler); ok {
+		fs.BeginFrame(arrival, deadline)
+	}
+	if fs, ok := t.SearchPar.(feature.FrameScheduler); ok && t.SearchPar != ep {
+		fs.BeginFrame(arrival, deadline)
+	}
+}
+
+// endFrame closes the admission window opened by beginFrame, releasing
+// the pool slot so the next queued frame starts. Deferred from
+// ProcessFrame so every exit path releases it.
+func (t *Tracker) endFrame() {
+	var ep feature.Parallelizer
+	if t.Extractor != nil {
+		ep = t.Extractor.Par
+	}
+	if fs, ok := ep.(feature.FrameScheduler); ok {
+		fs.EndFrame()
+	}
+	if fs, ok := t.SearchPar.(feature.FrameScheduler); ok && t.SearchPar != ep {
+		fs.EndFrame()
+	}
+}
+
+// queueWait sums the queue-wait ledgers of the tracker's parallelizers
+// (deduplicated like beginFrame) and reports whether any ledger
+// exists — false means no pool is attached and track.queue is not
+// observed at all.
+func (t *Tracker) queueWait() (time.Duration, bool) {
+	var ep feature.Parallelizer
+	if t.Extractor != nil {
+		ep = t.Extractor.Par
+	}
+	var total time.Duration
+	has := false
+	if qw, ok := ep.(feature.QueueWaiter); ok {
+		total += qw.QueueWait()
+		has = true
+	}
+	if qw, ok := t.SearchPar.(feature.QueueWaiter); ok && t.SearchPar != ep {
+		total += qw.QueueWait()
+		has = true
+	}
+	return total, has
+}
+
+// observeQueue records the frame's cumulative batch queue wait as the
+// track.queue stage — the scheduling cost the shared pool added to
+// this frame, kept separate so the per-stage histograms still reflect
+// execution time.
+func (t *Tracker) observeQueue(t0 time.Time, q0 time.Duration, has bool, client uint32, seq uint64) {
+	if !has {
+		return
+	}
+	q1, _ := t.queueWait()
+	t.obsStages.queue.Observe(t0, q1-q0, client, seq)
 }
 
 func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *geom.SE3) Result {
 	t0 := time.Now()
 	t.wireObs()
 	obsClient, obsSeq := uint32(t.Client), uint64(t.frameIdx)
+	// Open the frame's admission window on pool-backed parallelizers
+	// (deadline-aware batch scheduling; BeginFrame blocks until the
+	// pool admits the frame) and sample the queue-wait ledger so the
+	// wait this frame accrues is reported as track.queue.
+	q0, hasQueue := t.queueWait()
+	t.beginFrame(t0)
+	defer t.endFrame()
+	// The execution clock starts when the pool admits the frame: time
+	// spent blocked at the admission gate (and queued behind other
+	// sessions' batches) is scheduling cost, reported as track.queue —
+	// track.extract and track.total measure what this frame's compute
+	// actually took. Deadline checks stay anchored to t0, the arrival:
+	// a frame's budget runs while it queues.
+	e0 := time.Now()
 	// Sample every distinct device ledger once so Total can be
 	// converted to device-accurate time at the end.
 	devs := t.uniqueDevices()
@@ -244,7 +371,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 	// Stage 1: ORB extraction.
 	ew0, em0 := counters(t.Extractor.Par)
 	kps := t.Extractor.Extract(left)
-	res.Timing.Extract = deviceTime(time.Since(t0), t.Extractor.Par, ew0, em0)
+	res.Timing.Extract = deviceTime(time.Since(e0), t.Extractor.Par, ew0, em0)
 	t.obsStages.extract.Observe(t0, res.Timing.Extract, obsClient, obsSeq)
 
 	// Stage 2: matching (stereo correspondence).
@@ -252,7 +379,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 	mw0, mm0 := counters(t.Extractor.Par)
 	if right != nil && t.Rig.Mode == camera.Stereo {
 		rkps := t.Extractor.Extract(right)
-		feature.StereoMatch(kps, rkps, t.Rig.Intr.Fx, t.Rig.Baseline, 2)
+		feature.StereoMatchPar(kps, rkps, t.Rig.Intr.Fx, t.Rig.Baseline, 2, t.Extractor.Par)
 	}
 	res.Timing.Match = deviceTime(time.Since(tm), t.Extractor.Par, mw0, mm0)
 	t.obsStages.match.Observe(tm, res.Timing.Match, obsClient, obsSeq)
@@ -321,7 +448,8 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 			// Preserve the motion model; recovery happens on the next
 			// frames via the prior.
 			t.last = fr
-			res.Timing.Total = adjustTotal(time.Since(t0), devs, w0, m0)
+			t.observeQueue(t0, q0, hasQueue, obsClient, obsSeq)
+			res.Timing.Total = adjustTotal(time.Since(e0), devs, w0, m0)
 			t.obsStages.total.Observe(t0, res.Timing.Total, obsClient, obsSeq)
 			return res
 		}
@@ -337,7 +465,8 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		}
 	}
 	t.last = fr
-	res.Timing.Total = adjustTotal(time.Since(t0), devs, w0, m0)
+	t.observeQueue(t0, q0, hasQueue, obsClient, obsSeq)
+	res.Timing.Total = adjustTotal(time.Since(e0), devs, w0, m0)
 	t.obsStages.total.Observe(t0, res.Timing.Total, obsClient, obsSeq)
 	return res
 }
@@ -434,13 +563,14 @@ func (t *Tracker) predictPose(prior *geom.SE3) geom.SE3 {
 // points bound in the previous frame by projecting them with the
 // predicted pose, then optimizes the pose on those matches.
 func (t *Tracker) trackLastFrame(fr *Frame) int {
-	grid := newGrid(fr.Kps, t.Rig.Intr.Width, t.Rig.Intr.Height)
+	g, soa := t.frameGrid(fr)
+	sc := &t.sc
 	// Resolve last-frame points through the local snapshot when they
 	// are in the window (the common case) so the loop stays lock-free.
 	view := t.Map.LocalView(t.refKF, t.Cfg.MaxLocalKFs)
-	var pts []geom.Vec3
-	var uvs []geom.Vec2
-	var kpIdx []int
+	pts := sc.pts[:0]
+	uvs := sc.uvs[:0]
+	kpIdx := sc.kpIdx[:0]
 	for _, mpID := range t.last.MPs {
 		if mpID == 0 {
 			continue
@@ -457,7 +587,7 @@ func (t *Tracker) trackLastFrame(fr *Frame) int {
 		if !visible {
 			continue
 		}
-		j := grid.bestMatch(fr.Kps, px, t.Cfg.MatchRadius, vp.Desc, feature.MatchThresholdLoose)
+		j := g.bestMatch(soa, px, t.Cfg.MatchRadius, vp.Desc, feature.MatchThresholdLoose)
 		if j < 0 || fr.MPs[j] != 0 {
 			continue
 		}
@@ -466,6 +596,7 @@ func (t *Tracker) trackLastFrame(fr *Frame) int {
 		uvs = append(uvs, fr.Kps[j].Pt())
 		kpIdx = append(kpIdx, j)
 	}
+	sc.pts, sc.uvs, sc.kpIdx = pts, uvs, kpIdx
 	if len(pts) < 6 {
 		return len(pts)
 	}
@@ -493,27 +624,34 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 	if len(local) == 0 {
 		return countBound(fr.MPs)
 	}
-	grid := newGrid(fr.Kps, t.Rig.Intr.Width, t.Rig.Intr.Height)
-	bound := make(map[smap.ID]bool)
+	g, soa := t.frameGrid(fr)
+	sc := &t.sc
+	if sc.bound == nil {
+		sc.bound = make(map[smap.ID]bool, 2*len(fr.MPs))
+		sc.bestFor = make(map[int]int, len(fr.MPs))
+	}
+	clear(sc.bound)
+	bound := sc.bound
 	for _, id := range fr.MPs {
 		if id != 0 {
 			bound[id] = true
 		}
 	}
 	// Parallel match phase: each work item computes a candidate
-	// (kpIndex, distance) pair; conflict resolution is sequential.
-	type cand struct {
-		kp   int
-		dist int
+	// (kpIndex, distance) pair; conflict resolution is sequential. The
+	// candidate buffer is tracker scratch — it used to be a fresh
+	// len(local)-element allocation every frame.
+	if cap(sc.cands) < len(local) {
+		sc.cands = make([]searchCand, len(local))
 	}
-	cands := make([]cand, len(local))
+	cands := sc.cands[:len(local)]
 	par := t.SearchPar
 	if par == nil {
 		par = feature.SerialRunner{}
 	}
 	pose := fr.Tcw
 	par.Run(len(local), func(i int) {
-		cands[i] = cand{kp: -1}
+		cands[i] = searchCand{kp: -1}
 		mp := &local[i]
 		if bound[mp.ID] {
 			return
@@ -522,13 +660,14 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 		if !visible {
 			return
 		}
-		j := grid.bestMatch(fr.Kps, px, t.Cfg.LocalRadius, mp.Desc, feature.MatchThresholdStrict)
+		j := g.bestMatch(soa, px, t.Cfg.LocalRadius, mp.Desc, feature.MatchThresholdStrict)
 		if j >= 0 {
-			cands[i] = cand{kp: j, dist: feature.Distance(mp.Desc, fr.Kps[j].Desc)}
+			cands[i] = searchCand{kp: j, dist: feature.Distance(mp.Desc, soa.Desc[j])}
 		}
 	})
 	// Sequential conflict resolution: best distance wins a keypoint.
-	bestFor := make(map[int]int) // kp -> local index
+	clear(sc.bestFor)
+	bestFor := sc.bestFor // kp -> local index
 	for i, c := range cands {
 		if c.kp < 0 || fr.MPs[c.kp] != 0 {
 			continue
@@ -543,9 +682,9 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 	// Final pose optimization over all bound points; positions resolve
 	// through the snapshot, falling back to a live lookup for points
 	// bound before this window (e.g. carried over from the last frame).
-	var pts []geom.Vec3
-	var uvs []geom.Vec2
-	var kpIdx []int
+	pts := sc.pts[:0]
+	uvs := sc.uvs[:0]
+	kpIdx := sc.kpIdx[:0]
 	for j, mpID := range fr.MPs {
 		if mpID == 0 {
 			continue
@@ -563,6 +702,7 @@ func (t *Tracker) searchLocalPoints(fr *Frame) int {
 		uvs = append(uvs, fr.Kps[j].Pt())
 		kpIdx = append(kpIdx, j)
 	}
+	sc.pts, sc.uvs, sc.kpIdx = pts, uvs, kpIdx
 	if len(pts) < 6 {
 		return len(pts)
 	}

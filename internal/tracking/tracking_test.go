@@ -229,19 +229,27 @@ func TestGridBestMatch(t *testing.T) {
 		{X: 105, Y: 100, Desc: feature.Descriptor{0xFF}},
 		{X: 400, Y: 300, Desc: feature.Descriptor{1}},
 	}
-	g := newGrid(kps, 640, 480)
+	var soa feature.SoA
+	soa.Gather(kps)
+	var g grid
+	g.reset(&soa, 640, 480)
 	// Search near (102,100) for descriptor {1}: keypoint 0 wins.
-	j := g.bestMatch(kps, geom.Vec2{X: 102, Y: 100}, 10, feature.Descriptor{1}, 50)
+	j := g.bestMatch(&soa, geom.Vec2{X: 102, Y: 100}, 10, feature.Descriptor{1}, 50)
 	if j != 0 {
 		t.Errorf("bestMatch = %d", j)
 	}
 	// Radius excludes the far keypoint.
-	if j := g.bestMatch(kps, geom.Vec2{X: 200, Y: 200}, 10, feature.Descriptor{1}, 50); j != -1 {
+	if j := g.bestMatch(&soa, geom.Vec2{X: 200, Y: 200}, 10, feature.Descriptor{1}, 50); j != -1 {
 		t.Errorf("out-of-radius match = %d", j)
 	}
 	// maxDist filters poor matches.
-	if j := g.bestMatch(kps, geom.Vec2{X: 105, Y: 100}, 3, feature.Descriptor{0}, 2); j != -1 {
+	if j := g.bestMatch(&soa, geom.Vec2{X: 105, Y: 100}, 3, feature.Descriptor{0}, 2); j != -1 {
 		t.Errorf("weak match accepted: %d", j)
+	}
+	// A rebuild over the same arrays reuses the bins and matches again.
+	g.reset(&soa, 640, 480)
+	if j := g.bestMatch(&soa, geom.Vec2{X: 102, Y: 100}, 10, feature.Descriptor{1}, 50); j != 0 {
+		t.Errorf("bestMatch after reset = %d", j)
 	}
 }
 
@@ -292,5 +300,47 @@ func TestRelocalizationRecovers(t *testing.T) {
 	}
 	if !recovered {
 		t.Error("tracker never relocalized")
+	}
+}
+
+// TestSearchLocalPointsAllocs pins the scratch-reuse contract for the
+// local-point search hot path: in steady state the bound set, the
+// candidate buffer, the conflict map, and the optimization input
+// slices all live in tracker scratch, so per-call allocations are a
+// small constant (the pose optimizer's internals), not O(local map).
+func TestSearchLocalPointsAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline test")
+	}
+	seq := dataset.MH04(camera.Stereo)
+	m := smap.NewMap(bow.Default())
+	alloc := smap.NewIDAllocator(1)
+	ex := feature.NewExtractor(feature.DefaultConfig())
+	tr := New(m, seq.Rig, ex, alloc, 1, DefaultConfig())
+	mp := mapping.New(m, seq.Rig, alloc, 1, mapping.DefaultConfig())
+	for i := 0; i < 25; i++ {
+		left, right := seq.StereoFrame(i)
+		var prior *geom.SE3
+		if i == 0 {
+			p := seq.GroundTruth(i).Inverse()
+			prior = &p
+		}
+		res := tr.ProcessFrame(left, right, seq.FrameTime(i), prior)
+		if res.NewKF != nil {
+			mp.ProcessKeyFrame(res.NewKF)
+		}
+	}
+	fr := tr.last
+	if len(fr.Kps) == 0 {
+		t.Fatal("no keypoints on the last frame")
+	}
+	tr.searchLocalPoints(&fr) // warm the scratch for this frame
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.searchLocalPoints(&fr)
+	})
+	t.Logf("searchLocalPoints steady state: %.1f allocs/op (%d local points)",
+		allocs, len(tr.Map.LocalView(tr.refKF, tr.Cfg.MaxLocalKFs).Points))
+	if allocs > 8 {
+		t.Errorf("searchLocalPoints allocates %.1f/op in steady state; scratch reuse regressed", allocs)
 	}
 }

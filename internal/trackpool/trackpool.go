@@ -1,0 +1,521 @@
+// Package trackpool implements the server-wide batched tracking
+// service: one global run queue of data-parallel batches — per-strip
+// FAST/ORB extraction and per-point search-local-points work — fed by
+// every session's in-flight frame and drained by a fixed set of
+// long-lived workers. It replaces per-call Parallelizer fan-out
+// (goroutines spawned per kernel per session) with the shape a batched
+// inference server uses: sessions submit, a saturated pool executes,
+// and scheduling is global, so one frame's hot loop runs to completion
+// instead of timeslicing against seven neighbours.
+//
+// Scheduling is earliest-deadline-first. Each session's Stream tags
+// its batches with the current frame's arrival time and deadline
+// (feature.FrameScheduler): with no deadline the key is the arrival
+// time (FIFO), with a deadline the key is the deadline itself — the
+// same order when every session carries the same budget, but a frame
+// that has nearly exhausted its FrameDeadline budget at admission is
+// promoted to an urgent class that jumps all normal work, composing
+// with the server's shedding instead of fighting it: the frames the
+// shedder would have to degrade are exactly the ones served first.
+//
+// Work functions must not submit to the pool (a worker executing them
+// would deadlock waiting on itself); the tracking kernels are leaf
+// loops, so this is structural rather than a runtime check.
+package trackpool
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slamshare/internal/feature"
+)
+
+// Config parameterizes the pool.
+type Config struct {
+	// Workers is the number of long-lived worker goroutines draining
+	// the run queue. 0 means GOMAXPROCS — one per schedulable core, the
+	// point being that the fleet shares them instead of each session
+	// fanning out its own.
+	Workers int
+	// MinGrain is the smallest number of work items a worker claims
+	// from a batch per visit, bounding queue-lock traffic on small
+	// batches. 0 means 2.
+	MinGrain int
+	// UrgentFrac is the fraction of a frame's deadline budget below
+	// which its batches enter the urgent class and jump the queue.
+	// 0 means 0.25.
+	UrgentFrac float64
+	// MaxInflight bounds the number of frames admitted concurrently:
+	// BeginFrame blocks until a slot frees (EndFrame) and waiters are
+	// served in the same EDF-plus-urgent order as the run queue. The
+	// bound is what extends run-to-completion past the pooled kernels:
+	// without it the serial segments between a frame's batches — pose
+	// optimization, quadtree distribution, grid ops — still timeslice
+	// against every other session's, and the batch-level EDF win
+	// evaporates at the stage boundaries. 0 means Workers (one frame
+	// per worker); negative disables admission control.
+	MaxInflight int
+	// Device, when non-nil, is an accelerator backend: workers dispatch
+	// each batch to it whole, as one kernel, so concurrent sessions
+	// share the modeled GPU through the pool's EDF queue instead of
+	// carving static per-session slices.
+	Device feature.TimedParallelizer
+}
+
+const (
+	classUrgent = iota
+	classNormal
+)
+
+// batch is one submitted kernel: n index-disjoint work items plus its
+// scheduling key. Workers claim [next, next+grain) ranges from the
+// front batch until it is exhausted.
+type batch struct {
+	f       func(i int)
+	n       int
+	next    int    // next unclaimed item index
+	done    int    // completed items
+	class   int    // classUrgent sorts before classNormal
+	key     int64  // EDF key, UnixNano: deadline when set, else arrival
+	seq     uint64 // frame admission order, the final tie-break
+	grain   int
+	st      *Stream
+	enq     time.Time
+	claimed bool // first worker touch recorded (queue-wait accounting)
+	fin     chan struct{}
+	idx     int // heap index
+}
+
+// admitter is one frame waiting at the admission gate, ordered like
+// batches: urgent class first, then EDF key, then arrival order.
+type admitter struct {
+	class int
+	key   int64
+	seq   uint64
+	slot  bool // granted with a slot (false when released by Close)
+	grant chan struct{}
+	idx   int
+}
+
+type admitHeap []*admitter
+
+func (h admitHeap) Len() int { return len(h) }
+func (h admitHeap) Less(i, j int) bool {
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h admitHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *admitHeap) Push(x any) {
+	a := x.(*admitter)
+	a.idx = len(*h)
+	*h = append(*h, a)
+}
+func (h *admitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	a := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return a
+}
+
+type batchHeap []*batch
+
+func (h batchHeap) Len() int { return len(h) }
+func (h batchHeap) Less(i, j int) bool {
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h batchHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *batchHeap) Push(x any) {
+	b := x.(*batch)
+	b.idx = len(*h)
+	*h = append(*h, b)
+}
+func (h *batchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return b
+}
+
+// Stats is a snapshot of pool activity for /debug/vars.
+type Stats struct {
+	Workers      int
+	Streams      int
+	QueueDepth   int // batches currently queued or partially claimed
+	Inflight     int // frames currently admitted
+	AdmitWaiting int // frames blocked at the admission gate
+	Batches      uint64
+	Items        uint64
+	Busy         time.Duration // cumulative worker execution time
+	QueueWait    time.Duration // cumulative queue + admission wait
+}
+
+// Pool is the shared batched tracking service. One Pool serves the
+// whole server; sessions attach via NewStream.
+type Pool struct {
+	cfg      Config
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    batchHeap
+	admitQ   admitHeap
+	inflight int
+	seq      uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	streams atomic.Int64
+	batches atomic.Uint64
+	items   atomic.Uint64
+	busyNS  atomic.Int64
+	waitNS  atomic.Int64
+}
+
+// New starts a pool with the given config.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MinGrain <= 0 {
+		cfg.MinGrain = 2
+	}
+	if cfg.UrgentFrac <= 0 {
+		cfg.UrgentFrac = 0.25
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = cfg.Workers
+	}
+	p := &Pool{cfg: cfg}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Stats returns a snapshot of pool activity.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	depth := len(p.queue)
+	inflight := p.inflight
+	waiting := len(p.admitQ)
+	p.mu.Unlock()
+	return Stats{
+		Workers:      p.cfg.Workers,
+		Streams:      int(p.streams.Load()),
+		QueueDepth:   depth,
+		Inflight:     inflight,
+		AdmitWaiting: waiting,
+		Batches:      p.batches.Load(),
+		Items:        p.items.Load(),
+		Busy:         time.Duration(p.busyNS.Load()),
+		QueueWait:    time.Duration(p.waitNS.Load()),
+	}
+}
+
+// Close drains the queue and stops the workers. Batches submitted
+// before Close complete; Run calls after Close execute inline on the
+// caller (so sessions racing a server shutdown still finish their
+// frame, just unbatched).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	// Release every frame blocked at the admission gate without a slot:
+	// they proceed ungated (and their batches, submitted after closed,
+	// run inline on the caller).
+	for p.admitQ.Len() > 0 {
+		a := heap.Pop(&p.admitQ).(*admitter)
+		close(a.grant)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return // closed and drained
+		}
+		b := p.queue[0]
+		lo := b.next
+		hi := lo + b.grain
+		if hi >= b.n {
+			hi = b.n
+			heap.Pop(&p.queue)
+		} else {
+			b.next = hi
+		}
+		if !b.claimed {
+			b.claimed = true
+			w := time.Since(b.enq)
+			b.st.queueNS.Add(int64(w))
+			p.waitNS.Add(int64(w))
+		}
+		p.mu.Unlock()
+
+		start := time.Now()
+		if dev := p.cfg.Device; dev != nil && lo == 0 && hi == b.n {
+			// Accelerator backend: the whole batch is one kernel, and its
+			// cost lands on the submitting stream's ledger.
+			wall, modeled := dev.RunTimed(b.n, b.f)
+			b.st.wallNS.Add(int64(wall))
+			b.st.modelNS.Add(int64(modeled))
+		} else {
+			for i := lo; i < hi; i++ {
+				b.f(i)
+			}
+		}
+		p.busyNS.Add(int64(time.Since(start)))
+
+		p.mu.Lock()
+		b.done += hi - lo
+		finished := b.done == b.n
+		p.mu.Unlock()
+		if finished {
+			close(b.fin)
+		}
+	}
+}
+
+// Stream is one session's handle on the pool. It implements
+// feature.Parallelizer (and ModeledParallelizer, FrameScheduler,
+// QueueWaiter), so it drops into Extractor.Par and Tracker.SearchPar
+// unchanged. A Stream is used by one session goroutine at a time.
+type Stream struct {
+	pool     *Pool
+	arrival  atomic.Int64 // current frame arrival, UnixNano (0 = unset)
+	deadline atomic.Int64 // current frame deadline, UnixNano (0 = none)
+	// frameSeq is the EDF tie-break shared by every batch of the
+	// current frame, assigned from the pool counter at the frame's
+	// first submission and cleared by BeginFrame. Sharing it across
+	// the frame is what makes ties resolve per frame, not per batch:
+	// when concurrent frames carry identical keys (same arrival tick,
+	// same deadline), a per-batch tie-break would interleave their
+	// kernels — frame A's second kernel loses to frame B's first —
+	// reintroducing the processor sharing the pool removes. Owned by
+	// the submitting goroutine; copied into batches under pool.mu.
+	frameSeq uint64
+	// admitted is true while the stream holds an admission slot,
+	// acquired in BeginFrame and released by EndFrame. Owned by the
+	// submitting goroutine.
+	admitted bool
+	queueNS  atomic.Int64
+	wallNS   atomic.Int64 // device backend: per-stream kernel wall time
+	modelNS  atomic.Int64 // device backend: per-stream modeled time
+}
+
+var (
+	_ feature.Parallelizer        = (*Stream)(nil)
+	_ feature.ModeledParallelizer = (*Stream)(nil)
+	_ feature.FrameScheduler      = (*Stream)(nil)
+	_ feature.QueueWaiter         = (*Stream)(nil)
+)
+
+// NewStream attaches a session to the pool.
+func (p *Pool) NewStream() *Stream {
+	p.streams.Add(1)
+	return &Stream{pool: p}
+}
+
+// Close detaches the stream, releasing any admission slot it still
+// holds (gauge accounting otherwise; a closed stream's Run still
+// works).
+func (st *Stream) Close() {
+	st.EndFrame()
+	st.pool.streams.Add(-1)
+}
+
+// schedKey maps a frame's admission window to its (key, class): EDF on
+// the deadline when one is set, FIFO on arrival otherwise, promoted to
+// the urgent class when the remaining budget at now has fallen below
+// UrgentFrac of the whole budget.
+func (p *Pool) schedKey(now, arr, dl int64) (key int64, class int) {
+	key = arr
+	class = classNormal
+	if dl != 0 {
+		key = dl
+		if budget := dl - arr; budget > 0 && dl-now < int64(float64(budget)*p.cfg.UrgentFrac) {
+			class = classUrgent
+		}
+	}
+	return key, class
+}
+
+// BeginFrame tags subsequent Run calls with the frame's admission
+// window and blocks until the pool admits the frame (at most
+// MaxInflight frames hold slots at once, granted in EDF-plus-urgent
+// order). It implements feature.FrameScheduler. A frame left open on
+// the stream is released first, so a missed EndFrame degrades to
+// frame-at-a-time admission instead of deadlocking the session.
+func (st *Stream) BeginFrame(arrival, deadline time.Time) {
+	st.EndFrame()
+	st.frameSeq = 0
+	arr := arrival.UnixNano()
+	st.arrival.Store(arr)
+	var dl int64
+	if !deadline.IsZero() {
+		dl = deadline.UnixNano()
+	}
+	st.deadline.Store(dl)
+
+	p := st.pool
+	if p.cfg.MaxInflight < 0 {
+		return
+	}
+	now := time.Now()
+	key, class := p.schedKey(now.UnixNano(), arr, dl)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if p.inflight < p.cfg.MaxInflight && len(p.admitQ) == 0 {
+		p.inflight++
+		p.mu.Unlock()
+		st.admitted = true
+		return
+	}
+	p.seq++
+	a := &admitter{class: class, key: key, seq: p.seq, grant: make(chan struct{})}
+	heap.Push(&p.admitQ, a)
+	p.mu.Unlock()
+	<-a.grant
+	st.admitted = a.slot
+	// Admission wait is scheduling cost the shared pool added to this
+	// frame, same as batch queue wait: both land on the track.queue
+	// ledger.
+	w := time.Since(now)
+	st.queueNS.Add(int64(w))
+	p.waitNS.Add(int64(w))
+}
+
+// EndFrame releases the admission slot acquired by BeginFrame, waking
+// the highest-priority waiting frame. It implements
+// feature.FrameScheduler and is idempotent.
+func (st *Stream) EndFrame() {
+	if !st.admitted {
+		return
+	}
+	st.admitted = false
+	p := st.pool
+	p.mu.Lock()
+	p.inflight--
+	if len(p.admitQ) > 0 && p.inflight < p.cfg.MaxInflight {
+		a := heap.Pop(&p.admitQ).(*admitter)
+		a.slot = true
+		p.inflight++
+		close(a.grant)
+	}
+	p.mu.Unlock()
+}
+
+// QueueWait returns the cumulative time this stream's batches spent
+// queued before first worker touch. It implements feature.QueueWaiter.
+func (st *Stream) QueueWait() time.Duration {
+	return time.Duration(st.queueNS.Load())
+}
+
+// Counters returns the stream's cumulative (wall, modeled) kernel time
+// on the pool's device backend; both stay zero on the CPU backend, so
+// stage timers report plain wall time. It implements
+// feature.ModeledParallelizer.
+func (st *Stream) Counters() (wall, modeled time.Duration) {
+	return time.Duration(st.wallNS.Load()), time.Duration(st.modelNS.Load())
+}
+
+// Run submits n work items as one batch and blocks until they have all
+// executed. The submitter does not help execute — deliberately: a
+// submitter draining its own batch would re-create the processor
+// sharing the pool exists to remove, and the EDF ordering with it.
+func (st *Stream) Run(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p := st.pool
+	now := time.Now()
+	arr := st.arrival.Load()
+	if arr == 0 {
+		arr = now.UnixNano()
+	}
+	dl := st.deadline.Load()
+	key, class := p.schedKey(now.UnixNano(), arr, dl)
+	// Grains are deliberately much smaller than batch/Workers: the
+	// worker loop re-reads the heap front between claims, so the grain
+	// is the scheduler's preemption quantum. When a frame with an
+	// earlier key submits its next kernel mid-way through another
+	// frame's batch, workers switch to it within one grain instead of
+	// head-of-line blocking until the batch drains — approximate
+	// preemptive EDF, which is what keeps the earliest frame running
+	// to completion across its serial stage boundaries.
+	claims := 16 * p.cfg.Workers
+	grain := (n + claims - 1) / claims
+	if grain < p.cfg.MinGrain {
+		grain = p.cfg.MinGrain
+	}
+	if p.cfg.Device != nil {
+		grain = n // whole batch = one kernel on the device backend
+	}
+	b := &batch{
+		f: f, n: n, class: class, key: key, grain: grain,
+		st: st, enq: now, fin: make(chan struct{}),
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if st.frameSeq == 0 {
+		p.seq++
+		st.frameSeq = p.seq
+	}
+	b.seq = st.frameSeq
+	heap.Push(&p.queue, b)
+	p.batches.Add(1)
+	p.items.Add(uint64(n))
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-b.fin
+}

@@ -1,0 +1,461 @@
+package trackpool_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slamshare/internal/feature"
+	"slamshare/internal/gpu"
+	"slamshare/internal/img"
+	"slamshare/internal/trackpool"
+)
+
+func noiseTexture(w, h int, seed uint64) *img.Gray {
+	im := img.New(w, h)
+	s := seed
+	for i := range im.Pix {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		im.Pix[i] = byte(z ^ (z >> 31))
+	}
+	return im
+}
+
+// waitDepth polls until the pool's queue holds want batches — used to
+// force a known queue shape before releasing a blocked worker.
+func waitDepth(t *testing.T, p *trackpool.Pool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().QueueDepth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (now %d)", want, p.Stats().QueueDepth)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// blockWorker occupies the pool's single worker with a batch that
+// holds until the returned release func is called.
+func blockWorker(t *testing.T, p *trackpool.Pool) (release func(), wait func()) {
+	t.Helper()
+	st := p.NewStream()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.Run(1, func(int) {
+			close(started)
+			<-gate
+		})
+		st.Close()
+	}()
+	<-started
+	return func() { close(gate) }, func() { <-done }
+}
+
+// TestStreamExtractionMatchesSerial is the pooled half of the
+// determinism contract: extraction through a pool Stream must be
+// bit-identical to SerialRunner, on cold and warm scratch alike.
+func TestStreamExtractionMatchesSerial(t *testing.T) {
+	im := noiseTexture(300, 200, 9)
+	cfg := feature.Config{NFeatures: 300, Levels: 3, ScaleFactor: 1.2, Threshold: 25, MinThreshold: 10, StripRows: 31}
+	serial := (&feature.Extractor{Cfg: cfg, Par: feature.SerialRunner{}}).Extract(im)
+
+	p := trackpool.New(trackpool.Config{Workers: 4, MinGrain: 1})
+	defer p.Close()
+	st := p.NewStream()
+	defer st.Close()
+	ex := &feature.Extractor{Cfg: cfg, Par: st}
+	for round := 0; round < 3; round++ {
+		kps := ex.Extract(im)
+		if len(kps) != len(serial) {
+			t.Fatalf("round %d: pooled %d vs serial %d keypoints", round, len(kps), len(serial))
+		}
+		for i := range kps {
+			if kps[i] != serial[i] {
+				t.Fatalf("round %d: keypoint %d differs:\npooled %+v\nserial %+v", round, i, kps[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestEDFArrivalOrder pins the queue discipline: with the single
+// worker busy, a batch from an earlier-arrived frame submitted second
+// must still execute before a later-arrived frame's batch.
+func TestEDFArrivalOrder(t *testing.T) {
+	// MaxInflight -1: the gate would serialize the two frames before
+	// their batches ever coexist in the run queue; this test pins the
+	// batch-level discipline in isolation.
+	p := trackpool.New(trackpool.Config{Workers: 1, MinGrain: 1, MaxInflight: -1})
+	defer p.Close()
+	release, waitBlocked := blockWorker(t, p)
+
+	late := p.NewStream()
+	early := p.NewStream()
+	defer late.Close()
+	defer early.Close()
+	now := time.Now()
+	late.BeginFrame(now, time.Time{})
+	early.BeginFrame(now.Add(-50*time.Millisecond), time.Time{})
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		late.Run(1, func(int) { mu.Lock(); order = append(order, "late"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 1)
+	go func() {
+		defer wg.Done()
+		early.Run(1, func(int) { mu.Lock(); order = append(order, "early"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 2)
+	release()
+	wg.Wait()
+	waitBlocked()
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("execution order %v, want [early late]", order)
+	}
+}
+
+// TestUrgentClassJumpsQueue pins the deadline promotion: a frame that
+// has nearly exhausted its budget at admission jumps ahead of a normal
+// batch even when the normal batch's EDF key (deadline) is earlier.
+func TestUrgentClassJumpsQueue(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MinGrain: 1, MaxInflight: -1})
+	defer p.Close()
+	release, waitBlocked := blockWorker(t, p)
+
+	normal := p.NewStream()
+	urgent := p.NewStream()
+	defer normal.Close()
+	defer urgent.Close()
+	now := time.Now()
+	// Fresh budget: remaining == budget, far above UrgentFrac. Its key
+	// (deadline now+100ms) is EARLIER than the urgent stream's.
+	normal.BeginFrame(now, now.Add(100*time.Millisecond))
+	// Admitted 10s ago with a later deadline: remaining 500ms out of a
+	// 10.5s budget, under the 25% urgency threshold.
+	urgent.BeginFrame(now.Add(-10*time.Second), now.Add(500*time.Millisecond))
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		normal.Run(1, func(int) { mu.Lock(); order = append(order, "normal"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 1)
+	go func() {
+		defer wg.Done()
+		urgent.Run(1, func(int) { mu.Lock(); order = append(order, "urgent"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 2)
+	release()
+	wg.Wait()
+	waitBlocked()
+	if len(order) != 2 || order[0] != "urgent" {
+		t.Fatalf("execution order %v, want urgent first", order)
+	}
+}
+
+// TestQueueWaitAccounting checks that time spent queued behind another
+// session's work lands on the stream's QueueWait ledger (the source of
+// the track.queue stage).
+func TestQueueWaitAccounting(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MinGrain: 1})
+	defer p.Close()
+	release, waitBlocked := blockWorker(t, p)
+
+	st := p.NewStream()
+	defer st.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.Run(1, func(int) {})
+	}()
+	waitDepth(t, p, 1)
+	time.Sleep(15 * time.Millisecond)
+	release()
+	<-done
+	waitBlocked()
+	if w := st.QueueWait(); w < 5*time.Millisecond {
+		t.Errorf("stream queue wait %v, want >= 5ms", w)
+	}
+	if w := p.Stats().QueueWait; w < 5*time.Millisecond {
+		t.Errorf("pool queue wait %v, want >= 5ms", w)
+	}
+}
+
+// TestCloseDrainsThenRunsInline: batches in flight at Close complete,
+// and Run after Close falls back to inline execution so a session
+// racing server shutdown still finishes its frame.
+func TestCloseDrainsThenRunsInline(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 2, MinGrain: 1})
+	st := p.NewStream()
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.Run(16, func(int) {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		})
+	}()
+	// Close while the batch is (likely) mid-flight: it must drain.
+	time.Sleep(3 * time.Millisecond)
+	p.Close()
+	<-done
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("drained batch ran %d/16 items", got)
+	}
+	batchesBefore := p.Stats().Batches
+	var inline [8]int
+	st.Run(8, func(i int) { inline[i] = i + 1 })
+	for i, v := range inline {
+		if v != i+1 {
+			t.Fatalf("inline fallback item %d not executed", i)
+		}
+	}
+	if got := p.Stats().Batches; got != batchesBefore {
+		t.Errorf("post-Close Run was queued (batches %d -> %d), want inline", batchesBefore, got)
+	}
+	st.Close()
+	p.Close() // idempotent
+}
+
+// TestDeviceBackend: with an accelerator configured, batches dispatch
+// whole as kernels and the cost lands on the submitting stream's
+// ledger, not a shared one — the per-session attribution the GSlice
+// path could not give us.
+func TestDeviceBackend(t *testing.T) {
+	dev := gpu.NewDevice(gpu.Config{Lanes: 2, LaunchOverhead: time.Microsecond, MinGrain: 4})
+	p := trackpool.New(trackpool.Config{Workers: 2, Device: dev})
+	defer p.Close()
+	stA := p.NewStream()
+	stB := p.NewStream()
+	defer stA.Close()
+	defer stB.Close()
+
+	out := make([]int, 100)
+	stA.Run(len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("item %d = %d, want %d", i, v, i*i)
+		}
+	}
+	wall, modeled := stA.Counters()
+	if wall <= 0 || modeled <= 0 {
+		t.Errorf("stream A device ledger empty: wall=%v modeled=%v", wall, modeled)
+	}
+	// B never ran: its ledger must be untouched by A's kernels.
+	if w, m := stB.Counters(); w != 0 || m != 0 {
+		t.Errorf("stream B ledger cross-polluted: wall=%v modeled=%v", w, m)
+	}
+	if dev.Stats().Kernels == 0 {
+		t.Error("device saw no kernels")
+	}
+}
+
+// waitAdmitWaiting polls until n frames are blocked at the admission
+// gate.
+func waitAdmitWaiting(t *testing.T, p *trackpool.Pool, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().AdmitWaiting != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("admit waiters never reached %d (now %d)", n, p.Stats().AdmitWaiting)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestAdmissionGate pins the frame-level gate: with MaxInflight 1, a
+// second frame's BeginFrame blocks until the first EndFrames, waiting
+// frames are admitted in EDF order regardless of the order they
+// queued, and the wait lands on the QueueWait ledger.
+func TestAdmissionGate(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MaxInflight: 1})
+	defer p.Close()
+
+	hold := p.NewStream()
+	defer hold.Close()
+	now := time.Now()
+	hold.BeginFrame(now, time.Time{}) // takes the only slot
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enter := func(st *trackpool.Stream, name string, arrival time.Time) {
+		defer wg.Done()
+		st.BeginFrame(arrival, time.Time{})
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+		st.EndFrame()
+		st.Close()
+	}
+	// "late" queues at the gate first but arrived after "early": EDF
+	// at admission must serve early first.
+	wg.Add(1)
+	go enter(p.NewStream(), "late", now.Add(30*time.Millisecond))
+	waitAdmitWaiting(t, p, 1)
+	wg.Add(1)
+	go enter(p.NewStream(), "early", now.Add(10*time.Millisecond))
+	waitAdmitWaiting(t, p, 2)
+
+	if got := p.Stats().Inflight; got != 1 {
+		t.Fatalf("inflight %d with one admitted frame, want 1", got)
+	}
+	time.Sleep(5 * time.Millisecond) // measurable admission wait
+	hold.EndFrame()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("admission order %v, want [early late]", order)
+	}
+	if w := p.Stats().QueueWait; w < 5*time.Millisecond {
+		t.Errorf("pool queue wait %v after gated admission, want >= 5ms", w)
+	}
+}
+
+// TestAdmissionUrgentJumpsGate: a frame deep into its deadline budget
+// is admitted ahead of normal frames that queued before it.
+func TestAdmissionUrgentJumpsGate(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MaxInflight: 1})
+	defer p.Close()
+
+	hold := p.NewStream()
+	defer hold.Close()
+	now := time.Now()
+	hold.BeginFrame(now, time.Time{})
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enter := func(st *trackpool.Stream, name string, arrival, deadline time.Time) {
+		defer wg.Done()
+		st.BeginFrame(arrival, deadline)
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+		st.EndFrame()
+		st.Close()
+	}
+	// Normal frame with the EARLIER deadline queues first.
+	wg.Add(1)
+	go enter(p.NewStream(), "normal", now, now.Add(100*time.Millisecond))
+	waitAdmitWaiting(t, p, 1)
+	// Urgent: 500ms left of a 10.5s budget, under the 25% threshold.
+	wg.Add(1)
+	go enter(p.NewStream(), "urgent", now.Add(-10*time.Second), now.Add(500*time.Millisecond))
+	waitAdmitWaiting(t, p, 2)
+
+	hold.EndFrame()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "urgent" {
+		t.Fatalf("admission order %v, want urgent first", order)
+	}
+}
+
+// TestCloseReleasesAdmission: frames blocked at the gate when the pool
+// closes proceed ungated instead of hanging the session.
+func TestCloseReleasesAdmission(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MaxInflight: 1})
+	hold := p.NewStream()
+	hold.BeginFrame(time.Now(), time.Time{})
+
+	st := p.NewStream()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.BeginFrame(time.Now(), time.Time{})
+		var ran [3]bool
+		st.Run(3, func(i int) { ran[i] = true }) // inline: pool is closed
+		for i, v := range ran {
+			if !v {
+				t.Errorf("post-close item %d did not run", i)
+			}
+		}
+		st.EndFrame()
+		st.Close()
+	}()
+	waitAdmitWaiting(t, p, 1)
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame stayed blocked at the admission gate across Close")
+	}
+	hold.Close()
+}
+
+// TestTrackPoolStress churns 8 concurrent sessions through the pool —
+// mixed batch sizes, deadlines, and mid-run stream close/reopen — and
+// checks every work item ran exactly once. Run under -race in CI.
+func TestTrackPoolStress(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 4, MinGrain: 2})
+	defer p.Close()
+	const (
+		sessions = 8
+		frames   = 40
+	)
+	var items atomic.Uint64
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st := p.NewStream()
+			for i := 0; i < frames; i++ {
+				if i%13 == 5 { // session churn mid-run
+					st.Close()
+					st = p.NewStream()
+				}
+				now := time.Now()
+				switch i % 3 {
+				case 0:
+					st.BeginFrame(now, time.Time{})
+				case 1:
+					st.BeginFrame(now, now.Add(time.Duration(5+i%7)*time.Millisecond))
+				case 2: // deep in budget: exercises the urgent class
+					st.BeginFrame(now.Add(-time.Second), now.Add(time.Millisecond))
+				}
+				n := 1 + (s*7+i*13)%37
+				local := make([]int32, n)
+				st.Run(n, func(j int) { local[j]++ })
+				for j, v := range local {
+					if v != 1 {
+						t.Errorf("session %d frame %d item %d ran %d times", s, i, j, v)
+					}
+				}
+				items.Add(uint64(n))
+				// Leave every ninth frame open: the next BeginFrame (or the
+				// churn Close) must release the leaked admission slot itself.
+				if i%9 != 7 {
+					st.EndFrame()
+				}
+			}
+			st.Close()
+		}(s)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Items != items.Load() {
+		t.Errorf("pool counted %d items, submitted %d", st.Items, items.Load())
+	}
+	if st.Streams != 0 {
+		t.Errorf("stream gauge %d after all sessions closed, want 0", st.Streams)
+	}
+}

@@ -94,8 +94,15 @@ type ServerOptions struct {
 	// GPULanes enables the simulated accelerator with that many lanes
 	// (0 = CPU only, the ORB-SLAM3 configuration).
 	GPULanes int
-	// LanesPerClient is each session's GSlice share of the GPU.
+	// LanesPerClient is each session's GSlice share of the GPU. It
+	// applies only when batched tracking is disabled (TrackWorkers < 0).
 	LanesPerClient int
+	// TrackWorkers sizes the shared batched tracking service: all
+	// sessions' extraction and local-search batches drain through one
+	// deadline-aware worker pool (0 = enabled with GOMAXPROCS workers,
+	// the default; > 0 = that many workers; < 0 = disabled, per-session
+	// fan-out).
+	TrackWorkers int
 	// MergeAfterKFs triggers the first merge attempt once a client's
 	// local map has this many keyframes.
 	MergeAfterKFs int
@@ -162,6 +169,7 @@ func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
 	if opts.LanesPerClient > 0 {
 		cfg.LanesPerClient = opts.LanesPerClient
 	}
+	cfg.TrackWorkers = opts.TrackWorkers
 	if opts.MergeAfterKFs > 0 {
 		cfg.MergeAfterKFs = opts.MergeAfterKFs
 	}
