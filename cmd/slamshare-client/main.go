@@ -23,6 +23,8 @@ func main() {
 	stride := flag.Int("stride", 1, "process every Nth frame")
 	delay := flag.Duration("delay", 0, "added one-way link delay (tc netem)")
 	mbps := flag.Float64("mbps", 0, "link bandwidth cap in Mbit/s (0 = unlimited)")
+	qosName := flag.String("qos", "", "QoS class for adaptive offloading: headset, handheld or drone (empty = fixed full offload)")
+	modeName := flag.String("mode", "", "pin an offload mode instead of letting the server adapt: full, split or shadow")
 	flag.Parse()
 
 	mode := slamshare.Mono
@@ -45,6 +47,21 @@ func main() {
 	defer conn.Close()
 
 	dev := slamshare.NewDevice(uint32(*id), seq)
+	adaptive := *qosName != "" || *modeName != ""
+	if *qosName != "" {
+		qos, err := slamshare.ParseQoS(*qosName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev.EnableAdaptive(qos, slamshare.CapSplit|slamshare.CapShadow)
+	}
+	if *modeName != "" {
+		m, err := slamshare.ParseOffloadMode(*modeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev.ForceMode(m)
+	}
 	var idxs []int
 	for i := 0; i < *frames && i < seq.FrameCount(); i += *stride {
 		idxs = append(idxs, i)
@@ -52,7 +69,11 @@ func main() {
 	log.Printf("client %d replaying %s (%s), %d frames over %s (delay %v, cap %.1f Mbit/s)",
 		*id, seq.Name, mode, len(idxs), *addr, *delay, *mbps)
 	start := time.Now()
-	if err := dev.RunTCP(conn, idxs); err != nil {
+	run := dev.RunTCP
+	if adaptive {
+		run = dev.RunTCPAdaptive
+	}
+	if err := run(conn, idxs); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -62,4 +83,8 @@ func main() {
 		elapsed.Round(time.Millisecond),
 		slamshare.ATE(dev.Trajectory(), truth),
 		float64(dev.UplinkBytes())/float64(dev.FramesSent())/1024)
+	if adaptive {
+		log.Printf("offload: final mode %s, RTT estimate %v, %d mode switches",
+			dev.OffloadMode(), dev.RTTEstimate().Round(time.Millisecond), len(dev.ModeLog()))
+	}
 }

@@ -31,24 +31,34 @@ func main() {
 	frameDeadline := flag.Duration("frame-deadline", 0, "per-frame tracking budget; over it, frames skip refinement (0 = no deadline)")
 	maxMapKF := flag.Int("max-map-kf", 0, "resident keyframe budget; past it the lifecycle manager culls redundant keyframes (0 = unbounded)")
 	evictAfter := flag.Uint64("evict-after", 0, "evict map regions untouched for this many handled frames to disk, reloading on demand (0 = never; needs -checkpoint-dir)")
+	splitLoad := flag.Float64("split-load", 0, "server load at which full-offload sessions degrade to split keypoint upload (0 = policy default 2)")
+	shadowLoad := flag.Float64("shadow-load", 0, "server load at which split sessions degrade to shadow map-only sync; headsets are exempt (0 = policy default 6)")
+	splitRTT := flag.Duration("split-rtt", 0, "RTT beyond which full offload degrades to split regardless of load (0 = policy default 150ms)")
+	modeHysteresis := flag.Duration("mode-hysteresis", 0, "minimum dwell between offload mode switches (0 = policy default 2s)")
+	reservedSlots := flag.Int("reserved-slots", 0, "tracking-pool admission slots held back for headset (QoS 0) frames (0 = none)")
 	flag.Parse()
 
 	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
-		GPULanes:          *gpuLanes,
-		LanesPerClient:    *lanesPerClient,
-		TrackWorkers:      *trackWorkers,
-		ShmCapacity:       *shmGB << 30,
-		CheckpointDir:     *checkpointDir,
-		CheckpointEvery:   *checkpointEvery,
-		FsyncJournal:      *fsyncJournal,
-		MaxSessions:       *maxSessions,
-		MaxMergesInFlight: *maxMerges,
-		ShedBudget:        *shedBudget,
-		IdleTimeout:       *idleTimeout,
-		ReadTimeout:       *readTimeout,
-		FrameDeadline:     *frameDeadline,
-		MaxMapKF:          *maxMapKF,
-		EvictAfter:        *evictAfter,
+		GPULanes:           *gpuLanes,
+		LanesPerClient:     *lanesPerClient,
+		TrackWorkers:       *trackWorkers,
+		ShmCapacity:        *shmGB << 30,
+		CheckpointDir:      *checkpointDir,
+		CheckpointEvery:    *checkpointEvery,
+		FsyncJournal:       *fsyncJournal,
+		MaxSessions:        *maxSessions,
+		MaxMergesInFlight:  *maxMerges,
+		ShedBudget:         *shedBudget,
+		IdleTimeout:        *idleTimeout,
+		ReadTimeout:        *readTimeout,
+		FrameDeadline:      *frameDeadline,
+		MaxMapKF:           *maxMapKF,
+		EvictAfter:         *evictAfter,
+		SplitLoad:          *splitLoad,
+		ShadowLoad:         *shadowLoad,
+		SplitRTT:           *splitRTT,
+		ModeHysteresis:     *modeHysteresis,
+		TrackReservedSlots: *reservedSlots,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -14,10 +14,12 @@ import (
 
 	"slamshare/internal/camera"
 	"slamshare/internal/dataset"
+	"slamshare/internal/feature"
 	"slamshare/internal/geom"
 	"slamshare/internal/imu"
 	"slamshare/internal/metrics"
 	"slamshare/internal/obs"
+	"slamshare/internal/offload"
 	"slamshare/internal/overload"
 	"slamshare/internal/protocol"
 	"slamshare/internal/video"
@@ -27,6 +29,10 @@ import (
 type Client struct {
 	ID  uint32
 	Seq *dataset.Sequence
+	// Pace, when positive, spaces RunTCPAdaptive's uplinks by this
+	// interval — a real device sends at camera rate, it does not
+	// firehose the socket. Set before the run starts.
+	Pace time.Duration
 	// Obs, when non-nil, records a "client.encode" span per built
 	// frame (the device's whole per-frame compute: IMU integration +
 	// video encoding), completing the end-to-end frame trace the
@@ -34,6 +40,7 @@ type Client struct {
 	Obs *obs.Tracer
 
 	stEncode  *obs.Stage
+	stExtract *obs.Stage
 	mu        sync.Mutex
 	mm        *imu.MotionModel
 	encL      *video.Encoder
@@ -47,6 +54,34 @@ type Client struct {
 	shed      int
 	lastFrame int
 	upBytes   int64
+
+	// Adaptive-offloading state (EnableAdaptive): the QoS class and
+	// capabilities advertised in the hello, the current mode as
+	// commanded by the server's ModeSwitch downlinks, the on-device
+	// extractor split mode runs, and the RTT estimate folded from
+	// echoed pose timestamps. forced pins the mode against server
+	// switches (the -mode flag / A-B experiments).
+	adaptive bool
+	qos      offload.QoS
+	caps     offload.Caps
+	mode     offload.Mode
+	epoch    uint32
+	forced   bool
+	ex       *feature.Extractor
+	rttEWMA  float64 // nanoseconds
+	modeLog  []ModeEvent
+}
+
+// ModeEvent records one offload-mode transition the client applied.
+type ModeEvent struct {
+	// At is when the client applied the switch; a starved reader can
+	// apply queued switches back to back, so ServerNanos (the server's
+	// send stamp, zero from legacy servers) is the authoritative
+	// spacing between switches.
+	At          time.Time
+	ServerNanos uint64
+	Mode        offload.Mode
+	Epoch       uint32
 }
 
 // New returns a client for the given sequence. The motion model is
@@ -158,30 +193,13 @@ func (c *Client) BuildFrame(i int) *protocol.FrameMsg {
 		Stamp:    c.Seq.FrameTime(i),
 	}
 	c.meter.Time(func() {
-		// IMU integration since the previous frame. The first sent
-		// frame is the motion model's anchor (entry 0), so est[k]
-		// always corresponds to motion-model entry k.
-		var pred geom.SE3
-		if c.sent == 0 {
-			msg.Delta = imu.FrameDelta{RotDelta: geom.IdentityQuat()}
-			pred = c.mm.Latest()
-		} else {
-			span := c.Seq.IMUBetween(c.lastFrame, i)
-			msg.Delta = imu.FrameDeltaFrom(imu.Preintegrate(span))
-			pred = c.mm.ApproxPoseUpdateMM(msg.Delta)
-		}
+		delta, pred := c.advanceIMU(i)
+		msg.Delta = delta
 		// Ship the Alg. 1 prediction with the frame: it anchors the
 		// server-side map in the client's local frame and carries the
 		// tracker through initialization before the first SLAM fix.
 		msg.Prior = pred
 		msg.HasPrior = true
-		c.lastFrame = i
-		c.est.Append(msg.Stamp, pred.T)
-		// The live trajectory records what the device believed at this
-		// instant; unlike est it is never retro-corrected, so it is
-		// what the user's display actually showed (Appendix C's
-		// "snapshot as it is walked").
-		c.live.Append(msg.Stamp, pred.T)
 
 		// Video encoding (metered separately: the paper's devices use a
 		// hardware encoder, so Fig. 13 reports compute with and without
@@ -195,6 +213,100 @@ func (c *Client) BuildFrame(i int) *protocol.FrameMsg {
 		})
 	})
 	c.upBytes += int64(len(msg.Video) + len(msg.VideoRight))
+	c.sent++
+	return msg
+}
+
+// advanceIMU integrates the IMU captured between the previous sent
+// frame and frame i: it advances the motion model (Alg. 1
+// ApproxPose_UpdateMM) and appends the prediction to both
+// trajectories. The first sent frame is the motion model's anchor
+// (entry 0), so est[k] always corresponds to motion-model entry k —
+// regardless of which uplink mode carries the frame. Caller holds
+// c.mu.
+func (c *Client) advanceIMU(i int) (imu.FrameDelta, geom.SE3) {
+	var delta imu.FrameDelta
+	var pred geom.SE3
+	if c.sent == 0 {
+		delta = imu.FrameDelta{RotDelta: geom.IdentityQuat()}
+		pred = c.mm.Latest()
+	} else {
+		span := c.Seq.IMUBetween(c.lastFrame, i)
+		delta = imu.FrameDeltaFrom(imu.Preintegrate(span))
+		pred = c.mm.ApproxPoseUpdateMM(delta)
+	}
+	c.lastFrame = i
+	stamp := c.Seq.FrameTime(i)
+	c.est.Append(stamp, pred.T)
+	// The live trajectory records what the device believed at this
+	// instant; unlike est it is never retro-corrected, so it is what
+	// the user's display actually showed (Appendix C's "snapshot as it
+	// is walked").
+	c.live.Append(stamp, pred.T)
+	return delta, pred
+}
+
+// BuildKeypointFrame prepares the split-offload uplink for frame i:
+// IMU integration as in BuildFrame, then on-device FAST/ORB
+// extraction and stereo matching through the same feature.Extractor
+// code path the server runs — the keypoints are bit-identical to what
+// the server would have produced from the same pixels, so split-mode
+// tracking matches full-offload tracking exactly. No video is
+// encoded.
+func (c *Client) BuildKeypointFrame(i int) *protocol.KeypointMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Obs != nil && c.stExtract == nil {
+		c.stExtract = c.Obs.Stage("client.extract")
+	}
+	sp := c.stExtract.Start(c.ID, uint64(c.sent))
+	defer sp.End()
+	if c.ex == nil {
+		c.ex = feature.NewExtractor(feature.DefaultConfig())
+	}
+	msg := &protocol.KeypointMsg{
+		ClientID: c.ID,
+		FrameIdx: uint32(i),
+		Stamp:    c.Seq.FrameTime(i),
+	}
+	c.meter.Time(func() {
+		delta, pred := c.advanceIMU(i)
+		msg.Delta = delta
+		msg.Prior = pred
+		msg.HasPrior = true
+		left, right := c.Seq.StereoFrame(i)
+		kps := c.ex.Extract(left)
+		if right != nil && c.Seq.Rig.Mode == camera.Stereo {
+			rkps := c.ex.Extract(right)
+			feature.StereoMatchPar(kps, rkps, c.Seq.Rig.Intr.Fx, c.Seq.Rig.Baseline, 2, nil)
+		}
+		msg.Kps = kps
+	})
+	c.sent++
+	return msg
+}
+
+// BuildSync prepares a shadow-mode map-sync ping for frame i: IMU
+// integration only, so the server's motion model stays warm for a
+// later upgrade while the device tracks locally. The device's pose
+// estimate is pure dead reckoning between server fixes (and shadow
+// replies carry no fix, so drift accumulates — the cost the QoS
+// policy accepts for low classes under overload).
+func (c *Client) BuildSync(i int) *protocol.KeypointMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg := &protocol.KeypointMsg{
+		ClientID: c.ID,
+		FrameIdx: uint32(i),
+		Stamp:    c.Seq.FrameTime(i),
+		Flags:    protocol.KeypointSyncOnly,
+	}
+	c.meter.Time(func() {
+		delta, pred := c.advanceIMU(i)
+		msg.Delta = delta
+		msg.Prior = pred
+		msg.HasPrior = true
+	})
 	c.sent++
 	return msg
 }
@@ -454,4 +566,208 @@ func NewDisplaced(id uint32, seq *dataset.Sequence, yaw float64, offset geom.Vec
 func (c *Client) UseImageTransfer() {
 	c.encL.GOP = 1
 	c.encR.GOP = 1
+}
+
+// EnableAdaptive arms adaptive offloading: the hello advertises the
+// QoS class and mode capabilities, pose answers are echo-stamped for
+// RTT measurement, and the server may switch the session between
+// full, split, and shadow modes at runtime.
+func (c *Client) EnableAdaptive(qos offload.QoS, caps offload.Caps) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.adaptive = true
+	c.qos = qos
+	c.caps = caps
+	if c.ex == nil && caps&offload.CapSplit != 0 {
+		c.ex = feature.NewExtractor(feature.DefaultConfig())
+	}
+}
+
+// ForceMode pins the offload mode, ignoring server switches (the
+// client still advertises its capabilities, so the session remains
+// adaptive on the wire — poses are echoed — but the uplink stays in
+// the given mode). Used by the -mode flag and per-mode experiments.
+func (c *Client) ForceMode(m offload.Mode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mode = m
+	c.forced = true
+	if m == offload.ModeSplit && c.ex == nil {
+		c.ex = feature.NewExtractor(feature.DefaultConfig())
+	}
+}
+
+// OffloadMode returns the client's current offload mode.
+func (c *Client) OffloadMode() offload.Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// RTTEstimate returns the EWMA round-trip estimate folded from echoed
+// pose timestamps (0 until the first echo).
+func (c *Client) RTTEstimate() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rttEWMA)
+}
+
+// ModeLog returns the mode transitions applied so far, in order.
+func (c *Client) ModeLog() []ModeEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ModeEvent, len(c.modeLog))
+	copy(out, c.modeLog)
+	return out
+}
+
+// noteEcho folds one echoed send-timestamp into the RTT estimate.
+func (c *Client) noteEcho(echoNanos uint64, now time.Time) {
+	rtt := float64(now.UnixNano() - int64(echoNanos))
+	if rtt <= 0 {
+		return
+	}
+	c.mu.Lock()
+	const alpha = 0.2
+	if c.rttEWMA == 0 {
+		c.rttEWMA = rtt
+	} else {
+		c.rttEWMA += alpha * (rtt - c.rttEWMA)
+	}
+	c.mu.Unlock()
+}
+
+// ApplyModeSwitch applies a server mode-switch downlink. Epochs
+// increment on every switch, so a stale or reordered command is
+// discarded; a forced mode ignores switches entirely. RunTCPAdaptive
+// calls this itself; custom socket loops call it for TypeModeSwitch
+// downlinks.
+func (c *Client) ApplyModeSwitch(m *protocol.ModeSwitchMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.forced || m.Epoch <= c.epoch {
+		return
+	}
+	newMode := offload.Mode(m.Mode)
+	if newMode == offload.ModeFull && c.mode != offload.ModeFull {
+		// Upgrading back into video upload: the server's decoders
+		// missed the split/shadow period, so the streams must restart
+		// with intra frames.
+		c.encL.Reset()
+		c.encR.Reset()
+	}
+	c.mode = newMode
+	c.epoch = m.Epoch
+	c.modeLog = append(c.modeLog, ModeEvent{
+		At: time.Now(), ServerNanos: m.SentNanos, Mode: newMode, Epoch: m.Epoch,
+	})
+}
+
+// addUplink accounts non-video uplink payload bytes (keypoint frames
+// and sync pings).
+func (c *Client) addUplink(n int) {
+	c.mu.Lock()
+	c.upBytes += int64(n)
+	c.mu.Unlock()
+}
+
+// RunTCPAdaptive drives the socket loop with adaptive offloading: the
+// hello carries the QoS class and capabilities from EnableAdaptive,
+// every uplink is send-stamped (the server echoes the stamp on its
+// pose so the client measures RTT and reports it back), and the
+// uplink format follows the server's mode switches frame by frame —
+// encoded video in full mode, extracted keypoints in split mode, and
+// IMU-only sync pings in shadow mode.
+func (c *Client) RunTCPAdaptive(conn net.Conn, frames []int) error {
+	c.mu.Lock()
+	hello := protocol.HelloMsg{
+		ClientID: c.ID,
+		Mode:     c.Seq.Rig.Mode,
+		HasRig:   true,
+		Intr:     c.Seq.Rig.Intr,
+		Baseline: c.Seq.Rig.Baseline,
+		HasQoS:   true,
+		QoS:      byte(c.qos),
+		Caps:     byte(c.caps),
+	}
+	c.mu.Unlock()
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello.Encode()); err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			mt, payload, err := protocol.ReadMessage(conn)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			switch mt {
+			case protocol.TypePose:
+				pm, err := protocol.DecodePoseMsg(payload)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if pm.HasEcho {
+					c.noteEcho(pm.EchoNanos, time.Now())
+				}
+				if pm.Shed {
+					c.noteShed()
+				}
+				c.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
+				if int(pm.FrameIdx) == frames[len(frames)-1] {
+					errCh <- nil
+					return
+				}
+			case protocol.TypeModeSwitch:
+				ms, err := protocol.DecodeModeSwitchMsg(payload)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				c.ApplyModeSwitch(ms)
+			}
+		}
+	}()
+	for _, i := range frames {
+		var mt byte
+		var payload []byte
+		now := func() uint64 { return uint64(time.Now().UnixNano()) }
+		rtt := uint64(c.RTTEstimate())
+		switch c.OffloadMode() {
+		case offload.ModeSplit:
+			msg := c.BuildKeypointFrame(i)
+			msg.SentNanos, msg.RTTNanos = now(), rtt
+			mt, payload = protocol.TypeKeypoint, msg.Encode()
+			c.addUplink(len(payload))
+		case offload.ModeShadow:
+			msg := c.BuildSync(i)
+			msg.SentNanos, msg.RTTNanos = now(), rtt
+			mt, payload = protocol.TypeKeypoint, msg.Encode()
+			c.addUplink(len(payload))
+		default:
+			msg := c.BuildFrame(i)
+			msg.SentNanos, msg.RTTNanos = now(), rtt
+			mt, payload = protocol.TypeFrame, msg.Encode()
+		}
+		if err := protocol.WriteMessage(conn, mt, payload); err != nil {
+			return fmt.Errorf("client: send frame %d: %w", i, err)
+		}
+		if c.Pace > 0 {
+			time.Sleep(c.Pace)
+		}
+	}
+	<-done
+	select {
+	case err := <-errCh:
+		if err != nil {
+			return err
+		}
+	default:
+	}
+	_ = protocol.WriteMessage(conn, protocol.TypeBye, nil)
+	return nil
 }

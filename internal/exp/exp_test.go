@@ -33,7 +33,7 @@ func TestScaleQuick(t *testing.T) {
 }
 
 func TestAllIDsRun(t *testing.T) {
-	if len(All()) != 17 {
+	if len(All()) != 18 {
 		t.Errorf("experiment count = %d", len(All()))
 	}
 	if err := Run(io.Discard, "nope", false); err == nil {

@@ -13,7 +13,7 @@ func All() []string {
 		"table1", "fig5", "fig8", "table2", "table3",
 		"fig10a", "fig10b", "fig10c", "table4",
 		"fig11", "fig12a", "fig12b", "fig12c", "fig13",
-		"latency", "soak", "chaos",
+		"latency", "offload", "soak", "chaos",
 	}
 }
 
@@ -52,6 +52,8 @@ func Run(w io.Writer, id string, full bool) error {
 		_, err = Fig13(w)
 	case "latency":
 		_, err = Latency(w)
+	case "offload":
+		_, err = Offload(w)
 	case "soak":
 		_, err = Soak(w, full)
 	case "chaos":

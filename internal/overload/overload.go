@@ -139,7 +139,15 @@ type LagTracker struct {
 	interval  float64 // seconds, EWMA
 	lastStamp float64
 	have      bool
+	gapped    bool
 }
+
+// gapFactor separates a mid-stream stall from a slow camera: a stamp
+// delta this many times the current interval estimate is treated as a
+// gap and skipped, unless the previous delta was also a gap (a
+// genuine frame-rate drop shows up as consecutive large deltas and is
+// folded in from the second one).
+const gapFactor = 4
 
 // NewLagTracker returns a tracker with the given wall-clock lag
 // budget. A zero budget disables shedding (ShouldShed always false).
@@ -148,14 +156,26 @@ func NewLagTracker(budget time.Duration) *LagTracker {
 }
 
 // Note feeds one uplink frame's capture timestamp (seconds).
+//
+// A session that goes quiet mid-stream and resumes hands the tracker
+// one huge stamp delta. Folding that into the EWMA would inflate the
+// interval estimate by the stall length, and the very first queued
+// frames after resume would read as budget-busting lag and be shed
+// spuriously (the estimate only decays back over ~1/alpha frames).
+// Such gaps are skipped once; only a second consecutive large delta —
+// a real frame-rate change, not a stall — updates the estimate.
 func (l *LagTracker) Note(stamp float64) {
 	if l.have {
 		if dt := stamp - l.lastStamp; dt > 0 {
 			const alpha = 0.2
-			if l.interval == 0 {
+			switch {
+			case l.interval == 0:
 				l.interval = dt
-			} else {
+			case dt >= gapFactor*l.interval && !l.gapped:
+				l.gapped = true // stall suspected; hold the estimate
+			default:
 				l.interval += alpha * (dt - l.interval)
+				l.gapped = false
 			}
 		}
 	}

@@ -142,3 +142,56 @@ func TestLagTrackerDisabledAndCold(t *testing.T) {
 		t.Errorf("negative interval %v", l.Interval())
 	}
 }
+
+func TestLagTrackerStallResume(t *testing.T) {
+	// Regression: a session that stalls mid-stream and resumes must
+	// not have the stall folded into its interval EWMA — the inflated
+	// estimate would shed the first frames after resume even though
+	// the camera never slowed down.
+	l := NewLagTracker(200 * time.Millisecond)
+	// 30 FPS for a second.
+	stamp := 0.0
+	for i := 0; i < 30; i++ {
+		l.Note(stamp)
+		stamp += 1.0 / 30
+	}
+	before := l.Interval()
+
+	// 5-second uplink stall, then the stream resumes at 30 FPS.
+	stamp += 5.0
+	l.Note(stamp)
+	if iv := l.Interval(); iv != before {
+		t.Fatalf("stall moved the interval estimate: %v -> %v", before, iv)
+	}
+	// A short queue right after resume is normal catch-up, not lag.
+	if l.ShouldShed(2) {
+		t.Error("spurious shed on resume (2 pending, ~66ms < 200ms budget)")
+	}
+	// And the estimate keeps tracking the resumed stream.
+	for i := 0; i < 10; i++ {
+		stamp += 1.0 / 30
+		l.Note(stamp)
+	}
+	if iv := l.Interval(); iv < 25*time.Millisecond || iv > 45*time.Millisecond {
+		t.Errorf("post-resume interval %v, want ~33ms", iv)
+	}
+}
+
+func TestLagTrackerRateChangeStillAdapts(t *testing.T) {
+	// A genuine frame-rate drop (consecutive large deltas) must still
+	// move the estimate: only isolated gaps are skipped.
+	l := NewLagTracker(time.Second)
+	stamp := 0.0
+	for i := 0; i < 30; i++ {
+		l.Note(stamp)
+		stamp += 1.0 / 30
+	}
+	// Camera drops to 5 FPS (200ms deltas, 6x the estimate).
+	for i := 0; i < 40; i++ {
+		stamp += 0.2
+		l.Note(stamp)
+	}
+	if iv := l.Interval(); iv < 150*time.Millisecond {
+		t.Errorf("interval %v never adapted to the 200ms rate", iv)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"slamshare/internal/camera"
+	"slamshare/internal/feature"
 	"slamshare/internal/geom"
 	"slamshare/internal/imu"
 )
@@ -56,13 +57,16 @@ func FuzzDecodeFrameMsg(f *testing.F) {
 	})
 }
 
-// FuzzDecodePoseMsg covers the downlink pose decoder, in both the
-// legacy form and the extended shed-flagged form.
+// FuzzDecodePoseMsg covers the downlink pose decoder: the legacy
+// form, the shed-flagged form, the RTT-echo form, and their
+// combination.
 func FuzzDecodePoseMsg(f *testing.F) {
 	seeds := []*PoseMsg{
 		{FrameIdx: 0, Pose: geom.IdentitySE3(), Tracked: true},
 		{FrameIdx: 99, Pose: geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 1, Y: 2, Z: 3}}},
 		{FrameIdx: 7, Pose: geom.IdentitySE3(), Shed: true},
+		{FrameIdx: 8, Pose: geom.IdentitySE3(), Tracked: true, HasEcho: true, EchoNanos: 123456789},
+		{FrameIdx: 9, Pose: geom.IdentitySE3(), Shed: true, HasEcho: true, EchoNanos: ^uint64(0)},
 	}
 	for _, m := range seeds {
 		data := m.Encode()
@@ -83,7 +87,9 @@ func FuzzDecodePoseMsg(f *testing.F) {
 			}
 			return
 		}
-		if len(data) != poseMsgLegacyLen && len(data) != poseMsgLegacyLen+1 {
+		switch len(data) {
+		case poseMsgLegacyLen, poseMsgLegacyLen + 1, poseMsgLegacyLen + 9, poseMsgLegacyLen + 10:
+		default:
 			t.Fatalf("decoder accepted %d-byte pose message", len(data))
 		}
 		// The encoding is canonical (shed byte only when set), so any
@@ -100,7 +106,12 @@ func FuzzDecodeHelloMsg(f *testing.F) {
 	legacy := &HelloMsg{ClientID: 3, Mode: camera.Stereo}
 	ext := &HelloMsg{ClientID: 9, Mode: camera.Mono, HasRig: true,
 		Intr: camera.EuRoCIntrinsics(), Baseline: 0.11}
-	for _, m := range []*HelloMsg{legacy, ext} {
+	qos := &HelloMsg{ClientID: 4, Mode: camera.Stereo, HasQoS: true,
+		QoS: 1, Caps: CapSplit | CapShadow}
+	full := &HelloMsg{ClientID: 5, Mode: camera.Stereo, HasRig: true,
+		Intr: camera.EuRoCIntrinsics(), Baseline: 0.11,
+		HasQoS: true, QoS: 2, Caps: CapSplit}
+	for _, m := range []*HelloMsg{legacy, ext, qos, full} {
 		data := m.Encode()
 		f.Add(data)
 		f.Add(data[:len(data)/2])
@@ -120,6 +131,95 @@ func FuzzDecodeHelloMsg(f *testing.F) {
 		// has no redundancy).
 		if got := m.Encode(); string(got) != string(data) {
 			t.Fatalf("round-trip mismatch: %x -> %x", data, got)
+		}
+	})
+}
+
+// FuzzDecodeKeypointMsg covers the split-mode uplink decoder. The
+// encoding is canonical and the decoder strict, so any accepted
+// message must re-encode byte-exactly; a forged keypoint count must
+// never cause a panic or an outsized allocation.
+func FuzzDecodeKeypointMsg(f *testing.F) {
+	kps := []feature.Keypoint{
+		{X: 10.5, Y: 20.25, Level: 2, Angle: 1.5, Score: 80,
+			Desc: feature.Descriptor{1, 2, 3, 4}, Right: 8.75, Depth: 1.2},
+		{X: 99, Y: 1, Level: 0, Angle: -0.5, Score: 40,
+			Desc: feature.Descriptor{^uint64(0), 0, 5, 9}, Right: -1},
+	}
+	seeds := []*KeypointMsg{
+		{ClientID: 1, FrameIdx: 3, Stamp: 0.15,
+			Delta:     imu.FrameDelta{RotDelta: geom.IdentityQuat(), DT: 0.05},
+			SentNanos: 1234, RTTNanos: 5678, Kps: kps,
+			Prior: geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{Z: 1}}, HasPrior: true},
+		{ClientID: 2, FrameIdx: 0, Stamp: 0.05,
+			Delta: imu.FrameDelta{RotDelta: geom.IdentityQuat(), DT: 0.05},
+			Flags: KeypointSyncOnly},
+	}
+	for _, m := range seeds {
+		data := m.Encode()
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(append(append([]byte(nil), data...), 0))
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/3] ^= 0xFF
+		f.Add(flipped)
+		// Absurd keypoint count with no backing bytes.
+		if len(data) >= 121+4 {
+			huge := append([]byte(nil), data[:125]...)
+			huge[121], huge[122], huge[123], huge[124] = 0xFF, 0xFF, 0xFF, 0x7F
+			f.Add(huge)
+		}
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeKeypointMsg(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil message returned with error")
+			}
+			return
+		}
+		if len(m.Kps)*keypointWireBytes > len(data) {
+			t.Fatalf("decoded %d keypoints from a %d-byte message", len(m.Kps), len(data))
+		}
+		if got := m.Encode(); string(got) != string(data) {
+			t.Fatalf("round-trip mismatch: %d -> %d bytes", len(data), len(got))
+		}
+	})
+}
+
+// FuzzDecodeModeSwitchMsg covers the fixed-size mode-switch decoder.
+func FuzzDecodeModeSwitchMsg(f *testing.F) {
+	for _, m := range []*ModeSwitchMsg{
+		{Mode: 0, Epoch: 1},
+		{Mode: 2, Epoch: 40, Reason: 1, SentNanos: 1 << 40},
+	} {
+		data := m.Encode()
+		f.Add(data)
+		f.Add(data[:modeSwitchLen]) // legacy: no send-timestamp tail
+		f.Add(data[:len(data)-1])
+		f.Add(append(append([]byte(nil), data...), 7))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 0, 0, 0, 0}) // out-of-range mode
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModeSwitchMsg(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil message returned with error")
+			}
+			return
+		}
+		if m.Mode > 2 {
+			t.Fatalf("decoder accepted offload mode %d", m.Mode)
+		}
+		// Canonical stability: re-encoding (which always emits the
+		// timestamp tail, zero for legacy input) must decode identically.
+		m2, err := DecodeModeSwitchMsg(m.Encode())
+		if err != nil || *m2 != *m {
+			t.Fatalf("round-trip mismatch: %+v -> %+v (%v)", m, m2, err)
 		}
 	})
 }

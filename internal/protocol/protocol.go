@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"slamshare/internal/camera"
+	"slamshare/internal/feature"
 	"slamshare/internal/geom"
 	"slamshare/internal/imu"
 )
@@ -33,6 +34,14 @@ const (
 	TypeMapPortion
 	// TypeBye closes the session.
 	TypeBye
+	// TypeModeSwitch carries a server-initiated offload-mode change
+	// (full / split / shadow). Only sent to clients that advertised
+	// capability bits in their hello; legacy clients never see it.
+	TypeModeSwitch
+	// TypeKeypoint carries a split-mode uplink frame: client-extracted
+	// keypoints + descriptors instead of encoded video. With the
+	// sync-only flag set it is a shadow-mode ping (IMU delta only).
+	TypeKeypoint
 )
 
 // MaxMessageSize bounds a single message (64 MiB fits any map the
@@ -110,9 +119,23 @@ func ReadMessageDeadlines(c net.Conn, idle, stall time.Duration) (msgType byte, 
 	return hdr[0], payload, nil
 }
 
+// Hello capability bits: offload modes the client can run locally. A
+// client with no capability bits (including every legacy client) is
+// pinned to full offload and never receives a ModeSwitchMsg.
+const (
+	// CapSplit: the client can extract FAST/ORB keypoints itself and
+	// uplink KeypointMsg frames instead of video.
+	CapSplit = byte(1 << iota)
+	// CapShadow: the client can dead-reckon locally on map-only sync
+	// pings when the server cannot afford to track it.
+	CapShadow
+)
+
 // HelloMsg introduces a client: its ID, camera mode, and optionally
-// the rig calibration. The legacy 5-byte form (ID + mode) is still
-// accepted; without calibration the server assumes the EuRoC rig.
+// the rig calibration and QoS/capability block. The legacy 5-byte
+// form (ID + mode) is still accepted; without calibration the server
+// assumes the EuRoC rig, and without a QoS block the session is
+// pinned to full offload.
 type HelloMsg struct {
 	ClientID uint32
 	Mode     camera.Mode
@@ -120,6 +143,10 @@ type HelloMsg struct {
 	HasRig   bool
 	Intr     camera.Intrinsics
 	Baseline float64 // metres; 0 for monocular rigs
+	// HasQoS reports whether the QoS/capability block is present.
+	HasQoS bool
+	QoS    byte // 0 headset (highest), 1 handheld, 2 mapping drone
+	Caps   byte // CapSplit | CapShadow
 }
 
 // Rig materializes the advertised calibration (or the EuRoC default
@@ -139,26 +166,38 @@ func (m *HelloMsg) Rig() camera.Rig {
 	return camera.NewMonoRig(intr)
 }
 
+// Hello extension block tags. Blocks are appended after the legacy
+// 5-byte prefix in strictly ascending tag order, each optional, so a
+// decoder written for tag N keeps parsing hellos that stop before
+// tag N+1 and errors loudly on anything it does not know.
+const (
+	helloBlockRig = 1
+	helloBlockQoS = 2
+)
+
 // Encode serializes the hello message.
 func (m *HelloMsg) Encode() []byte {
-	buf := make([]byte, 0, 5+1+6*8+2*4)
+	buf := make([]byte, 0, 5+1+6*8+2*4+3)
 	buf = binary.LittleEndian.AppendUint32(buf, m.ClientID)
 	buf = append(buf, byte(m.Mode))
-	if !m.HasRig {
-		return buf
+	if m.HasRig {
+		buf = append(buf, helloBlockRig)
+		for _, v := range []float64{m.Intr.Fx, m.Intr.Fy, m.Intr.Cx, m.Intr.Cy} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Intr.Width))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Intr.Height))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Baseline))
 	}
-	buf = append(buf, 1)
-	for _, v := range []float64{m.Intr.Fx, m.Intr.Fy, m.Intr.Cx, m.Intr.Cy} {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	if m.HasQoS {
+		buf = append(buf, helloBlockQoS, m.QoS, m.Caps)
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Intr.Width))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Intr.Height))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Baseline))
 	return buf
 }
 
-// DecodeHelloMsg reverses HelloMsg.Encode, accepting both the legacy
-// 5-byte form and the extended form with calibration.
+// DecodeHelloMsg reverses HelloMsg.Encode, accepting the legacy
+// 5-byte form, the calibration-extended form, and the QoS-extended
+// form (in any combination, tags ascending).
 func DecodeHelloMsg(data []byte) (*HelloMsg, error) {
 	r := &byteReader{buf: data}
 	m := &HelloMsg{}
@@ -168,21 +207,37 @@ func DecodeHelloMsg(data []byte) (*HelloMsg, error) {
 		return nil, r.err
 	}
 	if r.off == len(data) {
-		return m, nil // legacy hello: no calibration
+		return m, nil // legacy hello: no extensions
 	}
-	if flag := r.u8(); flag != 1 {
+	flag := r.u8()
+	if flag == helloBlockRig {
+		m.HasRig = true
+		m.Intr.Fx = r.f64()
+		m.Intr.Fy = r.f64()
+		m.Intr.Cx = r.f64()
+		m.Intr.Cy = r.f64()
+		m.Intr.Width = int(r.u32())
+		m.Intr.Height = int(r.u32())
+		m.Baseline = r.f64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.off == len(data) {
+			return m, nil
+		}
+		flag = r.u8()
+	}
+	if flag != helloBlockQoS {
 		return nil, fmt.Errorf("protocol: bad hello calibration flag %d", flag)
 	}
-	m.HasRig = true
-	m.Intr.Fx = r.f64()
-	m.Intr.Fy = r.f64()
-	m.Intr.Cx = r.f64()
-	m.Intr.Cy = r.f64()
-	m.Intr.Width = int(r.u32())
-	m.Intr.Height = int(r.u32())
-	m.Baseline = r.f64()
+	m.HasQoS = true
+	m.QoS = r.u8()
+	m.Caps = r.u8()
 	if r.err != nil {
 		return nil, r.err
+	}
+	if m.QoS > 2 {
+		return nil, fmt.Errorf("protocol: bad hello qos class %d", m.QoS)
 	}
 	if r.off != len(data) {
 		return nil, fmt.Errorf("protocol: %d trailing bytes in hello", len(data)-r.off)
@@ -206,6 +261,13 @@ type FrameMsg struct {
 	// server-side map in the client's local frame.
 	Prior    geom.SE3
 	HasPrior bool
+	// SentNanos is the client's wall clock at send time; the server
+	// echoes it on the answering PoseMsg so the client can measure
+	// round-trip time. RTTNanos is the client's current RTT estimate,
+	// fed to the server's offload-mode controller. Both are 0 from
+	// legacy clients (the decoder tolerates the missing tail).
+	SentNanos uint64
+	RTTNanos  uint64
 }
 
 // Encode serializes the frame message.
@@ -243,6 +305,8 @@ func (m *FrameMsg) Encode() []byte {
 	} else {
 		buf = append(buf, 0)
 	}
+	buf = binary.LittleEndian.AppendUint64(buf, m.SentNanos)
+	buf = binary.LittleEndian.AppendUint64(buf, m.RTTNanos)
 	return buf
 }
 
@@ -276,6 +340,12 @@ func DecodeFrameMsg(data []byte) (*FrameMsg, error) {
 		m.Prior.T.Y = r.f64()
 		m.Prior.T.Z = r.f64()
 	}
+	// Timing tail (absent from legacy senders; decoders have always
+	// ignored trailing bytes here, so appending is safe).
+	if r.err == nil && len(data)-r.off >= 16 {
+		m.SentNanos = r.u64()
+		m.RTTNanos = r.u64()
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -292,11 +362,19 @@ type PoseMsg struct {
 	// no information and the client should keep dead-reckoning on its
 	// IMU (Alg. 1) until the next tracked answer.
 	Shed bool
+	// HasEcho/EchoNanos return the SentNanos stamp of the uplink frame
+	// this pose answers, letting the client measure round-trip time.
+	// Only sent to sessions that advertised capability bits, so legacy
+	// decoders (which reject unknown lengths) never see it.
+	HasEcho   bool
+	EchoNanos uint64
 }
 
 // poseMsgLegacyLen is the pre-Shed encoding: frame index + 4x4 matrix
-// + tracked byte. Shed answers append one flag byte; non-shed answers
-// keep the legacy form so old decoders still parse them.
+// + tracked byte. Shed answers append one flag byte (0x01); echoed
+// answers append a 0x02 flag byte plus the 8-byte stamp; non-shed,
+// non-echo answers keep the legacy form so old decoders still parse
+// them.
 const poseMsgLegacyLen = 4 + 16*8 + 1
 
 // Encode serializes the pose message.
@@ -315,13 +393,28 @@ func (m *PoseMsg) Encode() []byte {
 	if m.Shed {
 		buf = append(buf, 1)
 	}
+	if m.HasEcho {
+		buf = append(buf, 2)
+		buf = binary.LittleEndian.AppendUint64(buf, m.EchoNanos)
+	}
 	return buf
 }
 
-// DecodePoseMsg reverses PoseMsg.Encode, accepting both the legacy
-// form (no shed byte, Shed=false) and the extended form.
+// DecodePoseMsg reverses PoseMsg.Encode, accepting the legacy form
+// (no trailing flags), the shed form, the echo form, and their
+// combination — each by exact length, with canonical flag bytes, so
+// forged or truncated tails never parse.
 func DecodePoseMsg(data []byte) (*PoseMsg, error) {
-	if len(data) != poseMsgLegacyLen && len(data) != poseMsgLegacyLen+1 {
+	shed, echo := false, false
+	switch len(data) {
+	case poseMsgLegacyLen:
+	case poseMsgLegacyLen + 1:
+		shed = true
+	case poseMsgLegacyLen + 9:
+		echo = true
+	case poseMsgLegacyLen + 10:
+		shed, echo = true, true
+	default:
 		return nil, fmt.Errorf("protocol: bad pose message length %d", len(data))
 	}
 	m := &PoseMsg{}
@@ -332,11 +425,20 @@ func DecodePoseMsg(data []byte) (*PoseMsg, error) {
 	}
 	m.Pose = geom.SE3FromMat4(mat)
 	m.Tracked = data[4+16*8] == 1
-	if len(data) == poseMsgLegacyLen+1 {
-		if data[poseMsgLegacyLen] != 1 {
-			return nil, fmt.Errorf("protocol: bad pose shed flag %d", data[poseMsgLegacyLen])
+	off := poseMsgLegacyLen
+	if shed {
+		if data[off] != 1 {
+			return nil, fmt.Errorf("protocol: bad pose shed flag %d", data[off])
 		}
 		m.Shed = true
+		off++
+	}
+	if echo {
+		if data[off] != 2 {
+			return nil, fmt.Errorf("protocol: bad pose echo flag %d", data[off])
+		}
+		m.HasEcho = true
+		m.EchoNanos = binary.LittleEndian.Uint64(data[off+1:])
 	}
 	return m, nil
 }
@@ -367,6 +469,16 @@ func (r *byteReader) f64() float64 {
 	return v
 }
 
+func (r *byteReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.err = errors.New("protocol: short message")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
 func (r *byteReader) u8() byte {
 	if r.err != nil || r.off+1 > len(r.buf) {
 		r.err = errors.New("protocol: short message")
@@ -388,4 +500,212 @@ func (r *byteReader) bytes() []byte {
 	out := r.buf[r.off : r.off+n]
 	r.off += n
 	return out
+}
+
+// KeypointMsg flag bits.
+const (
+	// KeypointSyncOnly marks a shadow-mode map-sync ping: Kps is empty
+	// and the server only integrates the IMU delta into the session's
+	// motion model so a later mode upgrade re-enters tracking with a
+	// usable prior.
+	KeypointSyncOnly = byte(1 << iota)
+)
+
+// keypointWireBytes is the serialized size of one keypoint: X, Y,
+// level, angle, score, descriptor, right, depth.
+const keypointWireBytes = 8 + 8 + 4 + 8 + 8 + feature.DescriptorBytes + 8 + 8
+
+// KeypointMsg is the split-mode uplink frame: the client ran FAST/ORB
+// extraction (and stereo matching) itself and ships keypoints +
+// descriptors instead of encoded video, skipping the video encode /
+// decode stages and the server's extract stage. All float fields are
+// raw IEEE-754 bits so a split-mode session tracks bit-identically to
+// a full-offload one fed the same pixels.
+type KeypointMsg struct {
+	ClientID uint32
+	FrameIdx uint32
+	Stamp    float64
+	// Delta is the preintegrated IMU motion since the previous frame.
+	Delta imu.FrameDelta
+	Flags byte
+	// SentNanos / RTTNanos mirror FrameMsg's timing tail.
+	SentNanos uint64
+	RTTNanos  uint64
+	// Kps are the extracted keypoints; Right/Depth are filled when the
+	// client stereo-matched them.
+	Kps []feature.Keypoint
+	// Prior mirrors FrameMsg.Prior.
+	Prior    geom.SE3
+	HasPrior bool
+}
+
+// Encode serializes the keypoint message.
+func (m *KeypointMsg) Encode() []byte {
+	buf := make([]byte, 0, 4+4+8+11*8+1+16+4+len(m.Kps)*keypointWireBytes+1+7*8)
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u32(m.ClientID)
+	u32(m.FrameIdx)
+	f64(m.Stamp)
+	f64(m.Delta.RotDelta.W)
+	f64(m.Delta.RotDelta.X)
+	f64(m.Delta.RotDelta.Y)
+	f64(m.Delta.RotDelta.Z)
+	f64(m.Delta.PosDelta.X)
+	f64(m.Delta.PosDelta.Y)
+	f64(m.Delta.PosDelta.Z)
+	f64(m.Delta.VelDelta.X)
+	f64(m.Delta.VelDelta.Y)
+	f64(m.Delta.VelDelta.Z)
+	f64(m.Delta.DT)
+	buf = append(buf, m.Flags)
+	u64(m.SentNanos)
+	u64(m.RTTNanos)
+	u32(uint32(len(m.Kps)))
+	for i := range m.Kps {
+		kp := &m.Kps[i]
+		f64(kp.X)
+		f64(kp.Y)
+		u32(uint32(int32(kp.Level)))
+		f64(kp.Angle)
+		f64(kp.Score)
+		d := kp.Desc.Bytes()
+		buf = append(buf, d[:]...)
+		f64(kp.Right)
+		f64(kp.Depth)
+	}
+	if m.HasPrior {
+		buf = append(buf, 1)
+		f64(m.Prior.R.W)
+		f64(m.Prior.R.X)
+		f64(m.Prior.R.Y)
+		f64(m.Prior.R.Z)
+		f64(m.Prior.T.X)
+		f64(m.Prior.T.Y)
+		f64(m.Prior.T.Z)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// DecodeKeypointMsg reverses KeypointMsg.Encode. Unlike FrameMsg this
+// is strict: trailing bytes are an error.
+func DecodeKeypointMsg(data []byte) (*KeypointMsg, error) {
+	r := &byteReader{buf: data}
+	m := &KeypointMsg{}
+	m.ClientID = r.u32()
+	m.FrameIdx = r.u32()
+	m.Stamp = r.f64()
+	m.Delta.RotDelta.W = r.f64()
+	m.Delta.RotDelta.X = r.f64()
+	m.Delta.RotDelta.Y = r.f64()
+	m.Delta.RotDelta.Z = r.f64()
+	m.Delta.PosDelta.X = r.f64()
+	m.Delta.PosDelta.Y = r.f64()
+	m.Delta.PosDelta.Z = r.f64()
+	m.Delta.VelDelta.X = r.f64()
+	m.Delta.VelDelta.Y = r.f64()
+	m.Delta.VelDelta.Z = r.f64()
+	m.Delta.DT = r.f64()
+	m.Flags = r.u8()
+	m.SentNanos = r.u64()
+	m.RTTNanos = r.u64()
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n*keypointWireBytes > len(data)-r.off {
+		return nil, fmt.Errorf("protocol: keypoint count %d exceeds payload", n)
+	}
+	if n > 0 {
+		m.Kps = make([]feature.Keypoint, n)
+	}
+	for i := 0; i < n; i++ {
+		kp := &m.Kps[i]
+		kp.X = r.f64()
+		kp.Y = r.f64()
+		kp.Level = int(int32(r.u32()))
+		kp.Angle = r.f64()
+		kp.Score = r.f64()
+		var d [feature.DescriptorBytes]byte
+		if r.err == nil && r.off+feature.DescriptorBytes <= len(data) {
+			copy(d[:], data[r.off:])
+			r.off += feature.DescriptorBytes
+		} else if r.err == nil {
+			r.err = errors.New("protocol: short message")
+		}
+		kp.Desc = feature.DescriptorFromBytes(d)
+		kp.Right = r.f64()
+		kp.Depth = r.f64()
+	}
+	if flag := r.u8(); flag == 1 {
+		m.HasPrior = true
+		m.Prior.R.W = r.f64()
+		m.Prior.R.X = r.f64()
+		m.Prior.R.Y = r.f64()
+		m.Prior.R.Z = r.f64()
+		m.Prior.T.X = r.f64()
+		m.Prior.T.Y = r.f64()
+		m.Prior.T.Z = r.f64()
+	} else if flag != 0 && r.err == nil {
+		return nil, fmt.Errorf("protocol: bad keypoint prior flag %d", flag)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in keypoint message", len(data)-r.off)
+	}
+	return m, nil
+}
+
+// ModeSwitchMsg is the server-initiated offload-mode change for a
+// session: 0 full, 1 split, 2 shadow. Epoch increments on every
+// switch so a reordered stale switch can be discarded by the client.
+type ModeSwitchMsg struct {
+	Mode   byte
+	Epoch  uint32
+	Reason byte // advisory: 0 policy, 1 server load, 2 RTT
+	// SentNanos is the server's wall clock at send time. Mode switches
+	// are gated by the policy's hysteresis dwell, but the client's
+	// reader can drain several queued downlinks back to back, so only
+	// this stamp preserves the true switch spacing for diagnostics.
+	// Zero from a server that predates the field.
+	SentNanos uint64
+}
+
+// modeSwitchLen is the ModeSwitchMsg encoding size without the
+// send-timestamp tail (what pre-timestamp servers emit).
+const modeSwitchLen = 1 + 4 + 1
+
+// Encode serializes the mode-switch message.
+func (m *ModeSwitchMsg) Encode() []byte {
+	buf := make([]byte, 0, modeSwitchLen+8)
+	buf = append(buf, m.Mode)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+	buf = append(buf, m.Reason)
+	buf = binary.LittleEndian.AppendUint64(buf, m.SentNanos)
+	return buf
+}
+
+// DecodeModeSwitchMsg reverses ModeSwitchMsg.Encode. The 8-byte
+// send-timestamp tail is optional: a legacy 6-byte message decodes
+// with SentNanos zero.
+func DecodeModeSwitchMsg(data []byte) (*ModeSwitchMsg, error) {
+	if len(data) != modeSwitchLen && len(data) != modeSwitchLen+8 {
+		return nil, fmt.Errorf("protocol: bad mode switch length %d", len(data))
+	}
+	m := &ModeSwitchMsg{}
+	m.Mode = data[0]
+	if m.Mode > 2 {
+		return nil, fmt.Errorf("protocol: bad offload mode %d", m.Mode)
+	}
+	m.Epoch = binary.LittleEndian.Uint32(data[1:])
+	m.Reason = data[5]
+	if len(data) == modeSwitchLen+8 {
+		m.SentNanos = binary.LittleEndian.Uint64(data[6:])
+	}
+	return m, nil
 }

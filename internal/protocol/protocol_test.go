@@ -5,6 +5,7 @@ import (
 	"net"
 	"testing"
 
+	"slamshare/internal/feature"
 	"slamshare/internal/geom"
 	"slamshare/internal/imu"
 )
@@ -158,6 +159,199 @@ func TestPoseMsgShed(t *testing.T) {
 	// A trailing zero flag byte is non-canonical and rejected.
 	if _, err := DecodePoseMsg(append(legacy, 0)); err == nil {
 		t.Error("non-canonical shed byte accepted")
+	}
+}
+
+func TestPoseMsgEcho(t *testing.T) {
+	m := &PoseMsg{FrameIdx: 5, Pose: geom.IdentitySE3(), Tracked: true,
+		HasEcho: true, EchoNanos: 987654321}
+	data := m.Encode()
+	if len(data) != poseMsgLegacyLen+9 {
+		t.Fatalf("echoed pose encodes to %d bytes", len(data))
+	}
+	got, err := DecodePoseMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasEcho || got.EchoNanos != 987654321 || got.Shed || !got.Tracked {
+		t.Errorf("echo fields wrong: %+v", got)
+	}
+
+	// Shed + echo stack in canonical order.
+	both := (&PoseMsg{FrameIdx: 6, Pose: geom.IdentitySE3(), Shed: true,
+		HasEcho: true, EchoNanos: 42}).Encode()
+	if len(both) != poseMsgLegacyLen+10 {
+		t.Fatalf("shed+echo pose encodes to %d bytes", len(both))
+	}
+	gb, err := DecodePoseMsg(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gb.Shed || !gb.HasEcho || gb.EchoNanos != 42 {
+		t.Errorf("shed+echo fields wrong: %+v", gb)
+	}
+
+	// Wrong flag bytes at the extension offsets are rejected.
+	bad := append([]byte(nil), data...)
+	bad[poseMsgLegacyLen] = 1 // shed flag where echo flag belongs
+	if _, err := DecodePoseMsg(bad); err == nil {
+		t.Error("echo-length message with shed flag accepted")
+	}
+}
+
+func TestHelloMsgQoS(t *testing.T) {
+	m := &HelloMsg{ClientID: 21, Mode: 1, HasQoS: true, QoS: 2,
+		Caps: CapSplit | CapShadow}
+	data := m.Encode()
+	if len(data) != 5+3 {
+		t.Fatalf("qos hello encodes to %d bytes", len(data))
+	}
+	got, err := DecodeHelloMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasQoS || got.QoS != 2 || got.Caps != CapSplit|CapShadow || got.HasRig {
+		t.Errorf("qos fields wrong: %+v", got)
+	}
+
+	// The legacy 5-byte form still decodes, pinned to full offload.
+	old, err := DecodeHelloMsg(data[:5])
+	if err != nil {
+		t.Fatalf("legacy hello rejected: %v", err)
+	}
+	if old.HasQoS || old.Caps != 0 {
+		t.Errorf("legacy hello grew a qos block: %+v", old)
+	}
+
+	// Rig + QoS blocks stack in canonical (ascending-tag) order.
+	rig := &HelloMsg{ClientID: 9, Mode: 1, HasRig: true,
+		Intr: m.Intr, Baseline: 0.11, HasQoS: true, QoS: 1, Caps: CapSplit}
+	rd, err := DecodeHelloMsg(rig.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.HasRig || !rd.HasQoS || rd.QoS != 1 || rd.Caps != CapSplit || rd.Baseline != 0.11 {
+		t.Errorf("rig+qos fields wrong: %+v", rd)
+	}
+
+	// Trailing garbage, out-of-range class, and unknown tags are errors.
+	if _, err := DecodeHelloMsg(append(m.Encode(), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := DecodeHelloMsg(append(data[:5], helloBlockQoS, 3, 0)); err == nil {
+		t.Error("qos class 3 accepted")
+	}
+	if _, err := DecodeHelloMsg(append(data[:5], 9, 0, 0)); err == nil {
+		t.Error("unknown extension tag accepted")
+	}
+}
+
+func TestKeypointMsgRoundTrip(t *testing.T) {
+	m := &KeypointMsg{
+		ClientID: 3,
+		FrameIdx: 17,
+		Stamp:    1.25,
+		Delta: imu.FrameDelta{
+			RotDelta: geom.QuatFromAxisAngle(geom.Vec3{Z: 1}, 0.02),
+			PosDelta: geom.Vec3{X: 0.05},
+			DT:       1.0 / 30,
+		},
+		SentNanos: 111,
+		RTTNanos:  222,
+		Kps: []feature.Keypoint{
+			{X: 31.5, Y: 64.25, Level: 3, Angle: 0.7, Score: 55,
+				Desc: feature.Descriptor{10, 20, 30, 40}, Right: 28.5, Depth: 2.4},
+			{X: 4, Y: 9, Level: 0, Angle: -1.2, Score: 90,
+				Desc: feature.Descriptor{^uint64(0), 1, 2, 3}, Right: -1, Depth: 0},
+		},
+		Prior:    geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{Y: 2}},
+		HasPrior: true,
+	}
+	got, err := DecodeKeypointMsg(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClientID != 3 || got.FrameIdx != 17 || got.Stamp != 1.25 ||
+		got.SentNanos != 111 || got.RTTNanos != 222 || !got.HasPrior {
+		t.Errorf("header fields wrong: %+v", got)
+	}
+	if len(got.Kps) != 2 {
+		t.Fatalf("keypoint count %d", len(got.Kps))
+	}
+	// Keypoints must survive bit-identically: split-mode tracking
+	// equivalence depends on it.
+	for i := range m.Kps {
+		if got.Kps[i] != m.Kps[i] {
+			t.Errorf("keypoint %d corrupted: %+v != %+v", i, got.Kps[i], m.Kps[i])
+		}
+	}
+
+	// Sync-only ping round-trips with no keypoints.
+	ping := &KeypointMsg{ClientID: 3, FrameIdx: 18, Stamp: 1.3,
+		Delta: imu.FrameDelta{RotDelta: geom.IdentityQuat(), DT: 0.05},
+		Flags: KeypointSyncOnly}
+	gp, err := DecodeKeypointMsg(ping.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Flags&KeypointSyncOnly == 0 || len(gp.Kps) != 0 {
+		t.Errorf("sync ping fields wrong: %+v", gp)
+	}
+
+	// Truncation and trailing garbage are errors (strict decoder).
+	data := m.Encode()
+	if _, err := DecodeKeypointMsg(data[:len(data)-5]); err == nil {
+		t.Error("truncated keypoint message accepted")
+	}
+	if _, err := DecodeKeypointMsg(append(data, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestModeSwitchMsgRoundTrip(t *testing.T) {
+	m := &ModeSwitchMsg{Mode: 2, Epoch: 7, Reason: 1, SentNanos: 12345}
+	got, err := DecodeModeSwitchMsg(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Errorf("round trip: %+v != %+v", got, m)
+	}
+	// A legacy 6-byte message (no send-timestamp tail) still decodes.
+	legacy, err := DecodeModeSwitchMsg(m.Encode()[:modeSwitchLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.SentNanos != 0 || legacy.Epoch != 7 || legacy.Mode != 2 {
+		t.Errorf("legacy decode: %+v", legacy)
+	}
+	if _, err := DecodeModeSwitchMsg([]byte{1, 2}); err == nil {
+		t.Error("short mode switch accepted")
+	}
+	if _, err := DecodeModeSwitchMsg([]byte{3, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("out-of-range mode accepted")
+	}
+}
+
+func TestFrameMsgTimingTail(t *testing.T) {
+	m := &FrameMsg{Video: []byte{1, 2, 3},
+		Delta:     imu.FrameDelta{RotDelta: geom.IdentityQuat()},
+		SentNanos: 5000, RTTNanos: 6000}
+	data := m.Encode()
+	got, err := DecodeFrameMsg(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SentNanos != 5000 || got.RTTNanos != 6000 {
+		t.Errorf("timing tail wrong: %+v", got)
+	}
+	// Legacy frames (no 16-byte tail) still decode with zero timing.
+	old, err := DecodeFrameMsg(data[:len(data)-16])
+	if err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	if old.SentNanos != 0 || old.RTTNanos != 0 {
+		t.Errorf("legacy frame grew timing: %+v", old)
 	}
 }
 

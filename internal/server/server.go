@@ -26,6 +26,7 @@ import (
 	"slamshare/internal/merge"
 	"slamshare/internal/metrics"
 	"slamshare/internal/obs"
+	"slamshare/internal/offload"
 	"slamshare/internal/overload"
 	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
@@ -62,6 +63,12 @@ type Config struct {
 	// < 0 disables batching — each session fans out per-call, the
 	// pre-pool behavior.
 	TrackWorkers int
+	// TrackReservedSlots holds back admission slots in the tracking
+	// pool for QoS-0 (headset) frames, so a headset frame arriving at
+	// a saturated pool is admitted immediately instead of waiting out
+	// a lower-class frame already in service. 0 reserves nothing; see
+	// trackpool.Config.ReservedSlots.
+	TrackReservedSlots int
 	// MergeAfterKFs triggers the first merge attempt once a client's
 	// local map holds this many keyframes.
 	MergeAfterKFs int
@@ -98,6 +105,14 @@ type Config struct {
 	// disables all of it. Lifecycle.Dir defaults to Persist.Dir, so
 	// evicted regions live next to the checkpoints and journals.
 	Lifecycle lifecycle.Config
+	// Offload tunes the per-session adaptive offload policy: mode
+	// negotiation between full (video upload), split (keypoint upload),
+	// and shadow (map-only sync) driven by measured RTT, server load,
+	// and the session's QoS class (see internal/offload). Zero fields
+	// take offload.DefaultConfig. It only applies to sessions whose
+	// hello advertises offload capabilities; legacy clients are pinned
+	// to full offload.
+	Offload offload.Config
 }
 
 // OverloadConfig is the server's overload-protection policy.
@@ -250,6 +265,12 @@ type NetStats struct {
 	// IdleEvicted counts connections evicted by the read watchdog
 	// (idle or frozen mid-message).
 	IdleEvicted metrics.Counter
+	// ModeSwitches counts offload mode changes pushed to clients.
+	// FramesSplit counts split-mode keypoint frames tracked, and
+	// SyncPings counts shadow-mode map-sync pings absorbed.
+	ModeSwitches metrics.Counter
+	FramesSplit  metrics.Counter
+	SyncPings    metrics.Counter
 }
 
 // NetStats returns the Serve-path counters.
@@ -357,7 +378,11 @@ func New(cfg Config) (*Server, error) {
 		if cfg.GPU != nil {
 			dev = cfg.GPU
 		}
-		s.tpool = trackpool.New(trackpool.Config{Workers: cfg.TrackWorkers, Device: dev})
+		s.tpool = trackpool.New(trackpool.Config{
+			Workers:       cfg.TrackWorkers,
+			ReservedSlots: cfg.TrackReservedSlots,
+			Device:        dev,
+		})
 	}
 	if lcfg := cfg.Lifecycle; lcfg.MaxKeyFrames > 0 || lcfg.EvictAfter > 0 {
 		if lcfg.Dir == "" {
@@ -406,6 +431,9 @@ func New(cfg Config) (*Server, error) {
 	reg.RegisterCounter("net.idle_evicted", &s.net.IdleEvicted)
 	reg.RegisterCounter("merge.rollback", &s.net.MergeRollbacks)
 	reg.RegisterCounter("merge.quarantine", &s.net.MergeQuarantines)
+	reg.RegisterCounter("offload.mode_switches", &s.net.ModeSwitches)
+	reg.RegisterCounter("offload.split_frames", &s.net.FramesSplit)
+	reg.RegisterCounter("offload.sync_pings", &s.net.SyncPings)
 	reg.RegisterFunc("overload.sessions", func() any { return s.gate.Sessions() })
 	reg.RegisterFunc("overload.merges_inflight", func() any { return s.gate.Merges() })
 	if s.tpool != nil {
@@ -564,6 +592,13 @@ type Session struct {
 	// stream is the session's handle on the shared tracking pool (nil
 	// when Config.TrackWorkers < 0 disabled batching).
 	stream *trackpool.Stream
+	// qos and ctrl are the adaptive-offload state; a nil ctrl is a
+	// legacy session pinned to full offload. rttNanos is the latest
+	// client-reported round-trip estimate. All three are owned by the
+	// serveConn loop (direct-API tests drive them single-threaded).
+	qos      offload.QoS
+	ctrl     *offload.Controller
+	rttNanos uint64
 
 	// trackHist is this session's end-to-end tracking latency
 	// histogram. It is private to the session (the registry's
@@ -755,14 +790,26 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 	t0 := time.Now()
 	tr := sess.tracker.ProcessFrame(left, rightImg, msg.Stamp, prior)
 	sess.trackHist.Observe(time.Since(t0))
+	return sess.completeFrame(tr, msg.Stamp), nil
+}
+
+// completeFrame folds one tracking result into the session: stage
+// accounting, motion-model correction, trajectory append, keyframe
+// insertion with shared-memory accounting, and the merge trigger.
+// Shared by the full-offload (HandleFrame) and split-offload
+// (HandleKeypoints) paths, which differ only in how the frame's
+// keypoints came to exist.
+func (sess *Session) completeFrame(tr tracking.Result, stamp float64) Result {
 	sess.stages.Add(tr.Timing)
 	sess.frames++
 
-	res.Pose = tr.Pose
-	res.Tracked = tr.State == tracking.OK
-	res.Degraded = tr.Degraded
-	res.Timing = tr.Timing
-	res.Inliers = tr.Inliers
+	res := Result{
+		Pose:     tr.Pose,
+		Tracked:  tr.State == tracking.OK,
+		Degraded: tr.Degraded,
+		Timing:   tr.Timing,
+		Inliers:  tr.Inliers,
+	}
 	if tr.State == tracking.Lost {
 		sess.srv.net.TrackLost.Inc()
 	}
@@ -777,15 +824,15 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 			// Correct the motion model's velocity from consecutive SLAM
 			// fixes; the anchor velocity was unknown and IMU deltas only
 			// carry velocity increments.
-			if sess.havePrev && msg.Stamp > sess.prevStamp {
-				v := twc.T.Sub(sess.prevTwc.T).Scale(1 / (msg.Stamp - sess.prevStamp))
+			if sess.havePrev && stamp > sess.prevStamp {
+				v := twc.T.Sub(sess.prevTwc.T).Scale(1 / (stamp - sess.prevStamp))
 				sess.mm.SetVelocity(v)
 			}
 		}
 		sess.prevTwc = twc
-		sess.prevStamp = msg.Stamp
+		sess.prevStamp = stamp
 		sess.havePrev = true
-		sess.Traj.Append(msg.Stamp, twc.T)
+		sess.Traj.Append(stamp, twc.T)
 	}
 
 	if tr.NewKF != nil {
@@ -809,8 +856,76 @@ func (sess *Session) HandleFrame(msg *protocol.FrameMsg) (Result, error) {
 			res.Merged = true
 		}
 	}
-	return res, nil
+	return res
 }
+
+// HandleKeypoints processes one split-offload uplink frame: the
+// client already ran feature extraction and stereo matching (through
+// the same feature.Extractor code path the server uses, so the
+// keypoints are bit-identical to what the server would have produced
+// from the same pixels), and the pipeline enters at pose prediction —
+// no video decode span, no track.extract, no track.match.
+func (sess *Session) HandleKeypoints(msg *protocol.KeypointMsg) (Result, error) {
+	ord := uint64(sess.frames)
+	fsp := sess.srv.stFrame.Start(sess.ID, ord)
+	defer fsp.End()
+	sess.srv.global.Tick()
+
+	// IMU-assisted prior, same as the full path.
+	var prior *geom.SE3
+	if sess.mmReady {
+		bodyToWorld := sess.mm.ApproxPoseUpdateMM(msg.Delta)
+		p := bodyToWorld.Inverse()
+		prior = &p
+	} else if msg.HasPrior {
+		p := msg.Prior.Inverse()
+		prior = &p
+	}
+
+	t0 := time.Now()
+	tr := sess.tracker.ProcessExtracted(msg.Kps, msg.Stamp, prior)
+	sess.trackHist.Observe(time.Since(t0))
+	sess.srv.net.FramesSplit.Inc()
+	return sess.completeFrame(tr, msg.Stamp), nil
+}
+
+// HandleSync absorbs a shadow-mode map-sync ping: only the motion
+// model integrates the IMU delta, so a later mode upgrade re-enters
+// tracking with a prior spanning the shadow period. No tracking work
+// runs and the lifecycle clock does not advance.
+func (sess *Session) HandleSync(msg *protocol.KeypointMsg) {
+	if sess.mmReady {
+		sess.mm.ApproxPoseUpdateMM(msg.Delta)
+	}
+	sess.srv.net.SyncPings.Inc()
+}
+
+// ConfigureOffload arms per-session adaptive offloading from the
+// client's hello: the QoS class orders the session's frames in the
+// shared trackpool (between the urgent class and the EDF key), and
+// together with the advertised capabilities it parameterizes the
+// mode controller. Without this call the session stays a legacy
+// full-offload one: no echoes, no mode switches.
+func (sess *Session) ConfigureOffload(qos offload.QoS, caps offload.Caps) {
+	sess.qos = qos
+	sess.ctrl = offload.NewController(sess.srv.cfg.Offload, qos, caps)
+	if sess.stream != nil {
+		sess.stream.SetQoS(int(qos))
+	}
+}
+
+// OffloadMode returns the session's current offload mode (always full
+// for a legacy session without a controller).
+func (sess *Session) OffloadMode() offload.Mode {
+	if sess.ctrl == nil {
+		return offload.ModeFull
+	}
+	return sess.ctrl.Mode()
+}
+
+// QoS returns the session's service class (headset for legacy
+// sessions, which never negotiated one).
+func (sess *Session) QoS() offload.QoS { return sess.qos }
 
 // ShedFrame consumes a shed uplink frame's stream side effects without
 // running the tracking pipeline: the video decoders must see every
@@ -1005,15 +1120,59 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
-	// Pose writes are bounded too: a client that stopped reading must
-	// not pin this goroutine (and its session slot) on a full socket
-	// buffer.
-	writePose := func(pm protocol.PoseMsg) bool {
+	// Pose (and mode-switch) writes are bounded too: a client that
+	// stopped reading must not pin this goroutine (and its session
+	// slot) on a full socket buffer.
+	writeMsg := func(mt byte, payload []byte) bool {
 		if wt := timeout(ov.WriteTimeout); wt > 0 {
 			conn.SetWriteDeadline(time.Now().Add(wt))
 			defer conn.SetWriteDeadline(time.Time{})
 		}
-		return protocol.WriteMessage(conn, protocol.TypePose, pm.Encode()) == nil
+		return protocol.WriteMessage(conn, mt, payload) == nil
+	}
+	writePose := func(pm protocol.PoseMsg) bool {
+		return writeMsg(protocol.TypePose, pm.Encode())
+	}
+	// echo stamps the client's send time onto the reply so the client
+	// can measure round-trip time (RTT = receive time - echoed stamp).
+	// Only adaptive sessions get the extended PoseMsg; legacy clients
+	// would reject the longer encoding.
+	echo := func(pm protocol.PoseMsg, sent uint64) protocol.PoseMsg {
+		if sess != nil && sess.ctrl != nil && sent != 0 {
+			pm.HasEcho = true
+			pm.EchoNanos = sent
+		}
+		return pm
+	}
+	// maybeSwitchMode runs one offload-policy step after a frame is
+	// answered and pushes a mode switch downlink when the controller
+	// moves. Inputs: client-reported RTT, trackpool pressure, and this
+	// connection's own uplink backlog. Returns false on a dead socket.
+	maybeSwitchMode := func(backlog int) bool {
+		if sess == nil || sess.ctrl == nil {
+			return true
+		}
+		din := offload.Inputs{RTT: time.Duration(sess.rttNanos), Backlog: backlog}
+		if s.tpool != nil {
+			st := s.tpool.Stats()
+			din.QueueDepth = st.QueueDepth + st.AdmitWaiting
+			din.Workers = st.Workers
+		}
+		mode, switched := sess.ctrl.Decide(time.Now(), din)
+		if !switched {
+			return true
+		}
+		s.net.ModeSwitches.Inc()
+		reason := byte(1) // server load
+		if din.Load() == 0 {
+			reason = 2 // RTT
+		}
+		return writeMsg(protocol.TypeModeSwitch, (&protocol.ModeSwitchMsg{
+			Mode:      byte(mode),
+			Epoch:     sess.ctrl.Epoch(),
+			Reason:    reason,
+			SentNanos: uint64(time.Now().UnixNano()),
+		}).Encode())
 	}
 
 	for m := range in {
@@ -1035,6 +1194,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.net.BadHello.Inc()
 				return
 			}
+			if hello.HasQoS {
+				sess.ConfigureOffload(offload.QoS(hello.QoS), offload.Caps(hello.Caps))
+			}
 			s.net.SessionsOpened.Inc()
 		case protocol.TypeFrame:
 			if sess == nil {
@@ -1046,6 +1208,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			sess.lag.Note(msg.Stamp)
+			if msg.RTTNanos != 0 {
+				sess.rttNanos = msg.RTTNanos
+			}
 			// Deadline-aware shedding (process-latest): when the frames
 			// queued behind this one represent more wall-clock lag than
 			// the budget, answer it immediately with a Shed pose — the
@@ -1057,9 +1222,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				sess.tracker.State() == tracking.OK {
 				sess.ShedFrame(msg)
 				s.net.FramesShed.Inc()
-				if !writePose(protocol.PoseMsg{
+				if !writePose(echo(protocol.PoseMsg{
 					FrameIdx: msg.FrameIdx, Pose: geom.IdentitySE3(), Shed: true,
-				}) {
+				}, msg.SentNanos)) {
+					return
+				}
+				if !maybeSwitchMode(len(in)) {
 					return
 				}
 				continue
@@ -1068,8 +1236,74 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			pm := protocol.PoseMsg{FrameIdx: msg.FrameIdx, Pose: res.Pose, Tracked: res.Tracked}
+			pm := echo(protocol.PoseMsg{
+				FrameIdx: msg.FrameIdx, Pose: res.Pose, Tracked: res.Tracked,
+			}, msg.SentNanos)
 			if !writePose(pm) {
+				return
+			}
+			if !maybeSwitchMode(len(in)) {
+				return
+			}
+		case protocol.TypeKeypoint:
+			if sess == nil {
+				return
+			}
+			msg, err := protocol.DecodeKeypointMsg(m.payload)
+			if err != nil {
+				s.net.FramesRejected.Inc()
+				return
+			}
+			sess.lag.Note(msg.Stamp)
+			if msg.RTTNanos != 0 {
+				sess.rttNanos = msg.RTTNanos
+			}
+			// Shadow-mode sync ping: absorb the IMU delta, answer with a
+			// Shed pose (the client is tracking locally and only needs
+			// the echo for its RTT estimate), and run the policy so the
+			// session can be upgraded once load clears.
+			if msg.Flags&protocol.KeypointSyncOnly != 0 {
+				sess.HandleSync(msg)
+				if !writePose(echo(protocol.PoseMsg{
+					FrameIdx: msg.FrameIdx, Pose: geom.IdentitySE3(), Shed: true,
+				}, msg.SentNanos)) {
+					return
+				}
+				if !maybeSwitchMode(len(in)) {
+					return
+				}
+				continue
+			}
+			// Split-mode frames shed by the same wall-clock budget as
+			// full ones — no decoders to feed here, just the motion
+			// model so the next tracked frame's prior spans the gap.
+			if len(in) > 0 && sess.lag.ShouldShed(len(in)) &&
+				sess.tracker.State() == tracking.OK {
+				if sess.mmReady {
+					sess.mm.ApproxPoseUpdateMM(msg.Delta)
+				}
+				s.net.FramesShed.Inc()
+				if !writePose(echo(protocol.PoseMsg{
+					FrameIdx: msg.FrameIdx, Pose: geom.IdentitySE3(), Shed: true,
+				}, msg.SentNanos)) {
+					return
+				}
+				if !maybeSwitchMode(len(in)) {
+					return
+				}
+				continue
+			}
+			res, err := sess.HandleKeypoints(msg)
+			if err != nil {
+				return
+			}
+			pm := echo(protocol.PoseMsg{
+				FrameIdx: msg.FrameIdx, Pose: res.Pose, Tracked: res.Tracked,
+			}, msg.SentNanos)
+			if !writePose(pm) {
+				return
+			}
+			if !maybeSwitchMode(len(in)) {
 				return
 			}
 		case protocol.TypeBye:

@@ -342,28 +342,52 @@ func (t *Tracker) observeQueue(t0 time.Time, q0 time.Duration, has bool, client 
 	t.obsStages.queue.Observe(t0, q1-q0, client, seq)
 }
 
-func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *geom.SE3) Result {
-	t0 := time.Now()
+// frameClock carries the per-frame clocks and device-ledger samples
+// shared by the full-offload (ProcessFrame) and split-offload
+// (ProcessExtracted) entry points: t0 anchors arrival (deadline
+// checks, span starts), e0 anchors admitted execution, and the ledger
+// samples convert Total to device-accurate time at the end.
+type frameClock struct {
+	t0, e0   time.Time
+	q0       time.Duration
+	hasQueue bool
+	devs     []feature.ModeledParallelizer
+	w0, m0   time.Duration
+	client   uint32
+	seq      uint64
+}
+
+// openFrame starts the per-frame bookkeeping: wires observability,
+// samples the queue-wait ledger, and blocks until the pool admits the
+// frame. Callers must defer t.endFrame().
+func (t *Tracker) openFrame(t0 time.Time) frameClock {
 	t.wireObs()
-	obsClient, obsSeq := uint32(t.Client), uint64(t.frameIdx)
+	fc := frameClock{t0: t0, client: uint32(t.Client), seq: uint64(t.frameIdx)}
 	// Open the frame's admission window on pool-backed parallelizers
 	// (deadline-aware batch scheduling; BeginFrame blocks until the
 	// pool admits the frame) and sample the queue-wait ledger so the
 	// wait this frame accrues is reported as track.queue.
-	q0, hasQueue := t.queueWait()
+	fc.q0, fc.hasQueue = t.queueWait()
 	t.beginFrame(t0)
-	defer t.endFrame()
 	// The execution clock starts when the pool admits the frame: time
 	// spent blocked at the admission gate (and queued behind other
 	// sessions' batches) is scheduling cost, reported as track.queue —
 	// track.extract and track.total measure what this frame's compute
 	// actually took. Deadline checks stay anchored to t0, the arrival:
 	// a frame's budget runs while it queues.
-	e0 := time.Now()
+	fc.e0 = time.Now()
 	// Sample every distinct device ledger once so Total can be
 	// converted to device-accurate time at the end.
-	devs := t.uniqueDevices()
-	w0, m0 := sumCounters(devs)
+	fc.devs = t.uniqueDevices()
+	fc.w0, fc.m0 = sumCounters(fc.devs)
+	return fc
+}
+
+func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *geom.SE3) Result {
+	t0 := time.Now()
+	fc := t.openFrame(t0)
+	defer t.endFrame()
+	obsClient, obsSeq := fc.client, fc.seq
 	res := Result{State: t.state}
 	idx := t.frameIdx
 	t.frameIdx++
@@ -371,7 +395,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 	// Stage 1: ORB extraction.
 	ew0, em0 := counters(t.Extractor.Par)
 	kps := t.Extractor.Extract(left)
-	res.Timing.Extract = deviceTime(time.Since(e0), t.Extractor.Par, ew0, em0)
+	res.Timing.Extract = deviceTime(time.Since(fc.e0), t.Extractor.Par, ew0, em0)
 	t.obsStages.extract.Observe(t0, res.Timing.Extract, obsClient, obsSeq)
 
 	// Stage 2: matching (stereo correspondence).
@@ -385,10 +409,39 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 	t.obsStages.match.Observe(tm, res.Timing.Match, obsClient, obsSeq)
 
 	fr := Frame{Idx: idx, Stamp: stamp, Kps: kps, MPs: make([]smap.ID, len(kps))}
+	return t.trackPrepared(&fr, posePrior, res, fc)
+}
+
+// ProcessExtracted tracks one frame from client-supplied keypoints
+// (split offload): extraction and stereo matching already ran on the
+// device — via the same feature.Extractor code path, so the keypoints
+// are bit-identical to what the server would have produced from the
+// same pixels — and the pipeline enters at pose prediction. The
+// extract and match stages cost nothing and are never observed, which
+// is the point: a split-mode frame's span trace has no track.extract.
+func (t *Tracker) ProcessExtracted(kps []feature.Keypoint, stamp float64, posePrior *geom.SE3) Result {
+	t0 := time.Now()
+	fc := t.openFrame(t0)
+	defer t.endFrame()
+	res := Result{State: t.state}
+	idx := t.frameIdx
+	t.frameIdx++
+	fr := Frame{Idx: idx, Stamp: stamp, Kps: kps, MPs: make([]smap.ID, len(kps))}
+	return t.trackPrepared(&fr, posePrior, res, fc)
+}
+
+// trackPrepared runs stages 3+ (initialize / relocalize / predict /
+// track / search-local / keyframe decision) on a frame whose
+// keypoints are already in place, then closes the frame's clocks.
+func (t *Tracker) trackPrepared(fr *Frame, posePrior *geom.SE3, res Result, fc frameClock) Result {
+	t0, e0 := fc.t0, fc.e0
+	q0, hasQueue := fc.q0, fc.hasQueue
+	devs, w0, m0 := fc.devs, fc.w0, fc.m0
+	obsClient, obsSeq := fc.client, fc.seq
 
 	switch t.state {
 	case NotInitialized:
-		ok := t.initialize(&fr, posePrior)
+		ok := t.initialize(fr, posePrior)
 		if ok {
 			t.state = OK
 			res.State = OK
@@ -403,7 +456,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		if t.state == Lost {
 			// BoW relocalization: recover against the map before
 			// falling back to dead-reckoned prediction.
-			if t.relocalize(&fr, posePrior) {
+			if t.relocalize(fr, posePrior) {
 				t.state = OK
 			}
 		}
@@ -411,7 +464,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		if t.state == Lost || countBound(fr.MPs) == 0 {
 			fr.Tcw = pred
 		}
-		inl1 := t.trackLastFrame(&fr)
+		inl1 := t.trackLastFrame(fr)
 		res.Timing.PosePredict = time.Since(tp)
 		t.obsStages.posePredict.Observe(tp, res.Timing.PosePredict, obsClient, obsSeq)
 
@@ -430,7 +483,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		} else {
 			ts := time.Now()
 			sw0, sm0 := counters(t.SearchPar)
-			inl2 = t.searchLocalPoints(&fr)
+			inl2 = t.searchLocalPoints(fr)
 			res.Timing.SearchLocal = deviceTime(time.Since(ts), t.SearchPar, sw0, sm0)
 			t.obsStages.searchLocal.Observe(ts, res.Timing.SearchLocal, obsClient, obsSeq)
 		}
@@ -447,7 +500,7 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 			res.Pose = fr.Tcw
 			// Preserve the motion model; recovery happens on the next
 			// frames via the prior.
-			t.last = fr
+			t.last = *fr
 			t.observeQueue(t0, q0, hasQueue, obsClient, obsSeq)
 			res.Timing.Total = adjustTotal(time.Since(e0), devs, w0, m0)
 			t.obsStages.total.Observe(t0, res.Timing.Total, obsClient, obsSeq)
@@ -459,12 +512,12 @@ func (t *Tracker) ProcessFrame(left, right *img.Gray, stamp float64, posePrior *
 		// Update motion model.
 		t.velocity = fr.Tcw.Compose(t.last.Tcw.Inverse())
 		// Keyframe decision.
-		if t.needKeyFrame(&fr, inliers) {
-			kf := t.makeKeyFrame(&fr)
+		if t.needKeyFrame(fr, inliers) {
+			kf := t.makeKeyFrame(fr)
 			res.NewKF = kf
 		}
 	}
-	t.last = fr
+	t.last = *fr
 	t.observeQueue(t0, q0, hasQueue, obsClient, obsSeq)
 	res.Timing.Total = adjustTotal(time.Since(e0), devs, w0, m0)
 	t.obsStages.total.Observe(t0, res.Timing.Total, obsClient, obsSeq)

@@ -8,15 +8,18 @@
 // and scheduling is global, so one frame's hot loop runs to completion
 // instead of timeslicing against seven neighbours.
 //
-// Scheduling is earliest-deadline-first. Each session's Stream tags
-// its batches with the current frame's arrival time and deadline
-// (feature.FrameScheduler): with no deadline the key is the arrival
-// time (FIFO), with a deadline the key is the deadline itself — the
-// same order when every session carries the same budget, but a frame
-// that has nearly exhausted its FrameDeadline budget at admission is
-// promoted to an urgent class that jumps all normal work, composing
-// with the server's shedding instead of fighting it: the frames the
-// shedder would have to degrade are exactly the ones served first.
+// Scheduling is QoS-tiered earliest-deadline-first. Sessions sort by
+// service class first (a headset always outranks a mapping drone),
+// then each session's Stream tags its batches with the current frame's
+// arrival time and deadline (feature.FrameScheduler): with no deadline
+// the key is the arrival time (FIFO), with a deadline the key is the
+// deadline itself, and a frame that has nearly exhausted its
+// FrameDeadline budget at admission is promoted to an urgent class
+// that jumps the normal work of its own tier — composing with the
+// server's shedding instead of fighting it. Urgency never crosses
+// tiers: under sustained overload every stale low-QoS frame blows its
+// budget, and tier-jumping promotions would starve the high-QoS
+// sessions the tiers exist to protect.
 //
 // Work functions must not submit to the pool (a worker executing them
 // would deadlock waiting on itself); the tracking kernels are leaf
@@ -45,9 +48,17 @@ type Config struct {
 	// batches. 0 means 2.
 	MinGrain int
 	// UrgentFrac is the fraction of a frame's deadline budget below
-	// which its batches enter the urgent class and jump the queue.
-	// 0 means 0.25.
+	// which its batches enter the urgent class and jump the normal
+	// work of their own QoS tier. 0 means 0.25.
 	UrgentFrac float64
+	// ReservedSlots holds back this many admission slots for QoS-0
+	// frames: an admitter with a lower service class (qos > 0) is only
+	// granted while inflight < MaxInflight - ReservedSlots, so a
+	// top-tier frame arriving at a saturated gate takes a reserved
+	// slot immediately instead of waiting out a whole lower-tier
+	// frame already in service. 0 reserves nothing; at least one slot
+	// always remains usable by every tier.
+	ReservedSlots int
 	// MaxInflight bounds the number of frames admitted concurrently:
 	// BeginFrame blocks until a slot frees (EndFrame) and waiters are
 	// served in the same EDF-plus-urgent order as the run queue. The
@@ -79,6 +90,7 @@ type batch struct {
 	next    int    // next unclaimed item index
 	done    int    // completed items
 	class   int    // classUrgent sorts before classNormal
+	qos     int32  // session QoS class: lower outranks higher
 	key     int64  // EDF key, UnixNano: deadline when set, else arrival
 	seq     uint64 // frame admission order, the final tie-break
 	grain   int
@@ -90,9 +102,11 @@ type batch struct {
 }
 
 // admitter is one frame waiting at the admission gate, ordered like
-// batches: urgent class first, then EDF key, then arrival order.
+// batches: QoS tier first, then urgent class within the tier, then
+// EDF key, then arrival order.
 type admitter struct {
 	class int
+	qos   int32
 	key   int64
 	seq   uint64
 	slot  bool // granted with a slot (false when released by Close)
@@ -104,6 +118,9 @@ type admitHeap []*admitter
 
 func (h admitHeap) Len() int { return len(h) }
 func (h admitHeap) Less(i, j int) bool {
+	if h[i].qos != h[j].qos {
+		return h[i].qos < h[j].qos
+	}
 	if h[i].class != h[j].class {
 		return h[i].class < h[j].class
 	}
@@ -135,6 +152,9 @@ type batchHeap []*batch
 
 func (h batchHeap) Len() int { return len(h) }
 func (h batchHeap) Less(i, j int) bool {
+	if h[i].qos != h[j].qos {
+		return h[i].qos < h[j].qos
+	}
 	if h[i].class != h[j].class {
 		return h[i].class < h[j].class
 	}
@@ -324,6 +344,12 @@ type Stream struct {
 	pool     *Pool
 	arrival  atomic.Int64 // current frame arrival, UnixNano (0 = unset)
 	deadline atomic.Int64 // current frame deadline, UnixNano (0 = none)
+	// qos is the session's service class, an ordering tier between the
+	// urgent class and the EDF key: under load a headset's frames are
+	// admitted and executed before a mapping drone's with an earlier
+	// deadline. 0 (highest) by default, so sessions that never call
+	// SetQoS keep the pure-EDF behaviour.
+	qos atomic.Int32
 	// frameSeq is the EDF tie-break shared by every batch of the
 	// current frame, assigned from the pool counter at the frame's
 	// first submission and cleared by BeginFrame. Sharing it across
@@ -356,6 +382,12 @@ func (p *Pool) NewStream() *Stream {
 	return &Stream{pool: p}
 }
 
+// SetQoS sets the stream's service class (lower outranks higher). It
+// takes effect from the next BeginFrame/Run.
+func (st *Stream) SetQoS(qos int) {
+	st.qos.Store(int32(qos))
+}
+
 // Close detaches the stream, releasing any admission slot it still
 // holds (gauge accounting otherwise; a closed stream's Run still
 // works).
@@ -367,7 +399,11 @@ func (st *Stream) Close() {
 // schedKey maps a frame's admission window to its (key, class): EDF on
 // the deadline when one is set, FIFO on arrival otherwise, promoted to
 // the urgent class when the remaining budget at now has fallen below
-// UrgentFrac of the whole budget.
+// UrgentFrac of the whole budget. Urgency only reorders frames within
+// a QoS tier — the heaps sort on QoS first — because under sustained
+// overload every stale low-QoS frame blows its budget, and letting
+// those promotions jump tiers would starve a headset's fresh frames
+// behind a drone's expired backlog.
 func (p *Pool) schedKey(now, arr, dl int64) (key int64, class int) {
 	key = arr
 	class = classNormal
@@ -403,19 +439,24 @@ func (st *Stream) BeginFrame(arrival, deadline time.Time) {
 	}
 	now := time.Now()
 	key, class := p.schedKey(now.UnixNano(), arr, dl)
+	qos := st.qos.Load()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return
 	}
-	if p.inflight < p.cfg.MaxInflight && len(p.admitQ) == 0 {
+	// Immediate grant when a slot this tier may use is free and no
+	// waiter outranks the frame (a QoS-0 arrival outranks any waiting
+	// lower tier, so a free reserved slot is taken on the spot).
+	if p.inflight < p.admitLimit(qos) &&
+		(len(p.admitQ) == 0 || (qos == 0 && p.admitQ[0].qos > 0)) {
 		p.inflight++
 		p.mu.Unlock()
 		st.admitted = true
 		return
 	}
 	p.seq++
-	a := &admitter{class: class, key: key, seq: p.seq, grant: make(chan struct{})}
+	a := &admitter{class: class, qos: qos, key: key, seq: p.seq, grant: make(chan struct{})}
 	heap.Push(&p.admitQ, a)
 	p.mu.Unlock()
 	<-a.grant
@@ -428,9 +469,25 @@ func (st *Stream) BeginFrame(arrival, deadline time.Time) {
 	p.waitNS.Add(int64(w))
 }
 
+// admitLimit returns the inflight bound the given service class may
+// fill: lower tiers stop ReservedSlots short of MaxInflight (clamped
+// so at least one slot stays usable by every tier).
+func (p *Pool) admitLimit(qos int32) int {
+	m := p.cfg.MaxInflight
+	if qos > 0 {
+		m -= p.cfg.ReservedSlots
+		if m < 1 {
+			m = 1
+		}
+	}
+	return m
+}
+
 // EndFrame releases the admission slot acquired by BeginFrame, waking
-// the highest-priority waiting frame. It implements
-// feature.FrameScheduler and is idempotent.
+// the highest-priority waiting frame whose tier may use the freed
+// slot. It implements feature.FrameScheduler and is idempotent. (The
+// heap's best waiter is decisive: if its tier is still barred by the
+// reservation, every deeper waiter is the same or a lower tier.)
 func (st *Stream) EndFrame() {
 	if !st.admitted {
 		return
@@ -439,7 +496,7 @@ func (st *Stream) EndFrame() {
 	p := st.pool
 	p.mu.Lock()
 	p.inflight--
-	if len(p.admitQ) > 0 && p.inflight < p.cfg.MaxInflight {
+	if len(p.admitQ) > 0 && p.inflight < p.admitLimit(p.admitQ[0].qos) {
 		a := heap.Pop(&p.admitQ).(*admitter)
 		a.slot = true
 		p.inflight++
@@ -495,7 +552,7 @@ func (st *Stream) Run(n int, f func(i int)) {
 		grain = n // whole batch = one kernel on the device backend
 	}
 	b := &batch{
-		f: f, n: n, class: class, key: key, grain: grain,
+		f: f, n: n, class: class, qos: st.qos.Load(), key: key, grain: grain,
 		st: st, enq: now, fin: make(chan struct{}),
 	}
 

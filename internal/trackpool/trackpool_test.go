@@ -125,6 +125,91 @@ func TestEDFArrivalOrder(t *testing.T) {
 	}
 }
 
+// TestQoSOrdersQueue pins the QoS tier of the EDF key: a headset
+// (qos 0) batch runs before a mapping drone's (qos 2) even when the
+// drone's frame arrived earlier, while the urgent class still
+// outranks QoS.
+func TestQoSOrdersQueue(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MinGrain: 1, MaxInflight: -1})
+	defer p.Close()
+	release, waitBlocked := blockWorker(t, p)
+
+	drone := p.NewStream()
+	headset := p.NewStream()
+	defer drone.Close()
+	defer headset.Close()
+	drone.SetQoS(2)
+	headset.SetQoS(0)
+	now := time.Now()
+	// The drone's frame is older — pure EDF would run it first.
+	drone.BeginFrame(now.Add(-50*time.Millisecond), time.Time{})
+	headset.BeginFrame(now, time.Time{})
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		drone.Run(1, func(int) { mu.Lock(); order = append(order, "drone"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 1)
+	go func() {
+		defer wg.Done()
+		headset.Run(1, func(int) { mu.Lock(); order = append(order, "headset"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 2)
+	release()
+	wg.Wait()
+	waitBlocked()
+	if len(order) != 2 || order[0] != "headset" {
+		t.Fatalf("execution order %v, want headset first", order)
+	}
+}
+
+// TestQoSOutranksUrgent: deadline urgency never crosses QoS tiers — a
+// drone frame about to blow its deadline still waits behind an
+// unhurried headset. Under sustained overload every stale drone frame
+// blows its budget; if those promotions jumped tiers they would starve
+// the headset the tiers exist to protect.
+func TestQoSOutranksUrgent(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MinGrain: 1, MaxInflight: -1})
+	defer p.Close()
+	release, waitBlocked := blockWorker(t, p)
+
+	headset := p.NewStream()
+	drone := p.NewStream()
+	defer headset.Close()
+	defer drone.Close()
+	headset.SetQoS(0)
+	drone.SetQoS(2)
+	now := time.Now()
+	headset.BeginFrame(now, now.Add(100*time.Millisecond))
+	// Admitted long ago, deadline nearly blown: urgent class.
+	drone.BeginFrame(now.Add(-10*time.Second), now.Add(500*time.Millisecond))
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		headset.Run(1, func(int) { mu.Lock(); order = append(order, "headset"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 1)
+	go func() {
+		defer wg.Done()
+		drone.Run(1, func(int) { mu.Lock(); order = append(order, "drone"); mu.Unlock() })
+	}()
+	waitDepth(t, p, 2)
+	release()
+	wg.Wait()
+	waitBlocked()
+	if len(order) != 2 || order[0] != "headset" {
+		t.Fatalf("execution order %v, want headset first despite urgent drone", order)
+	}
+}
+
 // TestUrgentClassJumpsQueue pins the deadline promotion: a frame that
 // has nearly exhausted its budget at admission jumps ahead of a normal
 // batch even when the normal batch's EDF key (deadline) is earlier.
@@ -326,6 +411,67 @@ func TestAdmissionGate(t *testing.T) {
 	if w := p.Stats().QueueWait; w < 5*time.Millisecond {
 		t.Errorf("pool queue wait %v after gated admission, want >= 5ms", w)
 	}
+}
+
+// TestAdmissionReservedSlot: with ReservedSlots 1 of MaxInflight 2,
+// lower-class frames can only fill one slot — a headset arriving at a
+// gate saturated by drones takes the reserved slot immediately, and a
+// freed slot is not handed to a drone while the reservation bars it.
+func TestAdmissionReservedSlot(t *testing.T) {
+	p := trackpool.New(trackpool.Config{Workers: 1, MaxInflight: 2, ReservedSlots: 1})
+	defer p.Close()
+
+	now := time.Now()
+	drone1 := p.NewStream()
+	defer drone1.Close()
+	drone1.SetQoS(2)
+	drone1.BeginFrame(now, time.Time{}) // fills the one drone-usable slot
+	if got := p.Stats().Inflight; got != 1 {
+		t.Fatalf("inflight %d after first drone, want 1", got)
+	}
+
+	// Second drone blocks: the remaining slot is reserved.
+	drone2 := p.NewStream()
+	defer drone2.Close()
+	drone2.SetQoS(2)
+	admitted := make(chan struct{})
+	go func() {
+		drone2.BeginFrame(now, time.Time{})
+		close(admitted)
+	}()
+	waitAdmitWaiting(t, p, 1)
+
+	// A headset arrives at the saturated gate: admitted on the spot,
+	// jumping the waiting drone.
+	headset := p.NewStream()
+	defer headset.Close()
+	headset.SetQoS(0)
+	done := make(chan struct{})
+	go func() {
+		headset.BeginFrame(now, time.Time{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("headset frame blocked at the gate despite the reserved slot")
+	}
+
+	// The headset finishing does not free a drone-usable slot: drone1
+	// still holds the only one lower tiers may use.
+	headset.EndFrame()
+	select {
+	case <-admitted:
+		t.Fatal("drone admitted into the reserved slot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	drone1.EndFrame()
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drone not admitted after a drone-usable slot freed")
+	}
+	drone2.EndFrame()
 }
 
 // TestAdmissionUrgentJumpsGate: a frame deep into its deadline budget

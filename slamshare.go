@@ -42,6 +42,7 @@ import (
 	"slamshare/internal/metrics"
 	"slamshare/internal/netem"
 	"slamshare/internal/obs"
+	"slamshare/internal/offload"
 	"slamshare/internal/persist"
 	"slamshare/internal/protocol"
 	"slamshare/internal/server"
@@ -151,6 +152,25 @@ type ServerOptions struct {
 	// reloading when a session relocalizes into it (0 = never evict).
 	// Eviction needs CheckpointDir for the region files.
 	EvictAfter uint64
+	// SplitLoad is the server load (queued frames per tracking worker
+	// plus session backlog) at which a full-offload session is
+	// downgraded to split (client-side keypoint extraction). 0 uses
+	// the policy default.
+	SplitLoad float64
+	// ShadowLoad is the load at which a split session is downgraded to
+	// shadow (map-only sync; headsets are exempt). 0 uses the default.
+	ShadowLoad float64
+	// SplitRTT is the measured round-trip time beyond which full
+	// offload degrades to split regardless of load. 0 uses the default.
+	SplitRTT time.Duration
+	// ModeHysteresis is the minimum dwell between offload mode
+	// switches. 0 uses the default.
+	ModeHysteresis time.Duration
+	// TrackReservedSlots holds back admission slots in the tracking
+	// pool for QoS-0 (headset) frames, so a headset frame at a
+	// saturated pool never waits out a lower-class frame in service
+	// (0 = no reservation).
+	TrackReservedSlots int
 }
 
 // EdgeServer is the SLAM-Share edge server.
@@ -206,6 +226,21 @@ func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
 	}
 	if opts.EvictAfter > 0 {
 		cfg.Lifecycle.EvictAfter = opts.EvictAfter
+	}
+	if opts.SplitLoad > 0 {
+		cfg.Offload.SplitLoad = opts.SplitLoad
+	}
+	if opts.ShadowLoad > 0 {
+		cfg.Offload.ShadowLoad = opts.ShadowLoad
+	}
+	if opts.SplitRTT > 0 {
+		cfg.Offload.SplitRTT = opts.SplitRTT
+	}
+	if opts.ModeHysteresis > 0 {
+		cfg.Offload.Hysteresis = opts.ModeHysteresis
+	}
+	if opts.TrackReservedSlots > 0 {
+		cfg.TrackReservedSlots = opts.TrackReservedSlots
 	}
 	s, err := server.New(cfg)
 	if err != nil {
@@ -284,6 +319,65 @@ func NewDevice(id uint32, seq *Sequence) *Device {
 // (Figs. 7 and 10a).
 func NewDisplacedDevice(id uint32, seq *Sequence, yaw float64, offset Vec3) *Device {
 	return client.NewDisplaced(id, seq, yaw, offset)
+}
+
+// Adaptive offloading re-exports: per-session negotiation of how much
+// of the SLAM pipeline runs on the edge server (full video upload,
+// split keypoint upload, or shadow map-only sync), driven by measured
+// RTT, server load and the session's QoS class. Enable on a Device
+// with EnableAdaptive + RunTCPAdaptive, or pin a mode with ForceMode.
+type (
+	// OffloadMode is a session's offload mode; higher is more degraded.
+	OffloadMode = offload.Mode
+	// QoS is a session's service class; lower values outrank higher
+	// ones in the tracking pool and tolerate more load before being
+	// downgraded.
+	QoS = offload.QoS
+	// OffloadCaps advertises the offload modes a client can run
+	// locally.
+	OffloadCaps = offload.Caps
+)
+
+// Offload modes, QoS classes and capability bits.
+const (
+	OffloadFull   = offload.ModeFull
+	OffloadSplit  = offload.ModeSplit
+	OffloadShadow = offload.ModeShadow
+
+	QoSHeadset  = offload.QoSHeadset
+	QoSHandheld = offload.QoSHandheld
+	QoSDrone    = offload.QoSDrone
+
+	CapSplit  = offload.CapSplit
+	CapShadow = offload.CapShadow
+)
+
+// ParseQoS maps a class name (headset, handheld, drone) to its QoS
+// value.
+func ParseQoS(s string) (QoS, error) {
+	switch s {
+	case "headset":
+		return QoSHeadset, nil
+	case "handheld":
+		return QoSHandheld, nil
+	case "drone":
+		return QoSDrone, nil
+	}
+	return 0, fmt.Errorf("unknown QoS class %q (want headset, handheld or drone)", s)
+}
+
+// ParseOffloadMode maps a mode name (full, split, shadow) to its
+// OffloadMode value.
+func ParseOffloadMode(s string) (OffloadMode, error) {
+	switch s {
+	case "full":
+		return OffloadFull, nil
+	case "split":
+		return OffloadSplit, nil
+	case "shadow":
+		return OffloadShadow, nil
+	}
+	return 0, fmt.Errorf("unknown offload mode %q (want full, split or shadow)", s)
 }
 
 // Baseline re-exports: the multi-user Edge-SLAM comparison system.
