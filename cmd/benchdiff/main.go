@@ -56,10 +56,10 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output file (BENCH_<label>.json)")
-	benchRe := flag.String("bench", "MultiClient|CodecRoundTrip|SpanStartEnd$|StageObserve|HistogramObserve|EncodeMap|DecodeMap|HandleFrameShedding|LifecycleCull|OffloadModes|OffloadAdaptiveRamp",
+	out := flag.String("out", "BENCH_PR9.json", "output file (BENCH_<label>.json)")
+	benchRe := flag.String("bench", "MultiClient|CodecRoundTrip|SpanStartEnd$|StageObserve|HistogramObserve|EncodeMap|DecodeMap|HandleFrameShedding|LifecycleCull|OffloadModes|OffloadAdaptiveRamp|ClusterMerge|ClusterScale",
 		"benchmark regexp passed to go test -bench")
-	pkgs := flag.String("pkgs", "./ ./internal/obs ./internal/video ./internal/wire ./internal/server ./internal/lifecycle ./internal/chaos",
+	pkgs := flag.String("pkgs", "./ ./internal/obs ./internal/video ./internal/wire ./internal/server ./internal/lifecycle ./internal/chaos ./internal/cluster",
 		"space-separated packages to benchmark")
 	count := flag.Int("count", 3, "runs per benchmark (median is recorded)")
 	threshold := flag.Float64("threshold", 0.25, "fail when ns/op regresses by more than this fraction (0 disables)")

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7007", "server address")
-	seqName := flag.String("seq", "MH04", "sequence: MH04, MH05, V202, TUM-fr1, KITTI-00, KITTI-05")
+	seqName := flag.String("seq", "MH04", "sequence: MH04, MH05, V202, TUM-fr1, KITTI-00, KITTI-05, CITY-00, CITY-01")
 	stereo := flag.Bool("stereo", true, "use the stereo rig")
 	id := flag.Uint("id", 1, "client id (unique per device)")
 	frames := flag.Int("frames", 300, "frames to replay")

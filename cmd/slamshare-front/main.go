@@ -1,0 +1,81 @@
+// Command slamshare-front runs the cluster front router: devices
+// connect to it as if it were a single SLAM-Share edge server, and it
+// routes each session to the shard that owns the session's spatial
+// region, moving ownership between shards as the user walks across a
+// boundary. Shards are slamshare-server processes started with
+// -shard-id/-shard-token.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"slamshare/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7006", "listen address devices dial")
+	shards := flag.String("shards", "", "comma-separated shard addresses; index is the shard ID")
+	token := flag.Uint64("token", 0, "shared secret matching the shards' -shard-token")
+	frontID := flag.Uint("front-id", 0, "this front's ID in shard-to-shard sender fields")
+	minX := flag.Float64("min-x", -100, "west edge of the partitioned region (metres, world frame)")
+	maxX := flag.Float64("max-x", 100, "east edge of the partitioned region")
+	hysteresis := flag.Float64("hysteresis", 5, "half-width of the no-handoff band around shard boundaries (metres)")
+	cooldown := flag.Duration("handoff-cooldown", 500*time.Millisecond, "minimum dwell between ownership handoffs per session")
+	flag.Parse()
+
+	list := strings.Split(*shards, ",")
+	clean := list[:0]
+	for _, a := range list {
+		if a = strings.TrimSpace(a); a != "" {
+			clean = append(clean, a)
+		}
+	}
+	if len(clean) == 0 {
+		log.Fatal("at least one -shards address is required")
+	}
+
+	front := cluster.NewFront(cluster.FrontConfig{
+		Shards:  clean,
+		Token:   *token,
+		FrontID: uint32(*frontID),
+		Part: cluster.Partition{
+			Min:        *minX,
+			Max:        *maxX,
+			N:          len(clean),
+			Hysteresis: *hysteresis,
+		},
+		HandoffCooldown: *cooldown,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("slamshare-front on %s routing x∈[%v, %v) across %d shards: %v",
+		ln.Addr(), *minX, *maxX, len(clean), clean)
+
+	go func() {
+		seen := 0
+		for range time.Tick(5 * time.Second) {
+			evs := front.Events()
+			for ; seen < len(evs); seen++ {
+				ev := evs[seen]
+				if ev.Committed {
+					log.Printf("handoff: client %d shard %d -> %d (epoch %d)",
+						ev.Client, ev.From, ev.To, ev.Epoch)
+				} else {
+					log.Printf("handoff aborted: client %d shard %d -> %d: %s",
+						ev.Client, ev.From, ev.To, ev.Reason)
+				}
+			}
+		}
+	}()
+
+	if err := front.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -36,6 +36,8 @@ func main() {
 	splitRTT := flag.Duration("split-rtt", 0, "RTT beyond which full offload degrades to split regardless of load (0 = policy default 150ms)")
 	modeHysteresis := flag.Duration("mode-hysteresis", 0, "minimum dwell between offload mode switches (0 = policy default 2s)")
 	reservedSlots := flag.Int("reserved-slots", 0, "tracking-pool admission slots held back for headset (QoS 0) frames (0 = none)")
+	shardID := flag.Uint("shard-id", 0, "cluster shard ID (used with slamshare-front; 0 is a valid ID)")
+	shardToken := flag.Uint64("shard-token", 0, "shared secret authenticating shard-to-shard and front-to-shard messages")
 	flag.Parse()
 
 	srv, err := slamshare.NewEdgeServer(slamshare.ServerOptions{
@@ -59,6 +61,8 @@ func main() {
 		SplitRTT:           *splitRTT,
 		ModeHysteresis:     *modeHysteresis,
 		TrackReservedSlots: *reservedSlots,
+		ShardID:            uint32(*shardID),
+		ShardToken:         *shardToken,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,110 @@
+package chaos
+
+// Multi-process topology support: the chaos tier's single-server
+// scenarios fault one in-process server, but cluster scenarios need
+// real processes — a SIGKILL mid cross-shard merge must lose every
+// byte that was not yet durably in the WAL, which an in-process
+// "kill" cannot reproduce (finalizers, shared memory and page cache
+// all survive). Shards therefore run as re-exec'd copies of the test
+// binary (TestMain dispatches on SLAMSHARE_PROC) and report their
+// listen address on stdout for the parent to scrape.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"slamshare/internal/cluster"
+)
+
+// ShardSpec parameterizes one shard child process.
+type ShardSpec struct {
+	Bin     string // binary to exec (os.Args[0] in tests)
+	ID      uint32
+	Token   uint64
+	Addr    string // listen address; "127.0.0.1:0" picks a port
+	Dir     string // WAL directory (persists across restarts)
+	StallMs int    // import crash-window failpoint, milliseconds
+}
+
+// ShardProc is one shard server running as a real child process.
+// Killing it is a true SIGKILL: no deferred cleanup, no flushes — the
+// WAL on disk is all that survives, which is the point of the tier.
+type ShardProc struct {
+	Addr string
+	cmd  *exec.Cmd
+}
+
+// SpawnShard starts a shard child process and waits for its LISTENING
+// line. Respawns after a kill reuse the concrete address, so fronts
+// and peers reconnect without reconfiguration; the retry loop absorbs
+// the window where the killed process's port is still being released.
+func SpawnShard(spec ShardSpec) (*ShardProc, error) {
+	var lastErr error
+	for attempt := 0; attempt < 15; attempt++ {
+		p, err := trySpawn(spec)
+		if err == nil {
+			return p, nil
+		}
+		lastErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("chaos: shard %d did not come up: %w", spec.ID, lastErr)
+}
+
+func trySpawn(spec ShardSpec) (*ShardProc, error) {
+	cmd := exec.Command(spec.Bin)
+	cmd.Env = append(os.Environ(),
+		cluster.EnvProc+"=shard",
+		fmt.Sprintf("%s=%s", cluster.EnvAddr, spec.Addr),
+		fmt.Sprintf("%s=%d", cluster.EnvShardID, spec.ID),
+		fmt.Sprintf("%s=%d", cluster.EnvToken, spec.Token),
+		fmt.Sprintf("%s=%s", cluster.EnvDir, spec.Dir),
+		fmt.Sprintf("%s=%d", cluster.EnvImportStall, spec.StallMs),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "LISTENING "); ok {
+				addrCh <- a
+				return
+			}
+		}
+		addrCh <- "" // stdout closed: the process died before listening
+	}()
+	select {
+	case a := <-addrCh:
+		if a == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, errors.New("shard exited before listening")
+		}
+		return &ShardProc{Addr: a, cmd: cmd}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, errors.New("shard did not report listening")
+	}
+}
+
+// Kill SIGKILLs the shard process and reaps it.
+func (p *ShardProc) Kill() {
+	if p == nil || p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}

@@ -111,6 +111,12 @@ type Scenario struct {
 	Urban   bool
 	Clients []ClientScript
 	Expect  Expect
+	// Dial overrides how clients reach the server under test; it
+	// receives the in-process server's address. nil means a direct TCP
+	// dial. Cluster tests point it at a front router (with the server
+	// as the routed shard) so scenarios run unchanged against one
+	// process or a sharded topology.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // Result summarizes one scenario run.
@@ -269,6 +275,15 @@ func Run(sc Scenario, persistDir string) (*Result, error) {
 	return h.res, nil
 }
 
+// dialServer opens one client link to whatever fronts the server —
+// the server itself by default, or the scenario's Dial override.
+func (h *harness) dialServer() (net.Conn, error) {
+	if h.sc.Dial != nil {
+		return h.sc.Dial(h.addr)
+	}
+	return net.Dial("tcp", h.addr)
+}
+
 func (h *harness) listen() error {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -343,7 +358,7 @@ func (h *harness) join(rc *rclient) error {
 			return err
 		}
 	}
-	raw, err := net.Dial("tcp", h.addr)
+	raw, err := h.dialServer()
 	if err != nil {
 		return err
 	}

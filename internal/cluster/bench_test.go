@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/protocol"
+)
+
+// dialShardPeer opens an authenticated shard-plane connection the way
+// the front router does.
+func dialShardPeer(tb testing.TB, addr string, role byte, sender uint32) net.Conn {
+	tb.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hello := protocol.ShardHelloMsg{Role: role, SenderID: sender, Token: testToken}
+	if err := protocol.WriteMessage(conn, protocol.TypeShardHello, hello.Encode()); err != nil {
+		tb.Fatal(err)
+	}
+	return conn
+}
+
+// awaitShardReply reads until a message of the wanted type arrives.
+func awaitShardReply(tb testing.TB, conn net.Conn, want byte) []byte {
+	tb.Helper()
+	conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+	for i := 0; i < 16; i++ {
+		mt, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			tb.Fatalf("awaiting shard message %d: %v", want, err)
+		}
+		if mt == want {
+			return payload
+		}
+	}
+	tb.Fatalf("shard message %d never arrived", want)
+	return nil
+}
+
+// buildSourceMap drives one session against the shard until it has a
+// region worth handing off, and leaves the session open (an export
+// needs the client's keyframes resident).
+func buildSourceMap(tb testing.TB, addr string, id uint32, frames int) net.Conn {
+	tb.Helper()
+	seq := halfRes(dataset.CityRoute("bench-src", [][2]int{{1, 1}, {2, 1}}, 7, camera.Stereo, 921))
+	cl := client.New(id, seq)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hello := protocol.HelloMsg{
+		ClientID: id, Mode: seq.Rig.Mode,
+		HasRig: true, Intr: seq.Rig.Intr, Baseline: seq.Rig.Baseline,
+	}
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, hello.Encode()); err != nil {
+		tb.Fatal(err)
+	}
+	for r := 0; r < frames; r++ {
+		msg := cl.BuildFrame(r * 4)
+		if err := protocol.WriteMessage(conn, protocol.TypeFrame, msg.Encode()); err != nil {
+			tb.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+		for {
+			mt, payload, err := protocol.ReadMessage(conn)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if mt != protocol.TypePose {
+				continue
+			}
+			pm, err := protocol.DecodePoseMsg(payload)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if pm.FrameIdx != msg.FrameIdx {
+				continue
+			}
+			cl.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
+			break
+		}
+	}
+	return conn
+}
+
+// BenchmarkClusterMerge measures one full cross-shard merge: boundary
+// export on the source shard, the region's trip over the wire, and
+// the transactional import (rebuild, merge/adopt, undo-log commit) on
+// a fresh target shard. The handoff is never committed, so the source
+// keeps its region and every iteration moves the same workload.
+func BenchmarkClusterMerge(b *testing.B) {
+	const clientID = 31
+	srcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := NewShard(ShardOptions{ID: 0, Token: testToken}, srcLn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	defer srcLn.Close()
+	sess := buildSourceMap(b, srcLn.Addr().String(), clientID, 48)
+	defer sess.Close()
+
+	front := dialShardPeer(b, srcLn.Addr().String(), protocol.ShardRoleFront, 0)
+	defer front.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tgtLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgt, err := NewShard(ShardOptions{ID: 1, Token: testToken}, tgtLn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		begin := protocol.HandoffMsg{Phase: protocol.HandoffBegin, ClientID: clientID, Epoch: uint64(i + 1)}
+		if err := protocol.WriteMessage(front, protocol.TypeHandoff, begin.Encode()); err != nil {
+			b.Fatal(err)
+		}
+		region := awaitShardReply(b, front, protocol.TypeBoundaryRegion)
+		peer := dialShardPeer(b, tgtLn.Addr().String(), protocol.ShardRolePeer, 0)
+		if err := protocol.WriteMessage(peer, protocol.TypeBoundaryRegion, region); err != nil {
+			b.Fatal(err)
+		}
+		ack, err := protocol.DecodeHandoffMsg(awaitShardReply(b, peer, protocol.TypeHandoff))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ack.Phase != protocol.HandoffAck {
+			b.Fatalf("import nacked: %s", ack.Reason)
+		}
+
+		b.StopTimer()
+		peer.Close()
+		tgtLn.Close()
+		tgt.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkClusterScale drives one session per shard through the
+// front at 1, 2 and 4 shards over the same world, reporting aggregate
+// tracked-frame throughput. Sessions stay inside their own slab so the
+// numbers measure sharding's parallelism, not handoff traffic.
+func BenchmarkClusterScale(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			const rounds, stride = 24, 4
+			part := Partition{Min: 0, Max: 240, N: n, Hysteresis: 5}
+			clu := startCluster(b, n, part)
+			slabW := 240 / n
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < n; s++ {
+					s := s
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						gx := s * slabW / 60 // vertical street on the slab's west edge
+						seq := halfRes(dataset.CityRoute(
+							fmt.Sprintf("bench-scale-%d-%d", n, s),
+							[][2]int{{gx, 1}, {gx, 2}}, 7, camera.Stereo, int64(931+s)))
+						runSession(b, clu.addr, uint32(21+s), seq, rounds, stride)
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N*n*rounds)/elapsed.Seconds(), "frames/s")
+			}
+		})
+	}
+}

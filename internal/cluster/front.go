@@ -1,0 +1,627 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slamshare/internal/img"
+	"slamshare/internal/protocol"
+	"slamshare/internal/video"
+)
+
+// FrontConfig configures the session router.
+type FrontConfig struct {
+	// Shards lists the shard addresses; the index is the shard ID the
+	// partition maps positions to.
+	Shards []string
+	// Token authenticates the front on shard listeners.
+	Token uint64
+	// Part is the spatial sharding function.
+	Part Partition
+	// FrontID identifies this front in ShardHello sender fields.
+	FrontID uint32
+	// HandoffCooldown is the minimum spacing between handoff attempts
+	// for one session — an aborted handoff (target refused or died)
+	// must not be retried on the very next frame.
+	HandoffCooldown time.Duration
+	// DialTimeout bounds each shard dial; RedialBudget bounds the total
+	// time a session keeps retrying a dead shard before giving up and
+	// dropping the client.
+	DialTimeout  time.Duration
+	RedialBudget time.Duration
+	// Dial overrides the shard dialer (netem wrapping, in-process
+	// transports). nil means net.DialTimeout.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// HandoffEvent records one ownership-handoff attempt, committed or
+// aborted. The per-session Epoch is strictly increasing across
+// attempts, so the event log doubles as the monotonicity proof.
+type HandoffEvent struct {
+	Client    uint32
+	Epoch     uint64
+	From, To  uint32
+	Committed bool
+	Reason    string // why an aborted handoff failed
+}
+
+// Front is the cluster's door: devices connect here with the ordinary
+// device protocol (legacy clients included) and the front proxies each
+// session to the shard owning its current position, moving map-region
+// ownership between shards as the session travels.
+//
+// The video stream is the subtle part: the device codec is a stateful
+// delta stream whose inter frames only decode against the frames
+// before them, but a handoff (or shard crash) gives the session a
+// fresh server-side decoder that needs an intra reference — and the
+// device has no idea anything happened. The front therefore owns the
+// stream: it decodes the device's video (its decoder sees every frame
+// from the stream's start, so it always has the reference) and
+// re-encodes each frame on a per-shard-connection encoder. On every
+// shard (re)connect the encoder is reset, so the first frame the new
+// session sees is an intra and tracking resumes immediately — no
+// client cooperation, no GOP-length blind window.
+type Front struct {
+	cfg    FrontConfig
+	ln     net.Listener
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	events []HandoffEvent
+}
+
+// NewFront builds a front router over the given shard table.
+func NewFront(cfg FrontConfig) *Front {
+	if cfg.HandoffCooldown == 0 {
+		cfg.HandoffCooldown = 500 * time.Millisecond
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RedialBudget == 0 {
+		cfg.RedialBudget = 30 * time.Second
+	}
+	if cfg.Part.N == 0 {
+		cfg.Part.N = len(cfg.Shards)
+	}
+	return &Front{cfg: cfg}
+}
+
+// Serve accepts device sessions on ln until Close. Blocks.
+func (f *Front) Serve(ln net.Listener) error {
+	f.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if f.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.serveSession(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for the proxied sessions to end.
+func (f *Front) Close() {
+	f.closed.Store(true)
+	if f.ln != nil {
+		f.ln.Close()
+	}
+	f.wg.Wait()
+}
+
+// Events returns the handoff log.
+func (f *Front) Events() []HandoffEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]HandoffEvent, len(f.events))
+	copy(out, f.events)
+	return out
+}
+
+func (f *Front) record(ev HandoffEvent) {
+	f.mu.Lock()
+	f.events = append(f.events, ev)
+	f.mu.Unlock()
+}
+
+func (f *Front) dial(addr string) (net.Conn, error) {
+	if f.cfg.Dial != nil {
+		return f.cfg.Dial(addr, f.cfg.DialTimeout)
+	}
+	return net.DialTimeout("tcp", addr, f.cfg.DialTimeout)
+}
+
+// dialPeer opens a shard control connection and identifies as a
+// cluster peer. sender is what the receiving shard sees as the message
+// origin — for a boundary import that is the *source shard's* ID, so
+// the target's import quarantine is charged per source.
+func (f *Front) dialPeer(shard uint32, role byte, sender uint32) (net.Conn, error) {
+	c, err := f.dial(f.cfg.Shards[shard])
+	if err != nil {
+		return nil, err
+	}
+	hello := protocol.ShardHelloMsg{Role: role, SenderID: sender, Token: f.cfg.Token}
+	if err := protocol.WriteMessage(c, protocol.TypeShardHello, hello.Encode()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// message is one framed protocol message in transit.
+type message struct {
+	mt      byte
+	payload []byte
+}
+
+// pendingFrame is an uplink frame forwarded to a shard but not yet
+// answered with a pose. The decoded camera images ride along so the
+// frame can be re-encoded onto a fresh video stream if the session
+// has to move or reconnect before the answer arrives.
+type pendingFrame struct {
+	mt      byte
+	payload []byte // as last forwarded
+	fm      protocol.FrameMsg
+	left    *img.Gray // nil when the frame carries no decodable video
+	right   *img.Gray
+}
+
+// session is one proxied device connection.
+type session struct {
+	f        *Front
+	client   net.Conn
+	clientID uint32
+	helloRaw []byte // replayed verbatim on every shard (re)connect
+	cur      uint32 // shard currently owning the session
+	epoch    uint64 // handoff epoch, strictly increasing per attempt
+
+	shard net.Conn
+	down  chan message // closed when the shard connection dies
+
+	// Stream transcoding state: dec* follow the device's video stream,
+	// enc* produce the per-shard-connection stream (reset on every
+	// reconnect so new server sessions start on an intra frame).
+	decL, decR *video.Decoder
+	encL, encR *video.Encoder
+
+	// unacked holds uplink frames forwarded to the shard but not yet
+	// answered with a pose. On a shard death or handoff they are
+	// re-encoded and re-sent, so every client frame is answered
+	// exactly once.
+	unacked []pendingFrame
+
+	// connGot tracks whether the current shard connection delivered
+	// anything; strikes counts consecutive connections that died
+	// without a single downlink message (a misbehaving stream the
+	// shard rejects on sight), so such sessions are dropped instead
+	// of redialing forever.
+	connGot bool
+	strikes int
+
+	lastHandoff time.Time
+}
+
+// strikeLimit is how many consecutive dead-on-arrival shard
+// connections a session gets before the front drops it.
+const strikeLimit = 20
+
+// serveSession proxies one device connection for its lifetime.
+func (f *Front) serveSession(client net.Conn) {
+	defer client.Close()
+	s := &session{
+		f: f, client: client,
+		decL: video.NewDecoder(), decR: video.NewDecoder(),
+		encL: video.NewEncoder(), encR: video.NewEncoder(),
+	}
+
+	// The device protocol opens with a hello; the session is routed on
+	// the first frame's world-frame prior, so buffer until it arrives.
+	var pending []message
+	routed := false
+	for !routed {
+		mt, payload, err := protocol.ReadMessage(client)
+		if err != nil {
+			return
+		}
+		switch mt {
+		case protocol.TypeHello:
+			if s.helloRaw != nil {
+				return // duplicate hello: the shard would drop it anyway
+			}
+			hm, err := protocol.DecodeHelloMsg(payload)
+			if err != nil {
+				return
+			}
+			s.clientID = hm.ClientID
+			s.helloRaw = payload
+		case protocol.TypeBye:
+			return
+		case protocol.TypeFrame:
+			if s.helloRaw == nil {
+				return // frame before hello
+			}
+			if fm, err := protocol.DecodeFrameMsg(payload); err == nil && fm.HasPrior {
+				s.cur = f.cfg.Part.Shard(fm.Prior.T.X)
+			}
+			pending = append(pending, message{mt, payload})
+			routed = true
+		default:
+			if s.helloRaw == nil {
+				return
+			}
+			pending = append(pending, message{mt, payload})
+		}
+	}
+	if !s.connectShard() {
+		return
+	}
+	defer func() {
+		if s.shard != nil {
+			s.shard.Close()
+		}
+	}()
+
+	// Uplink pump: one goroutine owns the client read side.
+	up := make(chan message, 64)
+	go func() {
+		defer close(up)
+		for {
+			mt, payload, err := protocol.ReadMessage(client)
+			if err != nil {
+				return
+			}
+			up <- message{mt, payload}
+		}
+	}()
+
+	for _, m := range pending {
+		if !s.uplink(m) {
+			return
+		}
+	}
+	for {
+		select {
+		case m, ok := <-up:
+			if !ok {
+				// Client went away. Tell the shard if we still can.
+				if s.shard != nil {
+					protocol.WriteMessage(s.shard, protocol.TypeBye, nil)
+				}
+				return
+			}
+			if m.mt == protocol.TypeBye {
+				if s.shard != nil {
+					protocol.WriteMessage(s.shard, protocol.TypeBye, nil)
+				}
+				return
+			}
+			if !s.uplink(m) {
+				return
+			}
+		case m, ok := <-s.down:
+			if !ok {
+				// Shard died outside a handoff: re-dial (the chaos tier
+				// restarts killed shards on the same address) and resume.
+				if !s.noteConnDeath() || !s.reconnectShard() {
+					return
+				}
+				continue
+			}
+			if !s.downlink(m) {
+				return
+			}
+		}
+	}
+}
+
+// noteConnDeath applies the dead-on-arrival strike policy when a
+// shard connection closes. Returns false when the session should be
+// dropped.
+func (s *session) noteConnDeath() bool {
+	if s.connGot {
+		s.strikes = 0
+		return true
+	}
+	s.strikes++
+	if s.strikes >= strikeLimit {
+		return false
+	}
+	time.Sleep(100 * time.Millisecond)
+	return true
+}
+
+// isFrame reports whether an uplink message expects a pose answer.
+func isFrame(mt byte) bool {
+	return mt == protocol.TypeFrame || mt == protocol.TypeKeypoint
+}
+
+// uplink handles one client message: route check (possibly a handoff),
+// then transcode and forward. Returns false when the session must end.
+func (s *session) uplink(m message) bool {
+	if m.mt == protocol.TypeFrame {
+		fm, err := protocol.DecodeFrameMsg(m.payload)
+		if err != nil {
+			// Undecodable frame: forward untouched and let the shard
+			// apply its own rejection policy. Not tracked as unacked —
+			// the shard never answers frames it rejects.
+			return s.forward(m.mt, m.payload)
+		}
+		if fm.HasPrior {
+			tgt := s.f.cfg.Part.ShardFrom(s.cur, fm.Prior.T.X)
+			if tgt != s.cur && time.Since(s.lastHandoff) >= s.f.cfg.HandoffCooldown {
+				if !s.drain() {
+					return false
+				}
+				if !s.handoff(tgt) {
+					return false
+				}
+			}
+		}
+		p := pendingFrame{mt: m.mt, payload: m.payload, fm: *fm}
+		// Advance the device-stream decoders and re-encode onto the
+		// shard-connection stream. A decode failure falls back to
+		// forwarding the original bytes (the shard will fail the frame
+		// exactly as it would without a front in the path).
+		if left, err := s.decL.Decode(fm.Video); err == nil {
+			var right *img.Gray
+			if len(fm.VideoRight) > 0 {
+				right, err = s.decR.Decode(fm.VideoRight)
+			}
+			if err == nil {
+				p.left, p.right = left, right
+				p.payload = s.transcode(&p)
+			}
+		}
+		s.unacked = append(s.unacked, p)
+		return s.forwardPending()
+	}
+	if m.mt == protocol.TypeKeypoint {
+		// Split-mode frames carry no video; forward verbatim but track
+		// them for the exactly-once answer guarantee.
+		s.unacked = append(s.unacked, pendingFrame{mt: m.mt, payload: m.payload})
+		return s.forwardPending()
+	}
+	return s.forward(m.mt, m.payload)
+}
+
+// transcode re-encodes a pending frame's images on the current
+// shard-connection encoders and returns the refreshed wire payload.
+func (s *session) transcode(p *pendingFrame) []byte {
+	fm := p.fm
+	fm.Video = s.encL.Encode(p.left)
+	if p.right != nil {
+		fm.VideoRight = s.encR.Encode(p.right)
+	}
+	return fm.Encode()
+}
+
+// forwardPending sends the most recently queued pending frame.
+func (s *session) forwardPending() bool {
+	p := &s.unacked[len(s.unacked)-1]
+	return s.forward(p.mt, p.payload)
+}
+
+// forward writes one message to the shard, reconnecting on failure.
+func (s *session) forward(mt byte, payload []byte) bool {
+	if err := protocol.WriteMessage(s.shard, mt, payload); err != nil {
+		return s.reconnectShard()
+	}
+	return true
+}
+
+// downlink forwards one shard message to the client and settles the
+// frame bookkeeping. Returns false when the client write fails.
+func (s *session) downlink(m message) bool {
+	s.connGot = true
+	if m.mt == protocol.TypePose && len(s.unacked) > 0 {
+		s.unacked = s.unacked[1:]
+	}
+	return protocol.WriteMessage(s.client, m.mt, m.payload) == nil
+}
+
+// drain waits until every forwarded frame has been answered — the
+// handoff precondition (outstanding == 0 means the boundary export
+// cannot race an in-flight tracking answer). Downlink messages keep
+// flowing to the client while draining.
+func (s *session) drain() bool {
+	deadline := time.Now().Add(s.f.cfg.RedialBudget)
+	for len(s.unacked) > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		m, ok := <-s.down
+		if !ok {
+			if !s.noteConnDeath() || !s.reconnectShard() {
+				return false
+			}
+			continue
+		}
+		if !s.downlink(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// connectShard dials the session's current shard, replays the original
+// hello verbatim (so legacy hello encodings survive the front
+// untouched), restarts the video stream — the encoders reset so the
+// new server-side decoders open on an intra frame — re-encodes and
+// re-sends any unanswered frames, and restarts the downlink pump.
+func (s *session) connectShard() bool {
+	conn, err := s.f.dial(s.f.cfg.Shards[s.cur])
+	if err != nil {
+		return false
+	}
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, s.helloRaw); err != nil {
+		conn.Close()
+		return false
+	}
+	s.encL.Reset()
+	s.encR.Reset()
+	for i := range s.unacked {
+		p := &s.unacked[i]
+		if p.left != nil {
+			p.payload = s.transcode(p)
+		}
+		if err := protocol.WriteMessage(conn, p.mt, p.payload); err != nil {
+			conn.Close()
+			return false
+		}
+	}
+	s.shard = conn
+	s.connGot = false
+	down := make(chan message, 64)
+	s.down = down
+	go func() {
+		defer close(down)
+		for {
+			mt, payload, err := protocol.ReadMessage(conn)
+			if err != nil {
+				return
+			}
+			down <- message{mt, payload}
+		}
+	}()
+	return true
+}
+
+// reconnectShard retries connectShard against the current shard until
+// the redial budget runs out. The shard's session resume path
+// (relocalization against the recovered map) takes it from there.
+func (s *session) reconnectShard() bool {
+	if s.shard != nil {
+		s.shard.Close()
+		s.shard = nil
+	}
+	deadline := time.Now().Add(s.f.cfg.RedialBudget)
+	for time.Now().Before(deadline) {
+		if s.connectShard() {
+			return true
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
+}
+
+// handoff moves the session (and its boundary map region) from s.cur
+// to tgt. Precondition: no unanswered frames. On any failure the
+// handoff aborts without the commit step — the source shard keeps
+// ownership — and the session reconnects to wherever it ended up
+// owned. Returns false only when the session cannot continue at all.
+func (s *session) handoff(tgt uint32) bool {
+	s.epoch++
+	ev := HandoffEvent{Client: s.clientID, Epoch: s.epoch, From: s.cur, To: tgt}
+	abort := func(why string) bool {
+		ev.Reason = why
+		s.f.record(ev)
+		s.lastHandoff = time.Now()
+		// The source still owns the region; the Bye below may already
+		// have closed the session there, so reconnect and resume.
+		return s.reconnectShard()
+	}
+
+	// Close the session on the source cleanly so its tracking state is
+	// settled before the export (no mapper can insert behind it).
+	protocol.WriteMessage(s.shard, protocol.TypeBye, nil)
+	s.shard.Close()
+	s.shard = nil
+	for range s.down {
+		// Drain the dying downlink; nothing in it can be a pose (we
+		// drained before the handoff started).
+	}
+
+	src, err := s.f.dialPeer(s.cur, protocol.ShardRoleFront, s.f.cfg.FrontID)
+	if err != nil {
+		return abort("source control dial: " + err.Error())
+	}
+	defer src.Close()
+	hm := &protocol.HandoffMsg{
+		Phase:     protocol.HandoffBegin,
+		ClientID:  s.clientID,
+		Epoch:     s.epoch,
+		FromShard: s.cur,
+		ToShard:   tgt,
+	}
+	if err := protocol.WriteMessage(src, protocol.TypeHandoff, hm.Encode()); err != nil {
+		return abort("handoff begin: " + err.Error())
+	}
+	regionRaw, err := readReply(src, protocol.TypeBoundaryRegion, s.f.cfg.RedialBudget)
+	if err != nil {
+		return abort("boundary export: " + err.Error())
+	}
+
+	// Offer the region to the target, identified as the source shard so
+	// import quarantine is charged to the right peer.
+	dst, err := s.f.dialPeer(tgt, protocol.ShardRolePeer, s.cur)
+	if err != nil {
+		return abort("target control dial: " + err.Error())
+	}
+	defer dst.Close()
+	if err := protocol.WriteMessage(dst, protocol.TypeBoundaryRegion, regionRaw); err != nil {
+		return abort("boundary offer: " + err.Error())
+	}
+	ackRaw, err := readReply(dst, protocol.TypeHandoff, s.f.cfg.RedialBudget)
+	if err != nil {
+		return abort("import answer: " + err.Error())
+	}
+	ack, err := protocol.DecodeHandoffMsg(ackRaw)
+	if err != nil || ack.Epoch != s.epoch {
+		return abort("import answer: bad handoff reply")
+	}
+	if ack.Phase != protocol.HandoffAck {
+		return abort("import refused: " + ack.Reason)
+	}
+
+	// The target committed (its WAL end marker is durable). Erase the
+	// source's copy to restore ownership disjointness.
+	hm.Phase = protocol.HandoffCommit
+	if err := protocol.WriteMessage(src, protocol.TypeHandoff, hm.Encode()); err == nil {
+		readReply(src, protocol.TypeHandoff, s.f.cfg.RedialBudget) // CommitAck, best effort
+	}
+	s.cur = tgt
+	ev.Committed = true
+	s.f.record(ev)
+	s.lastHandoff = time.Now()
+	return s.reconnectShard()
+}
+
+// readReply reads framed messages until one of the wanted type arrives
+// (interleaved unrelated types are not expected on control
+// connections, but a bounded skip is cheap insurance).
+func readReply(conn net.Conn, want byte, timeout time.Duration) ([]byte, error) {
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	defer conn.SetReadDeadline(time.Time{})
+	for i := 0; i < 16; i++ {
+		mt, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return nil, err
+		}
+		if mt == want {
+			return payload, nil
+		}
+	}
+	return nil, errors.New("no matching reply")
+}
+
+// ListenAndServe is the cmd/slamshare-front entry: listen on addr and
+// serve until the process dies.
+func (f *Front) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LISTENING %s\n", ln.Addr().String())
+	return f.Serve(ln)
+}

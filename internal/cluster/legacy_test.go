@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"slamshare/internal/camera"
+	"slamshare/internal/client"
+	"slamshare/internal/dataset"
+	"slamshare/internal/protocol"
+)
+
+// poseLegacyLen is the pre-extension pose answer: frame index + 4x4
+// matrix + tracked byte. A legacy decoder rejects any other length, so
+// the cluster front must never let a longer form reach a session that
+// didn't advertise capability bits.
+const poseLegacyLen = 4 + 16*8 + 1
+
+// TestLegacyClientThroughFront proves an old client speaks to a
+// cluster front door unchanged: the legacy 5-byte hello (no rig, no
+// QoS block) is replayed verbatim to the shard, frames without the
+// timing tail are accepted, and every pose answer comes back in the
+// exact legacy byte layout the old decoder parses.
+func TestLegacyClientThroughFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives full-resolution frames through a cluster")
+	}
+	clu := startCluster(t, 1, Partition{})
+
+	conn, err := net.Dial("tcp", clu.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The legacy hello: client ID + mode, nothing else. The shard must
+	// fall back to the default EuRoC rig — which is exactly MH04's, so
+	// the frames below track correctly.
+	const legacyID = 42
+	raw := make([]byte, 5)
+	binary.LittleEndian.PutUint32(raw, legacyID)
+	raw[4] = byte(camera.Stereo)
+	if _, err := protocol.DecodeHelloMsg(raw); err != nil {
+		t.Fatalf("legacy hello no longer decodes: %v", err)
+	}
+	if err := protocol.WriteMessage(conn, protocol.TypeHello, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	seq := dataset.MH04(camera.Stereo)
+	cl := client.New(legacyID, seq)
+	tracked := 0
+	for r := 0; r < 8; r++ {
+		msg := cl.BuildFrame(r * 3)
+		enc := msg.Encode()
+		// Legacy senders predate the 16-byte timing tail.
+		enc = enc[:len(enc)-16]
+		if err := protocol.WriteMessage(conn, protocol.TypeFrame, enc); err != nil {
+			t.Fatalf("round %d: send: %v", r, err)
+		}
+		conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+		for {
+			mt, payload, err := protocol.ReadMessage(conn)
+			if err != nil {
+				t.Fatalf("round %d: read: %v", r, err)
+			}
+			if mt != protocol.TypePose {
+				continue
+			}
+			// The answer must be bytes an old decoder parses: the exact
+			// legacy length (no shed/echo tails — this session never
+			// advertised the capabilities that unlock them).
+			if len(payload) != poseLegacyLen {
+				t.Fatalf("round %d: pose answer is %d bytes, legacy decoders need %d",
+					r, len(payload), poseLegacyLen)
+			}
+			pm, err := protocol.DecodePoseMsg(payload)
+			if err != nil {
+				t.Fatalf("round %d: decode pose: %v", r, err)
+			}
+			if pm.Shed || pm.HasEcho {
+				t.Fatalf("round %d: non-legacy fields set on a legacy session", r)
+			}
+			if pm.FrameIdx != msg.FrameIdx {
+				continue
+			}
+			cl.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
+			if pm.Tracked {
+				tracked++
+			}
+			break
+		}
+	}
+	protocol.WriteMessage(conn, protocol.TypeBye, nil)
+	if tracked == 0 {
+		t.Error("legacy session never tracked — default rig fallback broken?")
+	}
+	clu.waitSessions(t)
+}

@@ -1,0 +1,66 @@
+// Package cluster is the multi-server edge deployment: a front router
+// that admits device sessions and routes each one, by its position in
+// the shared world frame, to the shard server owning that spatial
+// region. Shards own disjoint covisibility regions of the global map;
+// when a session's trajectory crosses a shard boundary the front
+// coordinates a two-phase ownership handoff (export on the source,
+// WAL-bracketed import on the target, erase on commit) over the shard
+// control-plane messages in internal/protocol.
+//
+// Every client tracks against world-frame pose priors, so all shards
+// share one world coordinate frame by construction — a boundary region
+// imports either by covisibility merge (overlap near the boundary) or
+// by identity adoption, never by re-alignment.
+package cluster
+
+// Partition is the spatial sharding function: the world's x extent is
+// split into N equal slabs, one per shard. Slab boundaries are where
+// handoffs happen, so the partition also carries the hysteresis band
+// that keeps a session oscillating near a boundary from ping-ponging
+// between shards.
+type Partition struct {
+	// Min/Max bound the world x coordinate (positions outside clamp to
+	// the edge slabs).
+	Min, Max float64
+	// N is the shard count.
+	N int
+	// Hysteresis is how many metres past a boundary a session must
+	// travel before the front initiates a handoff.
+	Hysteresis float64
+}
+
+// Shard maps a world x position to its owning shard index.
+func (p Partition) Shard(x float64) uint32 {
+	if p.N <= 1 {
+		return 0
+	}
+	w := (p.Max - p.Min) / float64(p.N)
+	if w <= 0 {
+		return 0
+	}
+	i := int((x - p.Min) / w)
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.N {
+		i = p.N - 1
+	}
+	return uint32(i)
+}
+
+// ShardFrom is Shard with hysteresis relative to the session's current
+// placement: it returns cur unless x has travelled at least Hysteresis
+// metres past the edge of cur's slab.
+func (p Partition) ShardFrom(cur uint32, x float64) uint32 {
+	tgt := p.Shard(x)
+	if tgt == cur || p.N <= 1 {
+		return cur
+	}
+	w := (p.Max - p.Min) / float64(p.N)
+	lo := p.Min + float64(cur)*w
+	hi := lo + w
+	if x >= lo-p.Hysteresis && x <= hi+p.Hysteresis {
+		return cur
+	}
+	return tgt
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"slamshare/internal/persist"
+	"slamshare/internal/server"
+)
+
+// ShardOptions configure one shard server process.
+type ShardOptions struct {
+	// ID is the shard's index in the front's shard table.
+	ID uint32
+	// Token authenticates cluster peers (front, sibling shards, admin
+	// probes) on the shard's listener.
+	Token uint64
+	// Dir, when non-empty, enables WAL persistence rooted there —
+	// required for crash/recovery scenarios.
+	Dir string
+	// ImportStall is the crash-window failpoint passed through to
+	// server.ShardConfig (test harnesses only).
+	ImportStall time.Duration
+}
+
+// ShardConfig builds the server configuration for a cluster shard:
+// the chaos-tier pipeline tuning (half-resolution frames, urban
+// vehicular tracking profile, fast map growth) plus the shard
+// identity. City-grid routes are what cluster scenarios drive, so the
+// urban profile is unconditional here.
+func ShardConfig(opts ShardOptions) server.Config {
+	cfg := server.DefaultConfig()
+	cfg.MergeAfterKFs = 4
+	cfg.TrackCfg.KFMinInterval = 2
+	cfg.TrackCfg.MinInliers = 10
+	cfg.TrackCfg.KFTrackedRatio = 0.85
+	cfg.MergeCfg.MinMatches = 12
+	cfg.MergeCfg.InlierTol = 0.5
+	cfg.MergeCfg.MaxRMSE = 0.3
+	cfg.Shard = server.ShardConfig{
+		ID:          opts.ID,
+		Token:       opts.Token,
+		ImportStall: opts.ImportStall,
+	}
+	if opts.Dir != "" {
+		// Journal-only persistence: recovery replays the WAL from the
+		// last (absent) checkpoint, the hardest recovery path.
+		cfg.Persist = persist.Options{Dir: opts.Dir, CheckpointEvery: -1}
+	}
+	return cfg
+}
+
+// NewShard builds and starts a shard server on the given listener.
+func NewShard(opts ShardOptions, ln net.Listener) (*server.Server, error) {
+	srv, err := server.New(ShardConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return srv, nil
+}
+
+// Environment variables the multi-process harness and slamshare-server
+// use to parameterize a shard child process.
+const (
+	EnvProc        = "SLAMSHARE_PROC"
+	EnvAddr        = "SLAMSHARE_ADDR"
+	EnvShardID     = "SLAMSHARE_SHARD_ID"
+	EnvToken       = "SLAMSHARE_TOKEN"
+	EnvDir         = "SLAMSHARE_DIR"
+	EnvImportStall = "SLAMSHARE_IMPORT_STALL"
+)
+
+// ShardEnvMain runs a shard server parameterized entirely by
+// environment variables and blocks forever. The chaos harness re-execs
+// the (race-instrumented) test binary with SLAMSHARE_PROC=shard to get
+// real multi-process topologies; the harness learns the actual listen
+// address from the "LISTENING <addr>" line on stdout.
+func ShardEnvMain() {
+	addr := os.Getenv(EnvAddr)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	id, _ := strconv.ParseUint(os.Getenv(EnvShardID), 10, 32)
+	token, _ := strconv.ParseUint(os.Getenv(EnvToken), 10, 64)
+	stallMs, _ := strconv.ParseInt(os.Getenv(EnvImportStall), 10, 64)
+	opts := ShardOptions{
+		ID:          uint32(id),
+		Token:       token,
+		Dir:         os.Getenv(EnvDir),
+		ImportStall: time.Duration(stallMs) * time.Millisecond,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shard %d: listen %s: %v\n", opts.ID, addr, err)
+		os.Exit(1)
+	}
+	if _, err := NewShard(opts, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "shard %d: %v\n", opts.ID, err)
+		os.Exit(1)
+	}
+	// The harness scrapes this exact line; keep the format stable.
+	fmt.Printf("LISTENING %s\n", ln.Addr().String())
+	os.Stdout.Sync()
+	select {} // killed by the parent (SIGKILL is the point of the tier)
+}

@@ -206,6 +206,61 @@ func (r *Registry) Encode() []byte {
 	return buf
 }
 
+// EncodeAnchors serializes a bare anchor list — the boundary-exchange
+// payload a shard sends alongside an exported map region. It reuses
+// the registry encoding with a zero next-ID slot (the importer keeps
+// its own allocator).
+func EncodeAnchors(anchors []Anchor) []byte {
+	tmp := NewRegistry()
+	for i := range anchors {
+		a := anchors[i]
+		tmp.anchors[a.ID] = &a
+	}
+	tmp.next = 0
+	return tmp.Encode()
+}
+
+// DecodeAnchors reverses EncodeAnchors.
+func DecodeAnchors(data []byte) ([]Anchor, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	r, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return r.All(), nil
+}
+
+// Restore upserts an anchor preserving its identity — used when a
+// boundary import carries anchors from another shard. Unlike Place it
+// never assigns a new ID; it bumps the allocator past the restored ID
+// so later Place calls cannot collide with it.
+func (r *Registry) Restore(a Anchor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := a
+	r.anchors[a.ID] = &cp
+	if a.ID >= r.next {
+		r.next = a.ID + 1
+	}
+}
+
+// OwnedBy returns the anchors placed by one client, sorted by ID —
+// the set that migrates with that client's session in a handoff.
+func (r *Registry) OwnedBy(owner uint32) []Anchor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Anchor
+	for _, a := range r.anchors {
+		if a.Owner == owner {
+			out = append(out, *a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Decode reconstructs a registry serialized by Encode.
 func Decode(data []byte) (*Registry, error) {
 	off := 0

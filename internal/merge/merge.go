@@ -9,6 +9,7 @@
 package merge
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -389,8 +390,8 @@ func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 	rep.Detect = time.Since(td)
 	if !found {
 		rep.Total = time.Since(t0)
-		return rep, fmt.Errorf("merge: no common region between client map (%d KFs) and global map (%d KFs)",
-			cmap.NKeyFrames(), mg.Global.NKeyFrames())
+		return rep, fmt.Errorf("merge: %w between client map (%d KFs) and global map (%d KFs)",
+			ErrNoOverlap, cmap.NKeyFrames(), mg.Global.NKeyFrames())
 	}
 	rep.Alignment = &al
 
@@ -471,6 +472,43 @@ func (mg *Merger) Merge(cmap *smap.Map) (rep Report, err error) {
 		}
 	}
 
+	rep.Total = time.Since(t0)
+	return rep, nil
+}
+
+// ErrNoOverlap marks a merge that found no common region between the
+// client map and the global map. Callers that know the two maps share
+// a coordinate frame anyway (cross-shard boundary imports: every shard
+// anchors at the clients' world-frame priors) can fall back to Adopt.
+var ErrNoOverlap = errors.New("no common region")
+
+// Adopt inserts a client map into the global map at identity — no
+// place recognition, no alignment — for maps already expressed in the
+// global coordinate frame. It runs under the same transaction
+// machinery as Merge: staged insert, sabotage failpoint, pre-commit
+// subgraph validation, full rollback on violation. This is the
+// cross-shard import path: a boundary region arriving from a peer
+// shard is already in world coordinates, and usually has no
+// covisibility overlap with this shard's map at all.
+func (mg *Merger) Adopt(cmap *smap.Map) (rep Report, err error) {
+	t0 := time.Now()
+	defer func() { mg.observe(t0, rep) }()
+	rep.InsertKFs = cmap.NKeyFrames()
+	rep.InsertMPs = cmap.NMapPoints()
+	tx := newTxn(mg.Global)
+	ti := time.Now()
+	tx.insertAll(cmap)
+	rep.Insert = time.Since(ti)
+	if mg.Sabotage != nil {
+		mg.Sabotage(tx)
+	}
+	if bad := mg.validate(tx); bad != nil {
+		tx.rollback(cmap, geom.IdentitySim3(), false, mg.Journal)
+		rep.RolledBack = true
+		rep.Total = time.Since(t0)
+		return rep, bad
+	}
+	tx.commit()
 	rep.Total = time.Since(t0)
 	return rep, nil
 }

@@ -67,6 +67,12 @@ const (
 	opMerge
 	opEvictRegion
 	opReloadRegion
+	// opShardImport / opShardImportEnd bracket a cross-shard boundary
+	// import. The insert records between them are ordinary entity
+	// records; the bracket is what recovery needs to tell a committed
+	// import from a half-merge the crash interrupted (see Recover).
+	opShardImport
+	opShardImportEnd
 )
 
 // Journal is the write-ahead log of global-map mutations. It
@@ -402,6 +408,37 @@ func (j *Journal) PointsFused(clientPt, globalPt smap.ID) {
 	b = appendU64(b, clientPt)
 	b = appendU64(b, globalPt)
 	j.append(opFuse, b)
+}
+
+// ---- cross-shard import brackets ----
+
+// ShardImportBegin journals the start of a cross-shard boundary
+// import: the handoff epoch and the migrating client. Every entity
+// record that follows, up to the matching ShardImportEnd, belongs to
+// the import transaction; if the server dies before the end record is
+// durable, recovery rolls the whole import back by discarding the
+// journal from this record on (see Recover's import horizon).
+func (j *Journal) ShardImportBegin(epoch uint64, client uint32) {
+	b := make([]byte, 0, 12)
+	b = appendU64(b, epoch)
+	b = appendU32(b, client)
+	j.append(opShardImport, b)
+}
+
+// ShardImportEnd journals the end of a cross-shard boundary import,
+// committed or rolled back live. Either way the bracket is closed: the
+// records between the markers are an accurate history (a live rollback
+// journals its own compensating erase/restore records), so recovery
+// must NOT discard them.
+func (j *Journal) ShardImportEnd(epoch uint64, committed bool) {
+	b := make([]byte, 0, 9)
+	b = appendU64(b, epoch)
+	if committed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	j.append(opShardImportEnd, b)
 }
 
 // PosesCorrected journals the post-adjustment poses of a merge's seam

@@ -37,6 +37,13 @@ type Recovery struct {
 	// seeds its reload index from this set, so sessions can relocalize
 	// into regions evicted before the crash.
 	EvictedRegions map[uint64][]smap.ID
+	// ImportRolledBack reports that the crash interrupted a cross-shard
+	// boundary import (an opShardImport bracket was never closed) and
+	// recovery discarded the journal from that point: the half-merge is
+	// rolled back and the peer shard still owns the region.
+	ImportRolledBack bool
+	// ImportEpoch is the handoff epoch of the rolled-back import.
+	ImportEpoch uint64
 }
 
 // Recover rebuilds the global map and anchor registry from the
@@ -79,6 +86,31 @@ func Recover(dir string, voc *bow.Vocabulary) (*Recovery, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Cross-shard import atomicity: an opShardImport bracket that was
+	// never closed means the crash landed mid boundary-import — the
+	// journal tail holds a half-merge. Committed imports flush their
+	// end marker before acking the peer, so an open bracket is by
+	// definition unacknowledged and safe to discard: physically
+	// truncate the journal at the begin marker and drop the later
+	// files. Physical truncation (not just skipping during this
+	// replay) matters: replay stops at the first file that does not
+	// end cleanly, so a merely-skipped tail would mask the journal
+	// written after this recovery from the *next* recovery.
+	if h, ok := scanImportHorizon(dir, journals); ok && h.seq > rec.CheckpointSeq {
+		if err := os.Truncate(journalPath(dir, journals[h.fileIdx]), h.off); err != nil {
+			return nil, err
+		}
+		for _, base := range journals[h.fileIdx+1:] {
+			if err := os.Remove(journalPath(dir, base)); err != nil {
+				return nil, err
+			}
+		}
+		journals = journals[:h.fileIdx+1]
+		rec.ImportRolledBack = true
+		rec.ImportEpoch = h.epoch
+	}
+
 	for _, base := range journals {
 		ok := replayJournal(journalPath(dir, base), rec)
 		if !ok {
@@ -99,6 +131,71 @@ func Recover(dir string, voc *bow.Vocabulary) (*Recovery, error) {
 	}
 	rec.ReplayTime = time.Since(start)
 	return rec, nil
+}
+
+// importHorizon locates an unclosed cross-shard import bracket: the
+// sequence, file, byte offset, and epoch of the last opShardImport
+// with no matching opShardImportEnd. Everything from that record on
+// must be discarded.
+type importHorizon struct {
+	seq     uint64
+	epoch   uint64
+	fileIdx int
+	off     int64
+}
+
+// scanImportHorizon walks the journal files (read-only, same record
+// validation as replay, stopping at the first torn or corrupt record
+// exactly where replay would) and reports the open import bracket, if
+// any. Imports are serialized under the server's global-map lock, so
+// at most one bracket can be open.
+func scanImportHorizon(dir string, journals []uint64) (importHorizon, bool) {
+	var open *importHorizon
+	for idx, base := range journals {
+		data, err := os.ReadFile(journalPath(dir, base))
+		if err != nil {
+			break
+		}
+		if len(data) < journalHeaderBytes ||
+			binary.LittleEndian.Uint32(data) != journalMagic || data[4] != journalVersion {
+			break
+		}
+		off := journalHeaderBytes
+		clean := true
+		for off+recordHeaderBytes <= len(data) {
+			n := int(binary.LittleEndian.Uint32(data[off:]))
+			if n < 9 || n > maxRecordBytes || off+8+n > len(data) {
+				clean = false
+				break
+			}
+			crc := binary.LittleEndian.Uint32(data[off+4:])
+			payload := data[off+8 : off+8+n]
+			if crc32.ChecksumIEEE(payload) != crc {
+				clean = false
+				break
+			}
+			seq := binary.LittleEndian.Uint64(payload)
+			body := payload[9:]
+			switch payload[8] {
+			case opShardImport:
+				h := importHorizon{seq: seq, fileIdx: idx, off: int64(off)}
+				if len(body) >= 8 {
+					h.epoch = binary.LittleEndian.Uint64(body)
+				}
+				open = &h
+			case opShardImportEnd:
+				open = nil
+			}
+			off += 8 + n
+		}
+		if !clean {
+			break // replay stops here too; an earlier open bracket still counts
+		}
+	}
+	if open == nil {
+		return importHorizon{}, false
+	}
+	return *open, true
 }
 
 // replayJournal applies one journal file's records with seq beyond the
@@ -180,6 +277,11 @@ func applyRecord(rec *Recovery, op byte, body []byte) {
 	case opMerge:
 		// Informational boundary marker; the inserted entities and
 		// corrections follow as their own records.
+	case opShardImport, opShardImportEnd:
+		// Closed import brackets are informational here: the entities
+		// between them are ordinary records. Open brackets never reach
+		// applyRecord — Recover truncated the journal at the begin
+		// marker before replay.
 	case opEvictRegion:
 		// The erases were journaled as their own records (the map is
 		// already compact); this marker restores the evicted-region set

@@ -1,0 +1,441 @@
+// Shard-to-shard and front-to-shard control plane. Cluster mode runs N
+// slamshare-server shard processes behind a slamshare-front router: the
+// front admits device sessions on the legacy message types (1-8, which
+// cluster mode never changes — old clients speak to the front door
+// unmodified) and speaks these messages to the shards: an identifying
+// hello on every control connection, two-phase session handoff when a
+// device's trajectory crosses a shard boundary, boundary-region
+// exchange (the evicted-region codec's blob plus the hologram anchors
+// riding along), and the invariant/ownership probes the cluster checker
+// polls. Every decoder is strict — length-gated counts, canonical
+// flags, no trailing bytes — and fuzzed like the device-facing types.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"slamshare/internal/geom"
+)
+
+// Cluster message types, continuing the device-facing sequence (1-8 in
+// protocol.go). Values are explicit so a renumbering can never silently
+// change the wire format.
+const (
+	// TypeShardHello identifies a cluster peer on a fresh connection:
+	// the front door, another shard, or an admin/checker. It carries the
+	// cluster token; a connection opening with anything else is a device.
+	TypeShardHello = byte(9)
+	// TypeBoundaryRegion carries an exported boundary region: the
+	// covisibility cluster around a migrating session's newest keyframe
+	// (wire.EncodeRegion blob) plus the session's hologram anchors.
+	TypeBoundaryRegion = byte(10)
+	// TypeHandoff drives the two-phase session handoff state machine
+	// (begin/ack/nack/commit/commit-ack), epoch-stamped per session.
+	TypeHandoff = byte(11)
+	// TypeShardControl is an admin probe: ping, invariant check,
+	// ownership dump, or stats poll.
+	TypeShardControl = byte(12)
+	// TypeShardStatus answers a TypeShardControl probe.
+	TypeShardStatus = byte(13)
+)
+
+// ShardHello roles.
+const (
+	// ShardRoleFront is the session router (handoff coordinator).
+	ShardRoleFront = byte(1)
+	// ShardRolePeer is another shard exchanging boundary regions.
+	ShardRolePeer = byte(2)
+	// ShardRoleAdmin is a checker/operator connection (control probes
+	// only; it may never initiate handoffs).
+	ShardRoleAdmin = byte(3)
+)
+
+// ShardHelloMsg opens a cluster control connection.
+type ShardHelloMsg struct {
+	Role     byte
+	SenderID uint32 // front instance or peer shard ID
+	Token    uint64 // shared cluster secret; a mismatch drops the conn
+}
+
+// shardHelloLen is the exact ShardHelloMsg encoding size.
+const shardHelloLen = 1 + 4 + 8
+
+// Encode serializes the shard hello.
+func (m *ShardHelloMsg) Encode() []byte {
+	buf := make([]byte, 0, shardHelloLen)
+	buf = append(buf, m.Role)
+	buf = appendU32p(buf, m.SenderID)
+	buf = appendU64p(buf, m.Token)
+	return buf
+}
+
+// DecodeShardHelloMsg reverses ShardHelloMsg.Encode. Exact-length with
+// a validated role byte, so a device payload never parses as a peer.
+func DecodeShardHelloMsg(data []byte) (*ShardHelloMsg, error) {
+	if len(data) != shardHelloLen {
+		return nil, fmt.Errorf("protocol: bad shard hello length %d", len(data))
+	}
+	r := &byteReader{buf: data}
+	m := &ShardHelloMsg{}
+	m.Role = r.u8()
+	m.SenderID = r.u32()
+	m.Token = r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m.Role < ShardRoleFront || m.Role > ShardRoleAdmin {
+		return nil, fmt.Errorf("protocol: bad shard hello role %d", m.Role)
+	}
+	return m, nil
+}
+
+// Handoff phases.
+const (
+	// HandoffBegin (front -> source shard): export the session's
+	// boundary region; answered with a TypeBoundaryRegion.
+	HandoffBegin = byte(1)
+	// HandoffAck (target shard -> front): the boundary region was
+	// imported and committed; the session may move.
+	HandoffAck = byte(2)
+	// HandoffNack (target shard -> front): the import was refused or
+	// rolled back; the session stays on the source shard.
+	HandoffNack = byte(3)
+	// HandoffCommit (front -> source shard): the target owns the region
+	// now; erase the exported cluster.
+	HandoffCommit = byte(4)
+	// HandoffCommitAck (source shard -> front): the erase completed;
+	// ownership is disjoint again.
+	HandoffCommitAck = byte(5)
+)
+
+// maxHandoffReason bounds the Nack reason string.
+const maxHandoffReason = 4096
+
+// HandoffMsg is one step of the two-phase session handoff. Epoch is a
+// per-session counter the front increments on every handoff attempt;
+// it is strictly monotonic on the wire, so a stale or replayed step is
+// detectable by both shards.
+type HandoffMsg struct {
+	Phase     byte
+	ClientID  uint32
+	Epoch     uint64
+	FromShard uint32
+	ToShard   uint32
+	Reason    string // advisory, set on Nack
+}
+
+// Encode serializes the handoff message.
+func (m *HandoffMsg) Encode() []byte {
+	buf := make([]byte, 0, 1+4+8+4+4+4+len(m.Reason))
+	buf = append(buf, m.Phase)
+	buf = appendU32p(buf, m.ClientID)
+	buf = appendU64p(buf, m.Epoch)
+	buf = appendU32p(buf, m.FromShard)
+	buf = appendU32p(buf, m.ToShard)
+	buf = appendU32p(buf, uint32(len(m.Reason)))
+	buf = append(buf, m.Reason...)
+	return buf
+}
+
+// DecodeHandoffMsg reverses HandoffMsg.Encode. Strict: the phase byte
+// must be canonical, the reason length gated, and no trailing bytes.
+func DecodeHandoffMsg(data []byte) (*HandoffMsg, error) {
+	r := &byteReader{buf: data}
+	m := &HandoffMsg{}
+	m.Phase = r.u8()
+	m.ClientID = r.u32()
+	m.Epoch = r.u64()
+	m.FromShard = r.u32()
+	m.ToShard = r.u32()
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m.Phase < HandoffBegin || m.Phase > HandoffCommitAck {
+		return nil, fmt.Errorf("protocol: bad handoff phase %d", m.Phase)
+	}
+	if n > maxHandoffReason || n > len(data)-r.off {
+		return nil, fmt.Errorf("protocol: handoff reason length %d exceeds payload", n)
+	}
+	m.Reason = string(data[r.off : r.off+n])
+	r.off += n
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in handoff", len(data)-r.off)
+	}
+	return m, nil
+}
+
+// BoundaryRegionMsg carries an exported boundary region between shards
+// (via the front): the wire.EncodeRegion blob of the covisibility
+// cluster around the migrating session's newest keyframe, plus the
+// session's hologram anchors (holo.EncodeAnchors). Both blobs have
+// their own magic/CRC framing; this envelope only length-gates them.
+type BoundaryRegionMsg struct {
+	ClientID uint32
+	Epoch    uint64
+	RegionID uint64
+	Region   []byte // wire.EncodeRegion payload
+	Anchors  []byte // holo.EncodeAnchors payload (may be empty)
+}
+
+// Encode serializes the boundary-region message.
+func (m *BoundaryRegionMsg) Encode() []byte {
+	buf := make([]byte, 0, 4+8+8+4+len(m.Region)+4+len(m.Anchors))
+	buf = appendU32p(buf, m.ClientID)
+	buf = appendU64p(buf, m.Epoch)
+	buf = appendU64p(buf, m.RegionID)
+	buf = appendU32p(buf, uint32(len(m.Region)))
+	buf = append(buf, m.Region...)
+	buf = appendU32p(buf, uint32(len(m.Anchors)))
+	buf = append(buf, m.Anchors...)
+	return buf
+}
+
+// DecodeBoundaryRegionMsg reverses BoundaryRegionMsg.Encode. Both blob
+// lengths are gated against the bytes actually present and trailing
+// bytes are an error; the blobs' own CRCs are checked by their
+// decoders, not here.
+func DecodeBoundaryRegionMsg(data []byte) (*BoundaryRegionMsg, error) {
+	r := &byteReader{buf: data}
+	m := &BoundaryRegionMsg{}
+	m.ClientID = r.u32()
+	m.Epoch = r.u64()
+	m.RegionID = r.u64()
+	m.Region = r.bytes()
+	m.Anchors = r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in boundary region", len(data)-r.off)
+	}
+	return m, nil
+}
+
+// Shard control ops.
+const (
+	// ShardOpPing checks liveness.
+	ShardOpPing = byte(1)
+	// ShardOpCheck runs smap.CheckInvariants on the shard's map and
+	// returns the violations. Meaningful at quiescent points only.
+	ShardOpCheck = byte(2)
+	// ShardOpOwnership dumps the shard's owned keyframe IDs and anchor
+	// poses, for the cluster-level cross-shard invariant check.
+	ShardOpOwnership = byte(3)
+	// ShardOpStats returns counters read with atomics only — it never
+	// takes the global-map lock, so a harness can poll it while an
+	// import is stalled under that lock.
+	ShardOpStats = byte(4)
+)
+
+// ShardControlMsg is one admin probe.
+type ShardControlMsg struct {
+	Op    byte
+	Token uint64
+}
+
+// shardControlLen is the exact ShardControlMsg encoding size.
+const shardControlLen = 1 + 8
+
+// Encode serializes the control probe.
+func (m *ShardControlMsg) Encode() []byte {
+	buf := make([]byte, 0, shardControlLen)
+	buf = append(buf, m.Op)
+	buf = appendU64p(buf, m.Token)
+	return buf
+}
+
+// DecodeShardControlMsg reverses ShardControlMsg.Encode.
+func DecodeShardControlMsg(data []byte) (*ShardControlMsg, error) {
+	if len(data) != shardControlLen {
+		return nil, fmt.Errorf("protocol: bad shard control length %d", len(data))
+	}
+	r := &byteReader{buf: data}
+	m := &ShardControlMsg{}
+	m.Op = r.u8()
+	m.Token = r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m.Op < ShardOpPing || m.Op > ShardOpStats {
+		return nil, fmt.Errorf("protocol: bad shard control op %d", m.Op)
+	}
+	return m, nil
+}
+
+// AnchorState is one hologram anchor's identity and pose as owned by a
+// shard — what the cross-shard consistency check compares.
+type AnchorState struct {
+	ID   uint64
+	Pose geom.SE3
+}
+
+// ShardStats are the atomically-readable shard counters.
+type ShardStats struct {
+	KeyFrames       uint64
+	MapPoints       uint64
+	Sessions        uint64
+	ImportsInFlight uint64
+	Imports         uint64 // boundary imports committed
+	ImportRollbacks uint64 // boundary imports rolled back or refused
+	ImportsStalled  uint64 // imports that entered the crash-window failpoint
+}
+
+// Bounds on the variable-length ShardStatusMsg sections.
+const (
+	maxStatusViolations   = 4096
+	maxStatusViolationLen = 4096
+)
+
+// anchorStateBytes is the serialized size of one AnchorState.
+const anchorStateBytes = 8 + 7*8
+
+// ShardStatusMsg answers a ShardControlMsg. Every section is always
+// present (empty for ops that do not fill it), so there is exactly one
+// wire shape to decode and fuzz.
+type ShardStatusMsg struct {
+	Op         byte // echoes the probe
+	OK         bool
+	Violations []string
+	KFIDs      []uint64
+	Anchors    []AnchorState
+	Stats      ShardStats
+}
+
+// Encode serializes the status answer.
+func (m *ShardStatusMsg) Encode() []byte {
+	buf := make([]byte, 0, 2+4+4+len(m.KFIDs)*8+4+len(m.Anchors)*anchorStateBytes+6*8)
+	buf = append(buf, m.Op)
+	if m.OK {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU32p(buf, uint32(len(m.Violations)))
+	for _, v := range m.Violations {
+		buf = appendU32p(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = appendU32p(buf, uint32(len(m.KFIDs)))
+	for _, id := range m.KFIDs {
+		buf = appendU64p(buf, id)
+	}
+	buf = appendU32p(buf, uint32(len(m.Anchors)))
+	for _, a := range m.Anchors {
+		buf = appendU64p(buf, a.ID)
+		buf = appendPoseP(buf, a.Pose)
+	}
+	buf = appendU64p(buf, m.Stats.KeyFrames)
+	buf = appendU64p(buf, m.Stats.MapPoints)
+	buf = appendU64p(buf, m.Stats.Sessions)
+	buf = appendU64p(buf, m.Stats.ImportsInFlight)
+	buf = appendU64p(buf, m.Stats.Imports)
+	buf = appendU64p(buf, m.Stats.ImportRollbacks)
+	buf = appendU64p(buf, m.Stats.ImportsStalled)
+	return buf
+}
+
+// DecodeShardStatusMsg reverses ShardStatusMsg.Encode. Every count is
+// gated against the bytes remaining, the OK flag must be canonical,
+// and trailing bytes are an error.
+func DecodeShardStatusMsg(data []byte) (*ShardStatusMsg, error) {
+	r := &byteReader{buf: data}
+	m := &ShardStatusMsg{}
+	m.Op = r.u8()
+	okFlag := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m.Op < ShardOpPing || m.Op > ShardOpStats {
+		return nil, fmt.Errorf("protocol: bad shard status op %d", m.Op)
+	}
+	if okFlag > 1 {
+		return nil, fmt.Errorf("protocol: bad shard status ok flag %d", okFlag)
+	}
+	m.OK = okFlag == 1
+	nv := int(r.u32())
+	if r.err != nil || nv > maxStatusViolations || nv*4 > len(data)-r.off {
+		return nil, fmt.Errorf("protocol: shard status violation count %d exceeds payload", nv)
+	}
+	for i := 0; i < nv; i++ {
+		ln := int(r.u32())
+		if r.err != nil || ln > maxStatusViolationLen || ln > len(data)-r.off {
+			return nil, fmt.Errorf("protocol: shard status violation length exceeds payload")
+		}
+		m.Violations = append(m.Violations, string(data[r.off:r.off+ln]))
+		r.off += ln
+	}
+	nk := int(r.u32())
+	if r.err != nil || nk*8 > len(data)-r.off {
+		return nil, fmt.Errorf("protocol: shard status keyframe count %d exceeds payload", nk)
+	}
+	if nk > 0 {
+		m.KFIDs = make([]uint64, nk)
+		for i := range m.KFIDs {
+			m.KFIDs[i] = r.u64()
+		}
+	}
+	na := int(r.u32())
+	if r.err != nil || na*anchorStateBytes > len(data)-r.off {
+		return nil, fmt.Errorf("protocol: shard status anchor count %d exceeds payload", na)
+	}
+	if na > 0 {
+		m.Anchors = make([]AnchorState, na)
+		for i := range m.Anchors {
+			m.Anchors[i].ID = r.u64()
+			m.Anchors[i].Pose = readPoseP(r)
+		}
+	}
+	m.Stats.KeyFrames = r.u64()
+	m.Stats.MapPoints = r.u64()
+	m.Stats.Sessions = r.u64()
+	m.Stats.ImportsInFlight = r.u64()
+	m.Stats.Imports = r.u64()
+	m.Stats.ImportRollbacks = r.u64()
+	m.Stats.ImportsStalled = r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in shard status", len(data)-r.off)
+	}
+	return m, nil
+}
+
+// ---- little-endian append helpers (shard messages) ----
+
+func appendU32p(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64p(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64p(b []byte, v float64) []byte {
+	return appendU64p(b, math.Float64bits(v))
+}
+
+func appendPoseP(b []byte, p geom.SE3) []byte {
+	b = appendF64p(b, p.R.W)
+	b = appendF64p(b, p.R.X)
+	b = appendF64p(b, p.R.Y)
+	b = appendF64p(b, p.R.Z)
+	b = appendF64p(b, p.T.X)
+	b = appendF64p(b, p.T.Y)
+	return appendF64p(b, p.T.Z)
+}
+
+func readPoseP(r *byteReader) geom.SE3 {
+	var p geom.SE3
+	p.R.W = r.f64()
+	p.R.X = r.f64()
+	p.R.Y = r.f64()
+	p.R.Z = r.f64()
+	p.T.X = r.f64()
+	p.T.Y = r.f64()
+	p.T.Z = r.f64()
+	return p
+}

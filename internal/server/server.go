@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slamshare/internal/bow"
@@ -113,6 +114,31 @@ type Config struct {
 	// hello advertises offload capabilities; legacy clients are pinned
 	// to full offload.
 	Offload offload.Config
+	// Shard identifies this server inside a cluster (internal/cluster):
+	// cluster peers and the front door authenticate with Shard.Token on
+	// the same listener device sessions use, and boundary regions are
+	// exported to / imported from peer shards through the handoff
+	// handlers in shard.go. A zero value runs the server standalone;
+	// the shard message types are still answered (token 0) so a
+	// single-shard front door needs no configuration.
+	Shard ShardConfig
+}
+
+// ShardConfig is the server's identity and tuning inside a cluster.
+type ShardConfig struct {
+	// ID is this shard's index in the cluster partition.
+	ID uint32
+	// Token is the shared cluster secret; every ShardHello must carry
+	// it.
+	Token uint64
+	// ImportStall is a crash-window failpoint for the chaos tier: hold
+	// the boundary import open this long after the merge transaction
+	// commits but before the ShardImportEnd marker is journaled (the
+	// journal is flushed first, so the half-merge is durably open).
+	// A SIGKILL inside the stall leaves exactly the on-disk state a
+	// mid-import crash would: recovery must roll the import back.
+	// Never set in production.
+	ImportStall time.Duration
 }
 
 // OverloadConfig is the server's overload-protection policy.
@@ -222,6 +248,19 @@ type Server struct {
 	backoff overload.Backoff
 
 	net NetStats
+
+	// Cluster-mode state (shard.go). pendingExports holds boundary
+	// regions offered in a HandoffBegin and not yet committed or
+	// superseded; importBlocked tracks per-peer rollback counts for
+	// import quarantine. The atomic counters feed the ShardOpStats
+	// probe, which must stay off gmu (a stalled import holds it).
+	shardMu         sync.Mutex
+	pendingExports  map[exportKey]*exportRecord
+	importBlocked   map[uint32]int
+	importsInFlight atomic.Int64
+	importsDone     atomic.Int64
+	importsRolled   atomic.Int64
+	importsStalled  atomic.Int64
 }
 
 // NetStats counts per-connection protocol events on the Serve path.
@@ -348,19 +387,21 @@ func New(cfg Config) (*Server, error) {
 		pmgr.Stats().ReplayLat.Add(rec.ReplayTime)
 	}
 	s := &Server{
-		cfg:      cfg,
-		voc:      voc,
-		region:   region,
-		global:   global,
-		gmu:      gmu,
-		anchors:  anchors,
-		pmgr:     pmgr,
-		rec:      rec,
-		obs:      tracer,
-		stDecode: tracer.Stage("decode"),
-		stFrame:  tracer.Stage("frame.total"),
-		sessions: make(map[uint32]*Session),
-		gate:     overload.NewGate(cfg.Overload.MaxSessions, cfg.Overload.MaxMergesInFlight),
+		cfg:            cfg,
+		voc:            voc,
+		region:         region,
+		global:         global,
+		gmu:            gmu,
+		anchors:        anchors,
+		pmgr:           pmgr,
+		rec:            rec,
+		obs:            tracer,
+		stDecode:       tracer.Stage("decode"),
+		stFrame:        tracer.Stage("frame.total"),
+		sessions:       make(map[uint32]*Session),
+		pendingExports: make(map[exportKey]*exportRecord),
+		importBlocked:  make(map[uint32]int),
+		gate:           overload.NewGate(cfg.Overload.MaxSessions, cfg.Overload.MaxMergesInFlight),
 		backoff: overload.Backoff{
 			Base:   cfg.Overload.RetryBase,
 			Factor: cfg.Overload.RetryFactor,
@@ -1175,12 +1216,50 @@ func (s *Server) serveConn(conn net.Conn) {
 		}).Encode())
 	}
 
+	// peer is set once the connection identifies itself as a cluster
+	// peer (front door, another shard, or an admin probe) via a
+	// ShardHello. A connection is either a device session or a cluster
+	// peer, never both.
+	var peer *shardPeer
+
 	for m := range in {
 		switch m.mt {
+		case protocol.TypeShardHello:
+			if sess != nil || peer != nil {
+				s.net.DupHello.Inc()
+				return
+			}
+			hm, err := protocol.DecodeShardHelloMsg(m.payload)
+			if err != nil || hm.Token != s.cfg.Shard.Token {
+				s.net.BadHello.Inc()
+				return
+			}
+			peer = &shardPeer{role: hm.Role, sender: hm.SenderID}
+		case protocol.TypeHandoff:
+			if peer == nil || peer.role == protocol.ShardRoleAdmin {
+				return
+			}
+			if !s.handleHandoff(peer, m.payload, writeMsg) {
+				return
+			}
+		case protocol.TypeBoundaryRegion:
+			if peer == nil || peer.role == protocol.ShardRoleAdmin {
+				return
+			}
+			if !s.handleBoundaryRegion(peer, m.payload, writeMsg) {
+				return
+			}
+		case protocol.TypeShardControl:
+			if peer == nil {
+				return
+			}
+			if !s.handleShardControl(m.payload, writeMsg) {
+				return
+			}
 		case protocol.TypeHello:
 			// One session per connection: a second hello would reassign
 			// sess and leak the first session past the deferred close.
-			if sess != nil {
+			if sess != nil || peer != nil {
 				s.net.DupHello.Inc()
 				return
 			}

@@ -171,6 +171,14 @@ type ServerOptions struct {
 	// saturated pool never waits out a lower-class frame in service
 	// (0 = no reservation).
 	TrackReservedSlots int
+	// ShardID and ShardToken run the server as one shard of a
+	// spatially partitioned cluster: peers and front routers presenting
+	// the token may exchange boundary regions, ownership handoffs and
+	// admin probes with it. Standalone servers leave both zero (shard
+	// messages still answer, which is what lets a cluster grow out of
+	// a single server).
+	ShardID    uint32
+	ShardToken uint64
 }
 
 // EdgeServer is the SLAM-Share edge server.
@@ -242,6 +250,8 @@ func NewEdgeServer(opts ServerOptions) (*EdgeServer, error) {
 	if opts.TrackReservedSlots > 0 {
 		cfg.TrackReservedSlots = opts.TrackReservedSlots
 	}
+	cfg.Shard.ID = opts.ShardID
+	cfg.Shard.Token = opts.ShardToken
 	s, err := server.New(cfg)
 	if err != nil {
 		return nil, err
