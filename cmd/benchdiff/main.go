@@ -56,8 +56,8 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output file (BENCH_<label>.json)")
-	benchRe := flag.String("bench", "MultiClient|CodecRoundTrip|SpanStartEnd$|StageObserve|HistogramObserve|EncodeMap|DecodeMap|HandleFrameShedding|LifecycleCull|OffloadModes|OffloadAdaptiveRamp|ClusterMerge|ClusterScale",
+	out := flag.String("out", "BENCH_PR10.json", "output file (BENCH_<label>.json)")
+	benchRe := flag.String("bench", "MultiClient|CodecRoundTrip|SpanStartEnd$|StageObserve|HistogramObserve|EncodeMap|DecodeMap|HandleFrameShedding|LifecycleCull|OffloadModes|OffloadAdaptiveRamp|ClusterMerge|ClusterScale|FrontAdopt",
 		"benchmark regexp passed to go test -bench")
 	pkgs := flag.String("pkgs", "./ ./internal/obs ./internal/video ./internal/wire ./internal/server ./internal/lifecycle ./internal/chaos ./internal/cluster",
 		"space-separated packages to benchmark")

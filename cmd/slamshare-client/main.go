@@ -9,13 +9,16 @@ import (
 	"flag"
 	"log"
 	"net"
+	"strings"
 	"time"
 
 	"slamshare"
+	"slamshare/internal/overload"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7007", "server address")
+	addrsFlag := flag.String("addrs", "", "comma-separated replicated front addresses; enables session-token failover (overrides -addr)")
 	seqName := flag.String("seq", "MH04", "sequence: MH04, MH05, V202, TUM-fr1, KITTI-00, KITTI-05, CITY-00, CITY-01")
 	stereo := flag.Bool("stereo", true, "use the stereo rig")
 	id := flag.Uint("id", 1, "client id (unique per device)")
@@ -35,16 +38,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	raw, err := net.Dial("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	conn := slamshare.ShapeConn(raw, slamshare.NetemConfig{
-		Delay:        *delay,
-		BandwidthBps: *mbps * 1e6,
-	})
-	defer conn.Close()
 
 	dev := slamshare.NewDevice(uint32(*id), seq)
 	adaptive := *qosName != "" || *modeName != ""
@@ -66,15 +59,42 @@ func main() {
 	for i := 0; i < *frames && i < seq.FrameCount(); i += *stride {
 		idxs = append(idxs, i)
 	}
-	log.Printf("client %d replaying %s (%s), %d frames over %s (delay %v, cap %.1f Mbit/s)",
-		*id, seq.Name, mode, len(idxs), *addr, *delay, *mbps)
 	start := time.Now()
-	run := dev.RunTCP
-	if adaptive {
-		run = dev.RunTCPAdaptive
-	}
-	if err := run(conn, idxs); err != nil {
-		log.Fatal(err)
+	if *addrsFlag != "" {
+		// Failover mode: dial the replicated-front list, resume by
+		// session token on a dead front. RunTCPResumable owns its
+		// connections, so -delay/-mbps shaping does not apply here.
+		var fronts []string
+		for _, a := range strings.Split(*addrsFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				fronts = append(fronts, a)
+			}
+		}
+		log.Printf("client %d replaying %s (%s), %d frames over fronts %v",
+			*id, seq.Name, mode, len(idxs), fronts)
+		pol := overload.Backoff{Base: 100, Factor: 2, Max: 2000, Jitter: 0.2, Seed: int64(*id)}
+		if err := dev.RunTCPResumable(fronts, idxs, pol); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		raw, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		conn := slamshare.ShapeConn(raw, slamshare.NetemConfig{
+			Delay:        *delay,
+			BandwidthBps: *mbps * 1e6,
+		})
+		defer conn.Close()
+		log.Printf("client %d replaying %s (%s), %d frames over %s (delay %v, cap %.1f Mbit/s)",
+			*id, seq.Name, mode, len(idxs), *addr, *delay, *mbps)
+		run := dev.RunTCP
+		if adaptive {
+			run = dev.RunTCPAdaptive
+		}
+		if err := run(conn, idxs); err != nil {
+			log.Fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 

@@ -4,16 +4,25 @@
 // region, moving ownership between shards as the user walks across a
 // boundary. Shards are slamshare-server processes started with
 // -shard-id/-shard-token.
+//
+// Fronts are replicated for failover: run two or more instances with
+// the same -token and the same -shards table (and distinct -front-id),
+// and give devices the full address list. A resume-capable client that
+// loses its front presents its session token to any surviving replica,
+// which adopts the session in place — no relocalization, no replayed
+// answers.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"strings"
 	"time"
 
 	"slamshare/internal/cluster"
+	"slamshare/internal/obs"
 )
 
 func main() {
@@ -25,6 +34,7 @@ func main() {
 	maxX := flag.Float64("max-x", 100, "east edge of the partitioned region")
 	hysteresis := flag.Float64("hysteresis", 5, "half-width of the no-handoff band around shard boundaries (metres)")
 	cooldown := flag.Duration("handoff-cooldown", 500*time.Millisecond, "minimum dwell between ownership handoffs per session")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars with the front failover gauges on this address")
 	flag.Parse()
 
 	list := strings.Split(*shards, ",")
@@ -50,6 +60,17 @@ func main() {
 		},
 		HandoffCooldown: *cooldown,
 	})
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		front.RegisterDebug(reg)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint on http://%s/debug/vars", dln.Addr())
+		go http.Serve(dln, obs.Handler(obs.NewTracer(reg, obs.DefaultRingSize)))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -29,6 +29,10 @@ type ShardSpec struct {
 	Addr    string // listen address; "127.0.0.1:0" picks a port
 	Dir     string // WAL directory (persists across restarts)
 	StallMs int    // import crash-window failpoint, milliseconds
+	// StartDelayMs simulates a slow restart: the child listens (and
+	// reports its address) immediately but kills every accepted
+	// connection for this long before starting the real server.
+	StartDelayMs int
 }
 
 // ShardProc is one shard server running as a real child process.
@@ -65,6 +69,7 @@ func trySpawn(spec ShardSpec) (*ShardProc, error) {
 		fmt.Sprintf("%s=%d", cluster.EnvToken, spec.Token),
 		fmt.Sprintf("%s=%s", cluster.EnvDir, spec.Dir),
 		fmt.Sprintf("%s=%d", cluster.EnvImportStall, spec.StallMs),
+		fmt.Sprintf("%s=%d", cluster.EnvStartDelay, spec.StartDelayMs),
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -102,6 +107,108 @@ func trySpawn(spec ShardSpec) (*ShardProc, error) {
 
 // Kill SIGKILLs the shard process and reaps it.
 func (p *ShardProc) Kill() {
+	if p == nil || p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// FrontSpec parameterizes one front-router child process. Replicas
+// share the Token and the Shards view; each gets its own FrontID.
+type FrontSpec struct {
+	Bin            string
+	ID             uint32
+	Token          uint64
+	Addr           string   // device listen address; "127.0.0.1:0" picks a port
+	Shards         []string // shard address table, identical across replicas
+	PartMin        float64  // partition edges (N = len(Shards))
+	PartMax        float64
+	PartHysteresis float64
+	HandoffStallMs int  // mid-handoff failpoint, milliseconds
+	Debug          bool // serve /debug/vars (front gauges) on a private port
+}
+
+// FrontProc is one front router running as a real child process.
+type FrontProc struct {
+	Addr      string
+	DebugAddr string // empty unless the spec asked for debug serving
+	cmd       *exec.Cmd
+}
+
+// SpawnFront starts a front child process and waits for its LISTENING
+// (and, when debug-enabled, DEBUG) lines.
+func SpawnFront(spec FrontSpec) (*FrontProc, error) {
+	var lastErr error
+	for attempt := 0; attempt < 15; attempt++ {
+		p, err := trySpawnFront(spec)
+		if err == nil {
+			return p, nil
+		}
+		lastErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("chaos: front %d did not come up: %w", spec.ID, lastErr)
+}
+
+func trySpawnFront(spec FrontSpec) (*FrontProc, error) {
+	cmd := exec.Command(spec.Bin)
+	env := append(os.Environ(),
+		cluster.EnvProc+"=front",
+		fmt.Sprintf("%s=%s", cluster.EnvAddr, spec.Addr),
+		fmt.Sprintf("%s=%d", cluster.EnvFrontID, spec.ID),
+		fmt.Sprintf("%s=%d", cluster.EnvToken, spec.Token),
+		fmt.Sprintf("%s=%s", cluster.EnvShards, strings.Join(spec.Shards, ",")),
+		fmt.Sprintf("%s=%g,%g,%g", cluster.EnvPartEdges,
+			spec.PartMin, spec.PartMax, spec.PartHysteresis),
+		fmt.Sprintf("%s=%d", cluster.EnvHandoffStall, spec.HandoffStallMs),
+	)
+	if spec.Debug {
+		env = append(env, fmt.Sprintf("%s=127.0.0.1:0", cluster.EnvDebugAddr))
+	}
+	cmd.Env = env
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	type report struct{ addr, debug string }
+	repCh := make(chan report, 1)
+	go func() {
+		var rep report
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "DEBUG "); ok {
+				rep.debug = a
+				continue
+			}
+			if a, ok := strings.CutPrefix(sc.Text(), "LISTENING "); ok {
+				rep.addr = a
+				break
+			}
+		}
+		repCh <- rep // addr empty when stdout closed before listening
+	}()
+	select {
+	case rep := <-repCh:
+		if rep.addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, errors.New("front exited before listening")
+		}
+		return &FrontProc{Addr: rep.addr, DebugAddr: rep.debug, cmd: cmd}, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, errors.New("front did not report listening")
+	}
+}
+
+// Kill SIGKILLs the front process and reaps it.
+func (p *FrontProc) Kill() {
 	if p == nil || p.cmd == nil || p.cmd.Process == nil {
 		return
 	}

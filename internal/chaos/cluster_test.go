@@ -17,13 +17,16 @@ import (
 	"slamshare/internal/protocol"
 )
 
-// TestMain doubles as the shard child entrypoint: SpawnShard re-execs
-// this test binary with SLAMSHARE_PROC=shard and the shard's config in
-// the environment, and the child runs a real shard server instead of
-// the test suite.
+// TestMain doubles as the shard and front child entrypoint: SpawnShard
+// and SpawnFront re-exec this test binary with SLAMSHARE_PROC set and
+// the child's config in the environment, and the child runs a real
+// shard server or front router instead of the test suite.
 func TestMain(m *testing.M) {
-	if os.Getenv(cluster.EnvProc) == "shard" {
+	switch os.Getenv(cluster.EnvProc) {
+	case "shard":
 		cluster.ShardEnvMain() // never returns
+	case "front":
+		cluster.FrontEnvMain() // never returns
 	}
 	os.Exit(m.Run())
 }

@@ -38,6 +38,11 @@ type Client struct {
 	// video encoding), completing the end-to-end frame trace the
 	// server-side stages continue.
 	Obs *obs.Tracer
+	// OnAnswer, when non-nil, is called by RunTCPResumable after each
+	// awaited frame's answer is applied — chaos harnesses use it to
+	// keep concurrent sessions in lockstep. Set before the run starts;
+	// it runs on the socket loop goroutine and may block.
+	OnAnswer func(frameIdx uint32, tracked, shed bool)
 
 	stEncode  *obs.Stage
 	stExtract *obs.Stage
@@ -70,6 +75,16 @@ type Client struct {
 	ex       *feature.Extractor
 	rttEWMA  float64 // nanoseconds
 	modeLog  []ModeEvent
+
+	// Resumable-session state (RunTCPResumable): the raw session token
+	// from the most recent answered pose, presented to whichever front
+	// the client lands on after a reconnect; tokenLog records the
+	// distinct (epoch, shard, mode) states observed, in order, for
+	// failover assertions; answers counts pose answers per frame index
+	// as observed on the live socket (the exactly-once evidence).
+	lastToken []byte
+	tokenLog  []protocol.SessionTokenMsg
+	answers   map[uint32]int
 }
 
 // ModeEvent records one offload-mode transition the client applied.
@@ -429,6 +444,13 @@ func (c *Client) RunTCP(conn net.Conn, frames []int) error {
 	return nil
 }
 
+// ReencodeFrame refreshes a built frame's video payloads after
+// Reconnect, for callers that resend an already-built frame on a
+// fresh connection: the new stream must open with intra frames, but
+// the IMU state was already advanced by BuildFrame and must not move
+// again.
+func (c *Client) ReencodeFrame(msg *protocol.FrameMsg, i int) { c.reencode(msg, i) }
+
 // reencode refreshes a built frame's video payloads after an encoder
 // reset: the new stream must open with intra frames, but the motion
 // model and trajectory were already advanced by BuildFrame and must
@@ -533,6 +555,227 @@ func (c *Client) RunTCPReconnect(dial func() (net.Conn, error), frames []int, po
 			// The frame was built once (IMU state advanced); only its
 			// video needs re-encoding for the new stream.
 			c.reencode(msg, i)
+		}
+	}
+	_ = protocol.WriteMessage(conn, protocol.TypeBye, nil)
+	return nil
+}
+
+// LastToken returns a copy of the most recent session token, nil
+// before the first tokened answer.
+func (c *Client) LastToken() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastToken == nil {
+		return nil
+	}
+	return append([]byte(nil), c.lastToken...)
+}
+
+// SessionTokens returns the distinct session states observed through
+// received tokens, in arrival order. Across a front failover the
+// epochs must be non-decreasing — an adopted session never reuses a
+// handoff epoch the dead front already spent.
+func (c *Client) SessionTokens() []protocol.SessionTokenMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]protocol.SessionTokenMsg, len(c.tokenLog))
+	copy(out, c.tokenLog)
+	return out
+}
+
+// AnswerCounts returns how many pose answers arrived per frame index
+// on the live socket. RunTCPResumable only resends a frame it has no
+// answer for, so every count must be exactly one — the client-side
+// proof of the exactly-once guarantee.
+func (c *Client) AnswerCounts() map[uint32]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint32]int, len(c.answers))
+	for k, v := range c.answers {
+		out[k] = v
+	}
+	return out
+}
+
+// noteToken stores the session token carried by an answered pose and
+// logs it when it represents a new (epoch, shard, mode) state.
+func (c *Client) noteToken(raw []byte) {
+	tok, err := protocol.DecodeSessionTokenMsg(raw)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastToken = append(c.lastToken[:0], raw...)
+	n := len(c.tokenLog)
+	if n == 0 || c.tokenLog[n-1].Epoch != tok.Epoch ||
+		c.tokenLog[n-1].Shard != tok.Shard || c.tokenLog[n-1].Mode != tok.Mode {
+		c.tokenLog = append(c.tokenLog, *tok)
+	}
+}
+
+func (c *Client) noteAnswer(idx uint32) {
+	c.mu.Lock()
+	if c.answers == nil {
+		c.answers = make(map[uint32]int)
+	}
+	c.answers[idx]++
+	c.mu.Unlock()
+}
+
+// awaitPoseResumable reads downlinks until the pose for frameIdx
+// arrives: poses are applied (tokens captured, echoes folded, answers
+// counted), mode switches applied.
+func (c *Client) awaitPoseResumable(conn net.Conn, frameIdx uint32) error {
+	for {
+		mt, payload, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		switch mt {
+		case protocol.TypeModeSwitch:
+			if ms, err := protocol.DecodeModeSwitchMsg(payload); err == nil {
+				c.ApplyModeSwitch(ms)
+			}
+		case protocol.TypePose:
+			pm, err := protocol.DecodePoseMsg(payload)
+			if err != nil {
+				return err
+			}
+			if pm.HasEcho {
+				c.noteEcho(pm.EchoNanos, time.Now())
+			}
+			if pm.Shed {
+				c.noteShed()
+			}
+			if pm.Token != nil {
+				c.noteToken(pm.Token)
+			}
+			c.noteAnswer(pm.FrameIdx)
+			c.ApplyPose(int(pm.FrameIdx), pm.Pose, pm.Tracked)
+			if pm.FrameIdx == frameIdx {
+				if c.OnAnswer != nil {
+					c.OnAnswer(pm.FrameIdx, pm.Tracked, pm.Shed)
+				}
+				return nil
+			}
+		}
+	}
+}
+
+// RunTCPResumable drives the socket loop against a list of redundant
+// front addresses in lockstep, surviving the death of the front
+// itself: the hello advertises CapResume (plus whatever EnableAdaptive
+// armed), so every answered pose carries a session token; on any
+// socket error the client rotates through the address list with
+// jittered backoff, replays the hello, presents the stored token —
+// letting the surviving front adopt the session with its routing
+// state, offload mode, and handoff epoch intact — and resumes from the
+// first unanswered frame. Delays are read as milliseconds;
+// pol.MaxAttempts (0 = unbounded) spans consecutive failures and any
+// answered frame resets it.
+func (c *Client) RunTCPResumable(addrs []string, frames []int, pol overload.Backoff) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("client %d: no front addresses", c.ID)
+	}
+	c.mu.Lock()
+	hello := protocol.HelloMsg{
+		ClientID: c.ID,
+		Mode:     c.Seq.Rig.Mode,
+		HasRig:   true,
+		Intr:     c.Seq.Rig.Intr,
+		Baseline: c.Seq.Rig.Baseline,
+		HasQoS:   true,
+		QoS:      byte(c.qos),
+		Caps:     byte(c.caps) | protocol.CapResume,
+	}
+	c.mu.Unlock()
+	var conn net.Conn
+	closeConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer closeConn()
+	attempt := 0
+	next := 0
+	connect := func() error {
+		closeConn()
+		for {
+			if pol.Exhausted(attempt) {
+				return fmt.Errorf("client %d: front retries exhausted after %d attempts", c.ID, attempt)
+			}
+			addr := addrs[next%len(addrs)]
+			next++
+			nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err == nil {
+				err = protocol.WriteMessage(nc, protocol.TypeHello, hello.Encode())
+				if err == nil {
+					if tok := c.LastToken(); tok != nil {
+						err = protocol.WriteMessage(nc, protocol.TypeSessionToken, tok)
+					}
+				}
+				if err == nil {
+					conn = nc
+					// Fresh front, fresh transcoder: restart the video
+					// stream intra.
+					c.Reconnect()
+					return nil
+				}
+				nc.Close()
+			}
+			time.Sleep(pol.DelayDuration(uint64(c.ID), attempt))
+			attempt++
+		}
+	}
+	if err := connect(); err != nil {
+		return err
+	}
+	now := func() uint64 { return uint64(time.Now().UnixNano()) }
+	for _, i := range frames {
+		// Build once (the IMU state advances exactly once per frame) in
+		// whatever mode the session is in; a reconnect only re-encodes
+		// the video onto the restarted stream.
+		var mt byte
+		var payload []byte
+		var fmsg *protocol.FrameMsg
+		switch c.OffloadMode() {
+		case offload.ModeSplit:
+			msg := c.BuildKeypointFrame(i)
+			msg.SentNanos, msg.RTTNanos = now(), uint64(c.RTTEstimate())
+			mt, payload = protocol.TypeKeypoint, msg.Encode()
+			c.addUplink(len(payload))
+		case offload.ModeShadow:
+			msg := c.BuildSync(i)
+			msg.SentNanos, msg.RTTNanos = now(), uint64(c.RTTEstimate())
+			mt, payload = protocol.TypeKeypoint, msg.Encode()
+			c.addUplink(len(payload))
+		default:
+			fmsg = c.BuildFrame(i)
+			fmsg.SentNanos, fmsg.RTTNanos = now(), uint64(c.RTTEstimate())
+			mt, payload = protocol.TypeFrame, fmsg.Encode()
+		}
+		for {
+			err := protocol.WriteMessage(conn, mt, payload)
+			if err == nil {
+				err = c.awaitPoseResumable(conn, uint32(i))
+			}
+			if err == nil {
+				attempt = 0
+				break
+			}
+			if cerr := connect(); cerr != nil {
+				return cerr
+			}
+			if fmsg != nil {
+				c.reencode(fmsg, i)
+				payload = fmsg.Encode()
+			}
+		}
+		if c.Pace > 0 {
+			time.Sleep(c.Pace)
 		}
 	}
 	_ = protocol.WriteMessage(conn, protocol.TypeBye, nil)

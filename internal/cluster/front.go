@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,9 @@ import (
 	"time"
 
 	"slamshare/internal/img"
+	"slamshare/internal/metrics"
+	"slamshare/internal/obs"
+	"slamshare/internal/overload"
 	"slamshare/internal/protocol"
 	"slamshare/internal/video"
 )
@@ -30,12 +34,42 @@ type FrontConfig struct {
 	HandoffCooldown time.Duration
 	// DialTimeout bounds each shard dial; RedialBudget bounds the total
 	// time a session keeps retrying a dead shard before giving up and
-	// dropping the client.
+	// dropping the client. The same budget bounds the dead-on-arrival
+	// cooldown loop: a shard that accepts connections but kills them
+	// during a slow restart (WAL replay) is retried with capped jittered
+	// backoff until the outage outlives the budget.
 	DialTimeout  time.Duration
 	RedialBudget time.Duration
+	// MaxUnacked caps the per-session unacked-frame ledger; beyond it
+	// the oldest pending frame is dropped (counted in
+	// front.ledger_evictions) so a stalled client cannot grow front
+	// memory without bound. 0 means the 256 default; negative disables
+	// the cap.
+	MaxUnacked int
+	// HandoffStall is a test failpoint: it holds every handoff open for
+	// this long between the source's boundary export and the offer to
+	// the target, so a chaos harness can land a front SIGKILL
+	// mid-handoff deterministically.
+	HandoffStall time.Duration
 	// Dial overrides the shard dialer (netem wrapping, in-process
 	// transports). nil means net.DialTimeout.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// FrontStats counts the failover-relevant front events, published on
+// /debug/vars by RegisterDebug.
+type FrontStats struct {
+	// SessionsAdopted counts sessions resumed from a presented token;
+	// ResumeFailures counts presented tokens that failed validation or
+	// whose owning-shard probe failed.
+	SessionsAdopted metrics.Counter
+	ResumeFailures  metrics.Counter
+	// LedgerEvictions counts pending frames dropped by the MaxUnacked
+	// cap.
+	LedgerEvictions metrics.Counter
+	// HandoffStalls counts handoffs that entered the HandoffStall
+	// failpoint window.
+	HandoffStalls metrics.Counter
 }
 
 // HandoffEvent records one ownership-handoff attempt, committed or
@@ -70,6 +104,11 @@ type Front struct {
 	ln     net.Listener
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	stats  FrontStats
+	// redial schedules the dead-on-arrival cooldown sleeps: capped
+	// jittered exponential backoff keyed per client, deterministic for
+	// a fixed front ID.
+	redial overload.Backoff
 
 	mu     sync.Mutex
 	events []HandoffEvent
@@ -86,10 +125,32 @@ func NewFront(cfg FrontConfig) *Front {
 	if cfg.RedialBudget == 0 {
 		cfg.RedialBudget = 30 * time.Second
 	}
+	if cfg.MaxUnacked == 0 {
+		cfg.MaxUnacked = 256
+	}
 	if cfg.Part.N == 0 {
 		cfg.Part.N = len(cfg.Shards)
 	}
-	return &Front{cfg: cfg}
+	return &Front{cfg: cfg, redial: overload.Backoff{
+		Base: 100, Factor: 2, Max: 2000, Jitter: 0.2, Seed: int64(cfg.FrontID),
+	}}
+}
+
+// Stats exposes the failover counters.
+func (f *Front) Stats() *FrontStats { return &f.stats }
+
+// RegisterDebug publishes the front gauges on an obs registry (served
+// at /debug/vars by obs.Handler).
+func (f *Front) RegisterDebug(reg *obs.Registry) {
+	reg.RegisterCounter("front.sessions_adopted", &f.stats.SessionsAdopted)
+	reg.RegisterCounter("front.resume_failures", &f.stats.ResumeFailures)
+	reg.RegisterCounter("front.ledger_evictions", &f.stats.LedgerEvictions)
+	reg.RegisterCounter("front.handoff_stalls", &f.stats.HandoffStalls)
+	reg.RegisterFunc("front.handoffs", func() any {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.events)
+	})
 }
 
 // Serve accepts device sessions on ln until Close. Blocks.
@@ -171,6 +232,7 @@ type message struct {
 // has to move or reconnect before the answer arrives.
 type pendingFrame struct {
 	mt      byte
+	idx     uint32 // FrameIdx, matching the answering pose
 	payload []byte // as last forwarded
 	fm      protocol.FrameMsg
 	left    *img.Gray // nil when the frame carries no decodable video
@@ -201,20 +263,24 @@ type session struct {
 	// exactly once.
 	unacked []pendingFrame
 
+	// caps are the hello capability bits; token is the session's
+	// resumable state, re-issued on every answered pose when the client
+	// advertised CapResume. Both are owned by the serveSession loop.
+	caps  byte
+	token protocol.SessionTokenMsg
+
 	// connGot tracks whether the current shard connection delivered
 	// anything; strikes counts consecutive connections that died
-	// without a single downlink message (a misbehaving stream the
-	// shard rejects on sight), so such sessions are dropped instead
-	// of redialing forever.
-	connGot bool
-	strikes int
+	// without a single downlink message, driving the cooldown backoff;
+	// outageStart marks when the current dead-on-arrival streak began
+	// (zero while healthy) so a slowly-restarting shard is retried up
+	// to the redial budget instead of orphaning the session.
+	connGot     bool
+	strikes     int
+	outageStart time.Time
 
 	lastHandoff time.Time
 }
-
-// strikeLimit is how many consecutive dead-on-arrival shard
-// connections a session gets before the front drops it.
-const strikeLimit = 20
 
 // serveSession proxies one device connection for its lifetime.
 func (f *Front) serveSession(client net.Conn) {
@@ -244,7 +310,19 @@ func (f *Front) serveSession(client net.Conn) {
 				return
 			}
 			s.clientID = hm.ClientID
+			if hm.HasQoS {
+				s.caps = hm.Caps
+			}
 			s.helloRaw = payload
+		case protocol.TypeSessionToken:
+			// A reconnecting client presents the token from its last
+			// answered pose: adopt the session — any front replica can,
+			// the token plus the owning shard's resume probe carry all
+			// the state the dead front held in memory.
+			if s.helloRaw == nil || !s.adopt(payload) {
+				return
+			}
+			routed = true
 		case protocol.TypeBye:
 			return
 		case protocol.TypeFrame:
@@ -253,6 +331,17 @@ func (f *Front) serveSession(client net.Conn) {
 			}
 			if fm, err := protocol.DecodeFrameMsg(payload); err == nil && fm.HasPrior {
 				s.cur = f.cfg.Part.Shard(fm.Prior.T.X)
+			}
+			pending = append(pending, message{mt, payload})
+			routed = true
+		case protocol.TypeKeypoint:
+			// A session pinned to split mode opens with a keypoint frame,
+			// never a video frame; route it by the same world-frame prior.
+			if s.helloRaw == nil {
+				return
+			}
+			if km, err := protocol.DecodeKeypointMsg(payload); err == nil && km.HasPrior {
+				s.cur = f.cfg.Part.Shard(km.Prior.T.X)
 			}
 			pending = append(pending, message{mt, payload})
 			routed = true
@@ -325,19 +414,83 @@ func (f *Front) serveSession(client net.Conn) {
 	}
 }
 
-// noteConnDeath applies the dead-on-arrival strike policy when a
-// shard connection closes. Returns false when the session should be
-// dropped.
+// adopt resumes a session from a presented token. The token seeds the
+// routing state (owning shard, handoff epoch, offload mode, partition
+// position) the dead front held in memory; the owning shard's resume
+// probe then continues the epoch sequence past anything the shard saw
+// — including a handoff the dead front had begun but never committed.
+// The unacked ledger starts empty on purpose: the client's own ledger
+// is authoritative (it resends exactly the frames it has no answer
+// for), and the token's marks prove receipt up to the watermark, so
+// every in-flight frame is re-answered once or cleanly superseded.
+// Returns false when the token is unusable.
+func (s *session) adopt(payload []byte) bool {
+	tok, err := protocol.DecodeSessionTokenMsg(payload)
+	if err != nil || tok.ClientID != s.clientID || int(tok.Shard) >= len(s.f.cfg.Shards) {
+		s.f.stats.ResumeFailures.Inc()
+		return false
+	}
+	s.token = *tok
+	s.cur = tok.Shard
+	s.epoch = tok.Epoch
+	// Best-effort epoch continuation: the shard remembers the newest
+	// handoff epoch per client, so even if the dead front crashed
+	// mid-handoff (after Begin, before commit) the next attempt's epoch
+	// still exceeds every wire epoch the shards have seen.
+	if st, err := s.f.probeResume(s.cur, s.clientID); err == nil {
+		if st.ResumeEpoch > s.epoch {
+			s.epoch = st.ResumeEpoch
+		}
+		s.f.stats.SessionsAdopted.Inc()
+	} else {
+		// The shard may itself be restarting; the session still resumes
+		// through the ordinary reconnect path, just without the probe.
+		s.f.stats.ResumeFailures.Inc()
+	}
+	return true
+}
+
+// probeResume asks a shard for one client's resume state over a fresh
+// admin connection.
+func (f *Front) probeResume(shard, clientID uint32) (*protocol.ShardStatusMsg, error) {
+	c, err := f.dialPeer(shard, protocol.ShardRoleAdmin, f.cfg.FrontID)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	probe := protocol.ShardControlMsg{
+		Op: protocol.ShardOpResume, Token: f.cfg.Token, ClientID: clientID,
+	}
+	if err := protocol.WriteMessage(c, protocol.TypeShardControl, probe.Encode()); err != nil {
+		return nil, err
+	}
+	raw, err := readReply(c, protocol.TypeShardStatus, f.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.DecodeShardStatusMsg(raw)
+}
+
+// noteConnDeath applies the dead-on-arrival cooldown policy when a
+// shard connection closes before delivering anything. Rather than
+// dropping the session after a fixed strike count (which orphaned
+// every session of a shard doing a slow WAL replay on restart), the
+// session sleeps a capped jittered backoff and retries until the
+// outage has outlived the redial budget. Returns false when the
+// session should be dropped.
 func (s *session) noteConnDeath() bool {
 	if s.connGot {
 		s.strikes = 0
+		s.outageStart = time.Time{}
 		return true
 	}
-	s.strikes++
-	if s.strikes >= strikeLimit {
+	if s.outageStart.IsZero() {
+		s.outageStart = time.Now()
+	} else if time.Since(s.outageStart) > s.f.cfg.RedialBudget {
 		return false
 	}
-	time.Sleep(100 * time.Millisecond)
+	time.Sleep(s.f.redial.DelayDuration(uint64(s.clientID), s.strikes))
+	s.strikes++
 	return true
 }
 
@@ -358,6 +511,7 @@ func (s *session) uplink(m message) bool {
 			return s.forward(m.mt, m.payload)
 		}
 		if fm.HasPrior {
+			s.token.PosX = fm.Prior.T.X
 			tgt := s.f.cfg.Part.ShardFrom(s.cur, fm.Prior.T.X)
 			if tgt != s.cur && time.Since(s.lastHandoff) >= s.f.cfg.HandoffCooldown {
 				if !s.drain() {
@@ -368,7 +522,7 @@ func (s *session) uplink(m message) bool {
 				}
 			}
 		}
-		p := pendingFrame{mt: m.mt, payload: m.payload, fm: *fm}
+		p := pendingFrame{mt: m.mt, idx: fm.FrameIdx, payload: m.payload, fm: *fm}
 		// Advance the device-stream decoders and re-encode onto the
 		// shard-connection stream. A decode failure falls back to
 		// forwarding the original bytes (the shard will fail the frame
@@ -388,11 +542,33 @@ func (s *session) uplink(m message) bool {
 	}
 	if m.mt == protocol.TypeKeypoint {
 		// Split-mode frames carry no video; forward verbatim but track
-		// them for the exactly-once answer guarantee.
-		s.unacked = append(s.unacked, pendingFrame{mt: m.mt, payload: m.payload})
+		// them for the exactly-once answer guarantee. FrameMsg and
+		// KeypointMsg both open with ClientID then FrameIdx.
+		p := pendingFrame{mt: m.mt, payload: m.payload}
+		if len(m.payload) >= 8 {
+			p.idx = binary.LittleEndian.Uint32(m.payload[4:8])
+		}
+		s.unacked = append(s.unacked, p)
 		return s.forwardPending()
 	}
 	return s.forward(m.mt, m.payload)
+}
+
+// capLedger enforces the MaxUnacked bound, dropping oldest-first. A
+// dropped frame is never re-sent on a reconnect — the client's own
+// ledger still covers it, at the cost of a relocalize-grade answer.
+func (s *session) capLedger() {
+	max := s.f.cfg.MaxUnacked
+	if max <= 0 || len(s.unacked) <= max {
+		return
+	}
+	dropped := len(s.unacked) - max
+	n := copy(s.unacked, s.unacked[dropped:])
+	for i := n; i < len(s.unacked); i++ {
+		s.unacked[i] = pendingFrame{} // release image buffers
+	}
+	s.unacked = s.unacked[:n]
+	s.f.stats.LedgerEvictions.Add(int64(dropped))
 }
 
 // transcode re-encodes a pending frame's images on the current
@@ -406,8 +582,11 @@ func (s *session) transcode(p *pendingFrame) []byte {
 	return fm.Encode()
 }
 
-// forwardPending sends the most recently queued pending frame.
+// forwardPending caps the ledger and sends the most recently queued
+// pending frame (capLedger drops oldest-first, so the new frame always
+// survives the cap).
 func (s *session) forwardPending() bool {
+	s.capLedger()
 	p := &s.unacked[len(s.unacked)-1]
 	return s.forward(p.mt, p.payload)
 }
@@ -420,14 +599,69 @@ func (s *session) forward(mt byte, payload []byte) bool {
 	return true
 }
 
-// downlink forwards one shard message to the client and settles the
-// frame bookkeeping. Returns false when the client write fails.
+// downlink forwards one shard message to the client, settles the frame
+// bookkeeping, and (for resume-capable clients) re-issues the session
+// token on the answering pose. Returns false when the client write
+// fails.
 func (s *session) downlink(m message) bool {
 	s.connGot = true
-	if m.mt == protocol.TypePose && len(s.unacked) > 0 {
-		s.unacked = s.unacked[1:]
+	switch m.mt {
+	case protocol.TypePose:
+		// PoseMsg opens with FrameIdx; settle the matching ledger entry
+		// (not the head — a reconnect replay can answer out of order).
+		if len(m.payload) >= 4 {
+			idx := binary.LittleEndian.Uint32(m.payload[:4])
+			s.settle(idx)
+			if s.caps&protocol.CapResume != 0 {
+				if tagged := s.attachToken(m.payload, idx); tagged != nil {
+					m.payload = tagged
+				}
+			}
+		}
+	case protocol.TypeModeSwitch:
+		// Track the offload mode into the token so an adopting front
+		// resumes the session in the mode the client is actually in.
+		if ms, err := protocol.DecodeModeSwitchMsg(m.payload); err == nil &&
+			ms.Epoch >= s.token.ModeEpoch {
+			s.token.Mode = ms.Mode
+			s.token.ModeEpoch = ms.Epoch
+		}
 	}
 	return protocol.WriteMessage(s.client, m.mt, m.payload) == nil
+}
+
+// settle removes the ledger entry answered by pose idx. No match is
+// fine: the answer belongs to a frame the cap evicted, or to a frame
+// some earlier front forwarded (post-adoption replays).
+func (s *session) settle(idx uint32) {
+	for i := range s.unacked {
+		if s.unacked[i].idx == idx {
+			n := len(s.unacked)
+			copy(s.unacked[i:], s.unacked[i+1:])
+			s.unacked[n-1] = pendingFrame{} // release image buffers
+			s.unacked = s.unacked[:n-1]
+			return
+		}
+	}
+}
+
+// attachToken re-issues the session token on an answered pose. The
+// mark for the owning shard is set to this pose's own FrameIdx before
+// encoding, so mark=i rides on answer i: possession of the token
+// proves the client received every answer up to the mark, which makes
+// the mark a sound dedup floor for whoever adopts the session next.
+// Returns nil when the pose payload cannot be decoded (forward as-is).
+func (s *session) attachToken(payload []byte, idx uint32) []byte {
+	pm, err := protocol.DecodePoseMsg(payload)
+	if err != nil {
+		return nil
+	}
+	s.token.ClientID = s.clientID
+	s.token.Shard = s.cur
+	s.token.Epoch = s.epoch
+	s.token.SetMark(s.cur, idx)
+	pm.Token = s.token.Encode()
+	return pm.Encode()
 }
 
 // drain waits until every forwarded frame has been answered — the
@@ -560,6 +794,13 @@ func (s *session) handoff(tgt uint32) bool {
 	regionRaw, err := readReply(src, protocol.TypeBoundaryRegion, s.f.cfg.RedialBudget)
 	if err != nil {
 		return abort("boundary export: " + err.Error())
+	}
+	if s.f.cfg.HandoffStall > 0 {
+		// Failpoint: the source has exported (and recorded the begun
+		// epoch) but nothing has been offered to the target yet — the
+		// widest window in which a front death strands a handoff.
+		s.f.stats.HandoffStalls.Inc()
+		time.Sleep(s.f.cfg.HandoffStall)
 	}
 
 	// Offer the region to the target, identified as the source shard so

@@ -3,10 +3,13 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"slamshare/internal/obs"
 	"slamshare/internal/persist"
 	"slamshare/internal/server"
 )
@@ -64,7 +67,7 @@ func NewShard(opts ShardOptions, ln net.Listener) (*server.Server, error) {
 }
 
 // Environment variables the multi-process harness and slamshare-server
-// use to parameterize a shard child process.
+// use to parameterize a shard or front child process.
 const (
 	EnvProc        = "SLAMSHARE_PROC"
 	EnvAddr        = "SLAMSHARE_ADDR"
@@ -72,6 +75,19 @@ const (
 	EnvToken       = "SLAMSHARE_TOKEN"
 	EnvDir         = "SLAMSHARE_DIR"
 	EnvImportStall = "SLAMSHARE_IMPORT_STALL"
+	// EnvStartDelay (ms) makes ShardEnvMain listen and print its
+	// address immediately but kill every accepted connection for the
+	// delay window before starting the real server — a stand-in for a
+	// shard doing a slow WAL replay on restart.
+	EnvStartDelay = "SLAMSHARE_START_DELAY"
+	// Front child parameters: the comma-separated shard address table,
+	// the front ID, the partition edges, the handoff-stall failpoint,
+	// and the debug (obs.Handler) listen address.
+	EnvShards       = "SLAMSHARE_SHARDS"
+	EnvFrontID      = "SLAMSHARE_FRONT_ID"
+	EnvPartEdges    = "SLAMSHARE_PART_EDGES"
+	EnvHandoffStall = "SLAMSHARE_HANDOFF_STALL"
+	EnvDebugAddr    = "SLAMSHARE_DEBUG_ADDR"
 )
 
 // ShardEnvMain runs a shard server parameterized entirely by
@@ -87,6 +103,7 @@ func ShardEnvMain() {
 	id, _ := strconv.ParseUint(os.Getenv(EnvShardID), 10, 32)
 	token, _ := strconv.ParseUint(os.Getenv(EnvToken), 10, 64)
 	stallMs, _ := strconv.ParseInt(os.Getenv(EnvImportStall), 10, 64)
+	delayMs, _ := strconv.ParseInt(os.Getenv(EnvStartDelay), 10, 64)
 	opts := ShardOptions{
 		ID:          uint32(id),
 		Token:       token,
@@ -98,12 +115,80 @@ func ShardEnvMain() {
 		fmt.Fprintf(os.Stderr, "shard %d: listen %s: %v\n", opts.ID, addr, err)
 		os.Exit(1)
 	}
+	// The harness scrapes this exact line; keep the format stable.
+	fmt.Printf("LISTENING %s\n", ln.Addr().String())
+	os.Stdout.Sync()
+	if delayMs > 0 {
+		// Slow-restart failpoint: the port is open (the address is
+		// already published) but the server is "replaying its WAL" —
+		// every connection accepted in the window dies immediately,
+		// which is exactly what a front's dial-then-dead reconnect
+		// sees against a recovering shard.
+		deadline := time.Now().Add(time.Duration(delayMs) * time.Millisecond)
+		for time.Now().Before(deadline) {
+			ln.(*net.TCPListener).SetDeadline(deadline)
+			c, err := ln.Accept()
+			if err != nil {
+				break
+			}
+			c.Close()
+		}
+		ln.(*net.TCPListener).SetDeadline(time.Time{})
+	}
 	if _, err := NewShard(opts, ln); err != nil {
 		fmt.Fprintf(os.Stderr, "shard %d: %v\n", opts.ID, err)
 		os.Exit(1)
 	}
-	// The harness scrapes this exact line; keep the format stable.
-	fmt.Printf("LISTENING %s\n", ln.Addr().String())
-	os.Stdout.Sync()
 	select {} // killed by the parent (SIGKILL is the point of the tier)
+}
+
+// FrontEnvMain runs a front router parameterized entirely by
+// environment variables and blocks forever — the front-failover chaos
+// tier re-execs the test binary with SLAMSHARE_PROC=front to get a
+// real replicated-front topology it can SIGKILL. EnvShards is the
+// comma-separated shard address table (identical across replicas),
+// EnvPartEdges is "min,max,hysteresis" for the spatial partition, and
+// EnvDebugAddr, when set, serves /debug/vars with the front gauges;
+// its actual address is printed as "DEBUG <addr>" before the
+// "LISTENING <addr>" line the harness scrapes.
+func FrontEnvMain() {
+	addr := os.Getenv(EnvAddr)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	id, _ := strconv.ParseUint(os.Getenv(EnvFrontID), 10, 32)
+	token, _ := strconv.ParseUint(os.Getenv(EnvToken), 10, 64)
+	stallMs, _ := strconv.ParseInt(os.Getenv(EnvHandoffStall), 10, 64)
+	shards := strings.Split(os.Getenv(EnvShards), ",")
+	cfg := FrontConfig{
+		Shards:       shards,
+		Token:        token,
+		FrontID:      uint32(id),
+		HandoffStall: time.Duration(stallMs) * time.Millisecond,
+		Part:         Partition{N: len(shards)},
+	}
+	if edges := os.Getenv(EnvPartEdges); edges != "" {
+		parts := strings.Split(edges, ",")
+		if len(parts) == 3 {
+			cfg.Part.Min, _ = strconv.ParseFloat(parts[0], 64)
+			cfg.Part.Max, _ = strconv.ParseFloat(parts[1], 64)
+			cfg.Part.Hysteresis, _ = strconv.ParseFloat(parts[2], 64)
+		}
+	}
+	f := NewFront(cfg)
+	if dbgAddr := os.Getenv(EnvDebugAddr); dbgAddr != "" {
+		reg := obs.NewRegistry()
+		f.RegisterDebug(reg)
+		dln, err := net.Listen("tcp", dbgAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "front %d: debug listen %s: %v\n", id, dbgAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("DEBUG %s\n", dln.Addr().String())
+		go http.Serve(dln, obs.Handler(obs.NewTracer(reg, obs.DefaultRingSize)))
+	}
+	if err := f.ListenAndServe(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "front %d: %v\n", id, err)
+		os.Exit(1)
+	}
 }

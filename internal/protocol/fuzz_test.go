@@ -58,15 +58,20 @@ func FuzzDecodeFrameMsg(f *testing.F) {
 }
 
 // FuzzDecodePoseMsg covers the downlink pose decoder: the legacy
-// form, the shed-flagged form, the RTT-echo form, and their
-// combination.
+// form, the shed-flagged form, the RTT-echo form, the session-token
+// tail, and their combinations.
 func FuzzDecodePoseMsg(f *testing.F) {
+	token := (&SessionTokenMsg{ClientID: 4, Shard: 1, Epoch: 3, Mode: 1,
+		ModeEpoch: 2, PosX: 91.5, Marks: []ShardMark{{Shard: 0, MaxFrame: 7}}}).Encode()
 	seeds := []*PoseMsg{
 		{FrameIdx: 0, Pose: geom.IdentitySE3(), Tracked: true},
 		{FrameIdx: 99, Pose: geom.SE3{R: geom.IdentityQuat(), T: geom.Vec3{X: 1, Y: 2, Z: 3}}},
 		{FrameIdx: 7, Pose: geom.IdentitySE3(), Shed: true},
 		{FrameIdx: 8, Pose: geom.IdentitySE3(), Tracked: true, HasEcho: true, EchoNanos: 123456789},
 		{FrameIdx: 9, Pose: geom.IdentitySE3(), Shed: true, HasEcho: true, EchoNanos: ^uint64(0)},
+		{FrameIdx: 10, Pose: geom.IdentitySE3(), Tracked: true, Token: token},
+		{FrameIdx: 11, Pose: geom.IdentitySE3(), Shed: true, HasEcho: true,
+			EchoNanos: 5, Token: token},
 	}
 	for _, m := range seeds {
 		data := m.Encode()
@@ -87,15 +92,61 @@ func FuzzDecodePoseMsg(f *testing.F) {
 			}
 			return
 		}
-		switch len(data) {
-		case poseMsgLegacyLen, poseMsgLegacyLen + 1, poseMsgLegacyLen + 9, poseMsgLegacyLen + 10:
-		default:
-			t.Fatalf("decoder accepted %d-byte pose message", len(data))
+		if len(m.Token) > len(data) {
+			t.Fatalf("decoded %d token bytes from a %d-byte message", len(m.Token), len(data))
 		}
-		// The encoding is canonical (shed byte only when set), so any
-		// accepted message must re-encode to the same length.
-		if got := m.Encode(); len(got) != len(data) {
+		// The encoding is canonical (each tail present exactly when its
+		// field is set, flags ascending), so any accepted message must
+		// re-encode to the same length with byte-identical tails. (The
+		// matrix body may differ: SE3FromMat4 re-orthonormalizes a
+		// corrupted rotation.)
+		got := m.Encode()
+		if len(got) != len(data) {
 			t.Fatalf("round-trip length mismatch: %d -> %d", len(data), len(got))
+		}
+		if string(got[poseMsgLegacyLen:]) != string(data[poseMsgLegacyLen:]) {
+			t.Fatalf("round-trip tail mismatch: %x -> %x",
+				data[poseMsgLegacyLen:], got[poseMsgLegacyLen:])
+		}
+	})
+}
+
+// FuzzDecodeSessionToken covers the resumable-session-token decoder:
+// strict mark-count gating, canonical mode, no trailing bytes.
+func FuzzDecodeSessionToken(f *testing.F) {
+	for _, m := range []*SessionTokenMsg{
+		{ClientID: 1, Shard: 0, Epoch: 0, Mode: 0},
+		{ClientID: 9, Shard: 1, Epoch: 12, Mode: 2, ModeEpoch: 4, PosX: -44.25,
+			Marks: []ShardMark{{Shard: 0, MaxFrame: 100}, {Shard: 1, MaxFrame: 40}}},
+	} {
+		data := m.Encode()
+		f.Add(data)
+		f.Add(data[:len(data)-1])
+		f.Add(append(append([]byte(nil), data...), 0))
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/3] ^= 0xFF
+		f.Add(flipped)
+		// Absurd mark count with no backing bytes (count sits at the
+		// last 4 bytes of the 33-byte fixed prefix).
+		huge := append([]byte(nil), data[:33]...)
+		huge[29], huge[30], huge[31], huge[32] = 0xFF, 0xFF, 0xFF, 0x7F
+		f.Add(huge)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeSessionTokenMsg(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("non-nil message returned with error")
+			}
+			return
+		}
+		if len(m.Marks) > maxTokenMarks {
+			t.Fatalf("decoder accepted %d marks", len(m.Marks))
+		}
+		if got := m.Encode(); string(got) != string(data) {
+			t.Fatalf("round-trip mismatch: %x -> %x", data, got)
 		}
 	})
 }

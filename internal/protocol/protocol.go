@@ -368,14 +368,24 @@ type PoseMsg struct {
 	// decoders (which reject unknown lengths) never see it.
 	HasEcho   bool
 	EchoNanos uint64
+	// Token is the front's updated session token (encoded
+	// SessionTokenMsg bytes), piggybacked so a CapResume client holds a
+	// current token after every answered frame. Only sent to sessions
+	// that advertised CapResume, so legacy decoders never see it.
+	Token []byte
 }
 
 // poseMsgLegacyLen is the pre-Shed encoding: frame index + 4x4 matrix
-// + tracked byte. Shed answers append one flag byte (0x01); echoed
-// answers append a 0x02 flag byte plus the 8-byte stamp; non-shed,
-// non-echo answers keep the legacy form so old decoders still parse
-// them.
+// + tracked byte. Tails append in ascending flag order: shed is one
+// 0x01 flag byte, echo a 0x02 flag byte plus the 8-byte stamp, and a
+// session token a 0x03 flag byte plus a length-prefixed blob.
+// Non-shed, non-echo, token-less answers keep the legacy form so old
+// decoders still parse them.
 const poseMsgLegacyLen = 4 + 16*8 + 1
+
+// maxPoseTokenLen bounds the token tail: a full token is well under
+// 200 bytes, so anything near the bound is forged.
+const maxPoseTokenLen = 4096
 
 // Encode serializes the pose message.
 func (m *PoseMsg) Encode() []byte {
@@ -397,24 +407,22 @@ func (m *PoseMsg) Encode() []byte {
 		buf = append(buf, 2)
 		buf = binary.LittleEndian.AppendUint64(buf, m.EchoNanos)
 	}
+	if m.Token != nil {
+		buf = append(buf, 3)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Token)))
+		buf = append(buf, m.Token...)
+	}
 	return buf
 }
 
-// DecodePoseMsg reverses PoseMsg.Encode, accepting the legacy form
-// (no trailing flags), the shed form, the echo form, and their
-// combination — each by exact length, with canonical flag bytes, so
-// forged or truncated tails never parse.
+// DecodePoseMsg reverses PoseMsg.Encode: the legacy fixed-length body
+// followed by optional tails in strictly ascending flag order (1 shed,
+// 2 echo + 8-byte stamp, 3 token + length-prefixed blob). Every tail
+// must be complete and the final offset exact, so forged or truncated
+// tails never parse; the four pre-token forms decode byte-identically
+// to the old exact-length decoder.
 func DecodePoseMsg(data []byte) (*PoseMsg, error) {
-	shed, echo := false, false
-	switch len(data) {
-	case poseMsgLegacyLen:
-	case poseMsgLegacyLen + 1:
-		shed = true
-	case poseMsgLegacyLen + 9:
-		echo = true
-	case poseMsgLegacyLen + 10:
-		shed, echo = true, true
-	default:
+	if len(data) < poseMsgLegacyLen {
 		return nil, fmt.Errorf("protocol: bad pose message length %d", len(data))
 	}
 	m := &PoseMsg{}
@@ -425,20 +433,36 @@ func DecodePoseMsg(data []byte) (*PoseMsg, error) {
 	}
 	m.Pose = geom.SE3FromMat4(mat)
 	m.Tracked = data[4+16*8] == 1
-	off := poseMsgLegacyLen
-	if shed {
-		if data[off] != 1 {
-			return nil, fmt.Errorf("protocol: bad pose shed flag %d", data[off])
+	off, prev := poseMsgLegacyLen, byte(0)
+	for off < len(data) {
+		flag := data[off]
+		if flag <= prev || flag > 3 {
+			return nil, fmt.Errorf("protocol: bad pose tail flag %d", flag)
 		}
-		m.Shed = true
+		prev = flag
 		off++
-	}
-	if echo {
-		if data[off] != 2 {
-			return nil, fmt.Errorf("protocol: bad pose echo flag %d", data[off])
+		switch flag {
+		case 1:
+			m.Shed = true
+		case 2:
+			if off+8 > len(data) {
+				return nil, errors.New("protocol: short pose echo tail")
+			}
+			m.HasEcho = true
+			m.EchoNanos = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		case 3:
+			if off+4 > len(data) {
+				return nil, errors.New("protocol: short pose token tail")
+			}
+			n := int(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			if n < 0 || n > maxPoseTokenLen || off+n > len(data) {
+				return nil, fmt.Errorf("protocol: pose token length %d exceeds payload", n)
+			}
+			m.Token = data[off : off+n : off+n]
+			off += n
 		}
-		m.HasEcho = true
-		m.EchoNanos = binary.LittleEndian.Uint64(data[off+1:])
 	}
 	return m, nil
 }

@@ -228,28 +228,41 @@ const (
 	// takes the global-map lock, so a harness can poll it while an
 	// import is stalled under that lock.
 	ShardOpStats = byte(4)
+	// ShardOpResume asks the shard for one client's resume state (the
+	// answered-frame watermark, newest handoff epoch, and last offload
+	// mode it recorded) so an adopting front can validate a presented
+	// session token and continue its epoch sequence. Reads atomically
+	// published per-client state, never the global-map lock.
+	ShardOpResume = byte(5)
 )
 
-// ShardControlMsg is one admin probe.
+// ShardControlMsg is one admin probe. Only ShardOpResume carries the
+// ClientID operand; the other ops keep their exact 9-byte form.
 type ShardControlMsg struct {
-	Op    byte
-	Token uint64
+	Op       byte
+	Token    uint64
+	ClientID uint32 // resume probes only
 }
 
-// shardControlLen is the exact ShardControlMsg encoding size.
+// shardControlLen is the exact ShardControlMsg encoding size for the
+// operand-less ops; a resume probe appends the 4-byte ClientID.
 const shardControlLen = 1 + 8
 
 // Encode serializes the control probe.
 func (m *ShardControlMsg) Encode() []byte {
-	buf := make([]byte, 0, shardControlLen)
+	buf := make([]byte, 0, shardControlLen+4)
 	buf = append(buf, m.Op)
 	buf = appendU64p(buf, m.Token)
+	if m.Op == ShardOpResume {
+		buf = appendU32p(buf, m.ClientID)
+	}
 	return buf
 }
 
-// DecodeShardControlMsg reverses ShardControlMsg.Encode.
+// DecodeShardControlMsg reverses ShardControlMsg.Encode. The length is
+// exact per op: 9 bytes for the operand-less ops, 13 for resume.
 func DecodeShardControlMsg(data []byte) (*ShardControlMsg, error) {
-	if len(data) != shardControlLen {
+	if len(data) != shardControlLen && len(data) != shardControlLen+4 {
 		return nil, fmt.Errorf("protocol: bad shard control length %d", len(data))
 	}
 	r := &byteReader{buf: data}
@@ -259,8 +272,17 @@ func DecodeShardControlMsg(data []byte) (*ShardControlMsg, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if m.Op < ShardOpPing || m.Op > ShardOpStats {
+	if m.Op < ShardOpPing || m.Op > ShardOpResume {
 		return nil, fmt.Errorf("protocol: bad shard control op %d", m.Op)
+	}
+	if m.Op == ShardOpResume {
+		m.ClientID = r.u32()
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in shard control", len(data)-r.off)
 	}
 	return m, nil
 }
@@ -302,6 +324,14 @@ type ShardStatusMsg struct {
 	KFIDs      []uint64
 	Anchors    []AnchorState
 	Stats      ShardStats
+	// Resume section, filled for ShardOpResume: whether the shard has
+	// ever answered this client, the highest answered frame index, the
+	// newest handoff epoch it has seen for the session, and the last
+	// offload mode it recorded. Zero-valued for every other op.
+	ResumeKnown bool
+	ResumeFrame uint32
+	ResumeEpoch uint64
+	ResumeMode  byte
 }
 
 // Encode serializes the status answer.
@@ -334,6 +364,14 @@ func (m *ShardStatusMsg) Encode() []byte {
 	buf = appendU64p(buf, m.Stats.Imports)
 	buf = appendU64p(buf, m.Stats.ImportRollbacks)
 	buf = appendU64p(buf, m.Stats.ImportsStalled)
+	if m.ResumeKnown {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU32p(buf, m.ResumeFrame)
+	buf = appendU64p(buf, m.ResumeEpoch)
+	buf = append(buf, m.ResumeMode)
 	return buf
 }
 
@@ -348,7 +386,7 @@ func DecodeShardStatusMsg(data []byte) (*ShardStatusMsg, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if m.Op < ShardOpPing || m.Op > ShardOpStats {
+	if m.Op < ShardOpPing || m.Op > ShardOpResume {
 		return nil, fmt.Errorf("protocol: bad shard status op %d", m.Op)
 	}
 	if okFlag > 1 {
@@ -395,8 +433,19 @@ func DecodeShardStatusMsg(data []byte) (*ShardStatusMsg, error) {
 	m.Stats.Imports = r.u64()
 	m.Stats.ImportRollbacks = r.u64()
 	m.Stats.ImportsStalled = r.u64()
+	knownFlag := r.u8()
+	m.ResumeFrame = r.u32()
+	m.ResumeEpoch = r.u64()
+	m.ResumeMode = r.u8()
 	if r.err != nil {
 		return nil, r.err
+	}
+	if knownFlag > 1 {
+		return nil, fmt.Errorf("protocol: bad shard status resume flag %d", knownFlag)
+	}
+	m.ResumeKnown = knownFlag == 1
+	if m.ResumeMode > 2 {
+		return nil, fmt.Errorf("protocol: bad shard status resume mode %d", m.ResumeMode)
 	}
 	if r.off != len(data) {
 		return nil, fmt.Errorf("protocol: %d trailing bytes in shard status", len(data)-r.off)

@@ -134,13 +134,25 @@ func TestShardControlRoundTrip(t *testing.T) {
 			t.Fatalf("round trip: got %+v want %+v", got, m)
 		}
 	}
+	// The resume probe carries its ClientID operand; the other ops
+	// never grow one (a 13-byte ping is rejected below as "long").
+	resume := &ShardControlMsg{Op: ShardOpResume, Token: 0x51A87A5E, ClientID: 42}
+	got, err := DecodeShardControlMsg(resume.Encode())
+	if err != nil {
+		t.Fatalf("decode resume: %v", err)
+	}
+	if *got != *resume {
+		t.Fatalf("resume round trip: got %+v want %+v", got, resume)
+	}
 	valid := (&ShardControlMsg{Op: ShardOpPing, Token: 1}).Encode()
 	for name, data := range map[string][]byte{
-		"empty":   {},
-		"short":   valid[:len(valid)-1],
-		"long":    append(append([]byte(nil), valid...), 0),
-		"zero op": append([]byte{0}, valid[1:]...),
-		"wild op": append([]byte{200}, valid[1:]...),
+		"empty":        {},
+		"short":        valid[:len(valid)-1],
+		"long":         append(append([]byte(nil), valid...), 0),
+		"ping with id": append(append([]byte(nil), valid...), 1, 0, 0, 0),
+		"zero op":      append([]byte{0}, valid[1:]...),
+		"wild op":      append([]byte{200}, valid[1:]...),
+		"short resume": resume.Encode()[:shardControlLen],
 	} {
 		if _, err := DecodeShardControlMsg(data); err == nil {
 			t.Errorf("%s: decoder accepted %x", name, data)
@@ -162,6 +174,9 @@ func TestShardStatusRoundTrip(t *testing.T) {
 		{Op: ShardOpStats, OK: true,
 			Stats: ShardStats{KeyFrames: 100, MapPoints: 9000, Sessions: 4,
 				ImportsInFlight: 1, Imports: 3, ImportRollbacks: 1, ImportsStalled: 1}},
+		{Op: ShardOpResume, OK: true,
+			ResumeKnown: true, ResumeFrame: 312, ResumeEpoch: 7, ResumeMode: 1},
+		{Op: ShardOpResume, OK: true}, // unknown client: zero resume section
 	} {
 		got, err := DecodeShardStatusMsg(m.Encode())
 		if err != nil {
@@ -195,7 +210,7 @@ func TestShardStatusRejects(t *testing.T) {
 // they continue the device sequence and may never collide with it, so a
 // front door can pass legacy device traffic through untouched.
 func TestShardTypesDisjointFromDevice(t *testing.T) {
-	device := []byte{TypeHello, TypeFrame, TypePose, TypeMapUpload, TypeMapPortion, TypeBye, TypeModeSwitch, TypeKeypoint}
+	device := []byte{TypeHello, TypeFrame, TypePose, TypeMapUpload, TypeMapPortion, TypeBye, TypeModeSwitch, TypeKeypoint, TypeSessionToken}
 	shard := []byte{TypeShardHello, TypeBoundaryRegion, TypeHandoff, TypeShardControl, TypeShardStatus}
 	want := []byte{9, 10, 11, 12, 13}
 	if !bytes.Equal(shard, want) {
@@ -338,8 +353,8 @@ func FuzzDecodeHandoffMsg(f *testing.F) {
 }
 
 func FuzzDecodeShardControlMsg(f *testing.F) {
-	for _, op := range []byte{ShardOpPing, ShardOpCheck, ShardOpOwnership, ShardOpStats} {
-		data := (&ShardControlMsg{Op: op, Token: uint64(op) * 31}).Encode()
+	for _, op := range []byte{ShardOpPing, ShardOpCheck, ShardOpOwnership, ShardOpStats, ShardOpResume} {
+		data := (&ShardControlMsg{Op: op, Token: uint64(op) * 31, ClientID: uint32(op)}).Encode()
 		f.Add(data)
 		f.Add(data[:len(data)-1])
 	}
@@ -365,6 +380,8 @@ func FuzzDecodeShardStatusMsg(f *testing.F) {
 		{Op: ShardOpOwnership, OK: true, KFIDs: []uint64{1, 2, 3},
 			Anchors: []AnchorState{{ID: 4, Pose: pose(1, 0, 2)}}},
 		{Op: ShardOpStats, OK: true, Stats: ShardStats{KeyFrames: 5, Sessions: 2}},
+		{Op: ShardOpResume, OK: true, ResumeKnown: true, ResumeFrame: 9,
+			ResumeEpoch: 2, ResumeMode: 2},
 	} {
 		data := m.Encode()
 		f.Add(data)

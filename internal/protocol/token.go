@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// TypeSessionToken carries a resumable session token: downlink from a
+// front piggybacked on pose tails (see PoseMsg.Token), uplink from a
+// reconnecting client presenting its newest token to whichever front
+// replica answers the dial. Legacy clients never send or receive it.
+const TypeSessionToken = byte(14)
+
+// CapResume: the client understands session tokens — it stores the
+// token tail from every answered pose and presents the newest one
+// after its hello when it reconnects, letting any front replica adopt
+// the session without a blind relocalization window.
+const CapResume = byte(1 << 2)
+
+// maxTokenMarks bounds the per-shard watermark list; far above any
+// deployable shard count, low enough that a forged count cannot force
+// a large allocation.
+const maxTokenMarks = 64
+
+// ShardMark is one shard's answered-frame watermark: the highest
+// FrameIdx whose pose answer the client has actually received from
+// that shard. Because the token carrying mark=i rides on answer i
+// itself, possession of the token proves receipt up to the mark —
+// which is exactly the dedup floor an adopting front needs.
+type ShardMark struct {
+	Shard    uint32
+	MaxFrame uint32
+}
+
+// SessionTokenMsg is the resumable session token. It is everything a
+// replacement front needs to adopt the session mid-stream: who the
+// session is, which shard owns it at what handoff epoch, the answered
+// watermark per shard it has visited, the negotiated offload mode
+// (+ mode epoch so a stale ModeSwitch can still be discarded after
+// failover), and the last routed partition position.
+type SessionTokenMsg struct {
+	ClientID  uint32
+	Shard     uint32 // current owning shard index
+	Epoch     uint64 // session's newest handoff epoch
+	Mode      byte   // offload.Mode: 0 full, 1 split, 2 shadow
+	ModeEpoch uint32
+	PosX      float64 // last routed partition coordinate
+	Marks     []ShardMark
+}
+
+// Encode serializes the token.
+func (m *SessionTokenMsg) Encode() []byte {
+	buf := make([]byte, 0, 4+4+8+1+4+8+4+len(m.Marks)*8)
+	buf = binary.LittleEndian.AppendUint32(buf, m.ClientID)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Shard)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+	buf = append(buf, m.Mode)
+	buf = binary.LittleEndian.AppendUint32(buf, m.ModeEpoch)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.PosX))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Marks)))
+	for _, mk := range m.Marks {
+		buf = binary.LittleEndian.AppendUint32(buf, mk.Shard)
+		buf = binary.LittleEndian.AppendUint32(buf, mk.MaxFrame)
+	}
+	return buf
+}
+
+// DecodeSessionTokenMsg reverses Encode. Strict: the mark count is
+// gated against both the payload and maxTokenMarks, the mode must be
+// a defined offload mode, and trailing bytes are an error.
+func DecodeSessionTokenMsg(data []byte) (*SessionTokenMsg, error) {
+	r := &byteReader{buf: data}
+	m := &SessionTokenMsg{}
+	m.ClientID = r.u32()
+	m.Shard = r.u32()
+	m.Epoch = r.u64()
+	m.Mode = r.u8()
+	m.ModeEpoch = r.u32()
+	m.PosX = r.f64()
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m.Mode > 2 {
+		return nil, fmt.Errorf("protocol: bad token mode %d", m.Mode)
+	}
+	if n < 0 || n > maxTokenMarks || n*8 > len(data)-r.off {
+		return nil, fmt.Errorf("protocol: token mark count %d exceeds payload", n)
+	}
+	if n > 0 {
+		m.Marks = make([]ShardMark, n)
+	}
+	for i := 0; i < n; i++ {
+		m.Marks[i].Shard = r.u32()
+		m.Marks[i].MaxFrame = r.u32()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in session token", len(data)-r.off)
+	}
+	return m, nil
+}
+
+// Mark returns the answered watermark for a shard (0 if unvisited).
+func (m *SessionTokenMsg) Mark(shard uint32) uint32 {
+	for _, mk := range m.Marks {
+		if mk.Shard == shard {
+			return mk.MaxFrame
+		}
+	}
+	return 0
+}
+
+// SetMark records a shard's answered watermark, keeping it monotone.
+func (m *SessionTokenMsg) SetMark(shard, frame uint32) {
+	for i := range m.Marks {
+		if m.Marks[i].Shard == shard {
+			if frame > m.Marks[i].MaxFrame {
+				m.Marks[i].MaxFrame = frame
+			}
+			return
+		}
+	}
+	if len(m.Marks) < maxTokenMarks {
+		m.Marks = append(m.Marks, ShardMark{Shard: shard, MaxFrame: frame})
+	}
+}

@@ -261,6 +261,22 @@ type Server struct {
 	importsDone     atomic.Int64
 	importsRolled   atomic.Int64
 	importsStalled  atomic.Int64
+
+	// resume is per-client resume state published for the ShardOpResume
+	// probe: the highest frame index answered on this shard, the newest
+	// handoff epoch seen for the client, and the last offload mode. It
+	// survives session close — that is the point: a replacement front
+	// adopting a session probes it to validate the presented token and
+	// continue the epoch sequence. Its own mutex, never gmu.
+	resumeMu sync.Mutex
+	resume   map[uint32]*resumeState
+}
+
+// resumeState is one client's shard-side resume record.
+type resumeState struct {
+	frame uint32
+	epoch uint64
+	mode  byte
 }
 
 // NetStats counts per-connection protocol events on the Serve path.
@@ -320,6 +336,49 @@ func (s *Server) NSessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// noteAnswered records that a pose for frame was written to clientID's
+// connection, with the session's offload mode at that moment. The
+// watermark is monotone: answers can race only across reconnects, and
+// a stale reconnect must never roll it back.
+func (s *Server) noteAnswered(clientID, frame uint32, mode byte) {
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	st := s.resume[clientID]
+	if st == nil {
+		st = &resumeState{}
+		s.resume[clientID] = st
+	}
+	if frame > st.frame {
+		st.frame = frame
+	}
+	st.mode = mode
+}
+
+// noteHandoffEpoch records the newest handoff epoch seen for a client,
+// from either side of a handoff (export begin or boundary import).
+func (s *Server) noteHandoffEpoch(clientID uint32, epoch uint64) {
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	st := s.resume[clientID]
+	if st == nil {
+		st = &resumeState{}
+		s.resume[clientID] = st
+	}
+	if epoch > st.epoch {
+		st.epoch = epoch
+	}
+}
+
+// resumeStateFor answers the ShardOpResume probe.
+func (s *Server) resumeStateFor(clientID uint32) (resumeState, bool) {
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	if st := s.resume[clientID]; st != nil {
+		return *st, true
+	}
+	return resumeState{}, false
 }
 
 // New creates the server: it allocates the shared-memory region,
@@ -401,6 +460,7 @@ func New(cfg Config) (*Server, error) {
 		sessions:       make(map[uint32]*Session),
 		pendingExports: make(map[exportKey]*exportRecord),
 		importBlocked:  make(map[uint32]int),
+		resume:         make(map[uint32]*resumeState),
 		gate:           overload.NewGate(cfg.Overload.MaxSessions, cfg.Overload.MaxMergesInFlight),
 		backoff: overload.Backoff{
 			Base:   cfg.Overload.RetryBase,
@@ -1172,7 +1232,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		return protocol.WriteMessage(conn, mt, payload) == nil
 	}
 	writePose := func(pm protocol.PoseMsg) bool {
-		return writeMsg(protocol.TypePose, pm.Encode())
+		if !writeMsg(protocol.TypePose, pm.Encode()) {
+			return false
+		}
+		// The answer left this process, so the client (or its front) may
+		// hold it: advance the shard-side resume watermark the adoption
+		// probe reads. Shed answers count — the client's ledger treats
+		// them as answered too.
+		if sess != nil {
+			s.noteAnswered(sess.ID, pm.FrameIdx, byte(sess.OffloadMode()))
+		}
+		return true
 	}
 	// echo stamps the client's send time onto the reply so the client
 	// can measure round-trip time (RTT = receive time - echoed stamp).

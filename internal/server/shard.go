@@ -126,6 +126,7 @@ func (s *Server) exportBoundary(msg *protocol.HandoffMsg, writeMsg func(byte, []
 	}
 	s.pendingExports[exportKey{msg.ClientID, msg.Epoch}] = rec
 	s.shardMu.Unlock()
+	s.noteHandoffEpoch(msg.ClientID, msg.Epoch)
 
 	reply := &protocol.BoundaryRegionMsg{
 		ClientID: msg.ClientID,
@@ -224,6 +225,7 @@ func (s *Server) handleBoundaryRegion(peer *shardPeer, payload []byte, writeMsg 
 		s.anchors.Restore(a)
 	}
 	s.importsDone.Add(1)
+	s.noteHandoffEpoch(msg.ClientID, msg.Epoch)
 	return s.writeHandoff(writeMsg, protocol.HandoffAck, hm, "")
 }
 
@@ -341,6 +343,15 @@ func (s *Server) handleShardControl(payload []byte, writeMsg func(byte, []byte) 
 		s.gmu.RUnlock()
 		for _, a := range s.anchors.All() {
 			st.Anchors = append(st.Anchors, protocol.AnchorState{ID: a.ID, Pose: a.Pose})
+		}
+	case protocol.ShardOpResume:
+		// Per-client resume state under its own mutex — never gmu, so an
+		// adopting front can probe while an import stall holds the map.
+		if rs, ok := s.resumeStateFor(msg.ClientID); ok {
+			st.ResumeKnown = true
+			st.ResumeFrame = rs.frame
+			st.ResumeEpoch = rs.epoch
+			st.ResumeMode = rs.mode
 		}
 	case protocol.ShardOpStats:
 		// Atomics and striped counters only — never gmu, so this probe
